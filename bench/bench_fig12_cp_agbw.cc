@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: achieved inter-GPU bandwidth of the CP KV
+ * all-gather versus sequence length, for cp in {2, 4}, causal and
+ * block-causal masks.
+ *
+ * Paper shape: achieved bandwidth climbs with sequence length (latency
+ * amortizes) toward ~300 GB/s on NVLink, and is essentially identical
+ * between causal and block-causal masks — the mask changes compute, not
+ * communication. That equality is what pins Figure 11's block-causal gap
+ * on workload imbalance rather than the network.
+ */
+
+#include "bench_util.h"
+
+#include "llm4d/cp/cp_cost.h"
+
+using namespace llm4d;
+
+int
+main()
+{
+    bench::banner("Figure 12 — achieved CP all-gather bandwidth",
+                  "rises with seq toward ~300 GB/s; causal == block-causal");
+
+    const ClusterSpec spec = ClusterSpec::llama3Production(8);
+    const Topology topo(spec);
+    const CollectiveModel coll(topo);
+
+    TextTable table("Figure 12 (reproduced): achieved AG bandwidth (GB/s)");
+    table.header({"seq", "cp2 causal", "cp2 block", "cp4 causal",
+                  "cp4 block"});
+    double peak_bw = 0.0;
+    for (std::int64_t seq : {4096, 8192, 16384, 32768, 65536, 131072}) {
+        std::vector<std::string> cells{TextTable::num(seq)};
+        for (std::int64_t cp : {2, 4}) {
+            std::vector<std::int64_t> ranks;
+            for (std::int64_t r = 0; r < cp; ++r)
+                ranks.push_back(r);
+            const CpCostModel model(spec.node.gpu, AttnGeometry{}, coll,
+                                    ranks);
+            // Communication is mask-independent: both columns read the
+            // same model quantity; print twice to mirror the figure.
+            const double bw = model.achievedAllGatherBandwidth(seq);
+            cells.push_back(TextTable::num(bw, 1));
+            cells.push_back(TextTable::num(bw, 1));
+            peak_bw = std::max(peak_bw, bw);
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    bench::compare("peak achieved AG bandwidth (GB/s)", 300.0, peak_bw);
+    std::printf("note: causal and block-causal columns are identical by "
+                "construction —\nthe all-gather moves the same KV bytes "
+                "regardless of the attention mask,\nmatching the paper's "
+                "measurement.\n");
+    return 0;
+}

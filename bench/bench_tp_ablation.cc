@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces the paper's Section 8.1 HBM-capacity ablation: "in Llama 3
+ * small scale experiments on 2K GPUs, we observed approximately 10%
+ * end-to-end performance improvement by reducing TP size from 8 to 4" —
+ * less tensor sharding amortizes communication better, but the tp=4
+ * configuration needs more HBM per GPU, which is the paper's argument for
+ * higher-capacity memory.
+ */
+
+#include "bench_util.h"
+
+#include "llm4d/sim/train_sim.h"
+
+using namespace llm4d;
+
+namespace {
+
+TrainStepReport
+run(std::int64_t tp, std::int64_t dp)
+{
+    TrainJobConfig cfg;
+    cfg.par = ParallelismConfig{tp, 1, 16, dp};
+    cfg.cluster = ClusterSpec::llama3Production(2048);
+    cfg.global_batch_tokens = 4LL * 1024 * 1024; // 512 sequences
+    return TrainSim(cfg).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 8.1 ablation — TP 8 -> 4 on 2K GPUs",
+                  "~10% end-to-end improvement, enabled by extra HBM");
+
+    const TrainStepReport tp8 = run(8, 16);
+    const TrainStepReport tp4 = run(4, 32);
+
+    TextTable table("TP ablation (reproduced), 405B on 2048 GPUs");
+    table.header({"config", "TFLOPs/GPU", "bubble", "exposed tp s",
+                  "mem GiB", "fits 80 GiB", "fits 141 GiB"});
+    for (const auto &[label, rep] :
+         {std::pair<const char *, const TrainStepReport &>{"tp8 pp16 dp16",
+                                                           tp8},
+          {"tp4 pp16 dp32", tp4}}) {
+        table.row({label, TextTable::num(rep.tflops_per_gpu, 0),
+                   TextTable::pct(rep.bubble_ratio),
+                   TextTable::num(rep.exposed_tp_seconds, 2),
+                   TextTable::num(rep.maxMemoryGib(), 1),
+                   rep.fits(80.0) ? "yes" : "NO",
+                   rep.fits(141.0) ? "yes" : "NO"});
+    }
+    table.print();
+
+    bench::compare("end-to-end gain from tp8 -> tp4 (%)", 10.0,
+                   (tp4.tflops_per_gpu / tp8.tflops_per_gpu - 1.0) * 100.0);
+    std::printf("tp=4 %s in 80 GiB — the gain is only reachable with "
+                "higher HBM capacity\n(Section 8.1's recommendation).\n",
+                tp4.fits(80.0) ? "unexpectedly fits" : "does NOT fit");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Capability-computing capacity planning (paper Sections 1 and 5).
+ *
+ * "Llama 3 pre-training is a capability computing problem": the batch is
+ * fixed at 16M tokens, so adding GPUs shrinks the per-GPU batch and the
+ * parallelism configuration must be re-derived at every scale. This
+ * example runs the Section-5 planner across cluster sizes and shows how
+ * the chosen configuration, per-GPU efficiency, and projected training
+ * time evolve — including the total time for the 405B run's 3.8e25 FLOPs
+ * budget.
+ *
+ * Build & run:  ./build/examples/capacity_planner
+ */
+
+#include <cstdio>
+
+#include "llm4d/plan/planner.h"
+#include "llm4d/simcore/table.h"
+
+using namespace llm4d;
+
+int
+main()
+{
+    const double total_flops = 3.8e25; // the Llama 3 405B budget
+
+    TextTable table("405B pre-training across cluster scales "
+                    "(16M tokens/step, seq 8192)");
+    table.header({"GPUs", "config", "zero", "bs", "TFLOPs/GPU",
+                  "step s", "days for 3.8e25 FLOPs"});
+    for (std::int64_t ngpu : {2048, 4096, 8192, 16384}) {
+        PlanInput in;
+        in.cluster = ClusterSpec::llama3Production(ngpu);
+        const PlanCandidate best = bestPlan(in);
+        // Model FLOPs per step: ~6 * params * tokens (fwd + bwd).
+        const double step_flops = 6.0 *
+                                  static_cast<double>(
+                                      in.model.totalParams()) *
+                                  static_cast<double>(
+                                      in.global_batch_tokens);
+        const double steps = total_flops / step_flops;
+        const double days =
+            steps * best.est_step_seconds / 86400.0;
+        table.row({TextTable::num(ngpu), best.par.str(),
+                   zeroModeName(best.zero), TextTable::num(best.bs),
+                   TextTable::num(best.est_tflops_per_gpu, 0),
+                   TextTable::num(best.est_step_seconds, 2),
+                   TextTable::num(days, 0)});
+    }
+    table.print();
+
+    std::printf(
+        "Fixed token budget means bs = gbs/ndp shrinks as the cluster "
+        "grows: the planner\ncompensates by re-tuning the parallelism "
+        "mix. Per-GPU efficiency erodes slightly\nat scale while total "
+        "time keeps dropping — the capability-computing trade the\n"
+        "paper's introduction describes.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Performance debugging at scale (paper Section 6.1, Figure 8).
+ *
+ * Injects a DVFS-throttled GPU somewhere in an 8,192-rank 4D-parallel
+ * job, builds per-rank compute profiles with realistic jitter, and runs
+ * the paper's top-down localization: DP -> PP -> CP -> TP, at each level
+ * selecting the group whose members wait the least.
+ *
+ * Build & run:  ./build/examples/debug_slow_rank
+ */
+
+#include <cstdio>
+
+#include "llm4d/debug/slow_rank.h"
+#include "llm4d/hw/perf_variation.h"
+#include "llm4d/simcore/rng.h"
+#include "llm4d/simcore/table.h"
+
+using namespace llm4d;
+
+int
+main()
+{
+    // The long-context 8K-GPU job of Section 7.3.2.
+    const RankGrid grid(ParallelismConfig{8, 16, 16, 4});
+    std::printf("cluster: %lld ranks as tp8 cp16 pp16 dp4\n\n",
+                static_cast<long long>(grid.worldSize()));
+
+    Rng pick(123);
+    TextTable table("Top-down slow-rank localization");
+    table.header({"injected rank", "found rank", "path", "correct"});
+    for (int trial = 0; trial < 5; ++trial) {
+        const std::int64_t culprit =
+            pick.uniformInt(0, grid.worldSize() - 1);
+
+        // Per-rank compute time for one step: nominal 1s, ~1% DVFS
+        // jitter, culprit throttled to 78% speed.
+        PerfVariation perf = PerfVariation::jitter(0.004, 77 + trial);
+        perf.injectStraggler(culprit, 0.78);
+        std::vector<double> compute(
+            static_cast<std::size_t>(grid.worldSize()));
+        for (std::int64_t r = 0; r < grid.worldSize(); ++r)
+            compute[static_cast<std::size_t>(r)] = perf.apply(r, 1.0);
+
+        const SlowRankReport rep = findSlowRank(grid, compute);
+        std::string path;
+        for (const SlowRankStep &s : rep.steps)
+            path += s.axis + "=" + std::to_string(s.coordinate) + " ";
+        table.row({TextTable::num(culprit), TextTable::num(rep.rank),
+                   path, rep.rank == culprit ? "yes" : "NO"});
+    }
+    table.print();
+
+    std::printf(
+        "Note the inversion the paper warns about: every *healthy* rank\n"
+        "shows long collectives (it waits); the culprit shows short ones.\n"
+        "Walking groups outermost-in pinpoints it without inspecting all\n"
+        "8192 traces.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Long-context training with context parallelism (paper Sections 4, 5,
+ * 7.3.2).
+ *
+ * Walks the full CP story end to end:
+ *  1. the planner discovers that 131K context needs cp=16 (Table 2);
+ *  2. the executable all-gather CP attention computes *exactly* the same
+ *     numbers as a single device, including across document boundaries
+ *     that straddle CP chunks;
+ *  3. a simulated 4D training step shows the long-context throughput and
+ *     the document-mask imbalance that bounds overlap-based designs.
+ *
+ * Build & run:  ./build/examples/long_context_cp
+ */
+
+#include <cstdio>
+
+#include "llm4d/cp/cp_attention.h"
+#include "llm4d/plan/planner.h"
+#include "llm4d/sim/train_sim.h"
+#include "llm4d/simcore/table.h"
+
+using namespace llm4d;
+
+int
+main()
+{
+    // --- 1. Planner: why cp = 16. ---
+    PlanInput input;
+    input.seq = 131072;
+    const PlanCandidate plan = bestPlan(input);
+    std::printf("131K-context plan: %s (%s), bs=%lld, est %.0f TFLOPs/GPU\n\n",
+                plan.par.str().c_str(), zeroModeName(plan.zero),
+                static_cast<long long>(plan.bs), plan.est_tflops_per_gpu);
+
+    // --- 2. Exactness of all-gather CP attention with document masks. ---
+    // The paper's own example: 16 tokens, documents of length [3,3,8,2],
+    // cp = 2 (Figure 7c). Scale it up a little to make the point.
+    Rng rng(2024);
+    const std::int64_t seq = 128;
+    const Tensor q = Tensor::randn({4, seq, 16}, rng);
+    const Tensor k = Tensor::randn({2, seq, 16}, rng);
+    const Tensor v = Tensor::randn({2, seq, 16}, rng);
+    const DocMask mask = DocMask::fromDocLengths({24, 24, 64, 16});
+    const auto reference = referenceAttention(q, k, v, mask);
+
+    TextTable exact("All-gather CP attention vs single device");
+    exact.header({"cp", "max |diff| (all-gather)", "max |diff| (ring)"});
+    for (std::int64_t cp : {2, 4}) {
+        const CpSharding sharding(seq, cp);
+        const Tensor ag =
+            runAllRanksForward(q, k, v, mask, sharding, false);
+        const Tensor ring =
+            runAllRanksForward(q, k, v, mask, sharding, true);
+        exact.row({TextTable::num(cp),
+                   TextTable::num(ag.maxAbsDiff(reference.out), 7),
+                   TextTable::num(ring.maxAbsDiff(reference.out), 7)});
+    }
+    exact.print();
+
+    // KV gradients: per-rank partials reduce to the exact full gradient
+    // ("CP is an extension of DP" for parameter-side collectives).
+    const Tensor d_out = Tensor::randn({4, seq, 16}, rng);
+    const auto ref_grads =
+        referenceAttentionBackward(q, k, v, mask, d_out);
+    const auto cp_grads =
+        runAllRanksBackward(q, k, v, mask, d_out, CpSharding(seq, 2));
+    std::printf("backward: |dK - ref| = %.2e, |dV - ref| = %.2e\n\n",
+                cp_grads.dk.maxAbsDiff(ref_grads.dk),
+                cp_grads.dv.maxAbsDiff(ref_grads.dv));
+
+    // --- 3. Simulated 4D long-context step. ---
+    TrainJobConfig job;
+    job.par = plan.par;
+    job.zero = plan.zero;
+    job.seq = 131072;
+    job.doc_mask_mean = 4096.0; // packed documents
+    const TrainStepReport rep = TrainSim(job).run();
+
+    TextTable step("Simulated 131K-context step (4D parallelism)");
+    step.header({"metric", "value"});
+    step.row({"step time", TextTable::num(rep.step_seconds, 3) + " s"});
+    step.row({"TFLOPs/GPU", TextTable::num(rep.tflops_per_gpu, 0)});
+    step.row({"exposed CP comm",
+              TextTable::num(rep.exposed_cp_seconds, 3) + " s"});
+    step.row({"pipeline bubble", TextTable::pct(rep.bubble_ratio)});
+    step.row({"peak memory", TextTable::num(rep.maxMemoryGib(), 1) + " GiB"});
+    step.print();
+    return 0;
+}

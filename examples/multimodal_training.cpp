@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The Section 3.2 multimodal case study as a runnable walkthrough.
+ *
+ * Replays the production decision sequence: start with the image encoder
+ * as a serial pre-processing stage on the first PP rank (Option 2),
+ * upgrade the encoder from 448 px to 672 px, watch the encoder swallow a
+ * third of the step, then switch to replicating the encoder across PP
+ * ranks (Option 3) and recover the throughput.
+ *
+ * Build & run:  ./build/examples/multimodal_training
+ */
+
+#include <cstdio>
+
+#include "llm4d/sim/multimodal.h"
+#include "llm4d/simcore/table.h"
+
+using namespace llm4d;
+
+namespace {
+
+MultimodalReport
+runJob(EncoderSharding sharding, const VitConfig &vit)
+{
+    MultimodalJobConfig cfg;
+    cfg.mm.vit = vit;
+    cfg.encoder = sharding;
+    return simulateMultimodalStep(cfg);
+}
+
+void
+report(TextTable &table, const char *label, const MultimodalReport &rep)
+{
+    table.row({label, TextTable::num(rep.step_seconds * 1e3, 1),
+               TextTable::num(rep.encoder_seconds * 1e3, 1),
+               TextTable::pct(rep.encoderShare()),
+               TextTable::pct(rep.bubble_ratio)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Llama 3 multimodal pre-training: frozen text trunk, "
+                "trained ViT encoder +\ncross-attention layers "
+                "(1 per %lld self-attention layers).\n\n",
+                static_cast<long long>(
+                    MultimodalConfig::llama3Multimodal().self_per_cross));
+
+    const VitConfig vit448 = VitConfig::vit448();
+    const VitConfig vit672 = VitConfig::vit672();
+    std::printf("encoder upgrade: %s (%lld tokens/image) -> %s "
+                "(%lld tokens/image)\n\n",
+                vit448.name.c_str(),
+                static_cast<long long>(vit448.imageTokens()),
+                vit672.name.c_str(),
+                static_cast<long long>(vit672.imageTokens()));
+
+    TextTable table("Encoder sharding options (Figure 6)");
+    table.header({"configuration", "step ms", "encoder ms",
+                  "encoder share", "pp bubble"});
+    report(table, "option2 serial, 448px",
+           runJob(EncoderSharding::SerialFirstRank, vit448));
+    report(table, "option2 serial, 672px",
+           runJob(EncoderSharding::SerialFirstRank, vit672));
+    report(table, "option1 folded, 672px",
+           runJob(EncoderSharding::FoldedIntoPipeline, vit672));
+    report(table, "option3 replicated, 672px",
+           runJob(EncoderSharding::ReplicatedPerRank, vit672));
+    table.print();
+
+    const MultimodalReport before =
+        runJob(EncoderSharding::SerialFirstRank, vit672);
+    const MultimodalReport after =
+        runJob(EncoderSharding::ReplicatedPerRank, vit672);
+    std::printf("Switching Option 2 -> Option 3 at 672px: encoder share "
+                "%.0f%% -> %.0f%%, step %.1fx faster.\n",
+                before.encoderShare() * 100.0,
+                after.encoderShare() * 100.0,
+                before.step_seconds / after.step_seconds);
+    std::printf("(Paper Section 3.2.1: 33%% -> 8%% and recovered TFLOPs.)\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: configure Llama 3 405B pre-training on the 16K-GPU cluster
+ * with the paper's Table-2 parallelism, simulate one training step, and
+ * print what the paper's evaluation reports — TFLOPs/GPU, pipeline bubble,
+ * exposed communication, and per-rank memory.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "llm4d/plan/planner.h"
+#include "llm4d/sim/train_sim.h"
+#include "llm4d/simcore/table.h"
+
+using namespace llm4d;
+
+int
+main()
+{
+    // --- 1. Let the planner derive the parallelism (Section 5). ---
+    PlanInput input; // defaults: 405B model, 16,384 H100s, 16M tokens, 8K
+    const PlanCandidate plan = bestPlan(input);
+    std::printf("Planner chose: %s with %s (bs=%lld sequences/DP group)\n\n",
+                plan.par.str().c_str(), zeroModeName(plan.zero),
+                static_cast<long long>(plan.bs));
+
+    // --- 2. Simulate one training step with that configuration. ---
+    TrainJobConfig job;
+    job.par = plan.par;
+    job.zero = plan.zero;
+    const TrainSim sim(job);
+    const TrainStepReport rep = sim.run();
+
+    TextTable table("One simulated 405B training step (seq 8192)");
+    table.header({"metric", "value"});
+    table.row({"step time", TextTable::num(rep.step_seconds, 3) + " s"});
+    table.row({"TFLOPs/GPU", TextTable::num(rep.tflops_per_gpu, 0)});
+    table.row({"MFU", TextTable::pct(rep.mfu)});
+    table.row({"pipeline bubble", TextTable::pct(rep.bubble_ratio)});
+    table.row({"exposed TP comm",
+               TextTable::num(rep.exposed_tp_seconds, 3) + " s"});
+    table.row({"exposed FSDP comm",
+               TextTable::num(rep.exposed_fsdp_seconds, 3) + " s"});
+    table.row({"micro-batches", TextTable::num(rep.nmb)});
+    table.row({"virtual stages/rank", TextTable::num(rep.v)});
+    table.row({"peak memory",
+               TextTable::num(rep.maxMemoryGib(), 1) + " GiB"});
+    table.row({"fits in 80 GiB HBM", rep.fits(80.0) ? "yes" : "NO"});
+    table.print();
+
+    // --- 3. Per-PP-rank memory, the Section 3.1.2 balance view. ---
+    TextTable mem("Peak memory per pipeline rank");
+    mem.header({"pp rank", "weights", "grads", "optimizer", "activations",
+                "total GiB"});
+    for (std::size_t r = 0; r < rep.pp_rank_memory.size(); ++r) {
+        const MemoryBreakdown &mb = rep.pp_rank_memory[r];
+        mem.row({TextTable::num(static_cast<std::int64_t>(r)),
+                 TextTable::num(MemoryBreakdown::toGib(mb.weights), 1),
+                 TextTable::num(MemoryBreakdown::toGib(mb.grads), 1),
+                 TextTable::num(MemoryBreakdown::toGib(mb.optimizer), 1),
+                 TextTable::num(MemoryBreakdown::toGib(mb.activations), 1),
+                 TextTable::num(mb.totalGib(), 1)});
+    }
+    mem.print();
+    return 0;
+}

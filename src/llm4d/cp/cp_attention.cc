@@ -1,0 +1,98 @@
+#include "llm4d/cp/cp_attention.h"
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+CpRankResult
+allGatherCpForward(const Tensor &q_full, const Tensor &k_full,
+                   const Tensor &v_full, const DocMask &mask,
+                   const CpSharding &sharding, std::int64_t rank)
+{
+    // Local Q rows with their global positions; K/V are the full
+    // sequence, exactly as after the all-gather.
+    const Tensor q_local = sharding.shardRows(q_full, rank);
+    const std::vector<std::int64_t> q_pos = sharding.queryPositions(rank);
+    AttentionResult res =
+        referenceAttention(q_local, k_full, v_full, mask, q_pos, 0);
+    return CpRankResult{std::move(res.out), std::move(res.lse)};
+}
+
+CpRankResult
+ringCpForward(const Tensor &q_full, const Tensor &k_full,
+              const Tensor &v_full, const DocMask &mask,
+              const CpSharding &sharding, std::int64_t rank)
+{
+    const Tensor q_local = sharding.shardRows(q_full, rank);
+    const std::vector<std::int64_t> q_pos = sharding.queryPositions(rank);
+
+    // One partial per KV chunk, merged via log-sum-exp rescaling — the
+    // work the all-gather design avoids.
+    std::vector<AttentionResult> partials;
+    partials.reserve(static_cast<std::size_t>(2 * sharding.cp()));
+    for (std::int64_t c = 0; c < 2 * sharding.cp(); ++c) {
+        const TokenRange range = sharding.chunk(c);
+        const Tensor k_chunk = k_full.slice(1, range.lo, range.size());
+        const Tensor v_chunk = v_full.slice(1, range.lo, range.size());
+        partials.push_back(referenceAttention(q_local, k_chunk, v_chunk,
+                                              mask, q_pos, range.lo));
+    }
+    AttentionResult merged = mergeAttentionPartials(partials);
+    return CpRankResult{std::move(merged.out), std::move(merged.lse)};
+}
+
+CpRankGrads
+allGatherCpBackward(const Tensor &q_full, const Tensor &k_full,
+                    const Tensor &v_full, const DocMask &mask,
+                    const Tensor &d_out_full, const CpSharding &sharding,
+                    std::int64_t rank)
+{
+    const Tensor q_local = sharding.shardRows(q_full, rank);
+    const Tensor d_out_local = sharding.shardRows(d_out_full, rank);
+    const std::vector<std::int64_t> q_pos = sharding.queryPositions(rank);
+    AttentionGrads g = referenceAttentionBackward(
+        q_local, k_full, v_full, mask, d_out_local, q_pos, 0);
+    return CpRankGrads{std::move(g.dq), std::move(g.dk),
+                       std::move(g.dv)};
+}
+
+Tensor
+runAllRanksForward(const Tensor &q_full, const Tensor &k_full,
+                   const Tensor &v_full, const DocMask &mask,
+                   const CpSharding &sharding, bool use_ring)
+{
+    std::vector<Tensor> shards;
+    shards.reserve(static_cast<std::size_t>(sharding.cp()));
+    for (std::int64_t r = 0; r < sharding.cp(); ++r) {
+        CpRankResult res =
+            use_ring
+                ? ringCpForward(q_full, k_full, v_full, mask, sharding, r)
+                : allGatherCpForward(q_full, k_full, v_full, mask,
+                                     sharding, r);
+        shards.push_back(std::move(res.out));
+    }
+    return sharding.assembleRows(shards);
+}
+
+AttentionGrads
+runAllRanksBackward(const Tensor &q_full, const Tensor &k_full,
+                    const Tensor &v_full, const DocMask &mask,
+                    const Tensor &d_out_full, const CpSharding &sharding)
+{
+    std::vector<Tensor> dq_shards;
+    Tensor dk({k_full.dim(0), k_full.dim(1), k_full.dim(2)});
+    Tensor dv({v_full.dim(0), v_full.dim(1), v_full.dim(2)});
+    for (std::int64_t r = 0; r < sharding.cp(); ++r) {
+        CpRankGrads g = allGatherCpBackward(q_full, k_full, v_full, mask,
+                                            d_out_full, sharding, r);
+        dq_shards.push_back(std::move(g.dq));
+        // Rank-order reduction of the KV-grad partials (the CP group's
+        // reduce-scatter).
+        dk.addInPlace(g.dk_partial);
+        dv.addInPlace(g.dv_partial);
+    }
+    return AttentionGrads{sharding.assembleRows(dq_shards), std::move(dk),
+                          std::move(dv)};
+}
+
+} // namespace llm4d

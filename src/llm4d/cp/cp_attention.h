@@ -1,0 +1,94 @@
+#ifndef LLM4D_CP_CP_ATTENTION_H_
+#define LLM4D_CP_CP_ATTENTION_H_
+
+/**
+ * @file
+ * Executable context-parallel attention (paper Section 4).
+ *
+ * Two algorithms over the same CpSharding:
+ *
+ *  - All-gather CP (the paper's design): every rank all-gathers the full
+ *    K/V (cheap thanks to GQA), computes exact attention for its own Q
+ *    rows using their *global* positions against the document mask, and
+ *    is done — no partial-result merging, no per-tile mask derivation.
+ *
+ *  - Ring CP (the RingAttention / TransformerEngine baseline): iterate
+ *    over the 2*cp KV chunks, compute a partial result + LSE per chunk,
+ *    and merge with softmax rescaling.
+ *
+ * Both must agree with a single-device reference bit-for-bit in shape and
+ * to FP tolerance in value — the property the paper's numerical
+ * methodology (Section 6.2) demands before any performance work.
+ *
+ * Backward: each rank computes dQ for its rows exactly, plus *partial*
+ * dK/dV over the full sequence; reduce-scattering those partials across
+ * the CP group yields the exact full gradients ("CP can be seen as an
+ * extension of DP" for parameter-side collectives).
+ */
+
+#include <vector>
+
+#include "llm4d/cp/sharding.h"
+#include "llm4d/tensor/attention.h"
+
+namespace llm4d {
+
+/** Per-rank forward output of CP attention. */
+struct CpRankResult
+{
+    Tensor out; ///< [heads_q, seq/cp, head_dim], rows in local order
+    Tensor lse; ///< [heads_q, seq/cp]
+};
+
+/** Per-rank backward output of CP attention. */
+struct CpRankGrads
+{
+    Tensor dq;         ///< exact, for this rank's rows
+    Tensor dk_partial; ///< [heads_kv, seq, dim], this rank's contribution
+    Tensor dv_partial; ///< [heads_kv, seq, dim]
+};
+
+/**
+ * All-gather CP attention forward on one rank.
+ * @param q_full, k_full, v_full full [heads, seq, dim] tensors (the test
+ *        harness plays "all ranks"; sharding happens inside).
+ */
+CpRankResult allGatherCpForward(const Tensor &q_full, const Tensor &k_full,
+                                const Tensor &v_full, const DocMask &mask,
+                                const CpSharding &sharding,
+                                std::int64_t rank);
+
+/** Ring CP attention forward on one rank (partial-merge algorithm). */
+CpRankResult ringCpForward(const Tensor &q_full, const Tensor &k_full,
+                           const Tensor &v_full, const DocMask &mask,
+                           const CpSharding &sharding, std::int64_t rank);
+
+/**
+ * All-gather CP attention backward on one rank.
+ * @param d_out_full upstream gradient for the full sequence; the rank
+ *        slices out its rows internally.
+ */
+CpRankGrads allGatherCpBackward(const Tensor &q_full, const Tensor &k_full,
+                                const Tensor &v_full, const DocMask &mask,
+                                const Tensor &d_out_full,
+                                const CpSharding &sharding,
+                                std::int64_t rank);
+
+/** Run forward on every rank and reassemble the full [h, seq, d] output. */
+Tensor runAllRanksForward(const Tensor &q_full, const Tensor &k_full,
+                          const Tensor &v_full, const DocMask &mask,
+                          const CpSharding &sharding, bool use_ring);
+
+/**
+ * Run backward on every rank; reduce the dK/dV partials (rank order) and
+ * reassemble dQ. Returns exact full-sequence gradients.
+ */
+AttentionGrads runAllRanksBackward(const Tensor &q_full,
+                                   const Tensor &k_full,
+                                   const Tensor &v_full, const DocMask &mask,
+                                   const Tensor &d_out_full,
+                                   const CpSharding &sharding);
+
+} // namespace llm4d
+
+#endif // LLM4D_CP_CP_ATTENTION_H_

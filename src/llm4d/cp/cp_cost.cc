@@ -1,0 +1,175 @@
+#include "llm4d/cp/cp_cost.h"
+
+#include <algorithm>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+CpCostModel::CpCostModel(const GpuSpec &gpu, const AttnGeometry &geom,
+                         const CollectiveModel &coll,
+                         std::vector<std::int64_t> cp_ranks)
+    : kernels_(gpu), geom_(geom), coll_(&coll),
+      cpRanks_(std::move(cp_ranks))
+{
+    LLM4D_CHECK(!cpRanks_.empty(), "CP group must be non-empty");
+    LLM4D_CHECK(geom_.heads_q > 0 && geom_.heads_kv > 0 &&
+                    geom_.head_dim > 0,
+                "invalid attention geometry");
+}
+
+double
+CpCostModel::singleGpuForward(const DocMask &mask) const
+{
+    const std::int64_t seq = mask.seq();
+    return kernels_.attentionTime(mask.totalPairs(), seq, seq,
+                                  geom_.heads_q, geom_.heads_kv,
+                                  geom_.head_dim);
+}
+
+double
+CpCostModel::rankKernelTime(const DocMask &mask, const CpSharding &sharding,
+                            std::int64_t rank, std::int64_t kv_rows) const
+{
+    const std::int64_t pairs = sharding.pairsOf(rank, mask);
+    const std::int64_t q_rows = mask.seq() / cp();
+    return kernels_.attentionTime(pairs, q_rows, kv_rows, geom_.heads_q,
+                                  geom_.heads_kv, geom_.head_dim);
+}
+
+double
+CpCostModel::allGatherTime(std::int64_t seq) const
+{
+    if (cp() == 1)
+        return 0.0;
+    const std::int64_t shard_bytes =
+        (seq / cp()) * geom_.kvBytesPerToken();
+    return coll_->allGather(cpRanks_, shard_bytes);
+}
+
+CpAttentionCost
+CpCostModel::allGatherForward(const DocMask &mask) const
+{
+    const std::int64_t seq = mask.seq();
+    CpAttentionCost cost;
+    if (cp() == 1) {
+        cost.compute_max = cost.compute_min = singleGpuForward(mask);
+        cost.total = cost.compute_max;
+        return cost;
+    }
+    const CpSharding sharding(seq, cp());
+    cost.compute_max = 0.0;
+    cost.compute_min = 1e30;
+    for (std::int64_t r = 0; r < cp(); ++r) {
+        const double t = rankKernelTime(mask, sharding, r, seq);
+        cost.compute_max = std::max(cost.compute_max, t);
+        cost.compute_min = std::min(cost.compute_min, t);
+    }
+    // The all-gather is fully exposed (Section 4); the next synchronizing
+    // operation waits on the slowest rank's kernel.
+    cost.comm = allGatherTime(seq);
+    cost.total = cost.comm + cost.compute_max;
+    return cost;
+}
+
+CpAttentionCost
+CpCostModel::ringForward(const DocMask &mask) const
+{
+    const std::int64_t seq = mask.seq();
+    CpAttentionCost cost;
+    if (cp() == 1) {
+        cost.compute_max = cost.compute_min = singleGpuForward(mask);
+        cost.total = cost.compute_max;
+        return cost;
+    }
+    const CpSharding sharding(seq, cp());
+    const std::int64_t q_rows = seq / cp();
+    // TE-style ring: cp steps, each moving one peer's mirrored chunk
+    // *pair* around the ring, overlapped with that step's kernel.
+    const std::int64_t pair_bytes =
+        (seq / cp()) * geom_.kvBytesPerToken();
+    const double p2p_step =
+        coll_->p2p(cpRanks_[0], cpRanks_[1 % cpRanks_.size()], pair_bytes);
+    // LSE merge: the FP32 output accumulator is rescaled and re-written
+    // once per contributing step after the first. The correction is fused
+    // into the attention kernel epilogue, so it costs HBM traffic but no
+    // extra launch.
+    const std::int64_t acc_bytes =
+        2 * 4 * q_rows * geom_.heads_q * geom_.head_dim;
+    const double merge_pass =
+        static_cast<double>(acc_bytes) /
+        (kernels_.gpu().hbm_bw_gbps * 1e9);
+
+    cost.compute_max = 0.0;
+    cost.compute_min = 1e30;
+    double worst_total = 0.0;
+    for (std::int64_t r = 0; r < cp(); ++r) {
+        const auto [range_a, range_b] = sharding.rangesOf(r);
+        double compute = 0.0;
+        double stepped = 0.0;
+        double merge = 0.0;
+        std::int64_t contributing = 0;
+        for (std::int64_t s = 0; s < cp(); ++s) {
+            // Step s works on the chunk pair originally owned by peer
+            // (r - s) mod cp.
+            const std::int64_t peer = (r - s + cp()) % cp();
+            const auto [kv_a, kv_b] = sharding.rangesOf(peer);
+            std::int64_t pairs = 0;
+            for (const TokenRange &qr : {range_a, range_b})
+                for (const TokenRange &kr : {kv_a, kv_b})
+                    pairs += mask.pairsBetween(qr.lo, qr.hi, kr.lo, kr.hi);
+            double kernel = 0.0;
+            if (pairs > 0) {
+                kernel = kernels_.attentionTime(
+                    pairs, q_rows, kv_a.size() + kv_b.size(),
+                    geom_.heads_q, geom_.heads_kv, geom_.head_dim);
+                if (++contributing > 1)
+                    merge += merge_pass;
+            }
+            compute += kernel;
+            // The next pair's P2P overlaps this step's kernel; the last
+            // step sends nothing.
+            const double p2p = s + 1 < cp() ? p2p_step : 0.0;
+            stepped += std::max(kernel, p2p);
+        }
+        cost.compute_max = std::max(cost.compute_max, compute);
+        cost.compute_min = std::min(cost.compute_min, compute);
+        if (stepped + merge > worst_total) {
+            worst_total = stepped + merge;
+            cost.comm = stepped - compute; // exposed P2P remainder
+            cost.merge = merge;
+        }
+    }
+    cost.total = worst_total;
+    return cost;
+}
+
+double
+CpCostModel::relativeHfu(const DocMask &mask,
+                         const CpAttentionCost &cost) const
+{
+    const double single = singleGpuForward(mask);
+    return single / (static_cast<double>(cp()) * cost.total);
+}
+
+double
+CpCostModel::rankKernelSeconds(const DocMask &mask,
+                               std::int64_t rank) const
+{
+    if (cp() == 1)
+        return singleGpuForward(mask);
+    const CpSharding sharding(mask.seq(), cp());
+    return rankKernelTime(mask, sharding, rank, mask.seq());
+}
+
+double
+CpCostModel::achievedAllGatherBandwidth(std::int64_t seq) const
+{
+    LLM4D_ASSERT(cp() > 1, "bandwidth undefined for cp == 1");
+    const std::int64_t shard_bytes =
+        (seq / cp()) * geom_.kvBytesPerToken();
+    const double t = coll_->allGather(cpRanks_, shard_bytes);
+    return CollectiveModel::achievedBusBandwidth(cp(), shard_bytes, t);
+}
+
+} // namespace llm4d

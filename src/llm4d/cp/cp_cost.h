@@ -1,0 +1,115 @@
+#ifndef LLM4D_CP_CP_COST_H_
+#define LLM4D_CP_CP_COST_H_
+
+/**
+ * @file
+ * Performance model of CP attention variants (paper Section 7.2).
+ *
+ * Prices a single attention layer's forward pass on one GPU under three
+ * regimes and reports the paper's metric — *relative HFU*, i.e. the HFU
+ * of CP attention normalized to Flash-Attention on a single GPU:
+ *
+ *   relativeHFU = T_single / (cp * T_cp)
+ *
+ * (equal useful FLOPs per GPU differ by 1/cp; HFU divides by time).
+ *
+ *  - Single GPU: one flash kernel over the full mask.
+ *  - All-gather CP: one exposed K/V all-gather + one flash kernel per
+ *    rank, synchronized on the slowest rank (doc-mask imbalance shows up
+ *    here, Figure 11).
+ *  - Ring CP: 2*cp fragmented kernels per rank, P2P overlapped with
+ *    compute, plus LSE merge elementwise passes (Figure 13).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "llm4d/cp/sharding.h"
+#include "llm4d/hw/kernel_model.h"
+#include "llm4d/net/collective.h"
+
+namespace llm4d {
+
+/** Per-GPU attention head geometry (after TP sharding). */
+struct AttnGeometry
+{
+    std::int64_t heads_q = 16;  ///< 405B: 128 heads / tp 8
+    std::int64_t heads_kv = 1;  ///< 405B: 8 kv heads / tp 8
+    std::int64_t head_dim = 128;
+
+    /** K+V bytes per token in BF16. */
+    std::int64_t
+    kvBytesPerToken() const
+    {
+        return 2 * 2 * heads_kv * head_dim;
+    }
+};
+
+/** Cost decomposition of one CP attention execution. */
+struct CpAttentionCost
+{
+    double compute_max = 0.0;  ///< slowest rank's kernel time, seconds
+    double compute_min = 0.0;  ///< fastest rank's kernel time
+    double comm = 0.0;         ///< exposed communication time
+    double merge = 0.0;        ///< LSE-merge elementwise time (ring only)
+    double total = 0.0;        ///< per-rank wall time
+};
+
+/** Prices attention under CP for one GPU model + one CP group. */
+class CpCostModel
+{
+  public:
+    /**
+     * @param gpu       the accelerator.
+     * @param geom      per-GPU head geometry.
+     * @param coll      collective cost model (borrowed).
+     * @param cp_ranks  global ranks of the CP group (size == cp).
+     */
+    CpCostModel(const GpuSpec &gpu, const AttnGeometry &geom,
+                const CollectiveModel &coll,
+                std::vector<std::int64_t> cp_ranks);
+
+    const AttnGeometry &geometry() const { return geom_; }
+    std::int64_t cp() const
+    {
+        return static_cast<std::int64_t>(cpRanks_.size());
+    }
+
+    /** Single-GPU flash attention forward over the full mask, seconds. */
+    double singleGpuForward(const DocMask &mask) const;
+
+    /** All-gather CP attention forward (paper design). */
+    CpAttentionCost allGatherForward(const DocMask &mask) const;
+
+    /** Ring (TE-style) CP attention forward. */
+    CpAttentionCost ringForward(const DocMask &mask) const;
+
+    /** Relative HFU of a CP execution vs the single-GPU baseline. */
+    double relativeHfu(const DocMask &mask,
+                       const CpAttentionCost &cost) const;
+
+    /** Achieved all-gather bus bandwidth for a sequence length, GB/s. */
+    double achievedAllGatherBandwidth(std::int64_t seq) const;
+
+    /** Exposed all-gather time for a sequence length, seconds. */
+    double allGatherTime(std::int64_t seq) const;
+
+    /**
+     * Kernel seconds of one CP rank's all-gather-CP attention under
+     * @p mask (full-sequence KV after the gather).
+     */
+    double rankKernelSeconds(const DocMask &mask, std::int64_t rank) const;
+
+  private:
+    double rankKernelTime(const DocMask &mask, const CpSharding &sharding,
+                          std::int64_t rank, std::int64_t kv_rows) const;
+
+    KernelModel kernels_;
+    AttnGeometry geom_;
+    const CollectiveModel *coll_;
+    std::vector<std::int64_t> cpRanks_;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_CP_CP_COST_H_

@@ -1,0 +1,95 @@
+#include "llm4d/cp/sharding.h"
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+CpSharding::CpSharding(std::int64_t seq, std::int64_t cp)
+    : seq_(seq), cp_(cp)
+{
+    LLM4D_CHECK(cp_ >= 1, "cp must be >= 1");
+    LLM4D_CHECK(seq_ > 0 && seq_ % (2 * cp_) == 0,
+                "sequence length " << seq_
+                                   << " must divide into 2*cp = " << 2 * cp_
+                                   << " chunks");
+}
+
+TokenRange
+CpSharding::chunk(std::int64_t c) const
+{
+    LLM4D_ASSERT(c >= 0 && c < 2 * cp_, "chunk index out of range");
+    return TokenRange{c * chunkSize(), (c + 1) * chunkSize()};
+}
+
+std::pair<std::int64_t, std::int64_t>
+CpSharding::chunksOf(std::int64_t rank) const
+{
+    LLM4D_ASSERT(rank >= 0 && rank < cp_, "cp rank out of range");
+    return {rank, 2 * cp_ - rank - 1};
+}
+
+std::pair<TokenRange, TokenRange>
+CpSharding::rangesOf(std::int64_t rank) const
+{
+    const auto [a, b] = chunksOf(rank);
+    return {chunk(a), chunk(b)};
+}
+
+std::vector<std::int64_t>
+CpSharding::queryPositions(std::int64_t rank) const
+{
+    const auto [lo_range, hi_range] = rangesOf(rank);
+    std::vector<std::int64_t> pos;
+    pos.reserve(static_cast<std::size_t>(lo_range.size() +
+                                         hi_range.size()));
+    for (std::int64_t p = lo_range.lo; p < lo_range.hi; ++p)
+        pos.push_back(p);
+    for (std::int64_t p = hi_range.lo; p < hi_range.hi; ++p)
+        pos.push_back(p);
+    return pos;
+}
+
+std::int64_t
+CpSharding::pairsOf(std::int64_t rank, const DocMask &mask) const
+{
+    LLM4D_ASSERT(mask.seq() == seq_, "mask does not cover the sequence");
+    const auto [lo_range, hi_range] = rangesOf(rank);
+    return mask.pairsInQueryRange(lo_range.lo, lo_range.hi) +
+           mask.pairsInQueryRange(hi_range.lo, hi_range.hi);
+}
+
+Tensor
+CpSharding::shardRows(const Tensor &full, std::int64_t rank) const
+{
+    LLM4D_ASSERT(full.rank() == 3 && full.dim(1) == seq_,
+                 "expected [heads, seq, dim] tensor covering the sequence");
+    const auto [lo_range, hi_range] = rangesOf(rank);
+    return Tensor::concat(
+        {full.slice(1, lo_range.lo, lo_range.size()),
+         full.slice(1, hi_range.lo, hi_range.size())},
+        1);
+}
+
+Tensor
+CpSharding::assembleRows(const std::vector<Tensor> &shards) const
+{
+    LLM4D_ASSERT(static_cast<std::int64_t>(shards.size()) == cp_,
+                 "one shard per cp rank required");
+    // Order chunks 0..2cp-1: rank r contributes chunk r (first half of
+    // its shard) and chunk 2cp-1-r (second half).
+    std::vector<Tensor> chunks(static_cast<std::size_t>(2 * cp_));
+    for (std::int64_t r = 0; r < cp_; ++r) {
+        const Tensor &shard = shards[static_cast<std::size_t>(r)];
+        LLM4D_ASSERT(shard.rank() == 3 &&
+                         shard.dim(1) == 2 * chunkSize(),
+                     "shard has wrong row count");
+        const auto [a, b] = chunksOf(r);
+        chunks[static_cast<std::size_t>(a)] =
+            shard.slice(1, 0, chunkSize());
+        chunks[static_cast<std::size_t>(b)] =
+            shard.slice(1, chunkSize(), chunkSize());
+    }
+    return Tensor::concat(chunks, 1);
+}
+
+} // namespace llm4d

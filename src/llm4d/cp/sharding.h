@@ -1,0 +1,84 @@
+#ifndef LLM4D_CP_SHARDING_H_
+#define LLM4D_CP_SHARDING_H_
+
+/**
+ * @file
+ * Context-parallel sequence sharding (paper Section 4, "Implementation").
+ *
+ * The sequence is split into 2*cp equal chunks and rank i owns chunk i
+ * and chunk (2*cp - i - 1). Under a full causal mask every rank then
+ * carries the same number of attention pairs — the early (cheap) chunk
+ * and the late (expensive) chunk cancel — which is why the paper keeps
+ * this sharding even for document masks where it is no longer exactly
+ * balanced (Figure 7, Figure 11).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "llm4d/tensor/doc_mask.h"
+#include "llm4d/tensor/tensor.h"
+
+namespace llm4d {
+
+/** Half-open token range. */
+struct TokenRange
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+
+    std::int64_t size() const { return hi - lo; }
+    bool operator==(const TokenRange &) const = default;
+};
+
+/** The 2*cp-chunk load-balanced CP sharding of a sequence. */
+class CpSharding
+{
+  public:
+    /**
+     * @param seq sequence length; must be divisible by 2*cp.
+     * @param cp  context-parallel degree.
+     */
+    CpSharding(std::int64_t seq, std::int64_t cp);
+
+    std::int64_t seq() const { return seq_; }
+    std::int64_t cp() const { return cp_; }
+
+    /** Tokens per chunk (seq / (2*cp)). */
+    std::int64_t chunkSize() const { return seq_ / (2 * cp_); }
+
+    /** Token range of chunk @p chunk (0 <= chunk < 2*cp). */
+    TokenRange chunk(std::int64_t chunk) const;
+
+    /** The two chunk indices owned by @p rank: {rank, 2*cp - rank - 1}. */
+    std::pair<std::int64_t, std::int64_t> chunksOf(std::int64_t rank) const;
+
+    /** The two token ranges owned by @p rank, in ascending order. */
+    std::pair<TokenRange, TokenRange> rangesOf(std::int64_t rank) const;
+
+    /** Global positions of @p rank's query rows, in local row order. */
+    std::vector<std::int64_t> queryPositions(std::int64_t rank) const;
+
+    /** Attention pairs @p rank computes under @p mask. */
+    std::int64_t pairsOf(std::int64_t rank, const DocMask &mask) const;
+
+    /**
+     * Slice @p rank's rows out of a full [heads, seq, dim] tensor
+     * (both owned chunks, concatenated in ascending position order).
+     */
+    Tensor shardRows(const Tensor &full, std::int64_t rank) const;
+
+    /**
+     * Scatter per-rank [heads, seq/cp, dim] shards back into the full
+     * [heads, seq, dim] tensor (inverse of shardRows across all ranks).
+     */
+    Tensor assembleRows(const std::vector<Tensor> &shards) const;
+
+  private:
+    std::int64_t seq_;
+    std::int64_t cp_;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_CP_SHARDING_H_

@@ -1,0 +1,150 @@
+#include "llm4d/cp/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+double
+ImbalanceResult::totalCompute(std::size_t i) const
+{
+    return dense_seconds + attention_seconds[i];
+}
+
+double
+ImbalanceResult::stepTime(std::size_t i) const
+{
+    return totalCompute(i) + allgather_seconds + waiting_seconds[i];
+}
+
+double
+ImbalanceResult::slowestOverFastestCompute() const
+{
+    double lo = 1e30, hi = 0.0;
+    for (std::size_t i = 0; i < attention_seconds.size(); ++i) {
+        lo = std::min(lo, totalCompute(i));
+        hi = std::max(hi, totalCompute(i));
+    }
+    return hi / lo;
+}
+
+double
+ImbalanceResult::slowestOverFastestAttention() const
+{
+    const auto [lo, hi] = std::minmax_element(attention_seconds.begin(),
+                                              attention_seconds.end());
+    return *hi / *lo;
+}
+
+double
+ImbalanceResult::attentionShareOfGap() const
+{
+    double lo = 1e30, hi = 0.0;
+    std::size_t lo_i = 0, hi_i = 0;
+    for (std::size_t i = 0; i < attention_seconds.size(); ++i) {
+        if (totalCompute(i) < lo) {
+            lo = totalCompute(i);
+            lo_i = i;
+        }
+        if (totalCompute(i) > hi) {
+            hi = totalCompute(i);
+            hi_i = i;
+        }
+    }
+    const double gap = hi - lo;
+    if (gap <= 0.0)
+        return 1.0;
+    return (attention_seconds[hi_i] - attention_seconds[lo_i]) / gap;
+}
+
+double
+ImbalanceResult::exposedCpFraction() const
+{
+    double exposed = 0.0, step = 0.0;
+    for (std::size_t i = 0; i < attention_seconds.size(); ++i) {
+        exposed += allgather_seconds + waiting_seconds[i];
+        step += stepTime(i);
+    }
+    return exposed / step;
+}
+
+double
+ImbalanceResult::waitingShareOfExposed() const
+{
+    double waiting = 0.0, exposed = 0.0;
+    for (std::size_t i = 0; i < attention_seconds.size(); ++i) {
+        waiting += waiting_seconds[i];
+        exposed += allgather_seconds + waiting_seconds[i];
+    }
+    return waiting / exposed;
+}
+
+ImbalanceResult
+simulateDocMaskImbalance(const CpCostModel &cost, std::int64_t seq,
+                         const ImbalanceParams &params)
+{
+    LLM4D_CHECK(params.dp >= 1 && params.microbatches >= 1,
+                "need at least one DP group and micro-batch");
+    const std::int64_t cp = cost.cp();
+
+    ImbalanceResult result;
+    result.cp = cp;
+    result.attention_seconds.assign(
+        static_cast<std::size_t>(params.dp * cp), 0.0);
+    result.waiting_seconds.assign(
+        static_cast<std::size_t>(params.dp * cp), 0.0);
+    result.dense_seconds = params.dense_seconds_per_mb *
+                           static_cast<double>(params.microbatches);
+    // One synchronous KV all-gather per layer per micro-batch in the
+    // forward pass; the backward reduce-scatter of KV grads overlaps the
+    // remaining layer backward.
+    result.allgather_seconds =
+        cost.allGatherTime(seq) * static_cast<double>(params.layers) *
+        static_cast<double>(params.microbatches);
+
+    for (std::int64_t d = 0; d < params.dp; ++d) {
+        // Each DP group sees its own documents; derive a per-group stream
+        // so results are stable regardless of loop structure.
+        Rng rng(params.seed, static_cast<std::uint64_t>(d));
+        double group_scale = params.mean_doc_len;
+        if (params.group_sigma > 0.0) {
+            group_scale *= std::exp(rng.normal() * params.group_sigma);
+            group_scale = std::clamp(
+                group_scale, 1.0, static_cast<double>(seq));
+        }
+        for (std::int64_t m = 0; m < params.microbatches; ++m) {
+            const DocMask mask =
+                params.doc_sigma > 0.0
+                    ? DocMask::sampleLogNormal(seq, group_scale,
+                                               params.doc_sigma, rng)
+                    : DocMask::sample(seq, group_scale, rng);
+            // Kernel time per CP rank for this micro-batch.
+            std::vector<double> t(static_cast<std::size_t>(cp));
+            double slowest = 0.0;
+            for (std::int64_t r = 0; r < cp; ++r) {
+                t[static_cast<std::size_t>(r)] =
+                    cost.rankKernelSeconds(mask, r) *
+                    params.fwd_bwd_factor *
+                    static_cast<double>(params.layers);
+                slowest =
+                    std::max(slowest, t[static_cast<std::size_t>(r)]);
+            }
+            for (std::int64_t r = 0; r < cp; ++r) {
+                const auto idx = static_cast<std::size_t>(d * cp + r);
+                result.attention_seconds[idx] +=
+                    t[static_cast<std::size_t>(r)];
+                // Only the forward all-gather blocks on the slowest
+                // rank; scale the wait to the forward share of the
+                // attention imbalance.
+                result.waiting_seconds[idx] +=
+                    (slowest - t[static_cast<std::size_t>(r)]) /
+                    params.fwd_bwd_factor;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace llm4d

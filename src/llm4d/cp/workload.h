@@ -1,0 +1,115 @@
+#ifndef LLM4D_CP_WORKLOAD_H_
+#define LLM4D_CP_WORKLOAD_H_
+
+/**
+ * @file
+ * Cluster-scale document-mask workload imbalance (paper Section 7.3.2,
+ * Figure 14).
+ *
+ * Every data-parallel group draws its own packed documents, so attention
+ * work varies across DP groups; within a CP group the static 2*cp-chunk
+ * sharding does not follow document boundaries, so work also varies
+ * across CP ranks. Dense (non-attention) compute is identical everywhere.
+ * The paper's findings this module reproduces:
+ *
+ *  - slowest rank spends ~1.44x the compute time of the fastest;
+ *  - the gap is entirely attention-kernel time;
+ *  - exposed CP latency is ~7.6% of the step, and ~66% of that exposure
+ *    is waiting for the slowest CP rank rather than moving bytes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "llm4d/cp/cp_cost.h"
+#include "llm4d/simcore/rng.h"
+
+namespace llm4d {
+
+/** Inputs to the imbalance simulation. */
+struct ImbalanceParams
+{
+    std::int64_t dp = 4;           ///< data-parallel groups
+    std::int64_t microbatches = 8; ///< micro-batches per DP group per step
+    double mean_doc_len = 4096.0;  ///< exponential document-length mean
+
+    /** When > 0, sample documents log-normal(median = mean_doc_len,
+     *  sigma = doc_sigma) instead of exponential. */
+    double doc_sigma = 0.0;
+
+    /** When > 0, each DP group's document-length scale is itself drawn
+     *  log-normal(mean_doc_len, group_sigma): different data shards see
+     *  systematically different document mixes, the cross-group half of
+     *  the Figure 14 imbalance. */
+    double group_sigma = 0.0;
+
+    double dense_seconds_per_mb = 0.0; ///< non-attention compute per rank
+
+    /** Transformer layers resident per rank (attention and all-gather
+     *  repeat once per layer per micro-batch). */
+    std::int64_t layers = 1;
+
+    /** Attention forward+backward work relative to forward alone. */
+    double fwd_bwd_factor = 3.5;
+
+    std::uint64_t seed = 1;
+};
+
+/** Per-rank outcome of the imbalance simulation. */
+struct ImbalanceResult
+{
+    /**
+     * Attention kernel seconds per (dp, cp) rank over the whole step,
+     * indexed dp_group * cp + cp_rank.
+     */
+    std::vector<double> attention_seconds;
+
+    /** CP-group waiting seconds per rank (slowest-rank sync losses). */
+    std::vector<double> waiting_seconds;
+
+    /** Identical dense compute per rank over the step. */
+    double dense_seconds = 0.0;
+
+    /** Exposed all-gather transfer seconds per rank over the step.
+     *  Forward KV all-gathers only: the backward KV-grad reduce-scatter
+     *  overlaps the remaining layer backward. */
+    double allgather_seconds = 0.0;
+
+    std::int64_t cp = 1;
+
+    /** Total compute (dense + attention) of rank @p i. */
+    double totalCompute(std::size_t i) const;
+
+    /** Full step time of rank @p i (compute + exposure). */
+    double stepTime(std::size_t i) const;
+
+    /** Ratio of slowest to fastest total compute (Figure 14a). */
+    double slowestOverFastestCompute() const;
+
+    /** Ratio of slowest to fastest attention time (Figure 14b). */
+    double slowestOverFastestAttention() const;
+
+    /**
+     * Fraction of the gap in total compute between the slowest and
+     * fastest rank that is explained by the attention-time gap.
+     */
+    double attentionShareOfGap() const;
+
+    /** Mean exposed CP latency (transfer + waiting) over mean step time. */
+    double exposedCpFraction() const;
+
+    /** Share of the exposure that is waiting for the slowest rank. */
+    double waitingShareOfExposed() const;
+};
+
+/**
+ * Simulate one training step's attention workload across dp x cp ranks.
+ * @param cost CP cost model for one CP group (geometry + network).
+ */
+ImbalanceResult simulateDocMaskImbalance(const CpCostModel &cost,
+                                         std::int64_t seq,
+                                         const ImbalanceParams &params);
+
+} // namespace llm4d
+
+#endif // LLM4D_CP_WORKLOAD_H_

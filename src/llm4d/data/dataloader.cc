@@ -1,0 +1,114 @@
+#include "llm4d/data/dataloader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+DocMask
+TokenBatch::mask() const
+{
+    std::vector<std::int64_t> eos_positions;
+    for (std::int64_t i = 0; i < seq; ++i)
+        if (tokens[static_cast<std::size_t>(i)] == eos_id)
+            eos_positions.push_back(i);
+    return DocMask::fromEosPositions(seq, eos_positions);
+}
+
+std::int64_t
+TokenBatch::docCount() const
+{
+    return mask().docCount();
+}
+
+SyntheticDataLoader::SyntheticDataLoader(std::int64_t seq,
+                                         std::int64_t vocab,
+                                         double mean_doc_len,
+                                         std::uint64_t seed)
+    : seq_(seq), vocab_(vocab), meanDocLen_(mean_doc_len), seed_(seed),
+      eos_(static_cast<std::int32_t>(vocab - 1))
+{
+    LLM4D_CHECK(seq_ > 0, "sequence length must be positive");
+    LLM4D_CHECK(vocab_ > 2, "vocabulary too small");
+    LLM4D_CHECK(meanDocLen_ >= 2.0, "documents need at least two tokens");
+}
+
+TokenBatch
+SyntheticDataLoader::next(std::int64_t dp_group)
+{
+    LLM4D_CHECK(dp_group >= 0, "dp group must be non-negative");
+    if (static_cast<std::size_t>(dp_group) >= cursor_.size())
+        cursor_.resize(static_cast<std::size_t>(dp_group) + 1, 0);
+    const std::uint64_t batch_idx =
+        cursor_[static_cast<std::size_t>(dp_group)]++;
+
+    // Independent, replayable stream per (dp group, batch index).
+    Rng rng(seed_, (static_cast<std::uint64_t>(dp_group) << 32) ^
+                       batch_idx);
+
+    TokenBatch batch;
+    batch.seq = seq_;
+    batch.eos_id = eos_;
+    batch.tokens.reserve(static_cast<std::size_t>(seq_));
+    std::int64_t remaining = seq_;
+    while (remaining > 0) {
+        auto len = static_cast<std::int64_t>(
+            std::llround(rng.exponential(meanDocLen_)));
+        len = std::clamp<std::int64_t>(len, 2, remaining);
+        // Document body then the terminating eos.
+        for (std::int64_t i = 0; i + 1 < len; ++i)
+            batch.tokens.push_back(static_cast<std::int32_t>(
+                rng.uniformInt(0, vocab_ - 2)));
+        batch.tokens.push_back(remaining - len > 0 ? eos_
+                               : static_cast<std::int32_t>(rng.uniformInt(
+                                     0, vocab_ - 2)));
+        remaining -= len;
+    }
+    LLM4D_ASSERT(static_cast<std::int64_t>(batch.tokens.size()) == seq_,
+                 "packing error");
+    return batch;
+}
+
+CpLocalBatch
+selectCpLocal(const TokenBatch &batch, const CpSharding &sharding,
+              std::int64_t rank)
+{
+    LLM4D_CHECK(batch.seq == sharding.seq(),
+                "batch and sharding cover different sequence lengths");
+    CpLocalBatch local;
+    local.positions = sharding.queryPositions(rank);
+    local.tokens.reserve(local.positions.size());
+    for (std::int64_t pos : local.positions)
+        local.tokens.push_back(
+            batch.tokens[static_cast<std::size_t>(pos)]);
+    return local;
+}
+
+std::vector<std::int32_t>
+reassembleTokens(const std::vector<CpLocalBatch> &locals,
+                 const CpSharding &sharding)
+{
+    LLM4D_CHECK(static_cast<std::int64_t>(locals.size()) == sharding.cp(),
+                "one local batch per cp rank required");
+    std::vector<std::int32_t> out(static_cast<std::size_t>(sharding.seq()),
+                                  0);
+    std::vector<bool> seen(out.size(), false);
+    for (const CpLocalBatch &local : locals) {
+        LLM4D_CHECK(local.tokens.size() == local.positions.size(),
+                    "malformed local batch");
+        for (std::size_t i = 0; i < local.tokens.size(); ++i) {
+            const auto pos =
+                static_cast<std::size_t>(local.positions[i]);
+            LLM4D_CHECK(!seen[pos], "position covered by two ranks");
+            seen[pos] = true;
+            out[pos] = local.tokens[i];
+        }
+    }
+    for (bool s : seen)
+        LLM4D_CHECK(s, "position not covered by any rank");
+    return out;
+}
+
+} // namespace llm4d

@@ -1,0 +1,103 @@
+#include "llm4d/debug/mem_snapshot.h"
+
+#include <algorithm>
+#include <map>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+void
+MemorySnapshot::record(std::string tag, Time alloc, Time free,
+                       double bytes)
+{
+    LLM4D_CHECK(free > alloc, "allocation must have positive lifetime");
+    LLM4D_CHECK(bytes >= 0.0, "negative allocation size");
+    allocs_.push_back(Allocation{std::move(tag), alloc, free, bytes});
+}
+
+namespace {
+
+/** Sweep the timeline; returns (peak bytes, peak time). */
+std::pair<double, Time>
+sweep(const std::vector<Allocation> &allocs,
+      const std::string *early_tag = nullptr, Time earlier_by = 0)
+{
+    // (time, delta) events; frees sort before allocs at equal times.
+    std::vector<std::pair<Time, double>> events;
+    events.reserve(allocs.size() * 2);
+    for (const Allocation &a : allocs) {
+        Time free = a.free;
+        if (early_tag && a.tag == *early_tag)
+            free = std::max(a.alloc + 1, a.free - earlier_by);
+        events.emplace_back(a.alloc, a.bytes);
+        events.emplace_back(free, -a.bytes);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto &x, const auto &y) {
+                  if (x.first != y.first)
+                      return x.first < y.first;
+                  return x.second < y.second;
+              });
+    double live = 0.0, peak = 0.0;
+    Time peak_time = 0;
+    for (const auto &[t, delta] : events) {
+        live += delta;
+        if (live > peak) {
+            peak = live;
+            peak_time = t;
+        }
+    }
+    return {peak, peak_time};
+}
+
+} // namespace
+
+double
+MemorySnapshot::peakBytes() const
+{
+    return sweep(allocs_).first;
+}
+
+Time
+MemorySnapshot::peakTime() const
+{
+    return sweep(allocs_).second;
+}
+
+double
+MemorySnapshot::liveAt(Time t) const
+{
+    double live = 0.0;
+    for (const Allocation &a : allocs_)
+        if (a.alloc <= t && t < a.free)
+            live += a.bytes;
+    return live;
+}
+
+std::vector<PeakContribution>
+MemorySnapshot::peakBreakdown() const
+{
+    const Time t = peakTime();
+    std::map<std::string, double> by_tag;
+    for (const Allocation &a : allocs_)
+        if (a.alloc <= t && t < a.free)
+            by_tag[a.tag] += a.bytes;
+    std::vector<PeakContribution> out;
+    for (auto &[tag, bytes] : by_tag)
+        out.push_back(PeakContribution{tag, bytes});
+    std::sort(out.begin(), out.end(),
+              [](const PeakContribution &a, const PeakContribution &b) {
+                  return a.bytes > b.bytes;
+              });
+    return out;
+}
+
+double
+MemorySnapshot::peakWithEarlyRelease(const std::string &tag,
+                                     Time earlier_by) const
+{
+    return sweep(allocs_, &tag, earlier_by).first;
+}
+
+} // namespace llm4d

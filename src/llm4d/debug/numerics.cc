@@ -1,0 +1,131 @@
+#include "llm4d/debug/numerics.h"
+
+#include <cmath>
+
+#include "llm4d/simcore/common.h"
+#include "llm4d/simcore/rng.h"
+#include "llm4d/tensor/bfloat16.h"
+
+namespace llm4d {
+
+std::vector<float>
+accumulateInOrder(const std::vector<std::vector<float>> &parts,
+                  const std::vector<std::int64_t> &order)
+{
+    LLM4D_CHECK(!parts.empty(), "no micro-batches to accumulate");
+    LLM4D_CHECK(order.size() == parts.size(),
+                "order must name every micro-batch exactly once");
+    const std::size_t n = parts[0].size();
+    std::vector<float> acc(n, 0.0f);
+    for (std::int64_t idx : order) {
+        LLM4D_CHECK(idx >= 0 &&
+                        idx < static_cast<std::int64_t>(parts.size()),
+                    "order index out of range");
+        const auto &part = parts[static_cast<std::size_t>(idx)];
+        LLM4D_CHECK(part.size() == n, "micro-batch size mismatch");
+        for (std::size_t e = 0; e < n; ++e)
+            acc[e] += part[e];
+    }
+    return acc;
+}
+
+OrderCheckResult
+checkMatchedOrder(const std::vector<float> &parallel,
+                  const std::vector<float> &matched_baseline)
+{
+    LLM4D_CHECK(parallel.size() == matched_baseline.size(),
+                "result size mismatch");
+    OrderCheckResult r;
+    r.bitwise_match = true;
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+        // Bit comparison: NaNs and signed zeros count as mismatches too.
+        if (std::memcmp(&parallel[i], &matched_baseline[i],
+                        sizeof(float)) != 0) {
+            if (r.bitwise_match) {
+                r.bitwise_match = false;
+                r.first_mismatch_index = static_cast<std::int64_t>(i);
+            }
+            r.max_abs_diff = std::max(
+                r.max_abs_diff,
+                std::fabs(double{parallel[i]} - matched_baseline[i]));
+        }
+    }
+    return r;
+}
+
+PrecisionDrift
+measureAccumulationDrift(const std::vector<std::vector<float>> &parts,
+                         bool bf16_accumulator)
+{
+    LLM4D_CHECK(!parts.empty(), "no micro-batches");
+    const std::size_t n = parts[0].size();
+    std::vector<double> truth(n, 0.0);
+    std::vector<float> acc(n, 0.0f);
+    for (const auto &part : parts) {
+        for (std::size_t e = 0; e < n; ++e) {
+            truth[e] += part[e];
+            if (bf16_accumulator)
+                acc[e] = bf16Round(acc[e] + part[e]);
+            else
+                acc[e] += part[e];
+        }
+    }
+    PrecisionDrift d;
+    for (std::size_t e = 0; e < n; ++e) {
+        const double err = std::fabs(acc[e] - truth[e]);
+        d.mean_abs_error += err;
+        d.max_abs_error = std::max(d.max_abs_error, err);
+        d.mean_rel_error += err / std::max(1e-12, std::fabs(truth[e]));
+    }
+    d.mean_abs_error /= static_cast<double>(n);
+    d.mean_rel_error /= static_cast<double>(n);
+    return d;
+}
+
+TrajectoryDrift
+simulateTrainingDrift(std::int64_t params, std::int64_t steps,
+                      std::int64_t microbatches, double lr,
+                      std::uint64_t seed)
+{
+    LLM4D_CHECK(params > 0 && steps > 0 && microbatches > 0,
+                "invalid drift-simulation shape");
+    const auto n = static_cast<std::size_t>(params);
+    std::vector<double> w_ref(n, 1.0);
+    std::vector<float> w32(n, 1.0f);
+    std::vector<float> w16(n, 1.0f);
+
+    Rng rng(seed);
+    for (std::int64_t s = 0; s < steps; ++s) {
+        std::vector<double> g_ref(n, 0.0);
+        std::vector<float> g32(n, 0.0f);
+        std::vector<float> g16(n, 0.0f);
+        for (std::int64_t m = 0; m < microbatches; ++m) {
+            for (std::size_t e = 0; e < n; ++e) {
+                // Micro-gradients look like BF16 activations: drawn at
+                // BF16 precision, small relative to the weight.
+                const float g =
+                    bf16Round(static_cast<float>(rng.normal() * 1e-3));
+                g_ref[e] += g;
+                g32[e] += g;
+                g16[e] = bf16Round(g16[e] + g);
+            }
+        }
+        for (std::size_t e = 0; e < n; ++e) {
+            w_ref[e] -= lr * g_ref[e];
+            w32[e] -= static_cast<float>(lr) * g32[e];
+            w16[e] -= static_cast<float>(lr) * g16[e];
+        }
+    }
+
+    auto drift = [&](const std::vector<float> &w) {
+        double num = 0.0, den = 0.0;
+        for (std::size_t e = 0; e < n; ++e) {
+            num += (w[e] - w_ref[e]) * (w[e] - w_ref[e]);
+            den += w_ref[e] * w_ref[e];
+        }
+        return std::sqrt(num / den);
+    };
+    return TrajectoryDrift{drift(w32), drift(w16)};
+}
+
+} // namespace llm4d

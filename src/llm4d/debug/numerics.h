@@ -1,0 +1,92 @@
+#ifndef LLM4D_DEBUG_NUMERICS_H_
+#define LLM4D_DEBUG_NUMERICS_H_
+
+/**
+ * @file
+ * Numerical-issue debugging methodology (paper Section 6.2).
+ *
+ * Two tools:
+ *
+ *  1. The *matched-order baseline*: to decide whether a parallel
+ *     implementation's loss deviation is an accumulation-order effect or
+ *     a bug, re-order a sequential baseline's reductions to match the
+ *     parallel order and demand bitwise equality. Bit-exact match =>
+ *     order effect; residual difference => implementation bug.
+ *
+ *  2. The *precision ledger*: quantify gradient-accumulation drift of
+ *     BF16 vs FP32 accumulators against an FP64 reference across
+ *     micro-batches and simulated training steps — the evidence behind
+ *     "accumulate gradients in FP32".
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace llm4d {
+
+/** Verdict of the matched-order comparison. */
+struct OrderCheckResult
+{
+    bool bitwise_match = false;
+    double max_abs_diff = 0.0;
+    std::int64_t first_mismatch_index = -1;
+
+    /** Interpretation per Section 6.2. */
+    bool
+    indicatesImplementationBug() const
+    {
+        return !bitwise_match;
+    }
+};
+
+/**
+ * Sum @p parts (one gradient vector per micro-batch) in the order given
+ * by @p order, in FP32.
+ */
+std::vector<float> accumulateInOrder(
+    const std::vector<std::vector<float>> &parts,
+    const std::vector<std::int64_t> &order);
+
+/**
+ * Compare a parallel result against the sequential baseline re-ordered to
+ * the parallel accumulation order.
+ */
+OrderCheckResult checkMatchedOrder(const std::vector<float> &parallel,
+                                   const std::vector<float> &matched_baseline);
+
+/** Drift of an accumulation strategy against the FP64 truth. */
+struct PrecisionDrift
+{
+    double mean_abs_error = 0.0;
+    double max_abs_error = 0.0;
+    double mean_rel_error = 0.0;
+};
+
+/**
+ * Accumulate @p parts micro-batch gradients; measure drift vs FP64.
+ * @param bf16_accumulator re-round the running sum to BF16 each step.
+ */
+PrecisionDrift measureAccumulationDrift(
+    const std::vector<std::vector<float>> &parts, bool bf16_accumulator);
+
+/**
+ * Simulate @p steps SGD updates where each step's gradient is the
+ * accumulation of @p microbatches random micro-gradients; returns the
+ * final parameter drift (L2 relative to an FP64 reference trajectory)
+ * for BF16 vs FP32 accumulation. Demonstrates why the loss curves of
+ * Section 6.2 diverge without FP32 accumulation.
+ */
+struct TrajectoryDrift
+{
+    double fp32_drift = 0.0;
+    double bf16_drift = 0.0;
+};
+
+TrajectoryDrift simulateTrainingDrift(std::int64_t params,
+                                      std::int64_t steps,
+                                      std::int64_t microbatches,
+                                      double lr, std::uint64_t seed);
+
+} // namespace llm4d
+
+#endif // LLM4D_DEBUG_NUMERICS_H_

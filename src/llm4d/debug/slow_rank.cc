@@ -1,0 +1,96 @@
+#include "llm4d/debug/slow_rank.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+std::string
+SlowRankReport::render() const
+{
+    std::ostringstream os;
+    for (const SlowRankStep &s : steps)
+        os << s.axis << "=" << s.coordinate << " -> ";
+    os << "rank " << rank << " (compute "
+       << compute_seconds * 1e3 << " ms vs median "
+       << median_compute_seconds * 1e3 << " ms)";
+    return os.str();
+}
+
+SlowRankReport
+findSlowRank(const RankGrid &grid, const std::vector<double> &compute)
+{
+    LLM4D_CHECK(static_cast<std::int64_t>(compute.size()) ==
+                    grid.worldSize(),
+                "need one compute time per rank");
+    const ParallelismConfig &cfg = grid.config();
+
+    SlowRankReport report;
+    // Fixed coordinates as the narrowing proceeds (-1 = still free).
+    std::int64_t fix_dp = -1, fix_pp = -1, fix_cp = -1, fix_tp = -1;
+
+    struct Axis
+    {
+        const char *name;
+        std::int64_t extent;
+        std::int64_t *fixed;
+    };
+    // Outermost (most synchronized last) to innermost, per Section 6.1.
+    Axis axes[] = {{"dp", cfg.dp, &fix_dp},
+                   {"pp", cfg.pp, &fix_pp},
+                   {"cp", cfg.cp, &fix_cp},
+                   {"tp", cfg.tp, &fix_tp}};
+
+    auto matches = [&](std::int64_t rank) {
+        const RankCoord c = grid.coordOf(rank);
+        return (fix_dp < 0 || c.dp == fix_dp) &&
+               (fix_pp < 0 || c.pp == fix_pp) &&
+               (fix_cp < 0 || c.cp == fix_cp) &&
+               (fix_tp < 0 || c.tp == fix_tp);
+    };
+
+    for (const Axis &axis : axes) {
+        // For each coordinate along this axis, the candidate group's
+        // "slowness" is the largest compute time among its members —
+        // the group hosting the culprit shows the least collective wait,
+        // i.e. the most compute.
+        std::vector<double> slowness(static_cast<std::size_t>(axis.extent),
+                                     0.0);
+        for (std::int64_t r = 0; r < grid.worldSize(); ++r) {
+            if (!matches(r))
+                continue;
+            const RankCoord c = grid.coordOf(r);
+            std::int64_t coord = 0;
+            if (axis.fixed == &fix_dp)
+                coord = c.dp;
+            else if (axis.fixed == &fix_pp)
+                coord = c.pp;
+            else if (axis.fixed == &fix_cp)
+                coord = c.cp;
+            else
+                coord = c.tp;
+            auto &s = slowness[static_cast<std::size_t>(coord)];
+            s = std::max(s, compute[static_cast<std::size_t>(r)]);
+        }
+        const auto [lo, hi] =
+            std::minmax_element(slowness.begin(), slowness.end());
+        const auto chosen =
+            static_cast<std::int64_t>(hi - slowness.begin());
+        *axis.fixed = chosen;
+        report.steps.push_back(SlowRankStep{axis.name, chosen, *hi - *lo});
+    }
+
+    report.rank =
+        grid.rankOf(RankCoord{fix_tp, fix_cp, fix_pp, fix_dp});
+    report.compute_seconds =
+        compute[static_cast<std::size_t>(report.rank)];
+    std::vector<double> sorted = compute;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    report.median_compute_seconds = sorted[sorted.size() / 2];
+    return report;
+}
+
+} // namespace llm4d

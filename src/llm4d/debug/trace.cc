@@ -1,0 +1,233 @@
+#include "llm4d/debug/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+void
+RankTrace::add(TraceEvent event)
+{
+    LLM4D_ASSERT(event.end >= event.start, "event ends before it starts");
+    LLM4D_ASSERT(events_.empty() || event.start >= events_.back().start,
+                 "events must be appended in time order");
+    events_.push_back(std::move(event));
+}
+
+double
+RankTrace::computeSeconds() const
+{
+    Time total = 0;
+    for (const TraceEvent &ev : events_)
+        if (ev.kind == TraceEventKind::Compute)
+            total += ev.duration();
+    return timeToSeconds(total);
+}
+
+double
+RankTrace::collectiveSeconds(const std::string &axis) const
+{
+    Time total = 0;
+    for (const TraceEvent &ev : events_) {
+        if (ev.kind != TraceEventKind::Collective)
+            continue;
+        if (!axis.empty() && ev.axis != axis)
+            continue;
+        total += ev.duration();
+    }
+    return timeToSeconds(total);
+}
+
+ClusterTrace::ClusterTrace(std::int64_t world_size)
+    : ranks_(static_cast<std::size_t>(world_size))
+{
+    LLM4D_CHECK(world_size > 0, "trace needs at least one rank");
+}
+
+RankTrace &
+ClusterTrace::rank(std::int64_t r)
+{
+    LLM4D_ASSERT(r >= 0 && r < worldSize(), "rank out of range");
+    return ranks_[static_cast<std::size_t>(r)];
+}
+
+const RankTrace &
+ClusterTrace::rank(std::int64_t r) const
+{
+    LLM4D_ASSERT(r >= 0 && r < worldSize(), "rank out of range");
+    return ranks_[static_cast<std::size_t>(r)];
+}
+
+ClusterTrace
+ClusterTrace::synthesize(const RankGrid &grid,
+                         const std::vector<double> &compute_seconds,
+                         std::int64_t iterations)
+{
+    LLM4D_CHECK(static_cast<std::int64_t>(compute_seconds.size()) ==
+                    grid.worldSize(),
+                "one compute time per rank required");
+    LLM4D_CHECK(iterations >= 1, "need at least one iteration");
+    ClusterTrace trace(grid.worldSize());
+    std::vector<Time> ready(static_cast<std::size_t>(grid.worldSize()), 0);
+
+    struct AxisGroups
+    {
+        const char *name;
+        std::vector<std::vector<std::int64_t>> groups;
+    };
+    // Collectives run innermost-first within an iteration (Section 5.2
+    // ordering).
+    const AxisGroups axes[] = {{"tp", grid.allTpGroups()},
+                               {"cp", grid.allCpGroups()},
+                               {"pp", grid.allPpGroups()},
+                               {"dp", grid.allDpGroups()}};
+
+    for (std::int64_t it = 0; it < iterations; ++it) {
+        for (std::int64_t r = 0; r < grid.worldSize(); ++r) {
+            const auto i = static_cast<std::size_t>(r);
+            const Time start = ready[i];
+            const Time end =
+                start + secondsToTime(compute_seconds[i]);
+            trace.rank(r).add(
+                TraceEvent{TraceEventKind::Compute, "", start, end});
+            ready[i] = end;
+        }
+        for (const AxisGroups &axis : axes) {
+            for (const auto &group : axis.groups) {
+                if (group.size() < 2)
+                    continue;
+                Time group_end = 0;
+                for (std::int64_t member : group)
+                    group_end = std::max(
+                        group_end,
+                        ready[static_cast<std::size_t>(member)]);
+                for (std::int64_t member : group) {
+                    const auto i = static_cast<std::size_t>(member);
+                    trace.rank(member).add(
+                        TraceEvent{TraceEventKind::Collective, axis.name,
+                                   ready[i], group_end});
+                    ready[i] = group_end;
+                }
+            }
+        }
+    }
+    return trace;
+}
+
+std::string
+ClusterTrace::renderGroup(const std::vector<std::int64_t> &group,
+                          const std::string &axis, int width) const
+{
+    LLM4D_ASSERT(!group.empty() && width > 0, "invalid render request");
+    Time horizon = 0;
+    for (std::int64_t r : group)
+        for (const TraceEvent &ev : rank(r).events())
+            horizon = std::max(horizon, ev.end);
+    if (horizon == 0)
+        horizon = 1;
+
+    std::ostringstream os;
+    for (std::int64_t r : group) {
+        std::string line(static_cast<std::size_t>(width), ' ');
+        for (const TraceEvent &ev : rank(r).events()) {
+            char glyph = 'c';
+            if (ev.kind == TraceEventKind::Collective)
+                glyph = ev.axis == axis ? '#' : '=';
+            const auto lo = static_cast<std::size_t>(
+                ev.start * width / horizon);
+            const auto hi = std::min<std::size_t>(
+                static_cast<std::size_t>(width),
+                static_cast<std::size_t>(
+                    (ev.end * width + horizon - 1) / horizon));
+            for (std::size_t col = lo; col < hi; ++col)
+                line[col] = glyph;
+        }
+        os << "rank " << r << " |" << line << "|\n";
+    }
+    os << "('c' compute, '#' " << axis
+       << " collective, '=' other collectives; short '#' marks the "
+          "culprit)\n";
+    return os.str();
+}
+
+SlowRankReport
+findSlowRankFromTrace(const RankGrid &grid, const ClusterTrace &trace)
+{
+    LLM4D_CHECK(trace.worldSize() == grid.worldSize(),
+                "trace does not cover the grid");
+    const ParallelismConfig &cfg = grid.config();
+
+    SlowRankReport report;
+    std::int64_t fix_dp = -1, fix_pp = -1, fix_cp = -1, fix_tp = -1;
+
+    struct Axis
+    {
+        const char *name;
+        std::int64_t extent;
+        std::int64_t *fixed;
+    };
+    Axis axes[] = {{"dp", cfg.dp, &fix_dp},
+                   {"pp", cfg.pp, &fix_pp},
+                   {"cp", cfg.cp, &fix_cp},
+                   {"tp", cfg.tp, &fix_tp}};
+
+    auto matches = [&](std::int64_t rank) {
+        const RankCoord c = grid.coordOf(rank);
+        return (fix_dp < 0 || c.dp == fix_dp) &&
+               (fix_pp < 0 || c.pp == fix_pp) &&
+               (fix_cp < 0 || c.cp == fix_cp) &&
+               (fix_tp < 0 || c.tp == fix_tp);
+    };
+
+    for (const Axis &axis : axes) {
+        if (axis.extent == 1) {
+            *axis.fixed = 0;
+            report.steps.push_back(SlowRankStep{axis.name, 0, 0.0});
+            continue;
+        }
+        // Mean collective time at this axis per coordinate; the culprit's
+        // coordinate shows the least (its ranks are waited for).
+        std::vector<double> wait(static_cast<std::size_t>(axis.extent),
+                                 0.0);
+        std::vector<std::int64_t> count(
+            static_cast<std::size_t>(axis.extent), 0);
+        for (std::int64_t r = 0; r < grid.worldSize(); ++r) {
+            if (!matches(r))
+                continue;
+            const RankCoord c = grid.coordOf(r);
+            std::int64_t coord = 0;
+            if (axis.fixed == &fix_dp)
+                coord = c.dp;
+            else if (axis.fixed == &fix_pp)
+                coord = c.pp;
+            else if (axis.fixed == &fix_cp)
+                coord = c.cp;
+            else
+                coord = c.tp;
+            wait[static_cast<std::size_t>(coord)] +=
+                trace.rank(r).collectiveSeconds(axis.name);
+            ++count[static_cast<std::size_t>(coord)];
+        }
+        for (std::size_t v = 0; v < wait.size(); ++v)
+            wait[v] /= std::max<std::int64_t>(1, count[v]);
+        const auto [lo, hi] = std::minmax_element(wait.begin(), wait.end());
+        const auto chosen = static_cast<std::int64_t>(lo - wait.begin());
+        *axis.fixed = chosen;
+        report.steps.push_back(SlowRankStep{axis.name, chosen, *hi - *lo});
+    }
+
+    report.rank = grid.rankOf(RankCoord{fix_tp, fix_cp, fix_pp, fix_dp});
+    std::vector<double> compute(static_cast<std::size_t>(grid.worldSize()));
+    for (std::int64_t r = 0; r < grid.worldSize(); ++r)
+        compute[static_cast<std::size_t>(r)] =
+            trace.rank(r).computeSeconds();
+    report.compute_seconds = compute[static_cast<std::size_t>(report.rank)];
+    std::nth_element(compute.begin(), compute.begin() + compute.size() / 2,
+                     compute.end());
+    report.median_compute_seconds = compute[compute.size() / 2];
+    return report;
+}
+
+} // namespace llm4d

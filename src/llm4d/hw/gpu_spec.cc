@@ -1,0 +1,33 @@
+#include "llm4d/hw/gpu_spec.h"
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+GpuSpec
+GpuSpec::h100Sxm()
+{
+    return GpuSpec{};
+}
+
+GpuSpec
+GpuSpec::h100Hbm2e()
+{
+    GpuSpec spec;
+    spec.name = "H100-HBM2e";
+    spec.hbm_bw_gbps = 2000.0;
+    spec.tdp_watts = 350.0;
+    return spec;
+}
+
+ClusterSpec
+ClusterSpec::llama3Production(std::int64_t num_gpus)
+{
+    ClusterSpec spec;
+    LLM4D_CHECK(num_gpus % spec.node.gpus_per_node == 0,
+                "cluster size must be a whole number of 8-GPU nodes");
+    spec.num_nodes = num_gpus / spec.node.gpus_per_node;
+    return spec;
+}
+
+} // namespace llm4d

@@ -1,0 +1,139 @@
+#include "llm4d/hw/kernel_model.h"
+
+#include <algorithm>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+/** Saturating efficiency term: 0 at size 0, 0.5 at @p half, -> 1. */
+double
+saturate(double size, double half)
+{
+    return size / (size + half);
+}
+
+/** Half-saturation sizes for GEMM dims (rows / cols / depth). */
+constexpr double kGemmHalfM = 96.0;
+constexpr double kGemmHalfN = 48.0;
+constexpr double kGemmHalfK = 48.0;
+
+/**
+ * Attention occupancy: flash kernels launch one CTA per (head, 128-row
+ * query tile); an H100 has 132 SMs, so roughly that many CTAs are needed
+ * to half-fill the machine.
+ */
+constexpr double kAttnQTileRows = 128.0;
+constexpr double kAttnHalfCtas = 132.0;
+
+/** Short KV spans pay relatively more softmax/epilogue overhead. */
+constexpr double kAttnHalfSpan = 192.0;
+
+/** Backward attention work relative to forward (dQ/dK/dV + recompute). */
+constexpr double kAttnBackwardRatio = 2.5;
+
+} // namespace
+
+KernelModel::KernelModel(const GpuSpec &gpu) : gpu_(gpu)
+{
+    LLM4D_CHECK(gpu_.peak_bf16_tflops > 0 && gpu_.hbm_bw_gbps > 0,
+                "GPU spec must have positive peak compute and bandwidth");
+}
+
+double
+KernelModel::launchOverhead() const
+{
+    return gpu_.kernel_launch_us * 1e-6;
+}
+
+double
+KernelModel::gemmEfficiency(std::int64_t m, std::int64_t n,
+                            std::int64_t k) const
+{
+    LLM4D_ASSERT(m > 0 && n > 0 && k > 0, "GEMM dims must be positive");
+    return gpu_.max_gemm_efficiency *
+           saturate(static_cast<double>(m), kGemmHalfM) *
+           saturate(static_cast<double>(n), kGemmHalfN) *
+           saturate(static_cast<double>(k), kGemmHalfK);
+}
+
+double
+KernelModel::gemmTime(std::int64_t m, std::int64_t n, std::int64_t k) const
+{
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) * static_cast<double>(k);
+    const double compute = flops / (gpu_.peakFlops() * gemmEfficiency(m, n, k));
+    // BF16 operands and output, one pass each.
+    const double bytes =
+        2.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+               static_cast<double>(m) * n);
+    const double memory = bytes / (gpu_.hbm_bw_gbps * 1e9);
+    return std::max(compute, memory) + launchOverhead();
+}
+
+double
+KernelModel::attentionEfficiency(std::int64_t num_pairs, std::int64_t q_rows,
+                                 std::int64_t heads_q) const
+{
+    LLM4D_ASSERT(q_rows > 0 && heads_q > 0, "attention shape invalid");
+    LLM4D_ASSERT(num_pairs >= 0, "negative attention pairs");
+    if (num_pairs == 0)
+        return gpu_.max_attn_efficiency; // degenerate; time ~ launch only
+    const double ctas = static_cast<double>(heads_q) *
+                        (static_cast<double>(q_rows) / kAttnQTileRows);
+    const double avg_span =
+        static_cast<double>(num_pairs) / static_cast<double>(q_rows);
+    return gpu_.max_attn_efficiency * saturate(ctas, kAttnHalfCtas) *
+           saturate(avg_span, kAttnHalfSpan);
+}
+
+double
+KernelModel::attentionTime(std::int64_t num_pairs, std::int64_t q_rows,
+                           std::int64_t kv_rows, std::int64_t heads_q,
+                           std::int64_t heads_kv, std::int64_t head_dim) const
+{
+    LLM4D_ASSERT(kv_rows >= 0 && heads_kv > 0 && head_dim > 0,
+                 "attention shape invalid");
+    const double flops = 4.0 * static_cast<double>(heads_q) *
+                         static_cast<double>(num_pairs) *
+                         static_cast<double>(head_dim);
+    const double eff = attentionEfficiency(num_pairs, q_rows, heads_q);
+    const double compute = flops / (gpu_.peakFlops() * eff);
+    // HBM traffic: read Q, K, V; write O (BF16) and LSE (FP32).
+    const double q_bytes = 2.0 * static_cast<double>(q_rows) * heads_q *
+                           head_dim;
+    const double kv_bytes = 2.0 * 2.0 * static_cast<double>(kv_rows) *
+                            heads_kv * head_dim;
+    const double out_bytes =
+        q_bytes + 4.0 * static_cast<double>(q_rows) * heads_q;
+    const double memory =
+        (q_bytes + kv_bytes + out_bytes) / (gpu_.hbm_bw_gbps * 1e9);
+    return std::max(compute, memory) + launchOverhead();
+}
+
+double
+KernelModel::attentionBackwardTime(std::int64_t num_pairs,
+                                   std::int64_t q_rows, std::int64_t kv_rows,
+                                   std::int64_t heads_q,
+                                   std::int64_t heads_kv,
+                                   std::int64_t head_dim) const
+{
+    // Backward reads/writes grads in addition to activations; scale both
+    // roofline terms by the backward work ratio.
+    const double fwd = attentionTime(num_pairs, q_rows, kv_rows, heads_q,
+                                     heads_kv, head_dim) -
+                       launchOverhead();
+    return fwd * kAttnBackwardRatio + launchOverhead();
+}
+
+double
+KernelModel::elementwiseTime(std::int64_t bytes) const
+{
+    LLM4D_ASSERT(bytes >= 0, "negative byte count");
+    return static_cast<double>(bytes) / (gpu_.hbm_bw_gbps * 1e9) +
+           launchOverhead();
+}
+
+} // namespace llm4d

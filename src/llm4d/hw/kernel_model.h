@@ -1,0 +1,81 @@
+#ifndef LLM4D_HW_KERNEL_MODEL_H_
+#define LLM4D_HW_KERNEL_MODEL_H_
+
+/**
+ * @file
+ * Analytic kernel-time model: a roofline (compute vs HBM bandwidth) with a
+ * shape-dependent efficiency term and a fixed launch overhead.
+ *
+ * The shape term matters for the paper's results: parallelism shrinks
+ * per-GPU GEMM/attention shapes (Section 8.1 "parallelisms will reduce the
+ * dimension of GEMMs"), and ring-style CP attention runs O(cp) fragmented
+ * kernels whose low per-kernel efficiency is exactly why all-gather CP
+ * wins at small seq / large cp (Section 7.2, Figure 13).
+ */
+
+#include <cstdint>
+
+#include "llm4d/hw/gpu_spec.h"
+
+namespace llm4d {
+
+/** Per-kernel timing estimates for one GPU. */
+class KernelModel
+{
+  public:
+    /** Build a model for the given GPU. */
+    explicit KernelModel(const GpuSpec &gpu);
+
+    const GpuSpec &gpu() const { return gpu_; }
+
+    /** Fixed host-side kernel launch overhead, seconds. */
+    double launchOverhead() const;
+
+    /**
+     * Time for a BF16 GEMM C[m,n] = A[m,k] * B[k,n] (FP32 accumulate),
+     * seconds, including launch overhead.
+     */
+    double gemmTime(std::int64_t m, std::int64_t n, std::int64_t k) const;
+
+    /** Achieved fraction of peak for the GEMM shape (excludes launch). */
+    double gemmEfficiency(std::int64_t m, std::int64_t n,
+                          std::int64_t k) const;
+
+    /**
+     * Time for a fused (flash-style) attention forward kernel, seconds.
+     *
+     * @param num_pairs   number of unmasked (q, k) score pairs; attention
+     *                    FLOPs are 4 * heads_q * num_pairs * head_dim.
+     * @param q_rows      query rows in the kernel (drives occupancy).
+     * @param kv_rows     key/value rows resident (drives HBM traffic).
+     * @param heads_q     query heads.
+     * @param heads_kv    key/value heads (GQA).
+     * @param head_dim    per-head dimension.
+     */
+    double attentionTime(std::int64_t num_pairs, std::int64_t q_rows,
+                         std::int64_t kv_rows, std::int64_t heads_q,
+                         std::int64_t heads_kv, std::int64_t head_dim) const;
+
+    /**
+     * Attention backward kernel time, seconds. Backward does ~2.5x the
+     * forward FLOPs (dQ, dK, dV plus the recomputed forward pass).
+     */
+    double attentionBackwardTime(std::int64_t num_pairs, std::int64_t q_rows,
+                                 std::int64_t kv_rows, std::int64_t heads_q,
+                                 std::int64_t heads_kv,
+                                 std::int64_t head_dim) const;
+
+    /** Memory-bound elementwise kernel over @p bytes of HBM traffic. */
+    double elementwiseTime(std::int64_t bytes) const;
+
+    /** Achieved FLOP/s for an attention kernel shape (excludes launch). */
+    double attentionEfficiency(std::int64_t num_pairs, std::int64_t q_rows,
+                               std::int64_t heads_q) const;
+
+  private:
+    GpuSpec gpu_;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_HW_KERNEL_MODEL_H_

@@ -1,0 +1,44 @@
+#include "llm4d/hw/perf_variation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+PerfVariation
+PerfVariation::jitter(double sigma, std::uint64_t seed)
+{
+    LLM4D_CHECK(sigma >= 0.0, "jitter sigma must be non-negative");
+    PerfVariation pv;
+    pv.sigma_ = sigma;
+    pv.seed_ = seed;
+    pv.jittered_ = true;
+    return pv;
+}
+
+void
+PerfVariation::injectStraggler(std::int64_t rank, double speed)
+{
+    LLM4D_CHECK(speed > 0.0 && speed <= 1.0,
+                "straggler speed must be in (0, 1], got " << speed);
+    stragglers_[rank] = speed;
+}
+
+double
+PerfVariation::speedOf(std::int64_t rank) const
+{
+    const auto it = stragglers_.find(rank);
+    if (it != stragglers_.end())
+        return it->second;
+    if (!jittered_ || sigma_ == 0.0)
+        return 1.0;
+    // Derive a per-rank stream so that speed factors do not depend on the
+    // order ranks are queried in.
+    Rng rng(seed_, static_cast<std::uint64_t>(rank));
+    const double s = std::exp(-std::fabs(rng.normal()) * sigma_);
+    return std::min(1.0, s);
+}
+
+} // namespace llm4d

@@ -1,0 +1,234 @@
+#include "llm4d/model/layer_cost.h"
+
+#include <algorithm>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+/** Backward GEMM work relative to forward (dgrad + wgrad). */
+constexpr double kGemmBackwardRatio = 2.0;
+
+/** Backward GEMM work for frozen weights (dgrad only). */
+constexpr double kFrozenBackwardRatio = 1.0;
+
+/** Elementwise bytes per token per layer (norms, RoPE, residuals), as a
+ *  multiple of hidden size in BF16, sharded by TP via sequence parallel. */
+constexpr double kElementwisePasses = 12.0;
+
+} // namespace
+
+BlockDims
+BlockDims::fromText(const ModelConfig &m)
+{
+    return BlockDims{m.hidden, m.ffn_hidden, m.heads, m.kv_heads};
+}
+
+BlockDims
+BlockDims::fromVit(const VitConfig &v)
+{
+    // ViT uses MHA (kv_heads == heads).
+    return BlockDims{v.hidden, v.ffn_hidden, v.heads, v.heads};
+}
+
+LayerCost &
+LayerCost::operator+=(const LayerCost &o)
+{
+    fwd_seconds += o.fwd_seconds;
+    bwd_seconds += o.bwd_seconds;
+    fwd_flops += o.fwd_flops;
+    bwd_flops += o.bwd_flops;
+    return *this;
+}
+
+LayerCost
+LayerCost::scaled(double factor) const
+{
+    return LayerCost{fwd_seconds * factor, bwd_seconds * factor,
+                     fwd_flops * factor, bwd_flops * factor};
+}
+
+LayerCostModel::LayerCostModel(const BlockDims &dims, const GpuSpec &gpu,
+                               std::int64_t tp, bool ffn_is_gated)
+    : dims_(dims), kernels_(gpu), tp_(tp), gated_(ffn_is_gated)
+{
+    LLM4D_CHECK(tp_ >= 1, "tp must be >= 1");
+    LLM4D_CHECK(dims_.hidden > 0 && dims_.heads > 0 && dims_.kv_heads > 0,
+                "block dims must be positive");
+    LLM4D_CHECK(dims_.heads % tp_ == 0,
+                "tp " << tp_ << " must divide heads " << dims_.heads);
+    LLM4D_CHECK(dims_.kv_heads % tp_ == 0 || tp_ % dims_.kv_heads == 0,
+                "tp and kv_heads must nest");
+}
+
+double
+LayerCostModel::gemm(std::int64_t m, std::int64_t n, std::int64_t k) const
+{
+    return kernels_.gemmTime(m, n, k);
+}
+
+LayerCost
+LayerCostModel::selfAttentionLayer(std::int64_t tokens,
+                                   std::int64_t attn_pairs,
+                                   std::int64_t kv_tokens,
+                                   bool frozen) const
+{
+    LLM4D_ASSERT(tokens > 0 && kv_tokens > 0 && attn_pairs >= 0,
+                 "invalid layer workload");
+    const std::int64_t h = dims_.hidden;
+    const std::int64_t f = dims_.ffn_hidden;
+    const std::int64_t heads_tp = dims_.heads / tp_;
+    // When tp > kv_heads, KV heads are replicated across TP ranks.
+    const std::int64_t kv_heads_tp = std::max<std::int64_t>(
+        1, dims_.kv_heads / tp_);
+    const std::int64_t kv_dim_tp = kv_heads_tp * dims_.headDim();
+
+    double fwd = 0.0;
+    // Fused QKV projection (column parallel).
+    fwd += gemm(tokens, h / tp_ + 2 * kv_dim_tp, h);
+    // Attention kernel on this rank's heads.
+    fwd += kernels_.attentionTime(attn_pairs, tokens, kv_tokens, heads_tp,
+                                  kv_heads_tp, dims_.headDim());
+    // Output projection (row parallel).
+    fwd += gemm(tokens, h, h / tp_);
+    // FFN: gate+up (column parallel) and down (row parallel).
+    const std::int64_t up_width = (gated_ ? 2 : 1) * f / tp_;
+    fwd += gemm(tokens, up_width, h);
+    fwd += gemm(tokens, h, f / tp_);
+    // Norms / RoPE / residuals (sequence parallel, so /tp).
+    const auto ew_bytes = static_cast<std::int64_t>(
+        kElementwisePasses * 2.0 * static_cast<double>(tokens) * h / tp_);
+    fwd += kernels_.elementwiseTime(ew_bytes);
+
+    // Backward: GEMMs at the backward ratio, attention via its own model.
+    const double gemm_ratio =
+        frozen ? kFrozenBackwardRatio : kGemmBackwardRatio;
+    double bwd = 0.0;
+    bwd += gemm(tokens, h / tp_ + 2 * kv_dim_tp, h) * gemm_ratio;
+    bwd += kernels_.attentionBackwardTime(attn_pairs, tokens, kv_tokens,
+                                          heads_tp, kv_heads_tp,
+                                          dims_.headDim());
+    bwd += gemm(tokens, h, h / tp_) * gemm_ratio;
+    bwd += gemm(tokens, up_width, h) * gemm_ratio;
+    bwd += gemm(tokens, h, f / tp_) * gemm_ratio;
+    bwd += kernels_.elementwiseTime(ew_bytes);
+
+    // Useful FLOPs executed by this GPU.
+    const double dense_params_tp =
+        (2.0 * h * h + 2.0 * static_cast<double>(h) * dims_.kvDim() +
+         (gated_ ? 3.0 : 2.0) * static_cast<double>(h) * f) /
+        static_cast<double>(tp_);
+    const double attn_flops_tp = 4.0 * static_cast<double>(attn_pairs) *
+                                 heads_tp * dims_.headDim();
+    const double fwd_flops =
+        2.0 * static_cast<double>(tokens) * dense_params_tp + attn_flops_tp;
+    const double bwd_flops =
+        2.0 * static_cast<double>(tokens) * dense_params_tp * gemm_ratio +
+        attn_flops_tp * 2.5;
+
+    return LayerCost{fwd, bwd, fwd_flops, bwd_flops};
+}
+
+LayerCost
+LayerCostModel::crossAttentionLayer(std::int64_t text_tokens,
+                                    std::int64_t image_tokens) const
+{
+    LLM4D_ASSERT(text_tokens > 0 && image_tokens > 0,
+                 "invalid cross-attention workload");
+    const std::int64_t h = dims_.hidden;
+    const std::int64_t f = dims_.ffn_hidden;
+    const std::int64_t heads_tp = dims_.heads / tp_;
+    const std::int64_t kv_heads_tp =
+        std::max<std::int64_t>(1, dims_.kv_heads / tp_);
+    const std::int64_t kv_dim_tp = kv_heads_tp * dims_.headDim();
+    // Every text token attends every image token (dense, no causal mask).
+    const std::int64_t pairs = text_tokens * image_tokens;
+
+    double fwd = 0.0;
+    fwd += gemm(text_tokens, h / tp_, h);          // Q proj
+    fwd += gemm(image_tokens, 2 * kv_dim_tp, h);   // K/V proj from vision
+    fwd += kernels_.attentionTime(pairs, text_tokens, image_tokens,
+                                  heads_tp, kv_heads_tp, dims_.headDim());
+    fwd += gemm(text_tokens, h, h / tp_);          // O proj
+    const std::int64_t up_width = (gated_ ? 2 : 1) * f / tp_;
+    fwd += gemm(text_tokens, up_width, h);
+    fwd += gemm(text_tokens, h, f / tp_);
+    const auto ew_bytes = static_cast<std::int64_t>(
+        kElementwisePasses * 2.0 *
+        static_cast<double>(text_tokens + image_tokens) * h / tp_);
+    fwd += kernels_.elementwiseTime(ew_bytes);
+
+    // Cross-attention layers are trained: full backward.
+    double bwd = 0.0;
+    bwd += gemm(text_tokens, h / tp_, h) * kGemmBackwardRatio;
+    bwd += gemm(image_tokens, 2 * kv_dim_tp, h) * kGemmBackwardRatio;
+    bwd += kernels_.attentionBackwardTime(pairs, text_tokens, image_tokens,
+                                          heads_tp, kv_heads_tp,
+                                          dims_.headDim());
+    bwd += gemm(text_tokens, h, h / tp_) * kGemmBackwardRatio;
+    bwd += gemm(text_tokens, up_width, h) * kGemmBackwardRatio;
+    bwd += gemm(text_tokens, h, f / tp_) * kGemmBackwardRatio;
+    bwd += kernels_.elementwiseTime(ew_bytes);
+
+    const double qo_params_tp = 2.0 * h * h / static_cast<double>(tp_);
+    const double kv_params_tp =
+        2.0 * static_cast<double>(h) * dims_.kvDim() /
+        static_cast<double>(tp_);
+    const double ffn_params_tp = (gated_ ? 3.0 : 2.0) *
+                                 static_cast<double>(h) * f /
+                                 static_cast<double>(tp_);
+    const double attn_flops_tp =
+        4.0 * static_cast<double>(pairs) * heads_tp * dims_.headDim();
+    const double fwd_flops =
+        2.0 * text_tokens * (qo_params_tp + ffn_params_tp) +
+        2.0 * image_tokens * kv_params_tp + attn_flops_tp;
+    const double bwd_flops =
+        fwd_flops * kGemmBackwardRatio + attn_flops_tp * 0.5;
+
+    return LayerCost{fwd, bwd, fwd_flops, bwd_flops};
+}
+
+LayerCost
+LayerCostModel::embedding(std::int64_t tokens, std::int64_t vocab) const
+{
+    LLM4D_ASSERT(tokens > 0 && vocab > 0, "invalid embedding workload");
+    // Lookup: one activation write; backward: scattered grad accumulate.
+    const auto bytes = static_cast<std::int64_t>(
+        2.0 * static_cast<double>(tokens) * dims_.hidden / tp_);
+    LayerCost cost;
+    cost.fwd_seconds = kernels_.elementwiseTime(bytes);
+    cost.bwd_seconds = kernels_.elementwiseTime(2 * bytes);
+    return cost;
+}
+
+LayerCost
+LayerCostModel::outputHead(std::int64_t tokens, std::int64_t vocab) const
+{
+    LLM4D_ASSERT(tokens > 0 && vocab > 0, "invalid head workload");
+    LayerCost cost;
+    // Vocabulary-parallel GEMM plus softmax/cross-entropy elementwise.
+    cost.fwd_seconds = kernels_.gemmTime(tokens, vocab / tp_, dims_.hidden);
+    const auto logits_bytes = static_cast<std::int64_t>(
+        2.0 * static_cast<double>(tokens) * vocab / tp_);
+    cost.fwd_seconds += kernels_.elementwiseTime(logits_bytes);
+    cost.bwd_seconds =
+        kernels_.gemmTime(tokens, vocab / tp_, dims_.hidden) *
+            kGemmBackwardRatio +
+        kernels_.elementwiseTime(logits_bytes);
+    const double params_tp =
+        static_cast<double>(vocab) * dims_.hidden / static_cast<double>(tp_);
+    cost.fwd_flops = 2.0 * static_cast<double>(tokens) * params_tp;
+    cost.bwd_flops = cost.fwd_flops * kGemmBackwardRatio;
+    return cost;
+}
+
+std::int64_t
+LayerCostModel::tpCollectiveShardBytes(std::int64_t tokens) const
+{
+    // Sequence-parallel activation slice [tokens/tp, hidden] in BF16.
+    return 2 * (tokens / tp_) * dims_.hidden;
+}
+
+} // namespace llm4d

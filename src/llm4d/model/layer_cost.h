@@ -1,0 +1,129 @@
+#ifndef LLM4D_MODEL_LAYER_COST_H_
+#define LLM4D_MODEL_LAYER_COST_H_
+
+/**
+ * @file
+ * Per-layer compute time and FLOP accounting under tensor parallelism.
+ *
+ * Every GEMM of a transformer block is enumerated with its TP-sharded
+ * shape and priced by the KernelModel; attention is priced by its
+ * mask-dependent pair count. Times and FLOPs are *per GPU* (i.e. for the
+ * 1/tp shard this rank executes), which is the quantity end-to-end
+ * TFLOPs-per-GPU reporting needs.
+ */
+
+#include <cstdint>
+
+#include "llm4d/hw/kernel_model.h"
+#include "llm4d/model/model_config.h"
+
+namespace llm4d {
+
+/** Width parameters of one transformer block. */
+struct BlockDims
+{
+    std::int64_t hidden = 0;
+    std::int64_t ffn_hidden = 0;
+    std::int64_t heads = 0;
+    std::int64_t kv_heads = 0;
+
+    std::int64_t headDim() const { return hidden / heads; }
+    std::int64_t kvDim() const { return kv_heads * headDim(); }
+
+    /** Dims of a text-model layer. */
+    static BlockDims fromText(const ModelConfig &m);
+
+    /** Dims of a ViT encoder layer (MHA, 2-matrix MLP modelled as SwiGLU
+     *  equivalent width). */
+    static BlockDims fromVit(const VitConfig &v);
+};
+
+/** Cost of one layer execution on one GPU. */
+struct LayerCost
+{
+    double fwd_seconds = 0.0;
+    double bwd_seconds = 0.0;
+    double fwd_flops = 0.0; ///< useful model FLOPs executed by this GPU
+    double bwd_flops = 0.0;
+
+    /** Element-wise sum, for composing stages out of layers. */
+    LayerCost &operator+=(const LayerCost &o);
+    friend LayerCost operator+(LayerCost a, const LayerCost &b)
+    {
+        a += b;
+        return a;
+    }
+
+    /** Scale both times and FLOPs (e.g. frozen-layer discounts). */
+    LayerCost scaled(double factor) const;
+};
+
+/** Prices transformer-layer work for one GPU at a given TP degree. */
+class LayerCostModel
+{
+  public:
+    /**
+     * @param dims   block widths.
+     * @param gpu    GPU to price kernels on.
+     * @param tp     tensor-parallel degree sharding this block.
+     * @param ffn_is_gated true for SwiGLU (3 matrices), false for a
+     *        classic 2-matrix MLP (the ViT encoder).
+     */
+    LayerCostModel(const BlockDims &dims, const GpuSpec &gpu,
+                   std::int64_t tp, bool ffn_is_gated = true);
+
+    const BlockDims &dims() const { return dims_; }
+    const KernelModel &kernels() const { return kernels_; }
+    std::int64_t tp() const { return tp_; }
+
+    /**
+     * One self-attention transformer layer over a micro-batch.
+     *
+     * @param tokens      local query tokens (after any CP sharding).
+     * @param attn_pairs  unmasked (q,k) pairs for those query tokens.
+     * @param kv_tokens   KV rows visible to the kernel (seq for a single
+     *                    device; full seq after a CP all-gather).
+     * @param frozen      if true, backward computes input grads only
+     *                    (Section 3.2.2: frozen self-attention layers).
+     */
+    LayerCost selfAttentionLayer(std::int64_t tokens,
+                                 std::int64_t attn_pairs,
+                                 std::int64_t kv_tokens,
+                                 bool frozen = false) const;
+
+    /**
+     * One cross-attention layer: queries from @p text_tokens, keys/values
+     * from @p image_tokens (dense attention, no causal mask).
+     */
+    LayerCost crossAttentionLayer(std::int64_t text_tokens,
+                                  std::int64_t image_tokens) const;
+
+    /** Input-embedding lookup for a micro-batch (memory bound). */
+    LayerCost embedding(std::int64_t tokens, std::int64_t vocab) const;
+
+    /** Output head GEMM + cross-entropy for a micro-batch. */
+    LayerCost outputHead(std::int64_t tokens, std::int64_t vocab) const;
+
+    /**
+     * Bytes of one TP-SP collective shard for a micro-batch: the
+     * sequence-parallel activation slice [tokens/tp, hidden] in BF16.
+     * Four such collectives run per layer in forward and four in backward
+     * (Section 5.2, "TP communication").
+     */
+    std::int64_t tpCollectiveShardBytes(std::int64_t tokens) const;
+
+    /** Number of exposed TP collectives per layer, one direction. */
+    static constexpr int kTpCollectivesPerLayer = 4;
+
+  private:
+    double gemm(std::int64_t m, std::int64_t n, std::int64_t k) const;
+
+    BlockDims dims_;
+    KernelModel kernels_;
+    std::int64_t tp_;
+    bool gated_;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_MODEL_LAYER_COST_H_

@@ -1,0 +1,145 @@
+#include "llm4d/model/model_config.h"
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+std::int64_t
+ModelConfig::attnParamsPerLayer() const
+{
+    // Q and O projections are hidden x hidden; K and V are hidden x kvDim.
+    return 2 * hidden * hidden + 2 * hidden * kvDim();
+}
+
+std::int64_t
+ModelConfig::ffnParamsPerLayer() const
+{
+    // SwiGLU: gate, up, down.
+    return 3 * hidden * ffn_hidden;
+}
+
+std::int64_t
+ModelConfig::paramsPerLayer() const
+{
+    // Attention + FFN + two RMSNorm weight vectors.
+    return attnParamsPerLayer() + ffnParamsPerLayer() + 2 * hidden;
+}
+
+std::int64_t
+ModelConfig::totalParams() const
+{
+    return num_layers * paramsPerLayer() + embeddingParams() +
+           outputHeadParams() + hidden /* final norm */;
+}
+
+double
+ModelConfig::denseFlopsPerTokenForward() const
+{
+    // 2 FLOPs per parameter per token for every matmul parameter; the
+    // embedding lookup is free, but the output head is a real GEMM.
+    const double matmul_params =
+        static_cast<double>(num_layers) *
+            static_cast<double>(attnParamsPerLayer() + ffnParamsPerLayer()) +
+        static_cast<double>(outputHeadParams());
+    return 2.0 * matmul_params;
+}
+
+ModelConfig
+ModelConfig::llama3_405b()
+{
+    return ModelConfig{};
+}
+
+ModelConfig
+ModelConfig::llama3_70b()
+{
+    ModelConfig m;
+    m.name = "llama3-70b";
+    m.num_layers = 80;
+    m.hidden = 8192;
+    m.ffn_hidden = 28672;
+    m.heads = 64;
+    m.kv_heads = 8;
+    return m;
+}
+
+ModelConfig
+ModelConfig::llama3_8b()
+{
+    ModelConfig m;
+    m.name = "llama3-8b";
+    m.num_layers = 32;
+    m.hidden = 4096;
+    m.ffn_hidden = 14336;
+    m.heads = 32;
+    m.kv_heads = 8;
+    return m;
+}
+
+ModelConfig
+ModelConfig::scaledDown405b(std::int64_t layers)
+{
+    LLM4D_CHECK(layers > 0, "layer count must be positive");
+    ModelConfig m = llama3_405b();
+    m.name = "llama3-405b-dims-" + std::to_string(layers) + "L";
+    m.num_layers = layers;
+    return m;
+}
+
+std::int64_t
+VitConfig::imageTokens() const
+{
+    const std::int64_t per_side = image_size / patch;
+    // Patches plus a small fixed budget of cls/register tokens, rounded
+    // the way the production encoder pads: 448px -> ~1.2K, 672px -> ~3K
+    // tokens (paper Section 3.2.2).
+    return per_side * per_side + 8;
+}
+
+std::int64_t
+VitConfig::paramsPerLayer() const
+{
+    // Standard ViT block: QKV + O projections and a 2-matrix MLP.
+    return 4 * hidden * hidden + 2 * hidden * ffn_hidden + 4 * hidden;
+}
+
+std::int64_t
+VitConfig::totalParams() const
+{
+    const std::int64_t patch_embed = 3 * patch * patch * hidden;
+    return num_layers * paramsPerLayer() + patch_embed;
+}
+
+VitConfig
+VitConfig::vit448()
+{
+    return VitConfig{};
+}
+
+VitConfig
+VitConfig::vit672()
+{
+    // The upgraded encoder: higher resolution, more and wider layers
+    // ("more transformer layers were added into the image encoder").
+    VitConfig v;
+    v.name = "vit-encoder-672";
+    v.image_size = 672;
+    v.num_layers = 40;
+    v.hidden = 1664;
+    v.ffn_hidden = 8192;
+    return v;
+}
+
+std::int64_t
+MultimodalConfig::numCrossLayers() const
+{
+    return text.num_layers / self_per_cross;
+}
+
+MultimodalConfig
+MultimodalConfig::llama3Multimodal()
+{
+    return MultimodalConfig{};
+}
+
+} // namespace llm4d

@@ -1,0 +1,188 @@
+#include "llm4d/net/flow_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+LinkId
+FlowSim::addLink(double bytes_per_second)
+{
+    LLM4D_CHECK(bytes_per_second > 0.0, "link capacity must be positive");
+    linkCapacity_.push_back(bytes_per_second);
+    return static_cast<LinkId>(linkCapacity_.size()) - 1;
+}
+
+FlowId
+FlowSim::addFlow(std::vector<LinkId> path, double bytes, Time start)
+{
+    LLM4D_CHECK(!path.empty(), "flows need at least one link");
+    LLM4D_CHECK(bytes > 0.0, "flows must move a positive byte count");
+    for (LinkId link : path) {
+        LLM4D_CHECK(link >= 0 &&
+                        link < static_cast<LinkId>(linkCapacity_.size()),
+                    "unknown link in path");
+    }
+    Flow flow;
+    flow.path = std::move(path);
+    flow.bytes = bytes;
+    flow.start = start;
+    flows_.push_back(std::move(flow));
+    return static_cast<FlowId>(flows_.size()) - 1;
+}
+
+void
+FlowSim::allocateRates()
+{
+    ++recomputations_;
+    // Progressive filling: repeatedly saturate the most constrained link.
+    std::vector<double> remaining = linkCapacity_;
+    std::vector<std::int64_t> unfixed_on_link(linkCapacity_.size(), 0);
+    std::vector<bool> fixed(flows_.size(), false);
+    std::int64_t active = 0;
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+        if (!flows_[f].active) {
+            fixed[f] = true;
+            flows_[f].rate = 0.0;
+            continue;
+        }
+        ++active;
+        for (LinkId link : flows_[f].path)
+            ++unfixed_on_link[static_cast<std::size_t>(link)];
+    }
+
+    while (active > 0) {
+        // Find the bottleneck link: least fair share among links that
+        // still carry unfixed flows.
+        double best_share = std::numeric_limits<double>::infinity();
+        LinkId bottleneck = -1;
+        for (std::size_t l = 0; l < linkCapacity_.size(); ++l) {
+            if (unfixed_on_link[l] == 0)
+                continue;
+            const double share =
+                remaining[l] / static_cast<double>(unfixed_on_link[l]);
+            if (share < best_share) {
+                best_share = share;
+                bottleneck = static_cast<LinkId>(l);
+            }
+        }
+        LLM4D_ASSERT(bottleneck >= 0, "active flows but no loaded link");
+        // Fix every unfixed flow crossing the bottleneck at the fair
+        // share; release their claim on other links.
+        for (std::size_t f = 0; f < flows_.size(); ++f) {
+            if (fixed[f])
+                continue;
+            const auto &path = flows_[f].path;
+            if (std::find(path.begin(), path.end(), bottleneck) ==
+                path.end())
+                continue;
+            flows_[f].rate = best_share;
+            fixed[f] = true;
+            --active;
+            for (LinkId link : path) {
+                const auto l = static_cast<std::size_t>(link);
+                remaining[l] -= best_share;
+                --unfixed_on_link[l];
+            }
+        }
+    }
+}
+
+std::vector<FlowResult>
+FlowSim::run()
+{
+    Time now = 0;
+    std::int64_t remaining_flows =
+        static_cast<std::int64_t>(flows_.size());
+    // Activate flows whose release time has passed, then advance to the
+    // next event (release or completion) under current rates.
+    while (remaining_flows > 0) {
+        bool changed = false;
+        Time next_release = std::numeric_limits<Time>::max();
+        for (Flow &flow : flows_) {
+            if (flow.done || flow.active)
+                continue;
+            if (flow.start <= now) {
+                flow.active = true;
+                changed = true;
+            } else {
+                next_release = std::min(next_release, flow.start);
+            }
+        }
+        (void)changed;
+        allocateRates();
+
+        // Next completion under these rates.
+        Time next_completion = std::numeric_limits<Time>::max();
+        bool any_active = false;
+        for (const Flow &flow : flows_) {
+            if (!flow.active)
+                continue;
+            any_active = true;
+            LLM4D_ASSERT(flow.rate > 0.0, "active flow with zero rate");
+            const Time eta =
+                now + secondsToTime(flow.bytes / flow.rate);
+            next_completion = std::min(next_completion, eta);
+        }
+        if (!any_active) {
+            LLM4D_ASSERT(next_release !=
+                             std::numeric_limits<Time>::max(),
+                         "flows remain but nothing is runnable");
+            now = next_release;
+            continue;
+        }
+        const Time next_event =
+            std::min(next_completion, next_release);
+        // Drain bytes until the event. A flow whose residual would take
+        // less than one clock tick (1 ns) to drain is complete — without
+        // this, byte residues from timestamp rounding can make the next
+        // completion round to "now" and the loop would never progress.
+        const double elapsed = timeToSeconds(next_event - now);
+        for (Flow &flow : flows_) {
+            if (!flow.active)
+                continue;
+            flow.bytes -= flow.rate * elapsed;
+            if (flow.bytes <= flow.rate * 2e-9) {
+                flow.bytes = 0.0;
+                flow.active = false;
+                flow.done = true;
+                flow.end = next_event;
+                --remaining_flows;
+            }
+        }
+        now = next_event;
+    }
+
+    std::vector<FlowResult> results;
+    results.reserve(flows_.size());
+    for (const Flow &flow : flows_)
+        results.push_back(FlowResult{flow.start, flow.end});
+    return results;
+}
+
+double
+measuredCongestionFactor(double link_bytes_per_second, double victim_bytes,
+                         std::int64_t aggressors, double aggressor_bytes)
+{
+    LLM4D_CHECK(aggressors >= 0, "negative aggressor count");
+    // Alone.
+    FlowSim alone;
+    const LinkId link_a = alone.addLink(link_bytes_per_second);
+    const FlowId victim_a = alone.addFlow({link_a}, victim_bytes, 0);
+    const double t_alone =
+        alone.run()[static_cast<std::size_t>(victim_a)].seconds();
+
+    // With concurrent traffic on the same link.
+    FlowSim busy;
+    const LinkId link_b = busy.addLink(link_bytes_per_second);
+    const FlowId victim_b = busy.addFlow({link_b}, victim_bytes, 0);
+    for (std::int64_t i = 0; i < aggressors; ++i)
+        busy.addFlow({link_b}, aggressor_bytes, 0);
+    const double t_busy =
+        busy.run()[static_cast<std::size_t>(victim_b)].seconds();
+    return t_busy / t_alone;
+}
+
+} // namespace llm4d

@@ -1,0 +1,71 @@
+#ifndef LLM4D_PLAN_PLANNER_H_
+#define LLM4D_PLAN_PLANNER_H_
+
+/**
+ * @file
+ * Parallelism-configuration planner: an executable version of the paper's
+ * Section 5 reasoning.
+ *
+ * Given a model, a cluster, and a token budget per step, enumerate
+ * {tp, cp, pp, dp} assignments, reject infeasible ones (batch-size,
+ * divisibility, and memory constraints), estimate step time with the
+ * analytic cost model (compute + exposed TP/CP communication + pipeline
+ * bubble + exposed FSDP), and rank the rest. For the production inputs
+ * this reproduces Table 2: tp8/pp16/dp128 at 8K context and
+ * tp8/cp16/pp16/dp8 at 131K.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm4d/hw/gpu_spec.h"
+#include "llm4d/model/memory_model.h"
+#include "llm4d/model/model_config.h"
+#include "llm4d/parallel/parallelism.h"
+
+namespace llm4d {
+
+/** Inputs to a planning run. */
+struct PlanInput
+{
+    ModelConfig model = ModelConfig::llama3_405b();
+    ClusterSpec cluster = ClusterSpec::llama3Production();
+    std::int64_t seq = 8192;
+    std::int64_t global_batch_tokens = 16LL * 1024 * 1024;
+
+    /** Candidate degrees to explore per axis (powers of two). */
+    std::vector<std::int64_t> tp_options = {1, 2, 4, 8, 16};
+    std::vector<std::int64_t> cp_options = {1, 2, 4, 8, 16, 32};
+    std::vector<std::int64_t> pp_options = {1, 2, 4, 8, 16, 32};
+};
+
+/** One evaluated configuration. */
+struct PlanCandidate
+{
+    ParallelismConfig par;
+    ZeroMode zero = ZeroMode::Zero1;
+    std::int64_t bs = 0;   ///< sequences per DP group
+    std::int64_t nmb = 0;  ///< micro-batches
+    std::int64_t v = 0;    ///< virtual stages per PP rank
+
+    bool feasible = false;
+    std::string reject_reason;
+
+    double est_step_seconds = 0.0;
+    double est_tflops_per_gpu = 0.0;
+    double est_memory_gib = 0.0;
+    double bubble_ratio = 0.0;
+    double exposed_comm_fraction = 0.0;
+};
+
+/** Evaluate every candidate; feasible ones sorted fastest-first, then
+ *  the infeasible ones with their rejection reasons. */
+std::vector<PlanCandidate> enumeratePlans(const PlanInput &input);
+
+/** The fastest feasible candidate. Aborts when none fits. */
+PlanCandidate bestPlan(const PlanInput &input);
+
+} // namespace llm4d
+
+#endif // LLM4D_PLAN_PLANNER_H_

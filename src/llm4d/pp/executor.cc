@@ -1,0 +1,201 @@
+#include "llm4d/pp/executor.h"
+
+#include <algorithm>
+
+#include "llm4d/pp/legality.h"
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+ExecConfig
+ExecConfig::uniform(double fwd_seconds, double bwd_seconds,
+                    double p2p_seconds)
+{
+    ExecConfig cfg;
+    cfg.stage_cost = [=](std::int64_t, std::int64_t, std::int64_t) {
+        return StageCost{fwd_seconds, bwd_seconds};
+    };
+    cfg.p2p_seconds = [=](std::int64_t, std::int64_t) {
+        return p2p_seconds;
+    };
+    return cfg;
+}
+
+double
+ExecResult::bubbleRatio(std::int64_t rank) const
+{
+    const Time b = busy[static_cast<std::size_t>(rank)];
+    LLM4D_ASSERT(b > 0, "rank did no work");
+    return static_cast<double>(makespan - b) / static_cast<double>(b);
+}
+
+double
+ExecResult::maxBubbleRatio() const
+{
+    double worst = 0.0;
+    for (std::size_t r = 0; r < busy.size(); ++r)
+        worst = std::max(worst,
+                         bubbleRatio(static_cast<std::int64_t>(r)));
+    return worst;
+}
+
+double
+ExecResult::overallBubbleRatio() const
+{
+    Time total_busy = 0;
+    for (Time b : busy)
+        total_busy += b;
+    const Time total_span =
+        makespan * static_cast<Time>(busy.size());
+    return static_cast<double>(total_span - total_busy) /
+           static_cast<double>(total_busy);
+}
+
+Time
+ExecResult::opEnd(std::int64_t rank, PipeOpKind kind, std::int64_t vstage,
+                  std::int64_t mb) const
+{
+    for (const OpRecord &rec : records) {
+        if (rec.rank == rank && rec.op.kind == kind &&
+            rec.op.stage == vstage && rec.op.mb == mb)
+            return rec.end;
+    }
+    LLM4D_PANIC("operation not found in execution record");
+}
+
+std::int64_t
+ExecResult::peakInFlight(std::int64_t rank) const
+{
+    // Events in record order (already time-sorted): forward start +1 at
+    // its start, backward completion -1 at its end. Replay sorted by the
+    // relevant timestamp.
+    std::vector<std::pair<Time, int>> events;
+    for (const OpRecord &rec : records) {
+        if (rec.rank != rank)
+            continue;
+        if (rec.op.kind == PipeOpKind::Forward)
+            events.emplace_back(rec.start, +1);
+        else
+            events.emplace_back(rec.end, -1);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second; // frees before allocs on tie
+              });
+    std::int64_t live = 0, peak = 0;
+    for (const auto &[t, delta] : events) {
+        live += delta;
+        peak = std::max(peak, live);
+    }
+    return peak;
+}
+
+ExecResult
+executeSchedule(const Schedule &schedule, const ExecConfig &config)
+{
+    LLM4D_CHECK(config.stage_cost && config.p2p_seconds,
+                "ExecConfig callbacks must be set");
+    const LegalityResult legal = checkSchedule(schedule);
+    LLM4D_CHECK(legal.legal, "illegal schedule: " << legal.reason);
+
+    const ScheduleParams &p = schedule.params();
+    const std::int64_t cells = p.numStages() * p.nmb;
+    auto cell = [&](std::int64_t g, std::int64_t mb) {
+        return static_cast<std::size_t>(g * p.nmb + mb);
+    };
+
+    constexpr Time kPending = -1;
+    std::vector<Time> fwd_end(static_cast<std::size_t>(cells), kPending);
+    std::vector<Time> bwd_end(static_cast<std::size_t>(cells), kPending);
+    std::vector<Time> rank_free(static_cast<std::size_t>(p.pp), 0);
+    std::vector<std::size_t> pc(static_cast<std::size_t>(p.pp), 0);
+
+    ExecResult result;
+    result.busy.assign(static_cast<std::size_t>(p.pp), 0);
+
+    // Topological sweep: process each op once its dependency has a
+    // computed end time. Times are DAG-determined, so sweep order does
+    // not affect the result; legality guarantees termination.
+    auto dep_ready = [&](std::int64_t rank, const PipeOp &op,
+                         Time &ready_at) {
+        const std::int64_t g = schedule.globalStage(rank, op.stage);
+        if (op.kind == PipeOpKind::Forward) {
+            if (g == 0) {
+                ready_at = 0;
+                return true;
+            }
+            const Time producer = fwd_end[cell(g - 1, op.mb)];
+            if (producer == kPending)
+                return false;
+            const std::int64_t src = schedule.rankOfGlobalStage(g - 1);
+            ready_at = producer +
+                       secondsToTime(config.p2p_seconds(src, rank));
+            return true;
+        }
+        const Time own_fwd = fwd_end[cell(g, op.mb)];
+        if (own_fwd == kPending)
+            return false;
+        if (g == p.numStages() - 1) {
+            ready_at = own_fwd;
+            return true;
+        }
+        const Time producer = bwd_end[cell(g + 1, op.mb)];
+        if (producer == kPending)
+            return false;
+        const std::int64_t src = schedule.rankOfGlobalStage(g + 1);
+        ready_at = std::max(
+            own_fwd,
+            producer + secondsToTime(config.p2p_seconds(src, rank)));
+        return true;
+    };
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::int64_t r = 0; r < p.pp; ++r) {
+            const auto &prog = schedule.program(r);
+            auto &cursor = pc[static_cast<std::size_t>(r)];
+            Time ready_at = 0;
+            while (cursor < prog.size() &&
+                   dep_ready(r, prog[cursor], ready_at)) {
+                const PipeOp &op = prog[cursor];
+                const std::int64_t g = schedule.globalStage(r, op.stage);
+                const StageCost cost = config.stage_cost(r, op.stage, op.mb);
+                const double dur_s = op.kind == PipeOpKind::Forward
+                                         ? cost.fwd_seconds
+                                         : cost.bwd_seconds;
+                LLM4D_ASSERT(dur_s >= 0.0, "negative stage cost");
+                const Time start =
+                    std::max(rank_free[static_cast<std::size_t>(r)],
+                             ready_at);
+                const Time end = start + secondsToTime(dur_s);
+                rank_free[static_cast<std::size_t>(r)] = end;
+                result.busy[static_cast<std::size_t>(r)] += end - start;
+                (op.kind == PipeOpKind::Forward ? fwd_end
+                                                : bwd_end)[cell(g, op.mb)] =
+                    end;
+                result.records.push_back(OpRecord{r, op, start, end});
+                result.makespan = std::max(result.makespan, end);
+                ++cursor;
+                progress = true;
+            }
+        }
+    }
+    for (std::int64_t r = 0; r < p.pp; ++r) {
+        LLM4D_ASSERT(pc[static_cast<std::size_t>(r)] ==
+                         schedule.program(r).size(),
+                     "executor stalled despite legality check");
+    }
+
+    std::sort(result.records.begin(), result.records.end(),
+              [](const OpRecord &a, const OpRecord &b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  return a.rank < b.rank;
+              });
+    return result;
+}
+
+} // namespace llm4d

@@ -1,0 +1,126 @@
+#include "llm4d/pp/grad_memory.h"
+
+#include <algorithm>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+double
+MemorySeries::at(Time t) const
+{
+    double value = 0.0;
+    for (const auto &[when, bytes] : points) {
+        if (when > t)
+            break;
+        value = bytes;
+    }
+    return value;
+}
+
+MemorySeries
+gradMemoryTimeline(const Schedule &schedule, const ExecResult &exec,
+                   const GradMemoryParams &params, std::int64_t rank)
+{
+    LLM4D_CHECK(params.grad_bytes_per_stage >= 0.0 &&
+                    params.act_bytes_per_stage_mb >= 0.0 &&
+                    params.sharded_fraction >= 0.0 &&
+                    params.sharded_fraction <= 1.0,
+                "invalid memory parameters");
+    const ScheduleParams &p = schedule.params();
+
+    enum class GradState { Absent, Unsharded };
+    std::vector<GradState> grad(static_cast<std::size_t>(p.v),
+                                GradState::Absent);
+    std::vector<bool> sharded_alloc(static_cast<std::size_t>(p.v), false);
+
+    // (time, delta-bytes, is_rs) events; ties resolve frees before allocs
+    // via the delta sort so peaks are not overstated.
+    struct Event
+    {
+        Time t;
+        double delta;
+        bool rs;
+    };
+    std::vector<Event> events;
+    std::int64_t rs_count = 0;
+
+    auto round_last_mb = [&](std::int64_t mb) {
+        return mb == p.nmb - 1 || (mb + 1) % p.nc == 0;
+    };
+
+    for (const OpRecord &rec : exec.records) {
+        if (rec.rank != rank)
+            continue;
+        const auto s = static_cast<std::size_t>(rec.op.stage);
+        if (rec.op.kind == PipeOpKind::Forward) {
+            events.push_back({rec.start, params.act_bytes_per_stage_mb,
+                              false});
+            continue;
+        }
+        // Backward: gradient buffer materializes at the first backward of
+        // the stage (or after each reshard).
+        if (grad[s] == GradState::Absent) {
+            double alloc = params.grad_bytes_per_stage;
+            if (sharded_alloc[s]) {
+                // The persistent sharded accumulator already holds its
+                // fraction; only the unsharded working buffer is new.
+                alloc = params.grad_bytes_per_stage;
+            } else if (params.mode != ZeroMode::Zero1) {
+                // First materialization also creates the sharded
+                // accumulator that survives resharding.
+                alloc = params.grad_bytes_per_stage +
+                        params.grad_bytes_per_stage *
+                            params.sharded_fraction;
+                sharded_alloc[s] = true;
+            }
+            events.push_back({rec.start, alloc, false});
+            grad[s] = GradState::Unsharded;
+        }
+        events.push_back({rec.end, -params.act_bytes_per_stage_mb, false});
+        if (params.mode != ZeroMode::Zero1 && round_last_mb(rec.op.mb)) {
+            // Reduce-scatter into the sharded accumulator; release the
+            // unsharded working buffer (Fig. 4c).
+            events.push_back(
+                {rec.end, -params.grad_bytes_per_stage, true});
+            grad[s] = GradState::Absent;
+            ++rs_count;
+        }
+    }
+    // ZeRO-1: one reduce-scatter per stage at end of step (Fig. 4a).
+    if (params.mode == ZeroMode::Zero1) {
+        for (std::int64_t s = 0; s < p.v; ++s) {
+            if (grad[static_cast<std::size_t>(s)] == GradState::Unsharded) {
+                events.push_back(
+                    {exec.makespan,
+                     -params.grad_bytes_per_stage *
+                         (1.0 - params.sharded_fraction),
+                     true});
+                ++rs_count;
+            }
+        }
+    }
+
+    std::sort(events.begin(), events.end(), [](const Event &a,
+                                               const Event &b) {
+        if (a.t != b.t)
+            return a.t < b.t;
+        return a.delta < b.delta; // frees first on ties
+    });
+
+    MemorySeries series;
+    series.reduce_scatters = rs_count;
+    double current = 0.0;
+    for (const Event &ev : events) {
+        current += ev.delta;
+        LLM4D_ASSERT(current > -1.0, "memory balance went negative");
+        if (!series.points.empty() && series.points.back().first == ev.t)
+            series.points.back().second = current;
+        else
+            series.points.emplace_back(ev.t, current);
+        series.peak = std::max(series.peak, current);
+    }
+    return series;
+}
+
+} // namespace llm4d

@@ -1,0 +1,72 @@
+#ifndef LLM4D_PP_GRAD_MEMORY_H_
+#define LLM4D_PP_GRAD_MEMORY_H_
+
+/**
+ * @file
+ * Gradient and activation memory lifetime under PP x FSDP (Figure 4).
+ *
+ * The 1F1B schedule interleaves virtual stages, so gradients must
+ * accumulate across a stage's non-consecutive executions:
+ *
+ *  - ZeRO-1 keeps every stage's unsharded gradient buffer alive from its
+ *    first backward to the end-of-step reduce-scatter (Fig. 4a): more
+ *    memory, one collective per buffer.
+ *  - ZeRO-2 reduce-scatters and reshards a stage's gradients after the
+ *    last backward of each *consecutive micro-batch round* (Fig. 4c):
+ *    less memory, one collective per round.
+ *  - All-forward-all-backward runs each stage's backwards contiguously,
+ *    so ZeRO-1 and ZeRO-2 behave identically (Fig. 4b).
+ */
+
+#include <vector>
+
+#include "llm4d/model/memory_model.h"
+#include "llm4d/pp/executor.h"
+#include "llm4d/pp/schedule.h"
+
+namespace llm4d {
+
+/** Byte parameters for the memory replay. */
+struct GradMemoryParams
+{
+    /** Unsharded gradient buffer bytes for one virtual stage. */
+    double grad_bytes_per_stage = 0.0;
+
+    /** Resident fraction after resharding (1 / fsdp_shard_degree). */
+    double sharded_fraction = 0.0;
+
+    /** Activation bytes held by one in-flight (stage, micro-batch). */
+    double act_bytes_per_stage_mb = 0.0;
+
+    ZeroMode mode = ZeroMode::Zero1;
+};
+
+/** A step function of bytes over time. */
+struct MemorySeries
+{
+    /** (time, total bytes) after each change, in time order. */
+    std::vector<std::pair<Time, double>> points;
+
+    /** Peak of the series. */
+    double peak = 0.0;
+
+    /** Number of gradient reduce-scatters issued during the step. */
+    std::int64_t reduce_scatters = 0;
+
+    /** Value of the series at a given time. */
+    double at(Time t) const;
+};
+
+/**
+ * Replay rank @p rank of an executed schedule into a memory timeline
+ * (gradients + activations; weights/optimizer are constant offsets the
+ * caller adds).
+ */
+MemorySeries gradMemoryTimeline(const Schedule &schedule,
+                                const ExecResult &exec,
+                                const GradMemoryParams &params,
+                                std::int64_t rank);
+
+} // namespace llm4d
+
+#endif // LLM4D_PP_GRAD_MEMORY_H_

@@ -1,0 +1,99 @@
+#include "llm4d/pp/layer_balance.h"
+
+#include <algorithm>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+StageAssignment::StageAssignment(std::int64_t pp, std::int64_t v,
+                                 std::vector<StageContents> stages)
+    : pp_(pp), v_(v), stages_(std::move(stages))
+{
+    LLM4D_ASSERT(static_cast<std::int64_t>(stages_.size()) == pp_ * v_,
+                 "one entry per global stage required");
+}
+
+StageAssignment
+StageAssignment::uniform(std::int64_t num_layers, std::int64_t pp,
+                         std::int64_t v)
+{
+    LLM4D_CHECK(num_layers >= 0 && pp >= 1 && v >= 1,
+                "invalid assignment shape");
+    const std::int64_t stages = pp * v;
+    std::vector<StageContents> contents(static_cast<std::size_t>(stages));
+    const std::int64_t base = num_layers / stages;
+    const std::int64_t extra = num_layers % stages;
+    for (std::int64_t g = 0; g < stages; ++g)
+        contents[static_cast<std::size_t>(g)].layers =
+            base + (g < extra ? 1 : 0);
+    contents.front().embedding = true;
+    contents.back().head = true;
+    return StageAssignment(pp, v, std::move(contents));
+}
+
+StageAssignment
+StageAssignment::balanced(std::int64_t num_layers, std::int64_t pp,
+                          std::int64_t v)
+{
+    StageAssignment a = uniform(num_layers + 2, pp, v);
+    // Trim the first and the last non-empty stage (when layers do not
+    // cover every stage, the trailing stages are already empty and host
+    // only the output head).
+    auto first = a.stages_.begin();
+    while (first != a.stages_.end() && first->layers == 0)
+        ++first;
+    auto last = a.stages_.rbegin();
+    while (last != a.stages_.rend() && last->layers == 0)
+        ++last;
+    LLM4D_CHECK(first != a.stages_.end() && last != a.stages_.rend() &&
+                    &*first != &*last,
+                "not enough layers to balance first/last stages");
+    first->layers -= 1;
+    last->layers -= 1;
+    return a;
+}
+
+const StageContents &
+StageAssignment::stage(std::int64_t rank, std::int64_t vstage) const
+{
+    LLM4D_ASSERT(rank >= 0 && rank < pp_ && vstage >= 0 && vstage < v_,
+                 "stage coordinates out of range");
+    return globalStage(vstage * pp_ + rank);
+}
+
+const StageContents &
+StageAssignment::globalStage(std::int64_t g) const
+{
+    LLM4D_ASSERT(g >= 0 && g < pp_ * v_, "global stage out of range");
+    return stages_[static_cast<std::size_t>(g)];
+}
+
+std::int64_t
+StageAssignment::layersOnRank(std::int64_t rank) const
+{
+    std::int64_t total = 0;
+    for (std::int64_t s = 0; s < v_; ++s)
+        total += stage(rank, s).layers;
+    return total;
+}
+
+std::int64_t
+StageAssignment::totalLayers() const
+{
+    std::int64_t total = 0;
+    for (const StageContents &s : stages_)
+        total += s.layers;
+    return total;
+}
+
+std::int64_t
+StageAssignment::maxStageLayers() const
+{
+    std::int64_t most = 0;
+    for (const StageContents &s : stages_)
+        most = std::max(most, s.layers);
+    return most;
+}
+
+} // namespace llm4d

@@ -1,0 +1,79 @@
+#ifndef LLM4D_PP_LAYER_BALANCE_H_
+#define LLM4D_PP_LAYER_BALANCE_H_
+
+/**
+ * @file
+ * Assignment of model layers (and the embedding/output-head modules) to
+ * pipeline stages.
+ *
+ * Section 3.1.2: uniform layer sharding leaves the first PP rank with the
+ * 128K-vocabulary embedding and the last with the output head on top of a
+ * full share of layers, causing memory (first rank) and compute (last
+ * rank) imbalance. The co-design removes one transformer layer from the
+ * first and last stages — this is why the production 405B model has 126
+ * layers rather than 128.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace llm4d {
+
+/** What one pipeline virtual stage hosts. */
+struct StageContents
+{
+    std::int64_t layers = 0;
+    bool embedding = false; ///< input embedding (first global stage only)
+    bool head = false;      ///< output head + loss (last global stage only)
+};
+
+/** Layer-to-stage assignment for an interleaved pipeline. */
+class StageAssignment
+{
+  public:
+    /**
+     * Uniform assignment of @p num_layers layers over pp*v stages
+     * (earlier stages take the remainder); embedding on the first global
+     * stage, head on the last.
+     */
+    static StageAssignment uniform(std::int64_t num_layers, std::int64_t pp,
+                                   std::int64_t v);
+
+    /**
+     * Balanced assignment (Section 3.1.2): distribute as if there were
+     * num_layers + 2 layers, then remove one layer from the first and one
+     * from the last global stage to offset the embedding and head.
+     */
+    static StageAssignment balanced(std::int64_t num_layers, std::int64_t pp,
+                                    std::int64_t v);
+
+    std::int64_t pp() const { return pp_; }
+    std::int64_t v() const { return v_; }
+
+    /** Contents of (rank, virtual stage); global stage = vstage*pp+rank. */
+    const StageContents &stage(std::int64_t rank, std::int64_t vstage) const;
+
+    /** Contents by global stage index. */
+    const StageContents &globalStage(std::int64_t g) const;
+
+    /** Total transformer layers on one rank. */
+    std::int64_t layersOnRank(std::int64_t rank) const;
+
+    /** Total layers across all stages. */
+    std::int64_t totalLayers() const;
+
+    /** Largest per-stage layer count (for imbalance reporting). */
+    std::int64_t maxStageLayers() const;
+
+  private:
+    StageAssignment(std::int64_t pp, std::int64_t v,
+                    std::vector<StageContents> stages);
+
+    std::int64_t pp_;
+    std::int64_t v_;
+    std::vector<StageContents> stages_; ///< indexed by global stage
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_PP_LAYER_BALANCE_H_

@@ -1,0 +1,58 @@
+#include "llm4d/pp/nc_advisor.h"
+
+#include <algorithm>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+std::int64_t
+flexibleInFlight(const ScheduleParams &base, std::int64_t nc)
+{
+    ScheduleParams p = base;
+    p.nc = std::clamp<std::int64_t>(nc, 1, p.nmb);
+    if (p.nc < p.pp) {
+        // Degenerates to AFAB: everything is in flight.
+        return p.tmb();
+    }
+    return std::min(p.tmb(), flexibleWarmup(p, 0) + 1);
+}
+
+NcAdvice
+adviseNc(const ScheduleParams &base, const NcBudget &budget)
+{
+    LLM4D_CHECK(budget.act_bytes_per_microbatch >= 0.0 &&
+                    budget.fixed_bytes >= 0.0 &&
+                    budget.capacity_bytes > 0.0,
+                "invalid memory budget");
+    auto peak = [&](std::int64_t nc) {
+        return budget.fixed_bytes +
+               static_cast<double>(flexibleInFlight(base, nc)) *
+                   budget.act_bytes_per_microbatch;
+    };
+
+    NcAdvice advice;
+    // Prefer the largest nc that fits (most P2P hiding).
+    for (std::int64_t nc = std::min(base.nmb, base.nmb); nc >= 1; --nc) {
+        const double p = peak(nc);
+        if (p <= budget.capacity_bytes) {
+            advice.nc = nc;
+            advice.in_flight = flexibleInFlight(base, nc);
+            advice.peak_bytes = p;
+            advice.fits = true;
+            return advice;
+        }
+        // Below pp everything degenerates to the same AFAB footprint;
+        // no point scanning further.
+        if (nc <= base.pp)
+            break;
+    }
+    // Nothing fits: report the most frugal option (nc == pp).
+    advice.nc = std::min(base.pp, base.nmb);
+    advice.in_flight = flexibleInFlight(base, advice.nc);
+    advice.peak_bytes = peak(advice.nc);
+    advice.fits = advice.peak_bytes <= budget.capacity_bytes;
+    return advice;
+}
+
+} // namespace llm4d

@@ -1,0 +1,66 @@
+#include "llm4d/pp/timeline.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+/** Micro-batch index to a single display digit (hex-ish, wraps). */
+char
+mbDigit(std::int64_t mb, bool forward)
+{
+    const char *digits = "0123456789abcdefghijklmnopqrstuvwxyz";
+    const char d = digits[mb % 36];
+    return forward ? static_cast<char>(std::toupper(d)) : d;
+}
+
+} // namespace
+
+std::string
+renderTimeline(const Schedule &schedule, const ExecResult &exec,
+               const TimelineOptions &options)
+{
+    LLM4D_CHECK(options.width > 0, "timeline width must be positive");
+    const std::int64_t pp = schedule.params().pp;
+    const Time horizon = std::max<Time>(1, exec.makespan);
+
+    std::vector<std::string> rows(
+        static_cast<std::size_t>(pp),
+        std::string(static_cast<std::size_t>(options.width), '.'));
+
+    for (const OpRecord &rec : exec.records) {
+        auto &row = rows[static_cast<std::size_t>(rec.rank)];
+        const auto lo = static_cast<std::size_t>(
+            rec.start * options.width / horizon);
+        auto hi = static_cast<std::size_t>(
+            (rec.end * options.width + horizon - 1) / horizon);
+        hi = std::min(hi, static_cast<std::size_t>(options.width));
+        const char glyph =
+            mbDigit(rec.op.mb, rec.op.kind == PipeOpKind::Forward);
+        for (std::size_t col = lo; col < std::max(hi, lo + 1); ++col) {
+            if (col < row.size())
+                row[col] = glyph;
+        }
+    }
+
+    std::ostringstream os;
+    os << "schedule: " << scheduleKindName(schedule.kind()) << "  (pp="
+       << pp << " v=" << schedule.params().v << " nmb="
+       << schedule.params().nmb << " nc=" << schedule.params().nc
+       << ")  makespan " << timeToMillis(exec.makespan) << " ms\n";
+    for (std::int64_t r = 0; r < pp; ++r)
+        os << "rank " << r << " |" << rows[static_cast<std::size_t>(r)]
+           << "|\n";
+    if (options.show_legend) {
+        os << "UPPERCASE = forward of micro-batch, lowercase = backward, "
+              "'.' = bubble\n";
+    }
+    return os.str();
+}
+
+} // namespace llm4d

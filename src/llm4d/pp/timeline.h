@@ -1,0 +1,38 @@
+#ifndef LLM4D_PP_TIMELINE_H_
+#define LLM4D_PP_TIMELINE_H_
+
+/**
+ * @file
+ * ASCII Gantt rendering of executed pipeline schedules — the Figure 2 /
+ * Figure 3 visualization. Forward cells print the micro-batch digit,
+ * backward cells print it bracketed in lower intensity, idle time prints
+ * as dots, which makes warm-up, steady-state 1F1B, cool-down, and exposed
+ * P2P bubbles visible at a glance.
+ */
+
+#include <string>
+
+#include "llm4d/pp/executor.h"
+
+namespace llm4d {
+
+/** Rendering options. */
+struct TimelineOptions
+{
+    int width = 96;            ///< columns for the time axis
+    bool show_legend = true;
+};
+
+/**
+ * Render the executed schedule as one row per pipeline rank. Forward
+ * executions show as the micro-batch index digit ('0'-'9', then 'a'-'z'),
+ * backwards as the same digit on a '*'-prefixed track... concretely:
+ * forward cells use uppercase hex digits, backward cells lowercase, idle
+ * renders '.'.
+ */
+std::string renderTimeline(const Schedule &schedule, const ExecResult &exec,
+                           const TimelineOptions &options = {});
+
+} // namespace llm4d
+
+#endif // LLM4D_PP_TIMELINE_H_

@@ -1,0 +1,123 @@
+#ifndef LLM4D_SIM_TRAIN_SIM_H_
+#define LLM4D_SIM_TRAIN_SIM_H_
+
+/**
+ * @file
+ * End-to-end simulated training step under 4D parallelism.
+ *
+ * Composes the whole stack: layer cost model (TP-sharded kernels), CP
+ * sharding and collectives, the flexible PP schedule run through the
+ * timed executor, FSDP all-gather/reduce-scatter exposure, and the
+ * per-rank memory model. Produces the quantities the paper's evaluation
+ * reports: TFLOPs/GPU, bubble ratio, exposed-communication breakdown,
+ * and per-PP-rank peak memory (Sections 7.1 and 7.3).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "llm4d/cp/cp_cost.h"
+#include "llm4d/fsdp/fsdp.h"
+#include "llm4d/hw/perf_variation.h"
+#include "llm4d/model/layer_cost.h"
+#include "llm4d/model/memory_model.h"
+#include "llm4d/model/model_config.h"
+#include "llm4d/parallel/parallelism.h"
+#include "llm4d/pp/executor.h"
+#include "llm4d/pp/layer_balance.h"
+
+namespace llm4d {
+
+/** Full description of one training job. */
+struct TrainJobConfig
+{
+    ModelConfig model = ModelConfig::llama3_405b();
+    ClusterSpec cluster = ClusterSpec::llama3Production();
+    ParallelismConfig par{8, 1, 16, 128};
+
+    std::int64_t seq = 8192;
+    std::int64_t global_batch_tokens = 16LL * 1024 * 1024;
+    std::int64_t mbs = 1; ///< sequences per micro-batch
+
+    /** Transformer layers per PP virtual stage. */
+    std::int64_t layers_per_vstage = 1;
+
+    ZeroMode zero = ZeroMode::Zero1;
+    ScheduleKind schedule = ScheduleKind::Flexible;
+    std::int64_t nc = 0; ///< 0 = auto (min(pp, nmb))
+
+    ActivationMode act = ActivationMode::Full;
+    bool balanced_layers = true;   ///< Section 3.1.2 co-design
+    bool memory_optimized = true;  ///< Section 6.3 releases
+
+    /** 0 = full causal; > 0 = document mask with this mean length. */
+    double doc_mask_mean = 0.0;
+
+    std::uint64_t seed = 1;
+    PerfVariation perf;
+};
+
+/** Results of one simulated training step. */
+struct TrainStepReport
+{
+    double step_seconds = 0.0;
+    double tflops_per_gpu = 0.0; ///< useful model FLOPs per GPU second
+    double mfu = 0.0;            ///< fraction of peak
+
+    double bubble_ratio = 0.0;   ///< pipeline idle over compute
+    double exposed_tp_seconds = 0.0;
+    double exposed_cp_seconds = 0.0;
+    double exposed_fsdp_seconds = 0.0;
+    double optimizer_seconds = 0.0;
+
+    std::int64_t bs = 0;  ///< sequences per DP group per step
+    std::int64_t nmb = 0; ///< micro-batches
+    std::int64_t v = 0;   ///< virtual stages per PP rank
+
+    /** Peak memory per PP rank (index = pp rank). */
+    std::vector<MemoryBreakdown> pp_rank_memory;
+
+    /** Largest per-rank peak, GiB. */
+    double maxMemoryGib() const;
+
+    /** True when every rank fits in the GPU's HBM (with headroom). */
+    bool fits(double capacity_gib, double headroom = 0.94) const;
+};
+
+/** Simulates training steps for one job configuration. */
+class TrainSim
+{
+  public:
+    /** Validate and pre-derive schedule/assignment state. */
+    explicit TrainSim(TrainJobConfig cfg);
+
+    const TrainJobConfig &config() const { return cfg_; }
+
+    /** Sequences per DP group per step. */
+    std::int64_t batchPerDpGroup() const { return bs_; }
+
+    /** Micro-batch count. */
+    std::int64_t microBatches() const { return nmb_; }
+
+    /** Virtual stages per PP rank. */
+    std::int64_t virtualStages() const { return v_; }
+
+    /** The layer-to-stage assignment in use. */
+    const StageAssignment &assignment() const { return assignment_; }
+
+    /** Simulate one training step. */
+    TrainStepReport run() const;
+
+  private:
+    struct StageCostTable;
+
+    TrainJobConfig cfg_;
+    std::int64_t bs_ = 0;
+    std::int64_t nmb_ = 0;
+    std::int64_t v_ = 0;
+    StageAssignment assignment_;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_SIM_TRAIN_SIM_H_

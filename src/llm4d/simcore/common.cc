@@ -1,0 +1,18 @@
+#include "llm4d/simcore/common.h"
+
+#include <exception>
+
+namespace llm4d {
+namespace detail {
+
+void
+terminate(const char *kind, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "llm4d %s: %s:%d: %s\n", kind, file, line,
+                 msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace llm4d

@@ -1,0 +1,57 @@
+#include "llm4d/simcore/engine.h"
+
+#include <utility>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+void
+Engine::schedule(Time delay, Callback fn)
+{
+    LLM4D_ASSERT(delay >= 0, "negative event delay " << delay);
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Engine::scheduleAt(Time when, Callback fn)
+{
+    LLM4D_ASSERT(when >= now_, "event scheduled in the past: " << when
+                               << " < " << now_);
+    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+Time
+Engine::run()
+{
+    while (!queue_.empty()) {
+        // Copying the top is unavoidable with std::priority_queue; the
+        // callback is moved out via const_cast, which is safe because the
+        // element is popped immediately after.
+        auto &top = const_cast<Event &>(queue_.top());
+        Event ev{top.when, top.seq, std::move(top.fn)};
+        queue_.pop();
+        now_ = ev.when;
+        ++processed_;
+        ev.fn();
+    }
+    return now_;
+}
+
+Time
+Engine::runUntil(Time limit)
+{
+    while (!queue_.empty() && queue_.top().when <= limit) {
+        auto &top = const_cast<Event &>(queue_.top());
+        Event ev{top.when, top.seq, std::move(top.fn)};
+        queue_.pop();
+        now_ = ev.when;
+        ++processed_;
+        ev.fn();
+    }
+    if (now_ < limit && queue_.empty())
+        now_ = limit;
+    return now_;
+}
+
+} // namespace llm4d

@@ -1,0 +1,78 @@
+#ifndef LLM4D_SIMCORE_ENGINE_H_
+#define LLM4D_SIMCORE_ENGINE_H_
+
+/**
+ * @file
+ * Discrete-event simulation engine. Deterministic: simultaneous events
+ * execute in scheduling order (FIFO tie-break on a sequence number), so a
+ * given model produces bit-identical results on every run.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "llm4d/simcore/time.h"
+
+namespace llm4d {
+
+/** Discrete-event engine with a single simulated clock. */
+class Engine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /** Schedule @p fn to run at now() + @p delay (delay >= 0). */
+    void schedule(Time delay, Callback fn);
+
+    /** Schedule @p fn at absolute time @p when (when >= now()). */
+    void scheduleAt(Time when, Callback fn);
+
+    /** Run until the event queue drains. @return final simulated time. */
+    Time run();
+
+    /**
+     * Run until the queue drains or simulated time would exceed @p limit.
+     * Events at exactly @p limit still execute.
+     * @return simulated time when the run stopped.
+     */
+    Time runUntil(Time limit);
+
+    /** Number of events executed so far. */
+    std::int64_t eventsProcessed() const { return processed_; }
+
+    /** True when no events are pending. */
+    bool idle() const { return queue_.empty(); }
+
+  private:
+    struct Event
+    {
+        Time when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Time now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::int64_t processed_ = 0;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_SIMCORE_ENGINE_H_

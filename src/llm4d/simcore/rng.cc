@@ -1,0 +1,121 @@
+#include "llm4d/simcore/rng.h"
+
+#include <cmath>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream_id)
+{
+    // Mix the stream id through SplitMix64 before combining so that
+    // consecutive stream ids produce unrelated states.
+    std::uint64_t sid = stream_id;
+    std::uint64_t sm = seed ^ splitMix64(sid);
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    LLM4D_ASSERT(lo <= hi, "uniform bounds inverted");
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    LLM4D_ASSERT(lo <= hi, "uniformInt bounds inverted");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t v = next();
+    while (v >= limit)
+        v = next();
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    // Box-Muller; draw u1 in (0, 1] to avoid log(0).
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    haveSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double mean)
+{
+    LLM4D_ASSERT(mean > 0.0, "exponential mean must be positive");
+    return -mean * std::log(1.0 - uniform());
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace llm4d

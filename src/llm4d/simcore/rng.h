@@ -1,0 +1,78 @@
+#ifndef LLM4D_SIMCORE_RNG_H_
+#define LLM4D_SIMCORE_RNG_H_
+
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * We implement xoshiro256++ seeded through SplitMix64 rather than using
+ * std::mt19937 so that streams are (a) identical across standard library
+ * implementations and (b) cheaply splittable: every rank/document sampler
+ * derives an independent child stream from a (seed, stream-id) pair, which
+ * keeps large-scale experiments reproducible regardless of rank iteration
+ * order.
+ */
+
+#include <cstdint>
+
+namespace llm4d {
+
+/** SplitMix64 step; used for seeding and for stream derivation. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256++ pseudo-random generator with derived sub-streams.
+ */
+class Rng
+{
+  public:
+    /** Construct from a master seed. */
+    explicit Rng(std::uint64_t seed = 0x1a2b3c4d5e6f7788ULL);
+
+    /** Construct a child stream independent of other (seed, id) pairs. */
+    Rng(std::uint64_t seed, std::uint64_t stream_id);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (deterministic pairing). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Exponential with given mean (mean > 0). */
+    double exponential(double mean);
+
+    /** Log-normal parameterized by the mean/sigma of the underlying normal. */
+    double logNormal(double mu, double sigma);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool bernoulli(double p);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_SIMCORE_RNG_H_

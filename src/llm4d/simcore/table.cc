@@ -1,0 +1,99 @@
+#include "llm4d/simcore/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    LLM4D_ASSERT(header_.empty() || cells.size() == header_.size(),
+                 "row width " << cells.size() << " != header width "
+                              << header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::size_t ncol = header_.size();
+    for (const auto &r : rows_)
+        ncol = std::max(ncol, r.size());
+    std::vector<std::size_t> width(ncol, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size())
+                out << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < ncol; ++i)
+            total += width[i] + (i + 1 < ncol ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::num(std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+} // namespace llm4d

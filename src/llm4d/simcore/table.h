@@ -1,0 +1,51 @@
+#ifndef LLM4D_SIMCORE_TABLE_H_
+#define LLM4D_SIMCORE_TABLE_H_
+
+/**
+ * @file
+ * Plain-text table formatting shared by the benchmark harnesses so every
+ * reproduced paper table/figure prints in a uniform, diffable layout.
+ */
+
+#include <string>
+#include <vector>
+
+namespace llm4d {
+
+/** Column-aligned text table with a title and a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given title. */
+    explicit TextTable(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format an integer. */
+    static std::string num(std::int64_t v);
+
+    /** Format a percentage (value 0.153 -> "15.3%"). */
+    static std::string pct(double fraction, int digits = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_SIMCORE_TABLE_H_

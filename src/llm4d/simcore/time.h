@@ -1,0 +1,64 @@
+#ifndef LLM4D_SIMCORE_TIME_H_
+#define LLM4D_SIMCORE_TIME_H_
+
+/**
+ * @file
+ * Simulated time. All simulation timestamps and durations are integer
+ * nanoseconds so that event ordering and test expectations are exact;
+ * model code computes durations in double seconds and converts at the
+ * boundary.
+ */
+
+#include <cstdint>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+/** A point in simulated time, or a duration, in nanoseconds. */
+using Time = std::int64_t;
+
+constexpr Time kNs = 1;
+constexpr Time kUs = 1000 * kNs;
+constexpr Time kMs = 1000 * kUs;
+constexpr Time kSec = 1000 * kMs;
+
+/** Convert a duration in (double) seconds to integer nanoseconds. */
+constexpr Time
+secondsToTime(double s)
+{
+    // Round to nearest; durations are non-negative in this codebase.
+    return static_cast<Time>(s * 1e9 + 0.5);
+}
+
+/** Convert a duration in (double) microseconds to integer nanoseconds. */
+constexpr Time
+microsToTime(double us)
+{
+    return static_cast<Time>(us * 1e3 + 0.5);
+}
+
+/** Convert integer nanoseconds to double seconds. */
+constexpr double
+timeToSeconds(Time t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Convert integer nanoseconds to double microseconds. */
+constexpr double
+timeToMicros(Time t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+/** Convert integer nanoseconds to double milliseconds. */
+constexpr double
+timeToMillis(Time t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+} // namespace llm4d
+
+#endif // LLM4D_SIMCORE_TIME_H_

@@ -1,0 +1,97 @@
+#ifndef LLM4D_TENSOR_ATTENTION_H_
+#define LLM4D_TENSOR_ATTENTION_H_
+
+/**
+ * @file
+ * Executable scaled-dot-product attention with document masking, GQA, and
+ * log-sum-exp outputs.
+ *
+ * Three implementations share one semantics:
+ *  - referenceAttention: dense softmax(QK^T)V, the oracle.
+ *  - flashAttention: tiled online-softmax (FlashAttention-2 recurrence),
+ *    used to validate that tiling preserves results.
+ *  - mergeAttentionPartials: LSE-rescaled combination of per-KV-chunk
+ *    partials — the merge step of ring/TE-style context parallelism that
+ *    the paper's all-gather CP deliberately avoids (Section 4).
+ *
+ * Q rows carry explicit *global* positions so that context-parallel shards
+ * (which own non-contiguous chunks of the sequence) evaluate the document
+ * mask correctly — this is the paper's "pad Q, keep full KV seqlen" trick
+ * expressed directly.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "llm4d/tensor/doc_mask.h"
+#include "llm4d/tensor/tensor.h"
+
+namespace llm4d {
+
+/** Attention output with per-row log-sum-exp (natural log). */
+struct AttentionResult
+{
+    Tensor out; ///< [heads_q, seq_q, head_dim]
+    Tensor lse; ///< [heads_q, seq_q]; -inf where no key is attendable
+};
+
+/** Gradients of attention inputs. */
+struct AttentionGrads
+{
+    Tensor dq; ///< [heads_q, seq_q, head_dim]
+    Tensor dk; ///< [heads_kv, seq_kv, head_dim]
+    Tensor dv; ///< [heads_kv, seq_kv, head_dim]
+};
+
+/**
+ * Dense reference attention.
+ *
+ * @param q      [hq, sq, d] query shard.
+ * @param k      [hkv, skv, d] keys; rows are global positions
+ *               k_offset .. k_offset+skv-1.
+ * @param v      [hkv, skv, d] values, aligned with @p k.
+ * @param mask   document mask over global positions.
+ * @param q_pos  global position of each query row (size sq); empty means
+ *               the identity mapping 0..sq-1.
+ * @param k_offset global position of the first key row.
+ *
+ * GQA: requires hq % hkv == 0; query head h uses kv head h / (hq/hkv).
+ * Rows with no attendable key get out = 0 and lse = -inf.
+ */
+AttentionResult referenceAttention(const Tensor &q, const Tensor &k,
+                                   const Tensor &v, const DocMask &mask,
+                                   const std::vector<std::int64_t> &q_pos = {},
+                                   std::int64_t k_offset = 0);
+
+/**
+ * Tiled online-softmax attention (FlashAttention-2 recurrence) with the
+ * same interface and semantics as referenceAttention.
+ * @param kv_tile number of key rows per tile (> 0).
+ */
+AttentionResult flashAttention(const Tensor &q, const Tensor &k,
+                               const Tensor &v, const DocMask &mask,
+                               const std::vector<std::int64_t> &q_pos = {},
+                               std::int64_t k_offset = 0,
+                               std::int64_t kv_tile = 64);
+
+/**
+ * Merge per-KV-chunk attention partials via log-sum-exp rescaling:
+ * out = sum_i exp(lse_i - lse) * out_i with lse = log sum exp(lse_i).
+ * This is the extra elementwise work ring attention pays per step.
+ */
+AttentionResult mergeAttentionPartials(
+    const std::vector<AttentionResult> &partials);
+
+/**
+ * Dense reference attention backward.
+ * @param d_out upstream gradient, [hq, sq, d].
+ * Other parameters as in referenceAttention.
+ */
+AttentionGrads referenceAttentionBackward(
+    const Tensor &q, const Tensor &k, const Tensor &v, const DocMask &mask,
+    const Tensor &d_out, const std::vector<std::int64_t> &q_pos = {},
+    std::int64_t k_offset = 0);
+
+} // namespace llm4d
+
+#endif // LLM4D_TENSOR_ATTENTION_H_

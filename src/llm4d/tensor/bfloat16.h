@@ -1,0 +1,85 @@
+#ifndef LLM4D_TENSOR_BFLOAT16_H_
+#define LLM4D_TENSOR_BFLOAT16_H_
+
+/**
+ * @file
+ * Software BFloat16 with IEEE round-to-nearest-even conversion.
+ *
+ * Llama 3 trains with BF16 model compute/communication and FP32 gradient
+ * accumulation (paper Section 6.2). This type lets us reproduce the
+ * numerical behaviour exactly on the CPU: a BFloat16 value is the top 16
+ * bits of an IEEE-754 binary32, so arithmetic is performed in float and
+ * results are re-rounded on store, matching the hardware's mixed-precision
+ * semantics.
+ */
+
+#include <cstdint>
+#include <cstring>
+
+namespace llm4d {
+
+/** 16-bit brain floating point number (1 sign, 8 exponent, 7 mantissa). */
+class BFloat16
+{
+  public:
+    /** Zero-initialized. */
+    constexpr BFloat16() = default;
+
+    /** Round a float to the nearest BF16 (ties to even; NaN preserved). */
+    explicit BFloat16(float v) : bits_(roundBits(v)) {}
+
+    /** Widen back to float (exact; BF16 is a subset of binary32). */
+    float
+    toFloat() const
+    {
+        std::uint32_t w = static_cast<std::uint32_t>(bits_) << 16;
+        float f;
+        std::memcpy(&f, &w, sizeof(f));
+        return f;
+    }
+
+    /** Raw bit pattern. */
+    std::uint16_t bits() const { return bits_; }
+
+    /** Construct from a raw bit pattern. */
+    static BFloat16
+    fromBits(std::uint16_t b)
+    {
+        BFloat16 r;
+        r.bits_ = b;
+        return r;
+    }
+
+    /** Exact bit equality (note: distinguishes -0 from +0, NaNs by bits). */
+    bool operator==(const BFloat16 &o) const { return bits_ == o.bits_; }
+    bool operator!=(const BFloat16 &o) const { return bits_ != o.bits_; }
+
+  private:
+    static std::uint16_t
+    roundBits(float v)
+    {
+        std::uint32_t w;
+        std::memcpy(&w, &v, sizeof(w));
+        // Quiet NaNs: keep the payload's top bits, force a mantissa bit so
+        // the result stays NaN after truncation.
+        if ((w & 0x7f800000u) == 0x7f800000u && (w & 0x007fffffu) != 0)
+            return static_cast<std::uint16_t>((w >> 16) | 0x0040u);
+        // Round to nearest even on the truncated 16 bits.
+        const std::uint32_t lsb = (w >> 16) & 1u;
+        w += 0x7fffu + lsb;
+        return static_cast<std::uint16_t>(w >> 16);
+    }
+
+    std::uint16_t bits_ = 0;
+};
+
+/** Round-trip a float through BF16 (the "storage rounding" primitive). */
+inline float
+bf16Round(float v)
+{
+    return BFloat16(v).toFloat();
+}
+
+} // namespace llm4d
+
+#endif // LLM4D_TENSOR_BFLOAT16_H_

@@ -1,0 +1,145 @@
+#include "llm4d/tensor/doc_mask.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+DocMask::DocMask(std::vector<Index> doc_id, std::vector<Index> doc_start,
+                 Index n_docs)
+    : docId_(std::move(doc_id)), docStartOf_(std::move(doc_start)),
+      nDocs_(n_docs)
+{
+}
+
+DocMask
+DocMask::causal(Index seq)
+{
+    return fromDocLengths({seq});
+}
+
+DocMask
+DocMask::fromDocLengths(const std::vector<Index> &lengths)
+{
+    LLM4D_CHECK(!lengths.empty(), "document list must be non-empty");
+    Index seq = 0;
+    for (Index len : lengths) {
+        LLM4D_CHECK(len > 0, "document length must be positive");
+        seq += len;
+    }
+    std::vector<Index> doc_id(static_cast<std::size_t>(seq));
+    std::vector<Index> doc_start(static_cast<std::size_t>(seq));
+    Index pos = 0;
+    for (std::size_t d = 0; d < lengths.size(); ++d) {
+        const Index start = pos;
+        for (Index i = 0; i < lengths[d]; ++i, ++pos) {
+            doc_id[static_cast<std::size_t>(pos)] = static_cast<Index>(d);
+            doc_start[static_cast<std::size_t>(pos)] = start;
+        }
+    }
+    return DocMask(std::move(doc_id), std::move(doc_start),
+                   static_cast<Index>(lengths.size()));
+}
+
+DocMask
+DocMask::fromEosPositions(Index seq, const std::vector<Index> &eos_positions)
+{
+    LLM4D_CHECK(seq > 0, "sequence must be non-empty");
+    LLM4D_CHECK(std::is_sorted(eos_positions.begin(), eos_positions.end()),
+                "eos positions must be sorted");
+    std::vector<Index> lengths;
+    Index prev_end = 0; // exclusive end of the previous document
+    for (Index p : eos_positions) {
+        LLM4D_CHECK(p >= 0 && p < seq, "eos position out of range");
+        // The eos token itself belongs to the document it terminates.
+        if (p + 1 > prev_end) {
+            lengths.push_back(p + 1 - prev_end);
+            prev_end = p + 1;
+        }
+    }
+    if (prev_end < seq)
+        lengths.push_back(seq - prev_end);
+    return fromDocLengths(lengths);
+}
+
+DocMask
+DocMask::sample(Index seq, double mean_doc_len, Rng &rng)
+{
+    LLM4D_CHECK(seq > 0, "sequence must be non-empty");
+    LLM4D_CHECK(mean_doc_len >= 1.0, "mean document length must be >= 1");
+    std::vector<Index> lengths;
+    Index remaining = seq;
+    while (remaining > 0) {
+        auto len = static_cast<Index>(
+            std::llround(rng.exponential(mean_doc_len)));
+        len = std::clamp<Index>(len, 1, remaining);
+        lengths.push_back(len);
+        remaining -= len;
+    }
+    return fromDocLengths(lengths);
+}
+
+DocMask
+DocMask::sampleLogNormal(Index seq, double median_len, double sigma,
+                         Rng &rng)
+{
+    LLM4D_CHECK(seq > 0, "sequence must be non-empty");
+    LLM4D_CHECK(median_len >= 1.0 && sigma >= 0.0,
+                "invalid log-normal document parameters");
+    std::vector<Index> lengths;
+    Index remaining = seq;
+    const double mu = std::log(median_len);
+    while (remaining > 0) {
+        auto len =
+            static_cast<Index>(std::llround(rng.logNormal(mu, sigma)));
+        len = std::clamp<Index>(len, 1, remaining);
+        lengths.push_back(len);
+        remaining -= len;
+    }
+    return fromDocLengths(lengths);
+}
+
+DocMask::Index
+DocMask::docStart(Index q) const
+{
+    LLM4D_ASSERT(q >= 0 && q < seq(), "query position out of range");
+    return docStartOf_[static_cast<std::size_t>(q)];
+}
+
+DocMask::Index
+DocMask::totalPairs() const
+{
+    return pairsInQueryRange(0, seq());
+}
+
+DocMask::Index
+DocMask::pairsInQueryRange(Index q_lo, Index q_hi) const
+{
+    LLM4D_ASSERT(q_lo >= 0 && q_hi <= seq() && q_lo <= q_hi,
+                 "query range out of bounds");
+    Index pairs = 0;
+    for (Index q = q_lo; q < q_hi; ++q)
+        pairs += span(q);
+    return pairs;
+}
+
+DocMask::Index
+DocMask::pairsBetween(Index q_lo, Index q_hi, Index k_lo, Index k_hi) const
+{
+    LLM4D_ASSERT(q_lo >= 0 && q_hi <= seq() && q_lo <= q_hi,
+                 "query range out of bounds");
+    LLM4D_ASSERT(k_lo >= 0 && k_hi <= seq() && k_lo <= k_hi,
+                 "key range out of bounds");
+    Index pairs = 0;
+    for (Index q = q_lo; q < q_hi; ++q) {
+        const Index lo = std::max(docStart(q), k_lo);
+        const Index hi = std::min(q, k_hi - 1);
+        if (hi >= lo)
+            pairs += hi - lo + 1;
+    }
+    return pairs;
+}
+
+} // namespace llm4d

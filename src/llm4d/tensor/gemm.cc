@@ -1,0 +1,87 @@
+#include "llm4d/tensor/gemm.h"
+
+#include "llm4d/tensor/bfloat16.h"
+
+namespace llm4d {
+
+namespace {
+
+/** Inner product of two strided float spans with selectable accumulation. */
+float
+dot(const float *a, Tensor::Index stride_a, const float *b,
+    Tensor::Index stride_b, Tensor::Index k, Accum accum)
+{
+    float acc = 0.0f;
+    if (accum == Accum::Fp32) {
+        for (Tensor::Index i = 0; i < k; ++i)
+            acc += a[i * stride_a] * b[i * stride_b];
+    } else {
+        for (Tensor::Index i = 0; i < k; ++i)
+            acc = bf16Round(acc + a[i * stride_a] * b[i * stride_b]);
+    }
+    return acc;
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b, Accum accum)
+{
+    LLM4D_ASSERT(a.rank() == 2 && b.rank() == 2, "matmul wants rank-2");
+    const auto m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    LLM4D_ASSERT(b.dim(0) == k, "matmul inner dim mismatch: " << k
+                                << " vs " << b.dim(0));
+    Tensor c({m, n});
+    for (Tensor::Index i = 0; i < m; ++i)
+        for (Tensor::Index j = 0; j < n; ++j)
+            c.at(i, j) = dot(a.data() + i * k, 1, b.data() + j, n, k, accum);
+    return c;
+}
+
+Tensor
+matmulNT(const Tensor &a, const Tensor &b, Accum accum)
+{
+    LLM4D_ASSERT(a.rank() == 2 && b.rank() == 2, "matmulNT wants rank-2");
+    const auto m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    LLM4D_ASSERT(b.dim(1) == k, "matmulNT inner dim mismatch");
+    Tensor c({m, n});
+    for (Tensor::Index i = 0; i < m; ++i)
+        for (Tensor::Index j = 0; j < n; ++j)
+            c.at(i, j) =
+                dot(a.data() + i * k, 1, b.data() + j * k, 1, k, accum);
+    return c;
+}
+
+Tensor
+matmulTN(const Tensor &a, const Tensor &b, Accum accum)
+{
+    LLM4D_ASSERT(a.rank() == 2 && b.rank() == 2, "matmulTN wants rank-2");
+    const auto k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    LLM4D_ASSERT(b.dim(0) == k, "matmulTN inner dim mismatch");
+    Tensor c({m, n});
+    for (Tensor::Index i = 0; i < m; ++i)
+        for (Tensor::Index j = 0; j < n; ++j)
+            c.at(i, j) = dot(a.data() + i, m, b.data() + j, n, k, accum);
+    return c;
+}
+
+Tensor
+matmulBf16Inputs(const Tensor &a, const Tensor &b)
+{
+    LLM4D_ASSERT(a.rank() == 2 && b.rank() == 2,
+                 "matmulBf16Inputs wants rank-2");
+    const auto m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    LLM4D_ASSERT(b.dim(0) == k, "matmulBf16Inputs inner dim mismatch");
+    Tensor c({m, n});
+    for (Tensor::Index i = 0; i < m; ++i) {
+        for (Tensor::Index j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (Tensor::Index p = 0; p < k; ++p)
+                acc += bf16Round(a.at(i, p)) * bf16Round(b.at(p, j));
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+} // namespace llm4d

@@ -1,0 +1,45 @@
+#ifndef LLM4D_TENSOR_GEMM_H_
+#define LLM4D_TENSOR_GEMM_H_
+
+/**
+ * @file
+ * Matrix multiplication with explicit accumulation precision.
+ *
+ * Tensor-core GEMMs on H100 take BF16 inputs and accumulate partial sums in
+ * FP32 (paper Section 6.2 cites this as the precision to match). We expose
+ * both that mode and a degenerate BF16-accumulation mode so tests can show
+ * exactly why the latter is unacceptable for gradient accumulation.
+ */
+
+#include "llm4d/tensor/tensor.h"
+
+namespace llm4d {
+
+/** Accumulation precision for GEMM partial sums. */
+enum class Accum
+{
+    Fp32, ///< accumulate in float (tensor-core behaviour)
+    Bf16, ///< re-round the accumulator to BF16 every step (anti-pattern)
+};
+
+/**
+ * C = A(mxk) * B(kxn). Inputs are used at full float precision.
+ * @param accum accumulation precision for the inner product.
+ */
+Tensor matmul(const Tensor &a, const Tensor &b, Accum accum = Accum::Fp32);
+
+/** C = A(mxk) * B(nxk)^T. */
+Tensor matmulNT(const Tensor &a, const Tensor &b, Accum accum = Accum::Fp32);
+
+/** C = A(kxm)^T * B(kxn). */
+Tensor matmulTN(const Tensor &a, const Tensor &b, Accum accum = Accum::Fp32);
+
+/**
+ * Tensor-core-style GEMM: inputs rounded to BF16 element-by-element before
+ * the multiply, partial sums accumulated in FP32, output stored in float.
+ */
+Tensor matmulBf16Inputs(const Tensor &a, const Tensor &b);
+
+} // namespace llm4d
+
+#endif // LLM4D_TENSOR_GEMM_H_

@@ -1,0 +1,121 @@
+#include "llm4d/tensor/reduce.h"
+
+#include "llm4d/simcore/common.h"
+#include "llm4d/tensor/bfloat16.h"
+
+namespace llm4d {
+
+float
+sumSequential(const float *x, std::size_t n)
+{
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += x[i];
+    return acc;
+}
+
+float
+sumSequentialBf16(const float *x, std::size_t n)
+{
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+        acc = bf16Round(acc + x[i]);
+    return acc;
+}
+
+float
+sumPairwise(const float *x, std::size_t n)
+{
+    if (n == 0)
+        return 0.0f;
+    if (n == 1)
+        return x[0];
+    const std::size_t half = n / 2;
+    return sumPairwise(x, half) + sumPairwise(x + half, n - half);
+}
+
+float
+sumKahan(const float *x, std::size_t n)
+{
+    float acc = 0.0f;
+    float comp = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float y = x[i] - comp;
+        const float t = acc + y;
+        comp = (t - acc) - y;
+        acc = t;
+    }
+    return acc;
+}
+
+float
+sumFp64(const float *x, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(x[i]);
+    return static_cast<float>(acc);
+}
+
+std::vector<float>
+ringAllReduce(const std::vector<std::vector<float>> &shards)
+{
+    LLM4D_ASSERT(!shards.empty(), "ringAllReduce with zero ranks");
+    const std::size_t p = shards.size();
+    const std::size_t n = shards[0].size();
+    for (const auto &s : shards)
+        LLM4D_ASSERT(s.size() == n, "shard length mismatch");
+
+    std::vector<float> out(n, 0.0f);
+    // Contiguous partition of the element range into p chunks.
+    for (std::size_t part = 0; part < p; ++part) {
+        const std::size_t lo = part * n / p;
+        const std::size_t hi = (part + 1) * n / p;
+        // Ring reduce-scatter semantics: partition `part` is finalized on
+        // rank (part) after contributions arrive in ring order starting
+        // from rank (part + 1) mod p.
+        for (std::size_t e = lo; e < hi; ++e) {
+            float acc = shards[(part + 1) % p][e];
+            for (std::size_t step = 1; step < p; ++step)
+                acc += shards[(part + 1 + step) % p][e];
+            out[e] = acc;
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+rankOrderReduce(const std::vector<std::vector<float>> &shards)
+{
+    LLM4D_ASSERT(!shards.empty(), "rankOrderReduce with zero ranks");
+    const std::size_t n = shards[0].size();
+    std::vector<float> out(n, 0.0f);
+    for (std::size_t e = 0; e < n; ++e) {
+        float acc = shards[0][e];
+        for (std::size_t r = 1; r < shards.size(); ++r)
+            acc += shards[r][e];
+        out[e] = acc;
+    }
+    return out;
+}
+
+std::vector<float>
+accumulateMicroBatches(const std::vector<std::vector<float>> &parts,
+                       bool bf16_accum)
+{
+    LLM4D_ASSERT(!parts.empty(), "accumulate with zero micro-batches");
+    const std::size_t n = parts[0].size();
+    std::vector<float> acc(n, 0.0f);
+    for (const auto &part : parts) {
+        LLM4D_ASSERT(part.size() == n, "micro-batch length mismatch");
+        for (std::size_t e = 0; e < n; ++e) {
+            if (bf16_accum)
+                acc[e] = bf16Round(acc[e] + part[e]);
+            else
+                acc[e] += part[e];
+        }
+    }
+    return acc;
+}
+
+} // namespace llm4d

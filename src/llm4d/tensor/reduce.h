@@ -1,0 +1,66 @@
+#ifndef LLM4D_TENSOR_REDUCE_H_
+#define LLM4D_TENSOR_REDUCE_H_
+
+/**
+ * @file
+ * Deterministic floating-point reductions in explicitly chosen orders.
+ *
+ * Floating-point addition is neither associative nor commutative in the
+ * rounded sense, so the partitioning of a gradient reduction across DP
+ * ranks and PP micro-batches changes the result bits. Paper Section 6.2
+ * distinguishes implementation bugs from accumulation-order effects by
+ * re-ordering a sequential baseline to match the parallel order and then
+ * demanding bitwise equality. These primitives are that machinery.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace llm4d {
+
+/** Left-to-right sequential sum in float. */
+float sumSequential(const float *x, std::size_t n);
+
+/** Left-to-right sum with the accumulator re-rounded to BF16 every step. */
+float sumSequentialBf16(const float *x, std::size_t n);
+
+/** Recursive pairwise (tree) summation in float. */
+float sumPairwise(const float *x, std::size_t n);
+
+/** Kahan compensated summation in float. */
+float sumKahan(const float *x, std::size_t n);
+
+/** Left-to-right sum in double, rounded to float at the end. */
+float sumFp64(const float *x, std::size_t n);
+
+/**
+ * Emulate a ring reduce-scatter + all-gather (all-reduce) accumulation
+ * order over @p parts ranks: element range is partitioned contiguously;
+ * each partition is summed rank-by-rank in ring arrival order starting at
+ * a per-partition origin rank, exactly as a ring all-reduce does.
+ *
+ * @param shards one gradient vector per rank; all must be the same length.
+ * @return the reduced vector every rank would observe.
+ */
+std::vector<float> ringAllReduce(const std::vector<std::vector<float>> &shards);
+
+/**
+ * The "matched baseline" of Section 6.2: sum rank shards in plain rank
+ * order per element (rank 0 + rank 1 + ...). Matches ringAllReduce bitwise
+ * only when the ring order coincides; tests demonstrate both cases.
+ */
+std::vector<float> rankOrderReduce(const std::vector<std::vector<float>> &shards);
+
+/**
+ * Gradient micro-batch accumulation: add @p parts vectors one at a time
+ * into an accumulator held at the given precision.
+ * @param bf16_accum when true, the running accumulator is re-rounded to
+ *        BF16 after every addition (the failure mode FP32 accumulation
+ *        exists to avoid).
+ */
+std::vector<float> accumulateMicroBatches(
+    const std::vector<std::vector<float>> &parts, bool bf16_accum);
+
+} // namespace llm4d
+
+#endif // LLM4D_TENSOR_REDUCE_H_

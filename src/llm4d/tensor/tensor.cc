@@ -1,0 +1,244 @@
+#include "llm4d/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "llm4d/tensor/bfloat16.h"
+
+namespace llm4d {
+
+Tensor::Tensor(std::vector<Index> shape) : shape_(std::move(shape))
+{
+    LLM4D_ASSERT(!shape_.empty() && shape_.size() <= 4,
+                 "tensor rank must be 1..4, got " << shape_.size());
+    Index n = 1;
+    for (Index d : shape_) {
+        LLM4D_ASSERT(d > 0, "tensor dims must be positive");
+        n *= d;
+    }
+    strides_.assign(shape_.size(), 1);
+    for (std::size_t i = shape_.size(); i-- > 1;)
+        strides_[i - 1] = strides_[i] * shape_[i];
+    data_.assign(static_cast<std::size_t>(n), 0.0f);
+}
+
+Tensor
+Tensor::zeros(std::vector<Index> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<Index> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<Index> shape, Rng &rng)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = static_cast<float>(rng.normal());
+    return t;
+}
+
+Tensor
+Tensor::uniform(std::vector<Index> shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+Tensor::Index
+Tensor::dim(std::size_t d) const
+{
+    LLM4D_ASSERT(d < shape_.size(), "dim index " << d << " out of range");
+    return shape_[d];
+}
+
+Tensor::Index
+Tensor::offset(Index i) const
+{
+    LLM4D_ASSERT(rank() == 1, "rank-1 access on rank-" << rank());
+    LLM4D_ASSERT(i >= 0 && i < shape_[0], "index out of bounds");
+    return i;
+}
+
+Tensor::Index
+Tensor::offset(Index i, Index j) const
+{
+    LLM4D_ASSERT(rank() == 2, "rank-2 access on rank-" << rank());
+    LLM4D_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+                 "index out of bounds");
+    return i * strides_[0] + j;
+}
+
+Tensor::Index
+Tensor::offset(Index i, Index j, Index k) const
+{
+    LLM4D_ASSERT(rank() == 3, "rank-3 access on rank-" << rank());
+    LLM4D_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+                 k >= 0 && k < shape_[2], "index out of bounds");
+    return i * strides_[0] + j * strides_[1] + k;
+}
+
+Tensor::Index
+Tensor::offset(Index i, Index j, Index k, Index l) const
+{
+    LLM4D_ASSERT(rank() == 4, "rank-4 access on rank-" << rank());
+    LLM4D_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+                 k >= 0 && k < shape_[2] && l >= 0 && l < shape_[3],
+                 "index out of bounds");
+    return i * strides_[0] + j * strides_[1] + k * strides_[2] + l;
+}
+
+float &Tensor::at(Index i) { return data_[offset(i)]; }
+float Tensor::at(Index i) const { return data_[offset(i)]; }
+float &Tensor::at(Index i, Index j) { return data_[offset(i, j)]; }
+float Tensor::at(Index i, Index j) const { return data_[offset(i, j)]; }
+float &Tensor::at(Index i, Index j, Index k) { return data_[offset(i, j, k)]; }
+float Tensor::at(Index i, Index j, Index k) const
+{
+    return data_[offset(i, j, k)];
+}
+float &Tensor::at(Index i, Index j, Index k, Index l)
+{
+    return data_[offset(i, j, k, l)];
+}
+float Tensor::at(Index i, Index j, Index k, Index l) const
+{
+    return data_[offset(i, j, k, l)];
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::roundToBf16()
+{
+    for (auto &v : data_)
+        v = bf16Round(v);
+}
+
+void
+Tensor::addInPlace(const Tensor &other)
+{
+    LLM4D_ASSERT(shape_ == other.shape_, "addInPlace shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::scaleInPlace(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    LLM4D_ASSERT(shape_ == other.shape_, "maxAbsDiff shape mismatch");
+    float m = 0.0f;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+    return m;
+}
+
+bool
+Tensor::bitwiseEqual(const Tensor &other) const
+{
+    if (shape_ != other.shape_)
+        return false;
+    return std::memcmp(data_.data(), other.data_.data(),
+                       data_.size() * sizeof(float)) == 0;
+}
+
+Tensor
+Tensor::slice(std::size_t d, Index start, Index len) const
+{
+    LLM4D_ASSERT(d < rank(), "slice dim out of range");
+    LLM4D_ASSERT(start >= 0 && len > 0 && start + len <= shape_[d],
+                 "slice bounds [" << start << ", " << start + len
+                                  << ") invalid for dim " << shape_[d]);
+    std::vector<Index> out_shape = shape_;
+    out_shape[d] = len;
+    Tensor out(out_shape);
+
+    // Iterate over the output as (outer, sliced, inner) blocks.
+    Index outer = 1;
+    for (std::size_t i = 0; i < d; ++i)
+        outer *= shape_[i];
+    Index inner = strides_[d];
+    for (Index o = 0; o < outer; ++o) {
+        const float *src =
+            data_.data() + o * shape_[d] * inner + start * inner;
+        float *dst = out.data() + o * len * inner;
+        std::memcpy(dst, src, static_cast<std::size_t>(len * inner) *
+                                  sizeof(float));
+    }
+    return out;
+}
+
+Tensor
+Tensor::concat(const std::vector<Tensor> &parts, std::size_t d)
+{
+    LLM4D_ASSERT(!parts.empty(), "concat of zero tensors");
+    const auto &first = parts.front();
+    LLM4D_ASSERT(d < first.rank(), "concat dim out of range");
+    Index total = 0;
+    for (const auto &p : parts) {
+        LLM4D_ASSERT(p.rank() == first.rank(), "concat rank mismatch");
+        for (std::size_t i = 0; i < first.rank(); ++i) {
+            if (i != d) {
+                LLM4D_ASSERT(p.shape()[i] == first.shape()[i],
+                             "concat shape mismatch on dim " << i);
+            }
+        }
+        total += p.shape()[d];
+    }
+    std::vector<Index> out_shape = first.shape();
+    out_shape[d] = total;
+    Tensor out(out_shape);
+
+    Index outer = 1;
+    for (std::size_t i = 0; i < d; ++i)
+        outer *= first.shape()[i];
+    Index inner = 1;
+    for (std::size_t i = d + 1; i < first.rank(); ++i)
+        inner *= first.shape()[i];
+
+    for (Index o = 0; o < outer; ++o) {
+        Index row = 0;
+        for (const auto &p : parts) {
+            const Index rows = p.shape()[d];
+            const float *src = p.data() + o * rows * inner;
+            float *dst = out.data() + (o * total + row) * inner;
+            std::memcpy(dst, src,
+                        static_cast<std::size_t>(rows * inner) *
+                            sizeof(float));
+            row += rows;
+        }
+    }
+    return out;
+}
+
+} // namespace llm4d

@@ -1,0 +1,120 @@
+#ifndef LLM4D_TENSOR_TENSOR_H_
+#define LLM4D_TENSOR_TENSOR_H_
+
+/**
+ * @file
+ * A small dense row-major float tensor, sufficient for the executable
+ * attention / numerics substrate. Not a performance library: the point is
+ * exact, inspectable arithmetic for correctness experiments, with shapes
+ * up to rank 4 ([batch, heads, seq, head_dim] style layouts).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "llm4d/simcore/common.h"
+#include "llm4d/simcore/rng.h"
+
+namespace llm4d {
+
+/** Dense row-major float32 tensor of rank 1..4. */
+class Tensor
+{
+  public:
+    using Index = std::int64_t;
+
+    /** An empty rank-0 tensor. */
+    Tensor() = default;
+
+    /** Zero-filled tensor with the given shape (all dims > 0). */
+    explicit Tensor(std::vector<Index> shape);
+
+    /** Zero-filled tensor (alias of the shape constructor, reads better). */
+    static Tensor zeros(std::vector<Index> shape);
+
+    /** Tensor filled with a constant. */
+    static Tensor full(std::vector<Index> shape, float value);
+
+    /** Standard-normal entries drawn from @p rng. */
+    static Tensor randn(std::vector<Index> shape, Rng &rng);
+
+    /** Uniform [lo, hi) entries drawn from @p rng. */
+    static Tensor uniform(std::vector<Index> shape, Rng &rng,
+                          float lo = 0.0f, float hi = 1.0f);
+
+    /** Number of dimensions. */
+    std::size_t rank() const { return shape_.size(); }
+
+    /** Size along dimension @p d. */
+    Index dim(std::size_t d) const;
+
+    /** Full shape vector. */
+    const std::vector<Index> &shape() const { return shape_; }
+
+    /** Total element count. */
+    Index numel() const { return static_cast<Index>(data_.size()); }
+
+    /** Raw storage pointers. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Element access (rank-checked). @{ */
+    float &at(Index i);
+    float at(Index i) const;
+    float &at(Index i, Index j);
+    float at(Index i, Index j) const;
+    float &at(Index i, Index j, Index k);
+    float at(Index i, Index j, Index k) const;
+    float &at(Index i, Index j, Index k, Index l);
+    float at(Index i, Index j, Index k, Index l) const;
+    /** @} */
+
+    /** Fill every element with @p value. */
+    void fill(float value);
+
+    /** Round every element to BF16 precision in place. */
+    void roundToBf16();
+
+    /** Elementwise a += b (shapes must match). */
+    void addInPlace(const Tensor &other);
+
+    /** Elementwise multiply by a scalar. */
+    void scaleInPlace(float s);
+
+    /** Largest absolute element (0 for empty tensors). */
+    float maxAbs() const;
+
+    /**
+     * Largest absolute difference against @p other (shapes must match).
+     * Used pervasively by tests to compare parallel vs sequential results.
+     */
+    float maxAbsDiff(const Tensor &other) const;
+
+    /** True when every element is bitwise identical to @p other. */
+    bool bitwiseEqual(const Tensor &other) const;
+
+    /**
+     * Slice along dimension 0-based @p d, keeping rows [start, start+len).
+     * Returns a copy (this library has no views).
+     */
+    Tensor slice(std::size_t d, Index start, Index len) const;
+
+    /**
+     * Concatenate tensors along dimension @p d. All other dims must match.
+     */
+    static Tensor concat(const std::vector<Tensor> &parts, std::size_t d);
+
+  private:
+    Index offset(Index i) const;
+    Index offset(Index i, Index j) const;
+    Index offset(Index i, Index j, Index k) const;
+    Index offset(Index i, Index j, Index k, Index l) const;
+
+    std::vector<Index> shape_;
+    std::vector<Index> strides_;
+    std::vector<float> data_;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_TENSOR_TENSOR_H_

@@ -1,0 +1,133 @@
+#include "llm4d/tensor/tp_linear.h"
+
+#include "llm4d/simcore/common.h"
+#include "llm4d/tensor/gemm.h"
+
+namespace llm4d {
+
+std::vector<Tensor>
+splitColumns(const Tensor &w, std::int64_t tp)
+{
+    LLM4D_ASSERT(w.rank() == 2, "weights must be rank-2");
+    LLM4D_CHECK(w.dim(1) % tp == 0, "tp must divide the output dim");
+    const std::int64_t shard = w.dim(1) / tp;
+    std::vector<Tensor> out;
+    out.reserve(static_cast<std::size_t>(tp));
+    for (std::int64_t r = 0; r < tp; ++r)
+        out.push_back(w.slice(1, r * shard, shard));
+    return out;
+}
+
+std::vector<Tensor>
+splitRows(const Tensor &w, std::int64_t tp)
+{
+    LLM4D_ASSERT(w.rank() == 2, "weights must be rank-2");
+    LLM4D_CHECK(w.dim(0) % tp == 0, "tp must divide the input dim");
+    const std::int64_t shard = w.dim(0) / tp;
+    std::vector<Tensor> out;
+    out.reserve(static_cast<std::size_t>(tp));
+    for (std::int64_t r = 0; r < tp; ++r)
+        out.push_back(w.slice(0, r * shard, shard));
+    return out;
+}
+
+Tensor
+columnParallelLinear(const Tensor &x, const std::vector<Tensor> &w_shards)
+{
+    LLM4D_ASSERT(!w_shards.empty(), "no weight shards");
+    std::vector<Tensor> outputs;
+    outputs.reserve(w_shards.size());
+    for (const Tensor &w : w_shards)
+        outputs.push_back(matmul(x, w));
+    return Tensor::concat(outputs, 1);
+}
+
+Tensor
+rowParallelLinear(const std::vector<Tensor> &x_shards,
+                  const std::vector<Tensor> &w_shards)
+{
+    LLM4D_ASSERT(!w_shards.empty() && x_shards.size() == w_shards.size(),
+                 "one input shard per weight shard");
+    // Partial product per rank, reduced in rank order (the all-reduce /
+    // reduce-scatter accumulation order used by the matched baseline).
+    Tensor acc = matmul(x_shards[0], w_shards[0]);
+    for (std::size_t r = 1; r < w_shards.size(); ++r)
+        acc.addInPlace(matmul(x_shards[r], w_shards[r]));
+    return acc;
+}
+
+std::vector<Tensor>
+splitFeatures(const Tensor &x, std::int64_t tp)
+{
+    LLM4D_ASSERT(x.rank() == 2, "input must be rank-2");
+    LLM4D_CHECK(x.dim(1) % tp == 0, "tp must divide the feature dim");
+    const std::int64_t shard = x.dim(1) / tp;
+    std::vector<Tensor> out;
+    out.reserve(static_cast<std::size_t>(tp));
+    for (std::int64_t r = 0; r < tp; ++r)
+        out.push_back(x.slice(1, r * shard, shard));
+    return out;
+}
+
+std::vector<Tensor>
+spReduceScatter(const std::vector<Tensor> &partials)
+{
+    LLM4D_ASSERT(!partials.empty(), "no partials to reduce");
+    const auto tp = static_cast<std::int64_t>(partials.size());
+    const Tensor &first = partials[0];
+    LLM4D_ASSERT(first.rank() == 2, "partials must be rank-2");
+    LLM4D_CHECK(first.dim(0) % tp == 0, "tp must divide the token dim");
+    // Reduce in rank order, then scatter token slices.
+    Tensor reduced = first;
+    for (std::size_t r = 1; r < partials.size(); ++r)
+        reduced.addInPlace(partials[r]);
+    const std::int64_t rows = first.dim(0) / tp;
+    std::vector<Tensor> shards;
+    shards.reserve(partials.size());
+    for (std::int64_t r = 0; r < tp; ++r)
+        shards.push_back(reduced.slice(0, r * rows, rows));
+    return shards;
+}
+
+Tensor
+spAllGather(const std::vector<Tensor> &token_shards)
+{
+    LLM4D_ASSERT(!token_shards.empty(), "no shards to gather");
+    return Tensor::concat(token_shards, 0);
+}
+
+float
+tpMlpMaxDeviation(const Tensor &x, const Tensor &w1, const Tensor &w2,
+                  std::int64_t tp)
+{
+    // Unsharded reference: y = (x * w1) * w2.
+    const Tensor ref = matmul(matmul(x, w1), w2);
+
+    // TP + SP: tokens arrive sharded; all-gather; column-parallel w1;
+    // row-parallel w2 with reduce-scatter back to token shards.
+    std::vector<Tensor> token_shards;
+    const auto tp_sz = tp;
+    LLM4D_CHECK(x.dim(0) % tp_sz == 0, "tp must divide the token dim");
+    const std::int64_t rows = x.dim(0) / tp_sz;
+    for (std::int64_t r = 0; r < tp_sz; ++r)
+        token_shards.push_back(x.slice(0, r * rows, rows));
+
+    const Tensor gathered = spAllGather(token_shards);
+    const std::vector<Tensor> w1_shards = splitColumns(w1, tp_sz);
+    const std::vector<Tensor> w2_shards = splitRows(w2, tp_sz);
+    // Each rank holds its column slice of the intermediate; feed those
+    // directly into the row-parallel layer.
+    std::vector<Tensor> h_shards;
+    h_shards.reserve(w1_shards.size());
+    for (const Tensor &w : w1_shards)
+        h_shards.push_back(matmul(gathered, w));
+    std::vector<Tensor> partials;
+    partials.reserve(h_shards.size());
+    for (std::size_t r = 0; r < h_shards.size(); ++r)
+        partials.push_back(matmul(h_shards[r], w2_shards[r]));
+    const std::vector<Tensor> out_shards = spReduceScatter(partials);
+    const Tensor out = spAllGather(out_shards);
+    return out.maxAbsDiff(ref);
+}
+
+} // namespace llm4d

@@ -1,0 +1,92 @@
+#ifndef LLM4D_TENSOR_TP_LINEAR_H_
+#define LLM4D_TENSOR_TP_LINEAR_H_
+
+/**
+ * @file
+ * Executable tensor-parallel linear layers (paper Section 2.1).
+ *
+ * Megatron-style TP splits each transformer GEMM along either the output
+ * dimension (column parallel: every rank computes a distinct slice of the
+ * output, no reduction) or the input dimension (row parallel: every rank
+ * computes a partial sum over its input slice, reduced across the group).
+ * Sequence parallelism (SP) shards the token dimension between the TP
+ * regions, turning the row-parallel all-reduce into a reduce-scatter and
+ * the column-parallel entry into an all-gather.
+ *
+ * These functions run the actual arithmetic on CPU tensors so the
+ * numerical claims are testable:
+ *
+ *  - column-parallel output is *bitwise* equal to the unsharded GEMM
+ *    (each output element is produced by exactly one rank);
+ *  - row-parallel output differs from the unsharded GEMM only by
+ *    accumulation order — and matches bitwise against a baseline summed
+ *    in rank order (the Section 6.2 matched-order criterion);
+ *  - the SP round trip (reduce-scatter then all-gather) is lossless.
+ */
+
+#include <vector>
+
+#include "llm4d/tensor/tensor.h"
+
+namespace llm4d {
+
+/**
+ * Split a weight matrix [k, n] into @p tp column shards [k, n/tp].
+ * Requires n % tp == 0.
+ */
+std::vector<Tensor> splitColumns(const Tensor &w, std::int64_t tp);
+
+/**
+ * Split a weight matrix [k, n] into @p tp row shards [k/tp, n].
+ * Requires k % tp == 0.
+ */
+std::vector<Tensor> splitRows(const Tensor &w, std::int64_t tp);
+
+/**
+ * Column-parallel linear: every rank computes x * w_shard; outputs are
+ * concatenated along the feature dimension (the all-gather in SP mode).
+ * @param x full input [m, k]; @param w_shards from splitColumns.
+ */
+Tensor columnParallelLinear(const Tensor &x,
+                            const std::vector<Tensor> &w_shards);
+
+/**
+ * Row-parallel linear: the input arrives feature-sharded [m, k/tp] per
+ * rank (the natural output of a preceding column-parallel layer); every
+ * rank computes a partial [m, n] product and the group reduces in rank
+ * order.
+ * @param x_shards per-rank inputs; @param w_shards from splitRows.
+ */
+Tensor rowParallelLinear(const std::vector<Tensor> &x_shards,
+                         const std::vector<Tensor> &w_shards);
+
+/**
+ * Slice a full input [m, k] into the per-rank feature shards a
+ * column-split would have produced (for feeding rowParallelLinear in
+ * tests).
+ */
+std::vector<Tensor> splitFeatures(const Tensor &x, std::int64_t tp);
+
+/**
+ * Sequence-parallel reduce-scatter: given per-rank partial activations
+ * (full [m, n] each), reduce in rank order and return each rank's token
+ * slice [m/tp, n].
+ */
+std::vector<Tensor> spReduceScatter(const std::vector<Tensor> &partials);
+
+/** Sequence-parallel all-gather: concatenate token slices back. */
+Tensor spAllGather(const std::vector<Tensor> &token_shards);
+
+/**
+ * One TP+SP transformer MLP (gate-free, two matrices) executed both
+ * unsharded and tp-sharded; returns the max absolute difference. Used as
+ * an integration check that the full comm pattern
+ * (all-gather -> column-parallel -> row-parallel -> reduce-scatter)
+ * preserves the math.
+ */
+float tpMlpMaxDeviation(const Tensor &x, const Tensor &w1, const Tensor &w2,
+                        std::int64_t tp);
+
+} // namespace llm4d
+
+#endif // LLM4D_TENSOR_TP_LINEAR_H_

@@ -1,0 +1,227 @@
+#include "llm4d/cp/cp_cost.h"
+#include "llm4d/cp/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace llm4d {
+namespace {
+
+/** One 8-GPU node; CP groups live on NVLink as in the paper's Fig 11-13. */
+class CpCostTest : public ::testing::Test
+{
+  protected:
+    CpCostTest()
+        : spec(ClusterSpec::llama3Production(8)), topo(spec), coll(topo)
+    {
+    }
+
+    CpCostModel
+    model(std::int64_t cp, GpuSpec gpu = GpuSpec::h100Sxm())
+    {
+        std::vector<std::int64_t> ranks;
+        for (std::int64_t r = 0; r < cp; ++r)
+            ranks.push_back(r);
+        return CpCostModel(gpu, AttnGeometry{}, coll, std::move(ranks));
+    }
+
+    ClusterSpec spec;
+    Topology topo;
+    CollectiveModel coll;
+};
+
+TEST_F(CpCostTest, RelativeHfuRisesWithSequenceLength)
+{
+    // Figure 11: compute is O(seq^2), the all-gather O(seq), so relative
+    // HFU climbs toward 1 as sequences grow.
+    CpCostModel m = model(4, GpuSpec::h100Hbm2e());
+    double prev = 0.0;
+    for (std::int64_t seq : {4096, 16384, 65536, 131072}) {
+        const DocMask mask = DocMask::causal(seq);
+        const double hfu = m.relativeHfu(mask, m.allGatherForward(mask));
+        EXPECT_GT(hfu, prev) << "seq " << seq;
+        prev = hfu;
+    }
+    EXPECT_GT(prev, 0.90) << "128K causal should approach the paper's 95%";
+    EXPECT_LE(prev, 1.0);
+}
+
+TEST_F(CpCostTest, BlockCausalHasLowerRelativeHfuThanCausal)
+{
+    // Figure 11's second observation: doc-mask imbalance lowers relative
+    // HFU even though the all-gather cost is identical.
+    CpCostModel m = model(4, GpuSpec::h100Hbm2e());
+    Rng rng(1);
+    for (std::int64_t seq : {16384, 65536}) {
+        const DocMask causal = DocMask::causal(seq);
+        const DocMask block = DocMask::sample(seq, 1024.0, rng);
+        const double hfu_causal =
+            m.relativeHfu(causal, m.allGatherForward(causal));
+        const double hfu_block =
+            m.relativeHfu(block, m.allGatherForward(block));
+        EXPECT_LT(hfu_block, hfu_causal) << "seq " << seq;
+    }
+}
+
+TEST_F(CpCostTest, CausalShardingBalancedSoMinEqualsMax)
+{
+    CpCostModel m = model(4);
+    const DocMask mask = DocMask::causal(32768);
+    const CpAttentionCost c = m.allGatherForward(mask);
+    EXPECT_DOUBLE_EQ(c.compute_min, c.compute_max);
+}
+
+TEST_F(CpCostTest, DocMaskShardingImbalancedSoMaxExceedsMin)
+{
+    CpCostModel m = model(4);
+    Rng rng(2);
+    const DocMask mask = DocMask::sample(32768, 1024.0, rng);
+    const CpAttentionCost c = m.allGatherForward(mask);
+    EXPECT_GT(c.compute_max, c.compute_min * 1.02);
+}
+
+TEST_F(CpCostTest, AllGatherBandwidthIndependentOfMask)
+{
+    // Figure 12: achieved AG bandwidth is the same for causal and block
+    // causal — communication volume does not depend on the mask.
+    CpCostModel m = model(4);
+    Rng rng(3);
+    const DocMask causal = DocMask::causal(65536);
+    const DocMask block = DocMask::sample(65536, 1024.0, rng);
+    EXPECT_DOUBLE_EQ(m.allGatherForward(causal).comm,
+                     m.allGatherForward(block).comm);
+}
+
+TEST_F(CpCostTest, AchievedBandwidthRisesWithSeqTowardNvlink)
+{
+    CpCostModel m = model(4);
+    double prev = 0.0;
+    for (std::int64_t seq : {4096, 16384, 65536, 131072}) {
+        const double bw = m.achievedAllGatherBandwidth(seq);
+        EXPECT_GT(bw, prev);
+        prev = bw;
+    }
+    EXPECT_LT(prev, spec.node.gpu.nvlink_bw_gbps);
+    EXPECT_GT(prev, spec.node.gpu.nvlink_bw_gbps * 0.4);
+}
+
+TEST_F(CpCostTest, RingWinsSlightlyAtCp2LongSeq)
+{
+    // Figure 13: TE (ring) attention has a small edge at cp=2 because its
+    // P2P overlaps while our all-gather is exposed.
+    CpCostModel m = model(2);
+    const DocMask mask = DocMask::causal(32768);
+    const double ag = m.allGatherForward(mask).total;
+    const double ring = m.ringForward(mask).total;
+    EXPECT_LT(ring, ag * 1.05);
+}
+
+TEST_F(CpCostTest, AllGatherWinsAtCp4ShortSeq)
+{
+    // Figure 13's headline: at cp=4 and 4K-8K sequences, ring attention
+    // fragments into many small kernels and loses by double digits.
+    CpCostModel m = model(4);
+    for (std::int64_t seq : {4096, 8192}) {
+        const DocMask mask = DocMask::causal(seq);
+        const double ag = m.allGatherForward(mask).total;
+        const double ring = m.ringForward(mask).total;
+        EXPECT_GT(ring, ag * 1.05) << "seq " << seq;
+    }
+}
+
+TEST_F(CpCostTest, BothDesignsConvergeAtLongSeq)
+{
+    // Figure 13: both exceed 95% relative HFU past 64K.
+    CpCostModel m = model(4);
+    const DocMask mask = DocMask::causal(131072);
+    const double hfu_ag = m.relativeHfu(mask, m.allGatherForward(mask));
+    const double hfu_ring = m.relativeHfu(mask, m.ringForward(mask));
+    EXPECT_GT(hfu_ag, 0.90);
+    EXPECT_GT(hfu_ring, 0.90);
+}
+
+TEST_F(CpCostTest, Cp1DegeneratesToSingleGpu)
+{
+    CpCostModel m = model(1);
+    const DocMask mask = DocMask::causal(8192);
+    const CpAttentionCost c = m.allGatherForward(mask);
+    EXPECT_DOUBLE_EQ(c.total, m.singleGpuForward(mask));
+    EXPECT_DOUBLE_EQ(c.comm, 0.0);
+    EXPECT_DOUBLE_EQ(m.relativeHfu(mask, c), 1.0);
+}
+
+TEST_F(CpCostTest, RingMergeCostIsNonzero)
+{
+    CpCostModel m = model(4);
+    const DocMask mask = DocMask::causal(8192);
+    EXPECT_GT(m.ringForward(mask).merge, 0.0);
+    EXPECT_DOUBLE_EQ(m.allGatherForward(mask).merge, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Figure 14 workload machinery.
+// ---------------------------------------------------------------------
+
+TEST_F(CpCostTest, ImbalanceSimulationBasics)
+{
+    CpCostModel m = model(4);
+    ImbalanceParams p;
+    p.dp = 4;
+    p.microbatches = 4;
+    p.mean_doc_len = 2048.0;
+    p.dense_seconds_per_mb = 0.0;
+    p.seed = 7;
+    const ImbalanceResult r = simulateDocMaskImbalance(m, 32768, p);
+    ASSERT_EQ(r.attention_seconds.size(), 16u);
+    EXPECT_GT(r.slowestOverFastestAttention(), 1.0);
+    EXPECT_GT(r.exposedCpFraction(), 0.0);
+    EXPECT_GT(r.waitingShareOfExposed(), 0.0);
+    EXPECT_LT(r.waitingShareOfExposed(), 1.0);
+}
+
+TEST_F(CpCostTest, AttentionExplainsWholeComputeGap)
+{
+    // Figure 14b: the total-compute gap is entirely attention.
+    CpCostModel m = model(4);
+    ImbalanceParams p;
+    p.dp = 8;
+    p.microbatches = 4;
+    p.mean_doc_len = 4096.0;
+    p.dense_seconds_per_mb = 0.05;
+    const ImbalanceResult r = simulateDocMaskImbalance(m, 32768, p);
+    EXPECT_NEAR(r.attentionShareOfGap(), 1.0, 1e-9);
+    // Dense compute dilutes the ratio below the pure-attention ratio.
+    EXPECT_LT(r.slowestOverFastestCompute(),
+              r.slowestOverFastestAttention());
+}
+
+TEST_F(CpCostTest, ImbalanceDeterministicPerSeed)
+{
+    CpCostModel m = model(2);
+    ImbalanceParams p;
+    p.seed = 42;
+    const auto a = simulateDocMaskImbalance(m, 16384, p);
+    const auto b = simulateDocMaskImbalance(m, 16384, p);
+    EXPECT_EQ(a.attention_seconds, b.attention_seconds);
+}
+
+TEST_F(CpCostTest, LongerDocsReduceImbalance)
+{
+    // As documents approach the sequence length, the mask approaches
+    // causal and the sharding balance returns.
+    CpCostModel m = model(4);
+    ImbalanceParams heavy;
+    heavy.mean_doc_len = 1024.0;
+    heavy.dp = 8;
+    heavy.microbatches = 2;
+    ImbalanceParams light = heavy;
+    light.mean_doc_len = 65536.0;
+    const auto frag = simulateDocMaskImbalance(m, 32768, heavy);
+    const auto whole = simulateDocMaskImbalance(m, 32768, light);
+    EXPECT_GT(frag.slowestOverFastestAttention(),
+              whole.slowestOverFastestAttention());
+}
+
+} // namespace
+} // namespace llm4d

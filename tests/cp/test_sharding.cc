@@ -1,0 +1,114 @@
+#include "llm4d/cp/sharding.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(CpSharding, ChunkGeometry)
+{
+    CpSharding s(16, 2);
+    EXPECT_EQ(s.chunkSize(), 4);
+    EXPECT_EQ(s.chunk(0), (TokenRange{0, 4}));
+    EXPECT_EQ(s.chunk(3), (TokenRange{12, 16}));
+}
+
+TEST(CpSharding, RankOwnsMirroredChunks)
+{
+    // Paper Section 4: rank i processes chunks i and 2*cp - i - 1.
+    CpSharding s(16, 2);
+    EXPECT_EQ(s.chunksOf(0), (std::pair<std::int64_t, std::int64_t>{0, 3}));
+    EXPECT_EQ(s.chunksOf(1), (std::pair<std::int64_t, std::int64_t>{1, 2}));
+}
+
+TEST(CpSharding, QueryPositionsAscendWithinRank)
+{
+    CpSharding s(16, 2);
+    const auto pos = s.queryPositions(0);
+    ASSERT_EQ(pos.size(), 8u);
+    const std::vector<std::int64_t> expect = {0, 1, 2, 3, 12, 13, 14, 15};
+    EXPECT_EQ(pos, expect);
+}
+
+TEST(CpSharding, CausalWorkloadPerfectlyBalanced)
+{
+    // The whole point of the mirrored sharding (Figure 7a): under a full
+    // causal mask every rank has exactly the same pair count.
+    for (std::int64_t cp : {2, 4, 8}) {
+        const std::int64_t seq = 64 * cp;
+        CpSharding s(seq, cp);
+        DocMask mask = DocMask::causal(seq);
+        const std::int64_t first = s.pairsOf(0, mask);
+        std::int64_t total = 0;
+        for (std::int64_t r = 0; r < cp; ++r) {
+            EXPECT_EQ(s.pairsOf(r, mask), first) << "cp=" << cp << " r=" << r;
+            total += s.pairsOf(r, mask);
+        }
+        EXPECT_EQ(total, mask.totalPairs());
+    }
+}
+
+TEST(CpSharding, DocMaskWorkloadImbalanced)
+{
+    // With short documents the static sharding no longer balances
+    // (Figure 7c / Figure 11's "block causal" penalty).
+    Rng rng(3);
+    const std::int64_t seq = 512;
+    CpSharding s(seq, 4);
+    DocMask mask = DocMask::sample(seq, 32.0, rng);
+    std::int64_t lo = mask.totalPairs(), hi = 0, total = 0;
+    for (std::int64_t r = 0; r < 4; ++r) {
+        const std::int64_t p = s.pairsOf(r, mask);
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+        total += p;
+    }
+    EXPECT_EQ(total, mask.totalPairs()) << "work is partitioned exactly";
+    EXPECT_GT(hi, lo) << "documents break the causal balance";
+}
+
+TEST(CpSharding, ShardAssembleRoundTrip)
+{
+    Rng rng(4);
+    Tensor full = Tensor::randn({2, 24, 3}, rng);
+    CpSharding s(24, 3);
+    std::vector<Tensor> shards;
+    for (std::int64_t r = 0; r < 3; ++r)
+        shards.push_back(s.shardRows(full, r));
+    EXPECT_EQ(shards[0].dim(1), 8);
+    Tensor back = s.assembleRows(shards);
+    EXPECT_TRUE(back.bitwiseEqual(full));
+}
+
+TEST(CpSharding, RejectsIndivisibleSequence)
+{
+    EXPECT_DEATH(CpSharding(10, 2), "2\\*cp");
+}
+
+TEST(CpSharding, Cp1IsWholeSequence)
+{
+    CpSharding s(8, 1);
+    const auto pos = s.queryPositions(0);
+    EXPECT_EQ(pos.size(), 8u);
+    EXPECT_EQ(pos.front(), 0);
+    EXPECT_EQ(pos.back(), 7);
+}
+
+TEST(DocMaskPairsBetween, MatchesBruteForce)
+{
+    Rng rng(5);
+    DocMask mask = DocMask::sample(64, 12.0, rng);
+    for (std::int64_t q_lo : {0, 16, 48}) {
+        for (std::int64_t k_lo : {0, 16, 32}) {
+            std::int64_t brute = 0;
+            for (std::int64_t q = q_lo; q < q_lo + 16; ++q)
+                for (std::int64_t k = k_lo; k < k_lo + 16; ++k)
+                    brute += mask.allowed(q, k);
+            EXPECT_EQ(mask.pairsBetween(q_lo, q_lo + 16, k_lo, k_lo + 16),
+                      brute);
+        }
+    }
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,212 @@
+#include "llm4d/debug/mem_snapshot.h"
+#include "llm4d/debug/numerics.h"
+#include "llm4d/debug/slow_rank.h"
+
+#include <gtest/gtest.h>
+
+#include "llm4d/simcore/rng.h"
+#include "llm4d/tensor/reduce.h"
+
+namespace llm4d {
+namespace {
+
+// ---------------------------------------------------------------------
+// Section 6.1: top-down slow-rank localization.
+// ---------------------------------------------------------------------
+
+std::vector<double>
+computeTimes(const RankGrid &grid, std::int64_t slow_rank, double slowdown,
+             std::uint64_t seed)
+{
+    // Baseline 1s of compute with small deterministic jitter; the
+    // straggler computes `slowdown`x longer.
+    std::vector<double> t(static_cast<std::size_t>(grid.worldSize()));
+    for (std::int64_t r = 0; r < grid.worldSize(); ++r) {
+        Rng rng(seed, static_cast<std::uint64_t>(r));
+        t[static_cast<std::size_t>(r)] = 1.0 + 0.01 * rng.uniform();
+    }
+    t[static_cast<std::size_t>(slow_rank)] *= slowdown;
+    return t;
+}
+
+TEST(SlowRank, FindsInjectedStraggler)
+{
+    RankGrid grid(ParallelismConfig{4, 2, 4, 8}); // 256 ranks
+    for (std::int64_t culprit : {0L, 17L, 123L, 255L}) {
+        const auto times = computeTimes(grid, culprit, 1.4, 7);
+        const SlowRankReport rep = findSlowRank(grid, times);
+        EXPECT_EQ(rep.rank, culprit);
+    }
+}
+
+TEST(SlowRank, PathWalksOuterToInner)
+{
+    RankGrid grid(ParallelismConfig{2, 2, 2, 2});
+    const auto times = computeTimes(grid, 11, 1.5, 9);
+    const SlowRankReport rep = findSlowRank(grid, times);
+    ASSERT_EQ(rep.steps.size(), 4u);
+    EXPECT_EQ(rep.steps[0].axis, "dp");
+    EXPECT_EQ(rep.steps[1].axis, "pp");
+    EXPECT_EQ(rep.steps[2].axis, "cp");
+    EXPECT_EQ(rep.steps[3].axis, "tp");
+    EXPECT_EQ(rep.rank, 11);
+    // Every step's chosen coordinate matches the culprit's coordinate.
+    const RankCoord c = grid.coordOf(11);
+    EXPECT_EQ(rep.steps[0].coordinate, c.dp);
+    EXPECT_EQ(rep.steps[1].coordinate, c.pp);
+    EXPECT_EQ(rep.steps[2].coordinate, c.cp);
+    EXPECT_EQ(rep.steps[3].coordinate, c.tp);
+}
+
+TEST(SlowRank, ReportsComputeVsMedian)
+{
+    RankGrid grid(ParallelismConfig{2, 1, 2, 4});
+    const auto times = computeTimes(grid, 5, 2.0, 11);
+    const SlowRankReport rep = findSlowRank(grid, times);
+    EXPECT_GT(rep.compute_seconds, rep.median_compute_seconds * 1.8);
+    const std::string text = rep.render();
+    EXPECT_NE(text.find("rank 5"), std::string::npos);
+    EXPECT_NE(text.find("dp="), std::string::npos);
+}
+
+TEST(SlowRank, LargeScaleLocalization)
+{
+    // The Figure 8 scenario at production-like scale: 8K ranks.
+    RankGrid grid(ParallelismConfig{8, 16, 16, 4});
+    const std::int64_t culprit = 8 * 16 * 7 + 8 * 3 + 5; // arbitrary
+    const auto times = computeTimes(grid, culprit, 1.3, 13);
+    EXPECT_EQ(findSlowRank(grid, times).rank, culprit);
+}
+
+// ---------------------------------------------------------------------
+// Section 6.2: numerics.
+// ---------------------------------------------------------------------
+
+std::vector<std::vector<float>>
+randomMicroGrads(std::size_t mbs, std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> parts(mbs, std::vector<float>(n));
+    for (auto &part : parts)
+        for (auto &x : part)
+            x = static_cast<float>(rng.normal() * 0.1);
+    return parts;
+}
+
+TEST(Numerics, MatchedOrderIsBitwiseEqual)
+{
+    // PP executes micro-batch backwards in a permuted order; re-ordering
+    // the baseline identically must match bit for bit.
+    const auto parts = randomMicroGrads(8, 64, 21);
+    const std::vector<std::int64_t> pp_order = {3, 1, 0, 2, 7, 5, 4, 6};
+    const auto parallel = accumulateInOrder(parts, pp_order);
+    const auto matched = accumulateInOrder(parts, pp_order);
+    const OrderCheckResult r = checkMatchedOrder(parallel, matched);
+    EXPECT_TRUE(r.bitwise_match);
+    EXPECT_FALSE(r.indicatesImplementationBug());
+}
+
+TEST(Numerics, DifferentOrdersDifferButAreNotBugs)
+{
+    const auto parts = randomMicroGrads(8, 4096, 23);
+    const std::vector<std::int64_t> seq_order = {0, 1, 2, 3, 4, 5, 6, 7};
+    const std::vector<std::int64_t> pp_order = {3, 1, 0, 2, 7, 5, 4, 6};
+    const auto a = accumulateInOrder(parts, seq_order);
+    const auto b = accumulateInOrder(parts, pp_order);
+    const OrderCheckResult r = checkMatchedOrder(a, b);
+    // Orders differ -> bits differ somewhere, values stay close.
+    EXPECT_FALSE(r.bitwise_match);
+    EXPECT_LT(r.max_abs_diff, 1e-4);
+}
+
+TEST(Numerics, InjectedBugSurvivesOrderMatching)
+{
+    // A real implementation bug (one micro-batch double-counted) cannot
+    // be explained away by accumulation order.
+    auto parts = randomMicroGrads(4, 128, 25);
+    const std::vector<std::int64_t> order = {0, 1, 2, 3};
+    const auto baseline = accumulateInOrder(parts, order);
+    for (auto &x : parts[2])
+        x *= 2.0f; // the bug
+    const auto buggy = accumulateInOrder(parts, order);
+    const OrderCheckResult r = checkMatchedOrder(buggy, baseline);
+    EXPECT_TRUE(r.indicatesImplementationBug());
+    EXPECT_GT(r.max_abs_diff, 1e-3);
+    EXPECT_GE(r.first_mismatch_index, 0);
+}
+
+TEST(Numerics, Fp32AccumulationBeatsBf16)
+{
+    const auto parts = randomMicroGrads(64, 512, 27);
+    const PrecisionDrift fp32 = measureAccumulationDrift(parts, false);
+    const PrecisionDrift bf16 = measureAccumulationDrift(parts, true);
+    EXPECT_LT(fp32.mean_abs_error, bf16.mean_abs_error / 50.0);
+    EXPECT_LT(fp32.mean_rel_error, 1e-5);
+    EXPECT_GT(bf16.mean_rel_error, 1e-3);
+}
+
+TEST(Numerics, TrainingTrajectoryDivergesUnderBf16)
+{
+    const TrajectoryDrift d =
+        simulateTrainingDrift(/*params=*/256, /*steps=*/50,
+                              /*microbatches=*/32, /*lr=*/0.1, 29);
+    EXPECT_LT(d.fp32_drift, d.bf16_drift / 10.0)
+        << "FP32 gradient accumulation must track the reference loss "
+           "trajectory far better than BF16 (Section 6.2)";
+    EXPECT_LT(d.fp32_drift, 1e-4);
+}
+
+// ---------------------------------------------------------------------
+// Section 6.3: memory snapshot.
+// ---------------------------------------------------------------------
+
+TEST(MemSnapshot, PeakAndBreakdown)
+{
+    MemorySnapshot snap;
+    snap.record("weights", 0, 100, 10.0);
+    snap.record("activation", 10, 50, 30.0);
+    snap.record("activation", 20, 60, 20.0);
+    snap.record("grad", 40, 100, 5.0);
+    EXPECT_DOUBLE_EQ(snap.peakBytes(), 65.0); // t in [40,50)
+    EXPECT_EQ(snap.peakTime(), 40);
+    EXPECT_DOUBLE_EQ(snap.liveAt(0), 10.0);
+    EXPECT_DOUBLE_EQ(snap.liveAt(55), 35.0);
+    const auto breakdown = snap.peakBreakdown();
+    ASSERT_GE(breakdown.size(), 2u);
+    EXPECT_EQ(breakdown[0].tag, "activation");
+    EXPECT_DOUBLE_EQ(breakdown[0].bytes, 50.0);
+}
+
+TEST(MemSnapshot, EarlyReleaseWhatIf)
+{
+    // The Section 6.3 optimization: releasing forward-output buffers
+    // earlier (the PP stage only needs metadata) lowers the peak.
+    MemorySnapshot snap;
+    snap.record("weights", 0, 100, 10.0);
+    snap.record("p2p-buffer", 10, 90, 40.0);
+    snap.record("activation", 50, 80, 30.0);
+    EXPECT_DOUBLE_EQ(snap.peakBytes(), 80.0);
+    // Free the p2p buffer 60 units earlier -> it dies before the
+    // activation allocates.
+    EXPECT_DOUBLE_EQ(snap.peakWithEarlyRelease("p2p-buffer", 60), 50.0);
+    // Shortening the activation's life cannot move the peak: it occurs
+    // at the activation's own allocation instant.
+    EXPECT_DOUBLE_EQ(snap.peakWithEarlyRelease("activation", 25), 80.0);
+}
+
+TEST(MemSnapshot, EarlyReleaseClampsAtAllocation)
+{
+    MemorySnapshot snap;
+    snap.record("x", 10, 20, 5.0);
+    // Even an absurd early-release keeps at least one tick of lifetime.
+    EXPECT_DOUBLE_EQ(snap.peakWithEarlyRelease("x", 1000), 5.0);
+}
+
+TEST(MemSnapshot, RejectsEmptyLifetime)
+{
+    MemorySnapshot snap;
+    EXPECT_DEATH(snap.record("x", 10, 10, 1.0), "positive lifetime");
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,136 @@
+#include "llm4d/debug/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "llm4d/simcore/rng.h"
+
+namespace llm4d {
+namespace {
+
+std::vector<double>
+computeProfile(const RankGrid &grid, std::int64_t culprit, double slowdown,
+               std::uint64_t seed)
+{
+    std::vector<double> t(static_cast<std::size_t>(grid.worldSize()));
+    for (std::int64_t r = 0; r < grid.worldSize(); ++r) {
+        Rng rng(seed, static_cast<std::uint64_t>(r));
+        t[static_cast<std::size_t>(r)] = 1.0 + 0.005 * rng.uniform();
+    }
+    t[static_cast<std::size_t>(culprit)] *= slowdown;
+    return t;
+}
+
+TEST(RankTrace, Accumulators)
+{
+    RankTrace t;
+    t.add(TraceEvent{TraceEventKind::Compute, "", 0, secondsToTime(1.0)});
+    t.add(TraceEvent{TraceEventKind::Collective, "tp", secondsToTime(1.0),
+                     secondsToTime(1.5)});
+    t.add(TraceEvent{TraceEventKind::Collective, "dp", secondsToTime(1.5),
+                     secondsToTime(1.6)});
+    EXPECT_NEAR(t.computeSeconds(), 1.0, 1e-9);
+    EXPECT_NEAR(t.collectiveSeconds(), 0.6, 1e-9);
+    EXPECT_NEAR(t.collectiveSeconds("tp"), 0.5, 1e-9);
+    EXPECT_NEAR(t.collectiveSeconds("dp"), 0.1, 1e-9);
+}
+
+TEST(RankTrace, RejectsOutOfOrderEvents)
+{
+    RankTrace t;
+    t.add(TraceEvent{TraceEventKind::Compute, "", 100, 200});
+    EXPECT_DEATH(t.add(TraceEvent{TraceEventKind::Compute, "", 50, 80}),
+                 "time order");
+}
+
+TEST(ClusterTrace, SynthesisInvariants)
+{
+    RankGrid grid(ParallelismConfig{2, 1, 2, 2});
+    const auto compute = computeProfile(grid, 3, 1.5, 1);
+    const ClusterTrace trace = ClusterTrace::synthesize(grid, compute, 2);
+
+    for (std::int64_t r = 0; r < grid.worldSize(); ++r) {
+        // Two iterations of compute recorded faithfully.
+        EXPECT_NEAR(trace.rank(r).computeSeconds(),
+                    2.0 * compute[static_cast<std::size_t>(r)], 1e-6);
+        // Events are contiguous and ordered.
+        const auto &events = trace.rank(r).events();
+        for (std::size_t i = 1; i < events.size(); ++i)
+            EXPECT_GE(events[i].start, events[i - 1].start);
+    }
+    // All ranks end at the same time (final dp collective barrier).
+    Time end0 = trace.rank(0).events().back().end;
+    for (std::int64_t r = 1; r < grid.worldSize(); ++r)
+        EXPECT_EQ(trace.rank(r).events().back().end, end0);
+}
+
+TEST(ClusterTrace, CulpritShowsShortestCollectives)
+{
+    // The Figure 8 inversion: within the culprit's TP group, the culprit
+    // has the LEAST tp-collective time.
+    RankGrid grid(ParallelismConfig{4, 1, 2, 2});
+    const std::int64_t culprit = 6;
+    const auto compute = computeProfile(grid, culprit, 1.4, 2);
+    const ClusterTrace trace = ClusterTrace::synthesize(grid, compute, 3);
+    const auto group = grid.tpGroup(culprit);
+    for (std::int64_t member : group) {
+        if (member == culprit)
+            continue;
+        EXPECT_GT(trace.rank(member).collectiveSeconds("tp"),
+                  trace.rank(culprit).collectiveSeconds("tp"))
+            << "healthy rank " << member << " must wait longer";
+    }
+}
+
+TEST(TraceSlowRank, LocalizesAcrossConfigurations)
+{
+    for (const ParallelismConfig cfg :
+         {ParallelismConfig{2, 2, 2, 2}, ParallelismConfig{4, 1, 4, 4},
+          ParallelismConfig{8, 2, 2, 4}}) {
+        RankGrid grid(cfg);
+        Rng pick(99);
+        const std::int64_t culprit =
+            pick.uniformInt(0, grid.worldSize() - 1);
+        const auto compute = computeProfile(grid, culprit, 1.3, 3);
+        const ClusterTrace trace =
+            ClusterTrace::synthesize(grid, compute, 2);
+        const SlowRankReport rep = findSlowRankFromTrace(grid, trace);
+        EXPECT_EQ(rep.rank, culprit) << cfg.str();
+        EXPECT_EQ(rep.steps.size(), 4u);
+        EXPECT_EQ(rep.steps.front().axis, "dp");
+        EXPECT_EQ(rep.steps.back().axis, "tp");
+    }
+}
+
+TEST(TraceSlowRank, AgreesWithComputeBasedAnalysis)
+{
+    RankGrid grid(ParallelismConfig{4, 2, 4, 4});
+    const std::int64_t culprit = 77;
+    const auto compute = computeProfile(grid, culprit, 1.35, 4);
+    const ClusterTrace trace = ClusterTrace::synthesize(grid, compute, 1);
+    EXPECT_EQ(findSlowRankFromTrace(grid, trace).rank,
+              findSlowRank(grid, compute).rank);
+}
+
+TEST(TraceSlowRank, SingletonAxesHandled)
+{
+    RankGrid grid(ParallelismConfig{1, 1, 4, 2});
+    const auto compute = computeProfile(grid, 5, 1.5, 6);
+    const ClusterTrace trace = ClusterTrace::synthesize(grid, compute, 1);
+    const SlowRankReport rep = findSlowRankFromTrace(grid, trace);
+    EXPECT_EQ(rep.rank, 5);
+}
+
+TEST(ClusterTrace, RenderShowsGroup)
+{
+    RankGrid grid(ParallelismConfig{4, 1, 1, 2});
+    const auto compute = computeProfile(grid, 2, 1.5, 7);
+    const ClusterTrace trace = ClusterTrace::synthesize(grid, compute, 1);
+    const std::string art = trace.renderGroup(grid.tpGroup(0), "tp");
+    EXPECT_NE(art.find("rank 0"), std::string::npos);
+    EXPECT_NE(art.find("rank 3"), std::string::npos);
+    EXPECT_NE(art.find('#'), std::string::npos);
+    EXPECT_NE(art.find('c'), std::string::npos);
+}
+
+} // namespace
+} // namespace llm4d

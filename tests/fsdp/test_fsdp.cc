@@ -1,0 +1,88 @@
+#include "llm4d/fsdp/fsdp.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(FsdpTraffic, AllGatherVolumes)
+{
+    FsdpTraffic t;
+    t.param_bytes = 1024;
+    t.shard_degree = 8;
+    t.mode = ZeroMode::Zero1;
+    EXPECT_EQ(t.allGatherShardBytes(), 128);
+    EXPECT_EQ(t.allGatherCount(64), 1) << "ZeRO-1 gathers once per step";
+    t.mode = ZeroMode::Zero2;
+    EXPECT_EQ(t.allGatherCount(64), 1);
+    t.mode = ZeroMode::Zero3;
+    EXPECT_EQ(t.allGatherCount(64), 64)
+        << "ZeRO-3 re-gathers around every execution";
+}
+
+TEST(FsdpTraffic, NoCommWithoutSharding)
+{
+    FsdpTraffic t;
+    t.param_bytes = 1024;
+    t.shard_degree = 1;
+    EXPECT_EQ(t.allGatherCount(8), 0);
+    EXPECT_EQ(t.reduceScatterCount(4, 2), 0);
+}
+
+TEST(FsdpTraffic, GradientsReduceInFp32)
+{
+    FsdpTraffic t;
+    t.param_bytes = 1000; // BF16 bytes
+    t.shard_degree = 10;
+    // FP32 gradients: 2x the BF16 parameter bytes, sharded.
+    EXPECT_EQ(t.reduceScatterShardBytes(), 200);
+}
+
+TEST(FsdpTraffic, ReduceScatterCountsPerMode)
+{
+    FsdpTraffic t;
+    t.param_bytes = 1024;
+    t.shard_degree = 4;
+    t.mode = ZeroMode::Zero1;
+    EXPECT_EQ(t.reduceScatterCount(/*stages=*/8, /*rounds=*/4), 8)
+        << "ZeRO-1: one per stage (Fig. 4a)";
+    t.mode = ZeroMode::Zero2;
+    EXPECT_EQ(t.reduceScatterCount(8, 4), 32)
+        << "ZeRO-2: one per stage per round (Fig. 4c)";
+}
+
+TEST(Overlap, SplitsExposedAndHidden)
+{
+    const OverlapResult full = overlapComm(2.0, 5.0);
+    EXPECT_DOUBLE_EQ(full.exposed_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(full.hidden_seconds, 2.0);
+    const OverlapResult partial = overlapComm(5.0, 2.0);
+    EXPECT_DOUBLE_EQ(partial.exposed_seconds, 3.0);
+    EXPECT_DOUBLE_EQ(partial.hidden_seconds, 2.0);
+    const OverlapResult none = overlapComm(1.0, 0.0);
+    EXPECT_DOUBLE_EQ(none.exposed_seconds, 1.0);
+}
+
+TEST(PpFsdpCombo, PaperRule)
+{
+    // Section 3.1.3: ZeRO-1 + 1F1B iff bs >= 2*pp.
+    const PpFsdpChoice big = choosePpFsdpCombo(32, 16);
+    EXPECT_EQ(big.zero, ZeroMode::Zero1);
+    EXPECT_EQ(big.schedule, ScheduleKind::Flexible);
+    const PpFsdpChoice small = choosePpFsdpCombo(16, 16);
+    EXPECT_EQ(small.zero, ZeroMode::Zero2);
+    EXPECT_EQ(small.schedule, ScheduleKind::AllForwardAllBackward);
+    // Boundary: bs == 2*pp chooses ZeRO-1.
+    EXPECT_EQ(choosePpFsdpCombo(8, 4).zero, ZeroMode::Zero1);
+    EXPECT_EQ(choosePpFsdpCombo(7, 4).zero, ZeroMode::Zero2);
+}
+
+TEST(Congestion, FsdpTrafficSlowsP2P)
+{
+    EXPECT_DOUBLE_EQ(p2pCongestionFactor(false), 1.0);
+    EXPECT_GT(p2pCongestionFactor(true), 1.0);
+    EXPECT_LT(p2pCongestionFactor(true), 3.0);
+}
+
+} // namespace
+} // namespace llm4d

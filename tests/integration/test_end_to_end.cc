@@ -1,0 +1,150 @@
+/**
+ * Cross-module integration tests: the full data -> mask -> CP attention
+ * path, schedule -> executor -> memory path, and planner -> simulator
+ * consistency. These exercise seams no unit test covers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm4d/cp/cp_attention.h"
+#include "llm4d/data/dataloader.h"
+#include "llm4d/debug/trace.h"
+#include "llm4d/plan/planner.h"
+#include "llm4d/pp/grad_memory.h"
+#include "llm4d/pp/timeline.h"
+#include "llm4d/sim/train_sim.h"
+
+namespace llm4d {
+namespace {
+
+TEST(Integration, DataloaderMaskDrivesExactCpAttention)
+{
+    // Section 4 end to end: generate packed documents, derive the mask
+    // from eos ids, embed tokens, and verify that CP attention over the
+    // dataloader's mask matches a single device exactly.
+    const std::int64_t seq = 64;
+    SyntheticDataLoader loader(seq, 997, 12.0, 31);
+    const TokenBatch batch = loader.next(0);
+    const DocMask mask = batch.mask();
+    ASSERT_GE(mask.docCount(), 2);
+
+    // "Embed" tokens deterministically: embedding[i] = f(token id).
+    Rng rng(32);
+    const Tensor table = Tensor::randn({997, 8}, rng);
+    Tensor q({2, seq, 8}), k({1, seq, 8}), v({1, seq, 8});
+    for (std::int64_t i = 0; i < seq; ++i) {
+        const auto tok = batch.tokens[static_cast<std::size_t>(i)];
+        for (std::int64_t e = 0; e < 8; ++e) {
+            q.at(0, i, e) = table.at(tok, e);
+            q.at(1, i, e) = -table.at(tok, e);
+            k.at(0, i, e) = table.at(tok, e) * 0.5f;
+            v.at(0, i, e) = table.at(tok, e) * 2.0f;
+        }
+    }
+    const auto ref = referenceAttention(q, k, v, mask);
+    for (std::int64_t cp : {2, 4}) {
+        const CpSharding sharding(seq, cp);
+        // Every rank derives the same mask from its intact token copy...
+        const DocMask rank_mask = batch.mask();
+        EXPECT_EQ(rank_mask.docIds(), mask.docIds());
+        // ...and computes exactly the reference rows.
+        const Tensor out =
+            runAllRanksForward(q, k, v, rank_mask, sharding, false);
+        EXPECT_LT(out.maxAbsDiff(ref.out), 1e-5f) << "cp=" << cp;
+    }
+}
+
+TEST(Integration, CpLocalTokensMatchShardedAttentionRows)
+{
+    // The rows rank r computes are exactly the rows of its local tokens.
+    const std::int64_t seq = 32;
+    SyntheticDataLoader loader(seq, 101, 8.0, 33);
+    const TokenBatch batch = loader.next(0);
+    const CpSharding sharding(seq, 2);
+    const CpLocalBatch local = selectCpLocal(batch, sharding, 1);
+    EXPECT_EQ(local.positions, sharding.queryPositions(1));
+}
+
+TEST(Integration, PlannerChoiceRunsInSimulatorWithinEstimate)
+{
+    // The planner's analytic step estimate and the timed simulator must
+    // agree within a modest factor for the production configuration.
+    PlanInput in;
+    const PlanCandidate plan = bestPlan(in);
+    TrainJobConfig job;
+    job.par = plan.par;
+    job.zero = plan.zero;
+    const TrainStepReport rep = TrainSim(job).run();
+    EXPECT_GT(rep.step_seconds, plan.est_step_seconds * 0.7);
+    EXPECT_LT(rep.step_seconds, plan.est_step_seconds * 1.4);
+    // And the simulated memory also fits, like the planner promised.
+    EXPECT_TRUE(rep.fits(in.cluster.node.gpu.hbm_capacity_gib));
+}
+
+TEST(Integration, ScheduleMemoryTimelineMatchesExecutorPeak)
+{
+    // grad_memory's activation accounting and the executor's in-flight
+    // counter must agree when gradients are zero-sized.
+    const Schedule sched = buildFlexible(ScheduleParams{4, 3, 12, 6});
+    const ExecResult exec =
+        executeSchedule(sched, ExecConfig::uniform(1e-3, 2e-3, 1e-4));
+    for (std::int64_t rank = 0; rank < 4; ++rank) {
+        const GradMemoryParams params{0.0, 0.1, 7.0, ZeroMode::Zero1};
+        const MemorySeries series =
+            gradMemoryTimeline(sched, exec, params, rank);
+        EXPECT_NEAR(series.peak,
+                    7.0 * static_cast<double>(exec.peakInFlight(rank)),
+                    1e-9)
+            << "rank " << rank;
+    }
+}
+
+TEST(Integration, TimelineBubbleAgreesWithExecutor)
+{
+    // Count '.' cells in the rendered timeline; their share should track
+    // the executor's bubble ratio within rendering quantization.
+    const Schedule sched = buildFlexible(ScheduleParams{4, 2, 8, 4});
+    const ExecResult exec =
+        executeSchedule(sched, ExecConfig::uniform(2e-3, 4e-3, 0.0));
+    const int width = 200;
+    const std::string art =
+        renderTimeline(sched, exec, TimelineOptions{width, false});
+    std::int64_t dots = 0, cells = 0;
+    bool in_row = false;
+    for (char c : art) {
+        if (c == '|')
+            in_row = !in_row;
+        else if (in_row) {
+            ++cells;
+            dots += (c == '.');
+        }
+    }
+    const double rendered_idle =
+        static_cast<double>(dots) / static_cast<double>(cells);
+    const double executor_idle = exec.overallBubbleRatio() /
+                                 (1.0 + exec.overallBubbleRatio());
+    EXPECT_NEAR(rendered_idle, executor_idle, 0.06);
+}
+
+TEST(Integration, TraceSynthesisFromSimulatedStageCosts)
+{
+    // Build a trace whose compute profile comes from the layer cost
+    // model, inject a straggler, and localize it — the full Section 6.1
+    // loop on modelled (not hand-made) numbers.
+    const RankGrid grid(ParallelismConfig{4, 2, 4, 2});
+    const LayerCostModel lcm(
+        BlockDims::fromText(ModelConfig::llama3_8b()),
+        GpuSpec::h100Sxm(), 4);
+    const LayerCost layer = lcm.selfAttentionLayer(
+        2048, 2048 * 2049 / 2, 2048);
+    std::vector<double> compute(
+        static_cast<std::size_t>(grid.worldSize()),
+        8.0 * (layer.fwd_seconds + layer.bwd_seconds));
+    const std::int64_t culprit = 42;
+    compute[static_cast<std::size_t>(culprit)] *= 1.3;
+    const ClusterTrace trace = ClusterTrace::synthesize(grid, compute, 2);
+    EXPECT_EQ(findSlowRankFromTrace(grid, trace).rank, culprit);
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,121 @@
+/**
+ * Property tests on the layer-cost model: scaling behaviours every
+ * consumer (planner, simulator, benches) silently relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm4d/model/layer_cost.h"
+
+namespace llm4d {
+namespace {
+
+class LayerCostProperties : public ::testing::TestWithParam<std::int64_t>
+{
+  protected:
+    ModelConfig model = ModelConfig::llama3_70b();
+    GpuSpec gpu = GpuSpec::h100Sxm();
+
+    static std::int64_t
+    causalPairs(std::int64_t s)
+    {
+        return s * (s + 1) / 2;
+    }
+};
+
+TEST_P(LayerCostProperties, TimeMonotoneInTokens)
+{
+    const std::int64_t tp = GetParam();
+    const LayerCostModel lcm(BlockDims::fromText(model), gpu, tp);
+    double prev_fwd = 0.0, prev_bwd = 0.0;
+    for (std::int64_t tokens : {512, 2048, 8192, 32768}) {
+        const LayerCost c =
+            lcm.selfAttentionLayer(tokens, causalPairs(tokens), tokens);
+        EXPECT_GT(c.fwd_seconds, prev_fwd);
+        EXPECT_GT(c.bwd_seconds, prev_bwd);
+        prev_fwd = c.fwd_seconds;
+        prev_bwd = c.bwd_seconds;
+    }
+}
+
+TEST_P(LayerCostProperties, FlopsExactlyLinearInTokensForDense)
+{
+    const std::int64_t tp = GetParam();
+    const LayerCostModel lcm(BlockDims::fromText(model), gpu, tp);
+    // With a fixed pair count, FLOPs grow exactly linearly in tokens.
+    const LayerCost a = lcm.selfAttentionLayer(1024, 1, 1024);
+    const LayerCost b = lcm.selfAttentionLayer(2048, 1, 2048);
+    EXPECT_NEAR(b.fwd_flops / a.fwd_flops, 2.0, 1e-6);
+}
+
+TEST_P(LayerCostProperties, PerGpuFlopsScaleInverselyWithTp)
+{
+    const std::int64_t tp = GetParam();
+    if (tp == 1)
+        return;
+    const LayerCostModel one(BlockDims::fromText(model), gpu, 1);
+    const LayerCostModel sharded(BlockDims::fromText(model), gpu, tp);
+    const LayerCost c1 =
+        one.selfAttentionLayer(4096, causalPairs(4096), 4096);
+    const LayerCost ct =
+        sharded.selfAttentionLayer(4096, causalPairs(4096), 4096);
+    EXPECT_NEAR(c1.fwd_flops / ct.fwd_flops, static_cast<double>(tp),
+                1e-6);
+}
+
+TEST_P(LayerCostProperties, FrozenNeverCostsMoreThanTrained)
+{
+    const std::int64_t tp = GetParam();
+    const LayerCostModel lcm(BlockDims::fromText(model), gpu, tp);
+    for (std::int64_t tokens : {256, 4096}) {
+        const LayerCost frozen = lcm.selfAttentionLayer(
+            tokens, causalPairs(tokens), tokens, true);
+        const LayerCost trained = lcm.selfAttentionLayer(
+            tokens, causalPairs(tokens), tokens, false);
+        EXPECT_LE(frozen.bwd_seconds, trained.bwd_seconds);
+        EXPECT_LE(frozen.bwd_flops, trained.bwd_flops);
+        EXPECT_DOUBLE_EQ(frozen.fwd_seconds, trained.fwd_seconds);
+    }
+}
+
+TEST_P(LayerCostProperties, CostCompositionIsAdditive)
+{
+    const std::int64_t tp = GetParam();
+    const LayerCostModel lcm(BlockDims::fromText(model), gpu, tp);
+    const LayerCost a =
+        lcm.selfAttentionLayer(1024, causalPairs(1024), 1024);
+    LayerCost sum = a;
+    sum += a;
+    EXPECT_DOUBLE_EQ(sum.fwd_seconds, 2.0 * a.fwd_seconds);
+    EXPECT_DOUBLE_EQ(sum.bwd_flops, 2.0 * a.bwd_flops);
+    const LayerCost scaled = a.scaled(3.0);
+    EXPECT_DOUBLE_EQ(scaled.fwd_flops, 3.0 * a.fwd_flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(TpDegrees, LayerCostProperties,
+                         ::testing::Values<std::int64_t>(1, 2, 8));
+
+TEST(BlockDimsTest, ConversionsPreserveWidths)
+{
+    const ModelConfig m = ModelConfig::llama3_405b();
+    const BlockDims text = BlockDims::fromText(m);
+    EXPECT_EQ(text.hidden, m.hidden);
+    EXPECT_EQ(text.kvDim(), m.kvDim());
+    const VitConfig v = VitConfig::vit672();
+    const BlockDims vit = BlockDims::fromVit(v);
+    EXPECT_EQ(vit.hidden, v.hidden);
+    EXPECT_EQ(vit.kv_heads, vit.heads) << "ViT uses MHA";
+}
+
+TEST(BlockDimsTest, TpBeyondKvHeadsReplicates)
+{
+    // tp = 16 > kv_heads = 8 must still construct (KV replicated).
+    const LayerCostModel lcm(
+        BlockDims::fromText(ModelConfig::llama3_405b()),
+        GpuSpec::h100Sxm(), 16);
+    const LayerCost c = lcm.selfAttentionLayer(1024, 1024, 1024);
+    EXPECT_GT(c.fwd_seconds, 0.0);
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,258 @@
+#include "llm4d/model/layer_cost.h"
+#include "llm4d/model/memory_model.h"
+#include "llm4d/model/model_config.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(ModelConfig, Llama405bParameterCount)
+{
+    ModelConfig m = ModelConfig::llama3_405b();
+    const double total = static_cast<double>(m.totalParams());
+    EXPECT_GT(total, 400e9);
+    EXPECT_LT(total, 412e9);
+    EXPECT_EQ(m.headDim(), 128);
+    EXPECT_EQ(m.kvDim(), 1024);
+}
+
+TEST(ModelConfig, Llama70bAnd8bParameterCounts)
+{
+    const double p70 =
+        static_cast<double>(ModelConfig::llama3_70b().totalParams());
+    EXPECT_GT(p70, 67e9);
+    EXPECT_LT(p70, 73e9);
+    const double p8 =
+        static_cast<double>(ModelConfig::llama3_8b().totalParams());
+    EXPECT_GT(p8, 7.5e9);
+    EXPECT_LT(p8, 8.6e9);
+}
+
+TEST(ModelConfig, DenseFlopsPerTokenNear2xParams)
+{
+    // For large models the embedding is a small fraction: fwd FLOPs per
+    // token ~= 2 * params.
+    ModelConfig m = ModelConfig::llama3_405b();
+    const double ratio = m.denseFlopsPerTokenForward() /
+                         (2.0 * static_cast<double>(m.totalParams()));
+    EXPECT_GT(ratio, 0.97);
+    EXPECT_LT(ratio, 1.01);
+}
+
+TEST(ModelConfig, ScaledDownKeepsDims)
+{
+    ModelConfig m = ModelConfig::scaledDown405b(26);
+    EXPECT_EQ(m.num_layers, 26);
+    EXPECT_EQ(m.hidden, 16384);
+}
+
+TEST(VitConfig, TokenCountsMatchPaper)
+{
+    // Section 3.2.2: ~1.2K tokens at 448px, ~3K tokens at 672px.
+    EXPECT_NEAR(static_cast<double>(VitConfig::vit448().imageTokens()),
+                1200.0, 250.0);
+    EXPECT_NEAR(static_cast<double>(VitConfig::vit672().imageTokens()),
+                3000.0, 750.0);
+}
+
+TEST(MultimodalConfig, CrossLayerRatio)
+{
+    MultimodalConfig mm = MultimodalConfig::llama3Multimodal();
+    EXPECT_EQ(mm.self_per_cross, 4);
+    EXPECT_EQ(mm.numCrossLayers(), mm.text.num_layers / 4);
+    EXPECT_LT(mm.text_tokens, 200);
+}
+
+class LayerCostTest : public ::testing::Test
+{
+  protected:
+    ModelConfig model = ModelConfig::llama3_405b();
+    GpuSpec gpu = GpuSpec::h100Sxm();
+    LayerCostModel cost{BlockDims::fromText(model), gpu, 8};
+
+    static std::int64_t
+    causalPairs(std::int64_t s)
+    {
+        return s * (s + 1) / 2;
+    }
+};
+
+TEST_F(LayerCostTest, ForwardTimePlausibleFor8kTokens)
+{
+    // One 405B layer, 8K tokens, tp=8: ~6.4 GFLOP of GEMMs per GPU plus
+    // attention. Expect high-single-digit milliseconds.
+    const auto c =
+        cost.selfAttentionLayer(8192, causalPairs(8192), 8192);
+    EXPECT_GT(c.fwd_seconds, 1e-3);
+    EXPECT_LT(c.fwd_seconds, 3e-2);
+    EXPECT_GT(c.bwd_seconds, c.fwd_seconds * 1.7);
+    EXPECT_LT(c.bwd_seconds, c.fwd_seconds * 2.6);
+}
+
+TEST_F(LayerCostTest, FlopAccountingMatchesAnalyticForm)
+{
+    const std::int64_t tokens = 8192;
+    const auto c =
+        cost.selfAttentionLayer(tokens, causalPairs(tokens), tokens);
+    const double dense =
+        2.0 * tokens *
+        (static_cast<double>(model.attnParamsPerLayer()) +
+         model.ffnParamsPerLayer()) /
+        8.0;
+    const double attn = 4.0 * static_cast<double>(causalPairs(tokens)) *
+                        (model.heads / 8) * model.headDim();
+    EXPECT_NEAR(c.fwd_flops, dense + attn, (dense + attn) * 1e-9);
+}
+
+TEST_F(LayerCostTest, FrozenLayerBackwardIsCheaper)
+{
+    const auto trained =
+        cost.selfAttentionLayer(4096, causalPairs(4096), 4096, false);
+    const auto frozen =
+        cost.selfAttentionLayer(4096, causalPairs(4096), 4096, true);
+    EXPECT_EQ(frozen.fwd_seconds, trained.fwd_seconds);
+    EXPECT_LT(frozen.bwd_seconds, trained.bwd_seconds * 0.75);
+}
+
+TEST_F(LayerCostTest, DocMaskReducesTimeButNotDenseTime)
+{
+    const std::int64_t tokens = 8192;
+    const auto causal =
+        cost.selfAttentionLayer(tokens, causalPairs(tokens), tokens);
+    // Document mask with avg 1K docs: ~8x fewer pairs.
+    const auto doc =
+        cost.selfAttentionLayer(tokens, causalPairs(tokens) / 8, tokens);
+    EXPECT_LT(doc.fwd_seconds, causal.fwd_seconds);
+    EXPECT_LT(doc.fwd_flops, causal.fwd_flops);
+}
+
+TEST_F(LayerCostTest, HigherTpShrinksPerGpuTimeSublinearly)
+{
+    LayerCostModel tp4{BlockDims::fromText(model), gpu, 4};
+    const auto c8 =
+        cost.selfAttentionLayer(8192, causalPairs(8192), 8192);
+    const auto c4 = tp4.selfAttentionLayer(8192, causalPairs(8192), 8192);
+    EXPECT_GT(c4.fwd_seconds, c8.fwd_seconds * 1.6);
+    // Per-GPU efficiency is better at tp=4 (bigger shards): time ratio
+    // below 2x even though work per GPU is 2x (Section 8.1 HBM argument).
+    EXPECT_LT(c4.fwd_seconds, c8.fwd_seconds * 2.0);
+}
+
+TEST_F(LayerCostTest, CrossAttentionScalesWithImageTokens)
+{
+    const auto small = cost.crossAttentionLayer(192, 1032);
+    const auto large = cost.crossAttentionLayer(192, 2312);
+    EXPECT_GT(large.fwd_seconds, small.fwd_seconds);
+    EXPECT_GT(large.bwd_seconds, small.bwd_seconds);
+}
+
+TEST_F(LayerCostTest, OutputHeadIsSubstantial)
+{
+    // 128K vocab head on 8K tokens is a huge GEMM; Section 3.1.2 removes
+    // a layer from the last stage to compensate.
+    const auto head = cost.outputHead(8192, model.vocab);
+    const auto layer =
+        cost.selfAttentionLayer(8192, causalPairs(8192), 8192);
+    EXPECT_GT(head.fwd_seconds, layer.fwd_seconds * 0.4);
+}
+
+TEST_F(LayerCostTest, TpShardBytes)
+{
+    // [8192/8, 16384] BF16 slice = 33.5 MB.
+    EXPECT_EQ(cost.tpCollectiveShardBytes(8192), 2 * 1024 * 16384);
+}
+
+class MemoryModelTest : public ::testing::Test
+{
+  protected:
+    ModelConfig model = ModelConfig::llama3_405b();
+};
+
+TEST_F(MemoryModelTest, WeightsForEightLayersAtTp8)
+{
+    MemoryModel mm(model, 8, 128, ZeroMode::Zero1);
+    // 8 layers * 3.19e9 params / 8 = 3.19e9 params -> ~6.4 GB BF16.
+    const double gib =
+        MemoryBreakdown::toGib(mm.weightBytes(8, false, false));
+    EXPECT_GT(gib, 5.5);
+    EXPECT_LT(gib, 6.5);
+}
+
+TEST_F(MemoryModelTest, Zero1GradsLargerThanZero2)
+{
+    MemoryModel z1(model, 8, 128, ZeroMode::Zero1);
+    MemoryModel z2(model, 8, 128, ZeroMode::Zero2);
+    const double g1 = z1.gradBytes(8, false, false, 1);
+    const double g2 = z2.gradBytes(8, false, false, 1);
+    EXPECT_GT(g1, g2 * 4.0)
+        << "ZeRO-2 reshards gradients; ZeRO-1 keeps them whole (Fig. 4)";
+}
+
+TEST_F(MemoryModelTest, OptimizerAlwaysSharded)
+{
+    MemoryModel mm(model, 8, 128, ZeroMode::Zero1);
+    // 3.19e9 params * 12 B / 128 shards ~= 0.28 GiB.
+    const double gib =
+        MemoryBreakdown::toGib(mm.optimizerBytes(8, false, false));
+    EXPECT_GT(gib, 0.2);
+    EXPECT_LT(gib, 0.4);
+}
+
+TEST_F(MemoryModelTest, Zero3ShardsParameters)
+{
+    MemoryModel z1(model, 8, 128, ZeroMode::Zero1);
+    MemoryModel z3(model, 8, 128, ZeroMode::Zero3);
+    EXPECT_LT(z3.weightBytes(8, false, false),
+              z1.weightBytes(8, false, false) / 4.0);
+}
+
+TEST_F(MemoryModelTest, RecomputeSlashesActivations)
+{
+    MemoryModel mm(model, 8, 128, ZeroMode::Zero1);
+    const double full =
+        mm.activationBytesPerTokenLayer(ActivationMode::Full);
+    const double rec =
+        mm.activationBytesPerTokenLayer(ActivationMode::Recompute);
+    EXPECT_GT(full, rec * 10.0);
+}
+
+TEST_F(MemoryModelTest, UnoptimizedAutogradCostsMore)
+{
+    MemoryModel opt(model, 8, 128, ZeroMode::Zero1, true);
+    MemoryModel raw(model, 8, 128, ZeroMode::Zero1, false);
+    EXPECT_GT(raw.activationBytesPerTokenLayer(ActivationMode::Full),
+              opt.activationBytesPerTokenLayer(ActivationMode::Full) * 1.5);
+}
+
+TEST_F(MemoryModelTest, HeadBuffersChargedToLastStage)
+{
+    MemoryModel mm(model, 8, 128, ZeroMode::Zero1);
+    const double without =
+        mm.activationBytes(8192, 8, false, false, ActivationMode::Full);
+    const double with =
+        mm.activationBytes(8192, 8, false, true, ActivationMode::Full);
+    // 8192 * 128256 logits * 6B / 8 tp ~= 0.73 GiB extra.
+    EXPECT_GT(with - without, 0.5e9);
+}
+
+TEST_F(MemoryModelTest, RankPeakComposes)
+{
+    MemoryModel mm(model, 8, 128, ZeroMode::Zero1);
+    const MemoryBreakdown peak = mm.rankPeak(
+        /*layers=*/8, /*stage_layers=*/2, /*in_flight=*/10.0,
+        /*tokens=*/8192, /*embed=*/false, /*head=*/false,
+        ActivationMode::Full);
+    EXPECT_GT(peak.weights, 0.0);
+    EXPECT_GT(peak.grads, 0.0);
+    EXPECT_GT(peak.optimizer, 0.0);
+    EXPECT_GT(peak.activations, 0.0);
+    EXPECT_NEAR(peak.total(), peak.weights + peak.grads + peak.optimizer +
+                                  peak.activations,
+                1.0);
+    // A production rank must fit in 80 GiB HBM.
+    EXPECT_LT(peak.totalGib(), 80.0);
+}
+
+} // namespace
+} // namespace llm4d

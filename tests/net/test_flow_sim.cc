@@ -1,0 +1,138 @@
+#include "llm4d/net/flow_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+constexpr double kGB = 1e9;
+
+TEST(FlowSim, SingleFlowTakesBytesOverBandwidth)
+{
+    FlowSim sim;
+    const LinkId link = sim.addLink(10.0 * kGB);
+    const FlowId flow = sim.addFlow({link}, 5.0 * kGB, 0);
+    const auto results = sim.run();
+    EXPECT_NEAR(results[static_cast<std::size_t>(flow)].seconds(), 0.5,
+                1e-6);
+}
+
+TEST(FlowSim, TwoEqualFlowsShareFairly)
+{
+    FlowSim sim;
+    const LinkId link = sim.addLink(10.0 * kGB);
+    sim.addFlow({link}, 5.0 * kGB, 0);
+    sim.addFlow({link}, 5.0 * kGB, 0);
+    const auto results = sim.run();
+    // Each gets 5 GB/s: both finish at t = 1s.
+    EXPECT_NEAR(results[0].seconds(), 1.0, 1e-6);
+    EXPECT_NEAR(results[1].seconds(), 1.0, 1e-6);
+}
+
+TEST(FlowSim, ShortFlowFinishesAndLongFlowSpeedsUp)
+{
+    FlowSim sim;
+    const LinkId link = sim.addLink(10.0 * kGB);
+    const FlowId small = sim.addFlow({link}, 1.0 * kGB, 0);
+    const FlowId big = sim.addFlow({link}, 9.0 * kGB, 0);
+    const auto results = sim.run();
+    // Shared at 5 GB/s until the small flow drains at t=0.2 (1GB/5GBps);
+    // the big flow then has 8 GB left at 10 GB/s -> finishes at t=1.0.
+    EXPECT_NEAR(results[static_cast<std::size_t>(small)].seconds(), 0.2,
+                1e-6);
+    EXPECT_NEAR(results[static_cast<std::size_t>(big)].seconds(), 1.0,
+                1e-6);
+}
+
+TEST(FlowSim, LateArrivalWaitsForRelease)
+{
+    FlowSim sim;
+    const LinkId link = sim.addLink(10.0 * kGB);
+    const FlowId late =
+        sim.addFlow({link}, 1.0 * kGB, secondsToTime(2.0));
+    const auto results = sim.run();
+    EXPECT_EQ(results[static_cast<std::size_t>(late)].start,
+              secondsToTime(2.0));
+    EXPECT_NEAR(timeToSeconds(results[static_cast<std::size_t>(late)].end),
+                2.1, 1e-6);
+}
+
+TEST(FlowSim, MultiLinkFlowBoundByNarrowestLink)
+{
+    FlowSim sim;
+    const LinkId fat = sim.addLink(100.0 * kGB);
+    const LinkId thin = sim.addLink(1.0 * kGB);
+    const FlowId flow = sim.addFlow({fat, thin}, 2.0 * kGB, 0);
+    const auto results = sim.run();
+    EXPECT_NEAR(results[static_cast<std::size_t>(flow)].seconds(), 2.0,
+                1e-6);
+}
+
+TEST(FlowSim, MaxMinAllocationAcrossLinks)
+{
+    // Classic max-min example: flow A uses links 1+2, flow B uses link 1,
+    // flow C uses link 2. cap(1)=10, cap(2)=4. Fair shares: link 2 fixes
+    // A and C at 2; B then gets the remaining 8 on link 1.
+    FlowSim sim;
+    const LinkId l1 = sim.addLink(10.0 * kGB);
+    const LinkId l2 = sim.addLink(4.0 * kGB);
+    const FlowId a = sim.addFlow({l1, l2}, 2.0 * kGB, 0);
+    const FlowId b = sim.addFlow({l1}, 8.0 * kGB, 0);
+    const FlowId c = sim.addFlow({l2}, 2.0 * kGB, 0);
+    const auto results = sim.run();
+    // A: 2 GB at 2 GB/s -> 1.0 s; C likewise; B: 8 GB at 8 GB/s -> 1.0 s.
+    EXPECT_NEAR(results[static_cast<std::size_t>(a)].seconds(), 1.0, 1e-6);
+    EXPECT_NEAR(results[static_cast<std::size_t>(b)].seconds(), 1.0, 1e-6);
+    EXPECT_NEAR(results[static_cast<std::size_t>(c)].seconds(), 1.0, 1e-6);
+}
+
+TEST(FlowSim, CongestionFactorEmergesFromSharing)
+{
+    // The Section 3.1.3 scenario: a PP P2P transfer (33.5 MB) shares the
+    // NIC with an FSDP reduce-scatter stream. With one equal-duration
+    // aggressor the victim takes ~2x as long; the fsdp.h constant (1.4)
+    // models partial overlap.
+    const double slowdown =
+        measuredCongestionFactor(35.0 * kGB, 33.5e6, 1, 33.5e6);
+    EXPECT_NEAR(slowdown, 2.0, 1e-3);
+    // A shorter aggressor hurts less — the victim reclaims bandwidth.
+    const double partial =
+        measuredCongestionFactor(35.0 * kGB, 33.5e6, 1, 8.0e6);
+    EXPECT_GT(partial, 1.0);
+    EXPECT_LT(partial, 1.5);
+    // No aggressors, no slowdown.
+    EXPECT_NEAR(measuredCongestionFactor(35.0 * kGB, 33.5e6, 0, 1.0), 1.0,
+                1e-9);
+}
+
+TEST(FlowSim, ManyFlowsDrainCompletely)
+{
+    FlowSim sim;
+    const LinkId link = sim.addLink(kGB);
+    for (int i = 0; i < 32; ++i)
+        sim.addFlow({link}, 1e6 * (i + 1), secondsToTime(0.001 * i));
+    const auto results = sim.run();
+    ASSERT_EQ(results.size(), 32u);
+    for (const FlowResult &r : results)
+        EXPECT_GT(r.end, r.start);
+    // Conservation: total bytes / capacity lower-bounds the makespan.
+    double total = 0.0;
+    for (int i = 0; i < 32; ++i)
+        total += 1e6 * (i + 1);
+    Time last = 0;
+    for (const FlowResult &r : results)
+        last = std::max(last, r.end);
+    EXPECT_GE(timeToSeconds(last) + 1e-9, total / kGB);
+}
+
+TEST(FlowSim, InvalidInputsAbort)
+{
+    FlowSim sim;
+    EXPECT_DEATH(sim.addLink(0.0), "positive");
+    const LinkId link = sim.addLink(kGB);
+    EXPECT_DEATH(sim.addFlow({}, 1.0, 0), "at least one link");
+    EXPECT_DEATH(sim.addFlow({link + 5}, 1.0, 0), "unknown link");
+}
+
+} // namespace
+} // namespace llm4d

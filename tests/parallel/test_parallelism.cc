@@ -1,0 +1,122 @@
+#include "llm4d/parallel/parallelism.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace llm4d {
+namespace {
+
+TEST(ParallelismConfig, WorldSizeAndLabel)
+{
+    ParallelismConfig cfg{8, 1, 16, 128};
+    EXPECT_EQ(cfg.worldSize(), 16384);
+    EXPECT_EQ(cfg.modelParallelSize(), 128);
+    EXPECT_EQ(cfg.str(), "tp8 cp1 pp16 dp128");
+}
+
+TEST(RankGrid, TpIsInnermost)
+{
+    // Paper Section 5.2: order [TP, CP, PP, DP] inner -> outer. TP peers
+    // must be consecutive global ranks (same NVLink host).
+    RankGrid grid(ParallelismConfig{8, 2, 4, 2});
+    const auto tp_group = grid.tpGroup(0);
+    ASSERT_EQ(tp_group.size(), 8u);
+    for (std::int64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(tp_group[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RankGrid, CoordRoundTrip)
+{
+    RankGrid grid(ParallelismConfig{8, 2, 16, 4});
+    for (std::int64_t r = 0; r < grid.worldSize(); r += 97) {
+        const RankCoord c = grid.coordOf(r);
+        EXPECT_EQ(grid.rankOf(c), r);
+    }
+}
+
+TEST(RankGrid, AxisStrides)
+{
+    RankGrid grid(ParallelismConfig{8, 2, 4, 2});
+    // CP stride = tp = 8; PP stride = tp*cp = 16; DP stride = tp*cp*pp = 64.
+    EXPECT_EQ(grid.cpGroup(0)[1], 8);
+    EXPECT_EQ(grid.ppGroup(0)[1], 16);
+    EXPECT_EQ(grid.dpGroup(0)[1], 64);
+}
+
+TEST(RankGrid, GroupsContainSelfAndAreConsistent)
+{
+    RankGrid grid(ParallelismConfig{4, 2, 2, 2});
+    for (std::int64_t r = 0; r < grid.worldSize(); ++r) {
+        for (const auto &group :
+             {grid.tpGroup(r), grid.cpGroup(r), grid.ppGroup(r),
+              grid.dpGroup(r)}) {
+            EXPECT_NE(std::find(group.begin(), group.end(), r),
+                      group.end());
+            // Every member's group along the same axis is identical.
+        }
+    }
+}
+
+TEST(RankGrid, GroupsPartitionWorld)
+{
+    RankGrid grid(ParallelismConfig{4, 2, 4, 2});
+    for (const auto &groups :
+         {grid.allTpGroups(), grid.allCpGroups(), grid.allPpGroups(),
+          grid.allDpGroups()}) {
+        std::set<std::int64_t> seen;
+        for (const auto &g : groups)
+            for (std::int64_t r : g)
+                EXPECT_TRUE(seen.insert(r).second) << "rank in two groups";
+        EXPECT_EQ(static_cast<std::int64_t>(seen.size()), grid.worldSize());
+    }
+}
+
+TEST(RankGrid, GroupCounts)
+{
+    RankGrid grid(ParallelismConfig{8, 2, 4, 4});
+    EXPECT_EQ(grid.allTpGroups().size(), 2u * 4 * 4);
+    EXPECT_EQ(grid.allCpGroups().size(), 8u * 4 * 4);
+    EXPECT_EQ(grid.allPpGroups().size(), 8u * 2 * 4);
+    EXPECT_EQ(grid.allDpGroups().size(), 8u * 2 * 4);
+}
+
+TEST(RankGrid, DpCpGroupCombinesBothAxes)
+{
+    // Paper Section 4: FSDP collectives treat CP as an extension of DP.
+    RankGrid grid(ParallelismConfig{2, 2, 2, 2});
+    const auto g = grid.dpCpGroup(0);
+    EXPECT_EQ(g.size(), 4u);
+    std::set<std::int64_t> members(g.begin(), g.end());
+    // From rank 0 (tp0 cp0 pp0 dp0): cp peers {0, 2}, dp peers {0, 8},
+    // combined {0, 2, 8, 10}.
+    EXPECT_EQ(members, (std::set<std::int64_t>{0, 2, 8, 10}));
+}
+
+TEST(RankGrid, Table2ConfigsMapOntoCluster)
+{
+    // Production 8K-seq config: tp8 within a host; CP=1; each PP group
+    // strides by 8 so PP peers sit on different hosts.
+    RankGrid base(ParallelismConfig{8, 1, 16, 128});
+    EXPECT_EQ(base.worldSize(), 16384);
+    EXPECT_EQ(base.tpGroup(0).back(), 7);
+    EXPECT_EQ(base.ppGroup(0)[1], 8);
+
+    // Long-context config: tp8 cp16 pp16 dp8.
+    RankGrid lc(ParallelismConfig{8, 16, 16, 8});
+    EXPECT_EQ(lc.worldSize(), 16384);
+    // CP group strides by tp=8: 16 consecutive hosts' worth of rank 0s.
+    const auto cpg = lc.cpGroup(0);
+    EXPECT_EQ(cpg.size(), 16u);
+    EXPECT_EQ(cpg[1] - cpg[0], 8);
+}
+
+TEST(RankGrid, InvalidConfigAborts)
+{
+    ParallelismConfig bad;
+    bad.tp = 0;
+    EXPECT_DEATH(RankGrid{bad}, "positive");
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,135 @@
+#include "llm4d/plan/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(Planner, ReproducesTable2ShortContext)
+{
+    // Paper Table 2, 8K row: tp8 cp1 pp16 dp128 on 16K GPUs.
+    PlanInput in; // defaults are the production inputs
+    const PlanCandidate best = bestPlan(in);
+    EXPECT_EQ(best.par, (ParallelismConfig{8, 1, 16, 128}));
+    EXPECT_EQ(best.bs, 16);
+    EXPECT_TRUE(best.feasible);
+}
+
+TEST(Planner, ReproducesTable2LongContext)
+{
+    // Paper Table 2, 131K row: tp8 cp16 pp16 dp8.
+    PlanInput in;
+    in.seq = 131072;
+    const PlanCandidate best = bestPlan(in);
+    EXPECT_EQ(best.par, (ParallelismConfig{8, 16, 16, 8}));
+    EXPECT_EQ(best.bs, 16);
+}
+
+TEST(Planner, TpNeverExceedsNodeUnlessForced)
+{
+    // Section 5.1: tp=8 keeps TP on NVLink; tp=16 pays inter-node
+    // latency on every layer and must never win.
+    PlanInput in;
+    for (const PlanCandidate &cand : enumeratePlans(in)) {
+        if (!cand.feasible)
+            continue;
+        EXPECT_EQ(bestPlan(in).par.tp, 8);
+        break;
+    }
+}
+
+TEST(Planner, TwoDParallelismLosesTo3D)
+{
+    // Section 5.1's arithmetic-intensity argument: ZeRO-3 2D config is
+    // feasible only with exposed per-layer all-gathers; 3D must win.
+    PlanInput in;
+    const auto plans = enumeratePlans(in);
+    const PlanCandidate best = bestPlan(in);
+    for (const PlanCandidate &cand : plans) {
+        if (cand.feasible && cand.par.pp == 1) {
+            EXPECT_GT(cand.est_step_seconds, best.est_step_seconds)
+                << "2D " << cand.par.str() << " should not beat 3D";
+        }
+    }
+}
+
+TEST(Planner, LongContextRequiresCp)
+{
+    // At 131K with only 128 sequences per step, cp=1 leaves bs too small
+    // for PP (or infeasible); every near-optimal plan uses cp >= 8.
+    PlanInput in;
+    in.seq = 131072;
+    const auto plans = enumeratePlans(in);
+    const double best = bestPlan(in).est_step_seconds;
+    for (const PlanCandidate &cand : plans) {
+        if (!cand.feasible || cand.est_step_seconds > best * 1.05)
+            continue;
+        EXPECT_GE(cand.par.cp, 4)
+            << cand.par.str() << " should not be near-optimal at 131K";
+    }
+}
+
+TEST(Planner, InfeasibleConfigsCarryReasons)
+{
+    PlanInput in;
+    bool saw_memory = false, saw_batch = false;
+    for (const PlanCandidate &cand : enumeratePlans(in)) {
+        if (cand.feasible) {
+            EXPECT_TRUE(cand.reject_reason.empty());
+            continue;
+        }
+        EXPECT_FALSE(cand.reject_reason.empty())
+            << cand.par.str() << " rejected without a reason";
+        saw_memory |= cand.reject_reason.find("HBM") != std::string::npos;
+        saw_batch |=
+            cand.reject_reason.find("batch") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_memory);
+    EXPECT_TRUE(saw_batch);
+}
+
+TEST(Planner, MemoryEstimatesWithinHbm)
+{
+    PlanInput in;
+    for (const PlanCandidate &cand : enumeratePlans(in)) {
+        if (cand.feasible) {
+            EXPECT_LE(cand.est_memory_gib,
+                      in.cluster.node.gpu.hbm_capacity_gib * 0.94 + 1e-9);
+        }
+    }
+}
+
+TEST(Planner, ThroughputInPlausibleBand)
+{
+    PlanInput in;
+    const PlanCandidate best = bestPlan(in);
+    // The paper reports 400 TFLOPs/GPU; the model must land in a
+    // moderately wide band around it.
+    EXPECT_GT(best.est_tflops_per_gpu, 300.0);
+    EXPECT_LT(best.est_tflops_per_gpu, 550.0);
+}
+
+TEST(Planner, SmallerClusterStillPlans)
+{
+    PlanInput in;
+    in.cluster = ClusterSpec::llama3Production(2048);
+    in.global_batch_tokens = 2LL * 1024 * 1024;
+    const PlanCandidate best = bestPlan(in);
+    EXPECT_TRUE(best.feasible);
+    EXPECT_EQ(best.par.worldSize(), 2048);
+}
+
+TEST(Planner, SeventyBModelUsesLessModelParallelism)
+{
+    PlanInput in;
+    in.model = ModelConfig::llama3_70b();
+    in.cluster = ClusterSpec::llama3Production(4096);
+    in.global_batch_tokens = 8LL * 1024 * 1024;
+    const PlanCandidate best = bestPlan(in);
+    EXPECT_TRUE(best.feasible);
+    EXPECT_LE(best.par.modelParallelSize(), 64)
+        << "a 70B model must not need the 405B's tp*pp=128";
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,118 @@
+#include "llm4d/pp/grad_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+constexpr double kGradStage = 100.0; // bytes per stage gradient buffer
+constexpr double kAct = 10.0;        // bytes per in-flight (stage, mb)
+constexpr double kFrac = 1.0 / 8.0;  // FSDP shard fraction
+
+GradMemoryParams
+params(ZeroMode mode)
+{
+    return GradMemoryParams{kGradStage, kFrac, kAct, mode};
+}
+
+struct Setup
+{
+    Schedule sched;
+    ExecResult exec;
+};
+
+Setup
+run(const Schedule &s)
+{
+    return Setup{s,
+                 executeSchedule(s, ExecConfig::uniform(1e-3, 2e-3, 0.0))};
+}
+
+TEST(GradMemory, Zero1OneReduceScatterPerStage)
+{
+    auto [s, exec] = run(buildFlexible(ScheduleParams{4, 2, 16, 4}));
+    MemorySeries m = gradMemoryTimeline(s, exec, params(ZeroMode::Zero1), 0);
+    EXPECT_EQ(m.reduce_scatters, 2) << "one per virtual stage (Fig. 4a)";
+}
+
+TEST(GradMemory, Zero2ReduceScattersEveryRound)
+{
+    // nmb=16, nc=4 -> 4 rounds; v=2 stages -> 8 reduce-scatters (Fig. 4c).
+    auto [s, exec] = run(buildFlexible(ScheduleParams{4, 2, 16, 4}));
+    MemorySeries m = gradMemoryTimeline(s, exec, params(ZeroMode::Zero2), 0);
+    EXPECT_EQ(m.reduce_scatters, 8);
+}
+
+TEST(GradMemory, Zero2PeakBelowZero1Peak)
+{
+    auto [s, exec] = run(buildFlexible(ScheduleParams{4, 4, 16, 4}));
+    const double peak1 =
+        gradMemoryTimeline(s, exec, params(ZeroMode::Zero1), 0).peak;
+    const double peak2 =
+        gradMemoryTimeline(s, exec, params(ZeroMode::Zero2), 0).peak;
+    EXPECT_LT(peak2, peak1)
+        << "resharding between rounds must reduce the gradient peak";
+}
+
+TEST(GradMemory, Zero1HoldsAllStagesAtEnd)
+{
+    // Just before the end of step, every stage's unsharded gradient is
+    // resident under ZeRO-1.
+    auto [s, exec] = run(buildFlexible(ScheduleParams{2, 3, 6, 2}));
+    MemorySeries m = gradMemoryTimeline(s, exec, params(ZeroMode::Zero1), 0);
+    // The final backward's activation is still resident one tick before
+    // the end, on top of the three unsharded stage gradients.
+    EXPECT_NEAR(m.at(exec.makespan - 1), 3 * kGradStage + kAct, 1e-9);
+    // After the end-of-step reduce-scatter only shards remain.
+    EXPECT_NEAR(m.at(exec.makespan), 3 * kGradStage * kFrac, 1e-9);
+}
+
+TEST(GradMemory, ActivationsDrainToZero)
+{
+    auto [s, exec] = run(buildFlexible(ScheduleParams{4, 2, 8, 4}));
+    MemorySeries m = gradMemoryTimeline(s, exec, params(ZeroMode::Zero2), 0);
+    // At end of step, activations are all freed; only sharded gradient
+    // accumulators remain.
+    EXPECT_NEAR(m.at(exec.makespan), 2 * kGradStage * kFrac, 1e-9);
+}
+
+TEST(GradMemory, PeakTracksInFlightActivations)
+{
+    // With tiny grads, the peak is activation-dominated and must equal
+    // peakInFlight * act bytes.
+    auto [s, exec] = run(buildFlexible(ScheduleParams{4, 2, 16, 4}));
+    GradMemoryParams p{0.0, kFrac, kAct, ZeroMode::Zero1};
+    MemorySeries m = gradMemoryTimeline(s, exec, p, 0);
+    EXPECT_NEAR(m.peak,
+                static_cast<double>(exec.peakInFlight(0)) * kAct, 1e-9);
+}
+
+TEST(GradMemory, AfabSameReduceScattersBothModes)
+{
+    // Figure 4b: with all-forward-all-backward and nc == nmb, each stage
+    // reduce-scatters once regardless of mode.
+    auto [s, exec] =
+        run(buildAllForwardAllBackward(ScheduleParams{4, 2, 12, 12}));
+    const auto rs1 =
+        gradMemoryTimeline(s, exec, params(ZeroMode::Zero1), 0)
+            .reduce_scatters;
+    const auto rs2 =
+        gradMemoryTimeline(s, exec, params(ZeroMode::Zero2), 0)
+            .reduce_scatters;
+    EXPECT_EQ(rs1, 2);
+    EXPECT_EQ(rs2, 2);
+}
+
+TEST(GradMemory, SeriesIsTimeOrderedAndNonNegative)
+{
+    auto [s, exec] = run(buildFlexible(ScheduleParams{4, 3, 12, 4}));
+    MemorySeries m = gradMemoryTimeline(s, exec, params(ZeroMode::Zero2), 1);
+    for (std::size_t i = 1; i < m.points.size(); ++i)
+        EXPECT_LT(m.points[i - 1].first, m.points[i].first);
+    for (const auto &[t, bytes] : m.points)
+        EXPECT_GE(bytes, -1e-9);
+    EXPECT_DOUBLE_EQ(m.at(-1), 0.0) << "nothing allocated before start";
+}
+
+} // namespace
+} // namespace llm4d

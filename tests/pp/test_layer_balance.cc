@@ -1,0 +1,94 @@
+#include "llm4d/pp/layer_balance.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(LayerBalance, UniformDistributesAll)
+{
+    StageAssignment a = StageAssignment::uniform(28, 4, 7);
+    EXPECT_EQ(a.totalLayers(), 28);
+    for (std::int64_t r = 0; r < 4; ++r)
+        EXPECT_EQ(a.layersOnRank(r), 7);
+    EXPECT_EQ(a.maxStageLayers(), 1);
+}
+
+TEST(LayerBalance, UniformHandlesRemainder)
+{
+    StageAssignment a = StageAssignment::uniform(26, 4, 2);
+    EXPECT_EQ(a.totalLayers(), 26);
+    // 26 over 8 stages: first two stages get 4, rest 3.
+    EXPECT_EQ(a.globalStage(0).layers, 4);
+    EXPECT_EQ(a.globalStage(1).layers, 4);
+    EXPECT_EQ(a.globalStage(7).layers, 3);
+}
+
+TEST(LayerBalance, EmbeddingAndHeadPlacement)
+{
+    StageAssignment a = StageAssignment::uniform(16, 4, 2);
+    EXPECT_TRUE(a.globalStage(0).embedding);
+    EXPECT_TRUE(a.globalStage(7).head);
+    EXPECT_FALSE(a.globalStage(0).head);
+    EXPECT_FALSE(a.globalStage(3).embedding);
+    // stage(rank, vstage) maps into the interleaved layout.
+    EXPECT_TRUE(a.stage(0, 0).embedding);
+    EXPECT_TRUE(a.stage(3, 1).head);
+}
+
+TEST(LayerBalance, BalancedRemovesOneFromEachEnd)
+{
+    // Section 3.1.2 / Section 7.1.2: the 28-layer scaled model becomes 26
+    // with one layer dropped from the first and last stages.
+    StageAssignment uniform = StageAssignment::uniform(28, 4, 7);
+    StageAssignment balanced = StageAssignment::balanced(26, 4, 7);
+    EXPECT_EQ(balanced.totalLayers(), 26);
+    EXPECT_EQ(balanced.globalStage(0).layers,
+              uniform.globalStage(0).layers - 1);
+    EXPECT_EQ(balanced.globalStage(27).layers,
+              uniform.globalStage(27).layers - 1);
+    // Interior stages unchanged.
+    for (std::int64_t g = 1; g < 27; ++g)
+        EXPECT_EQ(balanced.globalStage(g).layers,
+                  uniform.globalStage(g).layers);
+}
+
+TEST(LayerBalance, Production405bShape)
+{
+    // 126 layers on pp=16, v=8: balanced form of a 128-layer model.
+    StageAssignment a = StageAssignment::balanced(126, 16, 8);
+    EXPECT_EQ(a.totalLayers(), 126);
+    EXPECT_EQ(a.globalStage(0).layers, 0) << "embedding-only first stage";
+    EXPECT_EQ(a.globalStage(127).layers, 0) << "head-only last stage";
+    EXPECT_EQ(a.layersOnRank(0), 7);
+    EXPECT_EQ(a.layersOnRank(15), 7);
+    EXPECT_EQ(a.layersOnRank(7), 8);
+}
+
+TEST(LayerBalance, BalancedNeedsEnoughLayers)
+{
+    // A single stage cannot lose a layer from both ends.
+    EXPECT_DEATH(StageAssignment::balanced(0, 1, 1), "not enough layers");
+}
+
+TEST(LayerBalance, BalancedSkipsEmptyTrailingStages)
+{
+    // 26 layers on 32 stages: the last 6 stages of uniform(28) are empty;
+    // balance must trim the last *non-empty* stage instead of dying.
+    StageAssignment a = StageAssignment::balanced(26, 8, 4);
+    EXPECT_EQ(a.totalLayers(), 26);
+    EXPECT_EQ(a.globalStage(0).layers, 0);
+    EXPECT_EQ(a.globalStage(27).layers, 0);
+    EXPECT_EQ(a.globalStage(26).layers, 1);
+}
+
+TEST(LayerBalance, ZeroLayersUniformStillPlacesModules)
+{
+    StageAssignment a = StageAssignment::uniform(0, 2, 1);
+    EXPECT_EQ(a.totalLayers(), 0);
+    EXPECT_TRUE(a.globalStage(0).embedding);
+    EXPECT_TRUE(a.globalStage(1).head);
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,94 @@
+#include "llm4d/pp/nc_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "llm4d/pp/executor.h"
+
+namespace llm4d {
+namespace {
+
+const ScheduleParams kBase{4, 4, 24, 4};
+
+TEST(NcAdvisor, InFlightMatchesExecutor)
+{
+    // The analytic in-flight count must equal the executor's measured
+    // peak for every nc regime.
+    for (std::int64_t nc : {4, 6, 8, 12, 24}) {
+        ScheduleParams p = kBase;
+        p.nc = nc;
+        const Schedule sched = buildFlexible(p);
+        const ExecResult exec =
+            executeSchedule(sched, ExecConfig::uniform(1e-3, 2e-3, 0.0));
+        EXPECT_EQ(flexibleInFlight(kBase, nc), exec.peakInFlight(0))
+            << "nc=" << nc;
+    }
+}
+
+TEST(NcAdvisor, AfabRegimeHoldsEverything)
+{
+    EXPECT_EQ(flexibleInFlight(kBase, 2), kBase.tmb());
+    EXPECT_EQ(flexibleInFlight(kBase, 1), kBase.tmb());
+}
+
+TEST(NcAdvisor, GenerousBudgetPicksMaxNc)
+{
+    NcBudget budget{1.0, 0.0, 1e9};
+    const NcAdvice advice = adviseNc(kBase, budget);
+    EXPECT_TRUE(advice.fits);
+    EXPECT_EQ(advice.nc, kBase.nmb);
+}
+
+TEST(NcAdvisor, TightBudgetFallsBackToClassic1F1B)
+{
+    // Budget fits exactly the nc = pp footprint and nothing more.
+    const double per_mb = 1.0;
+    const double classic =
+        static_cast<double>(flexibleInFlight(kBase, kBase.pp)) * per_mb;
+    NcBudget budget{per_mb, 0.0, classic + 0.5};
+    const NcAdvice advice = adviseNc(kBase, budget);
+    EXPECT_TRUE(advice.fits);
+    EXPECT_EQ(advice.nc, kBase.pp);
+}
+
+TEST(NcAdvisor, IntermediateBudgetPicksIntermediateNc)
+{
+    const double per_mb = 1.0;
+    // Allow classic + 2 rounds of extra warm-up: (v-1) per nc step.
+    const double classic =
+        static_cast<double>(flexibleInFlight(kBase, kBase.pp));
+    NcBudget budget{per_mb, 0.0, classic + 2.0 * (kBase.v - 1) + 0.5};
+    const NcAdvice advice = adviseNc(kBase, budget);
+    EXPECT_TRUE(advice.fits);
+    EXPECT_EQ(advice.nc, kBase.pp + 2);
+    EXPECT_EQ(advice.in_flight - flexibleInFlight(kBase, kBase.pp),
+              2 * (kBase.v - 1));
+}
+
+TEST(NcAdvisor, ImpossibleBudgetReported)
+{
+    NcBudget budget{10.0, 5.0, 20.0}; // cannot hold even one micro-batch
+    const NcAdvice advice = adviseNc(kBase, budget);
+    EXPECT_FALSE(advice.fits);
+    EXPECT_EQ(advice.nc, kBase.pp) << "report the most frugal option";
+}
+
+TEST(NcAdvisor, FixedBytesCountAgainstBudget)
+{
+    const double classic =
+        static_cast<double>(flexibleInFlight(kBase, kBase.pp));
+    NcBudget no_fixed{1.0, 0.0, classic + 10.0};
+    NcBudget with_fixed{1.0, 10.0, classic + 10.0};
+    EXPECT_GT(adviseNc(kBase, no_fixed).nc, adviseNc(kBase, with_fixed).nc);
+}
+
+TEST(NcAdvisor, SmallBatchClampsNc)
+{
+    ScheduleParams tiny{4, 2, 3, 3}; // nmb < pp
+    NcBudget budget{1.0, 0.0, 1e9};
+    const NcAdvice advice = adviseNc(tiny, budget);
+    EXPECT_EQ(advice.nc, 3);
+    EXPECT_TRUE(advice.fits);
+}
+
+} // namespace
+} // namespace llm4d

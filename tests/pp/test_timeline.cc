@@ -1,0 +1,78 @@
+#include "llm4d/pp/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(Timeline, RendersEveryRank)
+{
+    Schedule s = buildFlexible(ScheduleParams{3, 2, 6, 3});
+    ExecResult exec =
+        executeSchedule(s, ExecConfig::uniform(1e-3, 2e-3, 0.0));
+    const std::string art = renderTimeline(s, exec);
+    EXPECT_NE(art.find("rank 0 |"), std::string::npos);
+    EXPECT_NE(art.find("rank 2 |"), std::string::npos);
+    EXPECT_NE(art.find("Flexible"), std::string::npos);
+    EXPECT_NE(art.find("UPPERCASE"), std::string::npos);
+}
+
+TEST(Timeline, ForwardUppercaseBackwardLowercase)
+{
+    Schedule s = buildFlexible(ScheduleParams{1, 1, 2, 2});
+    ExecResult exec =
+        executeSchedule(s, ExecConfig::uniform(1e-3, 1e-3, 0.0));
+    const std::string art =
+        renderTimeline(s, exec, TimelineOptions{8, false});
+    // One rank, mbs 0 and 1: F0 F1 B1 B0 -> "00112211" pattern at 8 cols
+    // would be uppercase digits then lowercase. '0' and '1' have no case,
+    // so check presence only.
+    EXPECT_NE(art.find('0'), std::string::npos);
+    EXPECT_NE(art.find('1'), std::string::npos);
+}
+
+TEST(Timeline, LateRanksStartWithBubbles)
+{
+    // Rank pp-1 idles during warm-up: its row must start with dots.
+    Schedule s = buildFlexible(ScheduleParams{4, 1, 8, 4});
+    ExecResult exec =
+        executeSchedule(s, ExecConfig::uniform(1e-3, 2e-3, 0.0));
+    const std::string art =
+        renderTimeline(s, exec, TimelineOptions{64, false});
+    const auto pos = art.find("rank 3 |");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_EQ(art[pos + 8], '.') << "last rank idles at t=0";
+    const auto pos0 = art.find("rank 0 |");
+    EXPECT_NE(art[pos0 + 8], '.') << "first rank starts immediately";
+}
+
+TEST(Timeline, ExposedP2PWidensBubbles)
+{
+    Schedule s = buildFlexible(ScheduleParams{4, 2, 8, 4});
+    const auto count_dots = [&](double p2p) {
+        ExecResult exec =
+            executeSchedule(s, ExecConfig::uniform(1e-3, 2e-3, p2p));
+        const std::string art =
+            renderTimeline(s, exec, TimelineOptions{96, false});
+        return std::count(art.begin(), art.end(), '.');
+    };
+    EXPECT_GT(count_dots(0.5e-3), count_dots(0.0));
+}
+
+TEST(Timeline, CustomWidthRespected)
+{
+    Schedule s = buildFlexible(ScheduleParams{2, 1, 2, 2});
+    ExecResult exec =
+        executeSchedule(s, ExecConfig::uniform(1e-3, 2e-3, 0.0));
+    const std::string art =
+        renderTimeline(s, exec, TimelineOptions{32, false});
+    // Row line length: "rank N |" + width + "|".
+    std::istringstream in(art);
+    std::string line;
+    std::getline(in, line); // header
+    std::getline(in, line);
+    EXPECT_EQ(line.size(), std::string("rank 0 |").size() + 32 + 1);
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,153 @@
+#include "llm4d/sim/train_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TrainJobConfig
+production8k()
+{
+    return TrainJobConfig{}; // defaults are the Table 2 8K row
+}
+
+TEST(TrainSim, DerivedQuantities)
+{
+    TrainSim sim(production8k());
+    EXPECT_EQ(sim.batchPerDpGroup(), 16);
+    EXPECT_EQ(sim.microBatches(), 16);
+    EXPECT_EQ(sim.virtualStages(), 8);
+    EXPECT_EQ(sim.assignment().totalLayers(), 126);
+}
+
+TEST(TrainSim, ProductionThroughputBand)
+{
+    // Paper Section 7.3: 400 TFLOPs/GPU at 8K. Accept a band around it.
+    const TrainStepReport rep = TrainSim(production8k()).run();
+    EXPECT_GT(rep.tflops_per_gpu, 330.0);
+    EXPECT_LT(rep.tflops_per_gpu, 500.0);
+    EXPECT_GT(rep.mfu, 0.33);
+    EXPECT_LT(rep.mfu, 0.52);
+}
+
+TEST(TrainSim, ProductionFitsInHbm)
+{
+    const TrainStepReport rep = TrainSim(production8k()).run();
+    EXPECT_TRUE(rep.fits(80.0));
+    EXPECT_GT(rep.maxMemoryGib(), 30.0) << "suspiciously empty GPUs";
+}
+
+TEST(TrainSim, LongContextSlightlySlowerPerGpu)
+{
+    // Paper: 400 TFLOPs at 8K vs 380 at 131K (4D with CP).
+    const TrainStepReport short_ctx = TrainSim(production8k()).run();
+    TrainJobConfig lc = production8k();
+    lc.par = ParallelismConfig{8, 16, 16, 8};
+    lc.seq = 131072;
+    const TrainStepReport long_ctx = TrainSim(lc).run();
+    EXPECT_LT(long_ctx.tflops_per_gpu, short_ctx.tflops_per_gpu);
+    EXPECT_GT(long_ctx.tflops_per_gpu, short_ctx.tflops_per_gpu * 0.85);
+    EXPECT_GT(long_ctx.exposed_cp_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(short_ctx.exposed_cp_seconds, 0.0);
+}
+
+TEST(TrainSim, DoubleBatchHalvesBubble)
+{
+    // Section 7.3.1: 12% bubble at bs = pp, 5% at bs = 2*pp; our model
+    // carries extra P2P exposure but must reproduce the ~2x ratio.
+    const TrainStepReport bs16 = TrainSim(production8k()).run();
+    TrainJobConfig big = production8k();
+    big.global_batch_tokens *= 2; // bs = 32 = 2*pp
+    const TrainStepReport bs32 = TrainSim(big).run();
+    EXPECT_LT(bs32.bubble_ratio, bs16.bubble_ratio * 0.65);
+    EXPECT_GT(bs32.tflops_per_gpu, bs16.tflops_per_gpu);
+}
+
+TEST(TrainSim, BalancedLayersBeatUniform)
+{
+    // Section 3.1.2 / Figure 10: balanced assignment lowers peak memory
+    // and raises throughput. Compare a 128-layer uniform model against
+    // the balanced 126-layer co-design.
+    TrainJobConfig uniform = production8k();
+    uniform.model = ModelConfig::scaledDown405b(128);
+    uniform.balanced_layers = false;
+    TrainJobConfig balanced = production8k(); // 126 layers, balanced
+    const TrainStepReport ru = TrainSim(uniform).run();
+    const TrainStepReport rb = TrainSim(balanced).run();
+    EXPECT_LT(rb.maxMemoryGib(), ru.maxMemoryGib());
+    EXPECT_GT(rb.tflops_per_gpu, ru.tflops_per_gpu * 0.99);
+}
+
+TEST(TrainSim, RecomputeSavesMemoryCostsTime)
+{
+    TrainJobConfig base = production8k();
+    TrainJobConfig rec = base;
+    rec.act = ActivationMode::Recompute;
+    const TrainStepReport rb = TrainSim(base).run();
+    const TrainStepReport rr = TrainSim(rec).run();
+    EXPECT_LT(rr.maxMemoryGib(), rb.maxMemoryGib() * 0.8);
+    EXPECT_LT(rr.tflops_per_gpu, rb.tflops_per_gpu * 0.85)
+        << "recomputation must show up as lost useful throughput";
+}
+
+TEST(TrainSim, MemoryOptimizationsMatter)
+{
+    // Section 6.3: without the early-release optimizations the job OOMs.
+    TrainJobConfig raw = production8k();
+    raw.memory_optimized = false;
+    const TrainStepReport rep = TrainSim(raw).run();
+    EXPECT_FALSE(rep.fits(80.0))
+        << "the unoptimized autograd residency should blow the budget";
+}
+
+TEST(TrainSim, DocumentMaskSpeedsUpStep)
+{
+    // Packed short documents slash attention pairs, so the step gets
+    // faster even though the step is priced on the slowest CP shard.
+    TrainJobConfig causal = production8k();
+    TrainJobConfig doc = production8k();
+    doc.doc_mask_mean = 1024.0;
+    const TrainStepReport rc = TrainSim(causal).run();
+    const TrainStepReport rd = TrainSim(doc).run();
+    EXPECT_LT(rd.step_seconds, rc.step_seconds);
+}
+
+TEST(TrainSim, StragglerSlowsWholePipeline)
+{
+    TrainJobConfig cfg = production8k();
+    const TrainStepReport base = TrainSim(cfg).run();
+    cfg.perf.injectStraggler(/*rank=*/8 * 5, /*speed=*/0.7);
+    const TrainStepReport slow = TrainSim(cfg).run();
+    EXPECT_GT(slow.step_seconds, base.step_seconds * 1.05)
+        << "one slow GPU must drag the synchronized pipeline";
+}
+
+TEST(TrainSim, AfabVsFlexibleTradeoff)
+{
+    TrainJobConfig flex = production8k();
+    TrainJobConfig afab = production8k();
+    afab.schedule = ScheduleKind::AllForwardAllBackward;
+    afab.zero = ZeroMode::Zero2;
+    const TrainStepReport rf = TrainSim(flex).run();
+    const TrainStepReport ra = TrainSim(afab).run();
+    // Both must be sane; AFAB hides P2P better but pays ZeRO-2 exposure.
+    EXPECT_GT(ra.tflops_per_gpu, rf.tflops_per_gpu * 0.8);
+    EXPECT_LT(ra.tflops_per_gpu, rf.tflops_per_gpu * 1.2);
+}
+
+TEST(TrainSim, RejectsMismatchedCluster)
+{
+    TrainJobConfig cfg = production8k();
+    cfg.cluster = ClusterSpec::llama3Production(8192);
+    EXPECT_DEATH(TrainSim{cfg}, "does not match cluster");
+}
+
+TEST(TrainSim, RejectsIndivisibleBatch)
+{
+    TrainJobConfig cfg = production8k();
+    cfg.global_batch_tokens = 100 * cfg.seq * cfg.par.dp / 64; // odd
+    EXPECT_DEATH(TrainSim{cfg}, "divide");
+}
+
+} // namespace
+} // namespace llm4d

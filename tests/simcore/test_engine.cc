@@ -1,0 +1,102 @@
+#include "llm4d/simcore/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace llm4d {
+namespace {
+
+TEST(Engine, StartsAtTimeZero)
+{
+    Engine eng;
+    EXPECT_EQ(eng.now(), 0);
+    EXPECT_TRUE(eng.idle());
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder)
+{
+    Engine eng;
+    std::vector<int> order;
+    eng.schedule(30 * kUs, [&] { order.push_back(3); });
+    eng.schedule(10 * kUs, [&] { order.push_back(1); });
+    eng.schedule(20 * kUs, [&] { order.push_back(2); });
+    eng.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eng.now(), 30 * kUs);
+    EXPECT_EQ(eng.eventsProcessed(), 3);
+}
+
+TEST(Engine, SimultaneousEventsRunInSchedulingOrder)
+{
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eng.schedule(5 * kUs, [&order, i] { order.push_back(i); });
+    eng.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleFurtherEvents)
+{
+    Engine eng;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eng.schedule(kUs, chain);
+    };
+    eng.schedule(kUs, chain);
+    eng.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eng.now(), 5 * kUs);
+}
+
+TEST(Engine, RunUntilStopsAtLimit)
+{
+    Engine eng;
+    int fired = 0;
+    eng.schedule(10 * kUs, [&] { ++fired; });
+    eng.schedule(20 * kUs, [&] { ++fired; });
+    eng.schedule(30 * kUs, [&] { ++fired; });
+    const Time t = eng.runUntil(20 * kUs);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(t, 20 * kUs);
+    EXPECT_FALSE(eng.idle());
+    eng.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle)
+{
+    Engine eng;
+    EXPECT_EQ(eng.runUntil(kMs), kMs);
+    EXPECT_EQ(eng.now(), kMs);
+}
+
+TEST(Engine, ZeroDelayEventRunsAtCurrentTime)
+{
+    Engine eng;
+    Time seen = -1;
+    eng.schedule(7 * kUs, [&] {
+        eng.schedule(0, [&] { seen = eng.now(); });
+    });
+    eng.run();
+    EXPECT_EQ(seen, 7 * kUs);
+}
+
+TEST(TimeConversions, RoundTrip)
+{
+    EXPECT_EQ(secondsToTime(1.0), kSec);
+    EXPECT_EQ(microsToTime(2.5), 2500);
+    EXPECT_DOUBLE_EQ(timeToSeconds(kSec), 1.0);
+    EXPECT_DOUBLE_EQ(timeToMicros(kUs), 1.0);
+    EXPECT_DOUBLE_EQ(timeToMillis(kMs), 1.0);
+    // Sub-nanosecond durations round to nearest.
+    EXPECT_EQ(secondsToTime(1.4e-9), 1);
+    EXPECT_EQ(secondsToTime(1.6e-9), 2);
+}
+
+} // namespace
+} // namespace llm4d

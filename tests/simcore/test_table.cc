@@ -1,0 +1,45 @@
+#include "llm4d/simcore/table.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("Demo");
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("== Demo =="), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t("Align");
+    t.header({"a", "b"});
+    t.row({"xxxx", "1"});
+    t.row({"y", "2"});
+    const std::string s = t.str();
+    // "1" and "2" must start at the same column.
+    const auto line_with = [&](const std::string &needle) {
+        const auto pos = s.find(needle);
+        const auto bol = s.rfind('\n', pos) + 1;
+        return pos - bol;
+    };
+    EXPECT_EQ(line_with("1"), line_with("2"));
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(static_cast<std::int64_t>(123456)), "123456");
+    EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,86 @@
+/**
+ * Property tests over the entire BF16 value space: every one of the
+ * 65,536 bit patterns round-trips, ordering and rounding invariants hold.
+ * Cheap on BF16 (unlike FP32), so test exhaustively rather than sample.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "llm4d/tensor/bfloat16.h"
+
+namespace llm4d {
+namespace {
+
+TEST(BF16Exhaustive, EveryBitPatternRoundTrips)
+{
+    for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+        const auto b = BFloat16::fromBits(static_cast<std::uint16_t>(bits));
+        const float f = b.toFloat();
+        const BFloat16 back(f);
+        if (std::isnan(f)) {
+            EXPECT_TRUE(std::isnan(back.toFloat())) << "bits " << bits;
+        } else {
+            ASSERT_EQ(back.bits(), b.bits()) << "bits " << bits;
+        }
+    }
+}
+
+TEST(BF16Exhaustive, RoundingIsIdempotent)
+{
+    for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+        const float f =
+            BFloat16::fromBits(static_cast<std::uint16_t>(bits)).toFloat();
+        if (std::isnan(f))
+            continue;
+        ASSERT_EQ(bf16Round(bf16Round(f)), bf16Round(f)) << "bits " << bits;
+    }
+}
+
+TEST(BF16Exhaustive, RoundingIsMonotone)
+{
+    // For finite positive values in ascending order, rounding never
+    // inverts the order.
+    float prev = -0.0f;
+    bool first = true;
+    for (std::uint32_t bits = 0; bits < 0x7F80; ++bits) { // finite +ve
+        const float f =
+            BFloat16::fromBits(static_cast<std::uint16_t>(bits)).toFloat();
+        if (!first) {
+            ASSERT_LE(prev, f) << "bits " << bits;
+        }
+        prev = f;
+        first = false;
+    }
+}
+
+TEST(BF16Exhaustive, RoundErrorWithinHalfUlp)
+{
+    // Sample midpoints between consecutive BF16 values: the rounded
+    // result must be one of the two neighbours.
+    for (std::uint32_t bits = 0x3F80; bits < 0x47F0; ++bits) { // [1, 2^16)
+        const float lo =
+            BFloat16::fromBits(static_cast<std::uint16_t>(bits)).toFloat();
+        const float hi =
+            BFloat16::fromBits(static_cast<std::uint16_t>(bits + 1))
+                .toFloat();
+        const float mid = lo + (hi - lo) * 0.5f;
+        const float r = bf16Round(mid);
+        ASSERT_TRUE(r == lo || r == hi)
+            << "bits " << bits << " mid " << mid << " -> " << r;
+    }
+}
+
+TEST(BF16Exhaustive, SignSymmetry)
+{
+    for (std::uint32_t bits = 0; bits < 0x7F80; ++bits) {
+        const float f =
+            BFloat16::fromBits(static_cast<std::uint16_t>(bits)).toFloat();
+        ASSERT_EQ(BFloat16(-f).bits(), BFloat16(f).bits() ^ 0x8000u)
+            << "bits " << bits;
+    }
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,80 @@
+#include "llm4d/tensor/bfloat16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llm4d {
+namespace {
+
+TEST(BFloat16, ExactValuesRoundTrip)
+{
+    // Values representable in 8 mantissa bits survive untouched.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -128.0f, 0.0078125f})
+        EXPECT_EQ(BFloat16(v).toFloat(), v);
+}
+
+TEST(BFloat16, RoundsToNearest)
+{
+    // 1.0 + 2^-9 is halfway below the next representable value above 1.0
+    // (ulp at 1.0 is 2^-7): 1 + 2^-9 rounds down to 1.0.
+    EXPECT_EQ(bf16Round(1.0f + 0x1.0p-9f), 1.0f);
+    // 1 + 3*2^-9 rounds up to 1 + 2^-7.
+    EXPECT_EQ(bf16Round(1.0f + 3 * 0x1.0p-9f), 1.0f + 0x1.0p-7f);
+}
+
+TEST(BFloat16, TiesToEven)
+{
+    // Exactly halfway: 1 + 2^-8. Candidates 1.0 (mantissa even) and
+    // 1 + 2^-7 (mantissa odd) -> ties-to-even picks 1.0.
+    EXPECT_EQ(bf16Round(1.0f + 0x1.0p-8f), 1.0f);
+    // 1 + 2^-7 + 2^-8 is halfway between 1+2^-7 (odd) and 1+2^-6 (even).
+    EXPECT_EQ(bf16Round(1.0f + 0x1.0p-7f + 0x1.0p-8f), 1.0f + 0x1.0p-6f);
+}
+
+TEST(BFloat16, PreservesSpecials)
+{
+    EXPECT_TRUE(std::isinf(BFloat16(INFINITY).toFloat()));
+    EXPECT_TRUE(std::isinf(BFloat16(-INFINITY).toFloat()));
+    EXPECT_LT(BFloat16(-INFINITY).toFloat(), 0.0f);
+    EXPECT_TRUE(std::isnan(BFloat16(NAN).toFloat()));
+    EXPECT_EQ(BFloat16(-0.0f).bits(), 0x8000u);
+}
+
+TEST(BFloat16, LargeValuesOverflowToInfinity)
+{
+    // Max finite BF16 is ~3.39e38; beyond that rounds to inf.
+    EXPECT_TRUE(std::isinf(bf16Round(3.4e38f)));
+}
+
+TEST(BFloat16, RelativeErrorBounded)
+{
+    // BF16 has 8 bits of precision: relative error <= 2^-9 after rounding.
+    for (float v : {3.14159f, 1234.5678f, 1e-3f, 7.77e5f, -0.001234f}) {
+        const float r = bf16Round(v);
+        EXPECT_LE(std::fabs(r - v), std::fabs(v) * 0x1.0p-8f)
+            << "value " << v;
+    }
+}
+
+TEST(BFloat16, BitEquality)
+{
+    EXPECT_EQ(BFloat16(1.5f), BFloat16(1.5f));
+    EXPECT_NE(BFloat16(1.5f), BFloat16(-1.5f));
+    EXPECT_NE(BFloat16(0.0f), BFloat16(-0.0f)) << "-0 and +0 differ in bits";
+}
+
+TEST(BFloat16, AccumulationStallsWhereFp32Continues)
+{
+    // Adding 1 to a large BF16 accumulator is lost entirely: 256 has ulp 2
+    // in BF16, so 256 + 1 rounds back to 256. This is the gradient
+    // accumulation failure mode Section 6.2 guards against.
+    float acc = 256.0f;
+    acc = bf16Round(acc + 1.0f);
+    EXPECT_EQ(acc, 256.0f);
+    // FP32 holds the increment just fine.
+    EXPECT_EQ(256.0f + 1.0f, 257.0f);
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,131 @@
+#include "llm4d/tensor/doc_mask.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(DocMask, CausalAllowsLowerTriangle)
+{
+    DocMask m = DocMask::causal(8);
+    EXPECT_EQ(m.docCount(), 1);
+    for (std::int64_t q = 0; q < 8; ++q)
+        for (std::int64_t k = 0; k < 8; ++k)
+            EXPECT_EQ(m.allowed(q, k), k <= q) << q << "," << k;
+}
+
+TEST(DocMask, CausalTotalPairsIsTriangleNumber)
+{
+    DocMask m = DocMask::causal(100);
+    EXPECT_EQ(m.totalPairs(), 100 * 101 / 2);
+}
+
+TEST(DocMask, DocumentBoundariesBlockAttention)
+{
+    // Paper example: 16 tokens, documents of length [3, 3, 8, 2].
+    DocMask m = DocMask::fromDocLengths({3, 3, 8, 2});
+    EXPECT_EQ(m.seq(), 16);
+    EXPECT_EQ(m.docCount(), 4);
+    // Token 3 starts doc 1: cannot see tokens 0-2.
+    EXPECT_FALSE(m.allowed(3, 2));
+    EXPECT_TRUE(m.allowed(3, 3));
+    EXPECT_TRUE(m.allowed(4, 3));
+    // Token 5 (last of doc 1) sees 3..5 only.
+    EXPECT_EQ(m.docStart(5), 3);
+    EXPECT_EQ(m.span(5), 3);
+    // Doc 2 spans 6..13.
+    EXPECT_TRUE(m.allowed(13, 6));
+    EXPECT_FALSE(m.allowed(13, 5));
+    // Never attend the future, even within a document.
+    EXPECT_FALSE(m.allowed(6, 7));
+}
+
+TEST(DocMask, PairCountsDecomposePerDocument)
+{
+    DocMask m = DocMask::fromDocLengths({3, 3, 8, 2});
+    const auto tri = [](std::int64_t n) { return n * (n + 1) / 2; };
+    EXPECT_EQ(m.totalPairs(), tri(3) + tri(3) + tri(8) + tri(2));
+}
+
+TEST(DocMask, PairsInQueryRangeMatchesChunkWork)
+{
+    DocMask m = DocMask::fromDocLengths({3, 3, 8, 2});
+    // Splitting [0,16) into 4 chunks must partition the total.
+    std::int64_t total = 0;
+    for (std::int64_t c = 0; c < 4; ++c)
+        total += m.pairsInQueryRange(c * 4, (c + 1) * 4);
+    EXPECT_EQ(total, m.totalPairs());
+    // The paper's observation: the chunk holding the long document carries
+    // disproportionate work. Doc 2 (length 8) occupies chunks 1-3; chunk 3
+    // has the tail of doc 2 with large spans plus doc 3.
+    EXPECT_GT(m.pairsInQueryRange(12, 16), m.pairsInQueryRange(0, 4));
+}
+
+TEST(DocMask, FromEosPositions)
+{
+    // eos at positions 2 and 5 over seq 16 -> docs [0..2], [3..5], [6..15].
+    DocMask m = DocMask::fromEosPositions(16, {2, 5});
+    EXPECT_EQ(m.docCount(), 3);
+    EXPECT_EQ(m.docStart(0), 0);
+    EXPECT_EQ(m.docStart(2), 0);
+    EXPECT_EQ(m.docStart(3), 3);
+    EXPECT_EQ(m.docStart(6), 6);
+    EXPECT_EQ(m.docStart(15), 6);
+}
+
+TEST(DocMask, EosAtLastTokenProducesNoEmptyDoc)
+{
+    DocMask m = DocMask::fromEosPositions(8, {7});
+    EXPECT_EQ(m.docCount(), 1);
+    EXPECT_EQ(m.seq(), 8);
+}
+
+TEST(DocMask, DuplicateEosPositionsCollapse)
+{
+    DocMask m = DocMask::fromEosPositions(8, {3, 3});
+    EXPECT_EQ(m.docCount(), 2);
+}
+
+TEST(DocMask, SampleCoversSequenceExactly)
+{
+    Rng rng(1);
+    DocMask m = DocMask::sample(8192, 1024.0, rng);
+    EXPECT_EQ(m.seq(), 8192);
+    EXPECT_GE(m.docCount(), 2);
+    // Every token's doc start must be <= its own position.
+    for (std::int64_t q = 0; q < m.seq(); q += 97)
+        EXPECT_LE(m.docStart(q), q);
+}
+
+TEST(DocMask, SampleMeanDocLengthApproximatelyRequested)
+{
+    Rng rng(2);
+    double total_docs = 0.0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+        DocMask m = DocMask::sample(65536, 1024.0, rng);
+        total_docs += static_cast<double>(m.docCount());
+    }
+    const double mean_len = 65536.0 * trials / total_docs;
+    EXPECT_NEAR(mean_len, 1024.0, 200.0);
+}
+
+TEST(DocMask, SampleDeterministicPerSeed)
+{
+    Rng r1(3), r2(3);
+    DocMask a = DocMask::sample(4096, 512.0, r1);
+    DocMask b = DocMask::sample(4096, 512.0, r2);
+    EXPECT_EQ(a.docIds(), b.docIds());
+}
+
+TEST(DocMask, DocMaskReducesWorkVsCausal)
+{
+    Rng rng(4);
+    DocMask doc = DocMask::sample(16384, 1024.0, rng);
+    DocMask causal = DocMask::causal(16384);
+    EXPECT_LT(doc.totalPairs(), causal.totalPairs() / 4)
+        << "packed short documents should slash attention work";
+}
+
+} // namespace
+} // namespace llm4d

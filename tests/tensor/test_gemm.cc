@@ -1,0 +1,96 @@
+#include "llm4d/tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include "llm4d/tensor/bfloat16.h"
+
+namespace llm4d {
+namespace {
+
+TEST(Gemm, KnownSmallProduct)
+{
+    Tensor a({2, 3});
+    Tensor b({3, 2});
+    // a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]]
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(av, av + 6, a.data());
+    std::copy(bv, bv + 6, b.data());
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Gemm, IdentityIsNeutral)
+{
+    Rng rng(4);
+    Tensor a = Tensor::randn({5, 5}, rng);
+    Tensor eye({5, 5});
+    for (std::int64_t i = 0; i < 5; ++i)
+        eye.at(i, i) = 1.0f;
+    EXPECT_TRUE(matmul(a, eye).bitwiseEqual(a));
+}
+
+TEST(Gemm, TransposedVariantsAgree)
+{
+    Rng rng(5);
+    Tensor a = Tensor::randn({4, 6}, rng);
+    Tensor b = Tensor::randn({6, 3}, rng);
+    Tensor ref = matmul(a, b);
+
+    // matmulNT(a, b^T) == a * b.
+    Tensor bt({3, 6});
+    for (std::int64_t i = 0; i < 6; ++i)
+        for (std::int64_t j = 0; j < 3; ++j)
+            bt.at(j, i) = b.at(i, j);
+    EXPECT_LT(matmulNT(a, bt).maxAbsDiff(ref), 1e-6f);
+
+    // matmulTN(a^T, b) == a * b.
+    Tensor at({6, 4});
+    for (std::int64_t i = 0; i < 4; ++i)
+        for (std::int64_t j = 0; j < 6; ++j)
+            at.at(j, i) = a.at(i, j);
+    EXPECT_LT(matmulTN(at, b).maxAbsDiff(ref), 1e-6f);
+}
+
+TEST(Gemm, Bf16AccumulationLosesPrecision)
+{
+    // Summing k equal contributions of 1/k should give ~1. With a BF16
+    // accumulator the running sum stalls once increments fall below the
+    // accumulator's ulp; with FP32 accumulation it stays accurate.
+    const std::int64_t k = 4096;
+    Tensor a({1, k});
+    Tensor b({k, 1});
+    a.fill(1.0f);
+    b.fill(1.0f / static_cast<float>(k));
+    const float fp32 = matmul(a, b, Accum::Fp32).at(0, 0);
+    const float bf16 = matmul(a, b, Accum::Bf16).at(0, 0);
+    EXPECT_NEAR(fp32, 1.0f, 1e-4f);
+    EXPECT_LT(bf16, 0.6f) << "BF16 accumulator should have stalled well "
+                             "below the true sum";
+}
+
+TEST(Gemm, Bf16InputsFp32AccumulateMatchesTensorCoreSemantics)
+{
+    Rng rng(6);
+    Tensor a = Tensor::randn({8, 16}, rng);
+    Tensor b = Tensor::randn({16, 8}, rng);
+    Tensor c = matmulBf16Inputs(a, b);
+    // Equivalent formulation: round inputs first, then exact FP32 GEMM.
+    Tensor ar = a, br = b;
+    ar.roundToBf16();
+    br.roundToBf16();
+    EXPECT_TRUE(c.bitwiseEqual(matmul(ar, br)));
+}
+
+TEST(Gemm, ShapeMismatchAborts)
+{
+    Tensor a({2, 3});
+    Tensor b({4, 2});
+    EXPECT_DEATH(matmul(a, b), "inner dim mismatch");
+}
+
+} // namespace
+} // namespace llm4d

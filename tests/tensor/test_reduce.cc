@@ -1,0 +1,160 @@
+#include "llm4d/tensor/reduce.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "llm4d/simcore/rng.h"
+
+namespace llm4d {
+namespace {
+
+std::vector<float>
+randomVec(std::size_t n, std::uint64_t seed, double scale = 1.0)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal() * scale);
+    return v;
+}
+
+TEST(Reduce, AllVariantsAgreeOnExactData)
+{
+    // Powers of two sum exactly in every order.
+    std::vector<float> v = {1.0f, 2.0f, 4.0f, 8.0f, 16.0f, 32.0f};
+    EXPECT_EQ(sumSequential(v.data(), v.size()), 63.0f);
+    EXPECT_EQ(sumPairwise(v.data(), v.size()), 63.0f);
+    EXPECT_EQ(sumKahan(v.data(), v.size()), 63.0f);
+    EXPECT_EQ(sumFp64(v.data(), v.size()), 63.0f);
+}
+
+TEST(Reduce, OrderChangesBits)
+{
+    // Classic non-associativity witness: 1 is below half an ulp of 1e8.
+    std::vector<float> v = {1e8f, 1.0f, -1e8f};
+    EXPECT_EQ(sumSequential(v.data(), 3), 0.0f); // (1e8+1) == 1e8 in float
+    std::vector<float> w = {1e8f, -1e8f, 1.0f};
+    EXPECT_EQ(sumSequential(w.data(), 3), 1.0f); // cancel first, then add
+}
+
+TEST(Reduce, PairwiseDiffersFromSequentialOnLargeStream)
+{
+    auto v = randomVec(100000, 42);
+    const float seq = sumSequential(v.data(), v.size());
+    const float pair = sumPairwise(v.data(), v.size());
+    const float f64 = sumFp64(v.data(), v.size());
+    // Pairwise should be closer to the double-precision reference.
+    EXPECT_LE(std::fabs(pair - f64), std::fabs(seq - f64) + 1e-3f);
+}
+
+TEST(Reduce, KahanTracksFp64)
+{
+    auto v = randomVec(100000, 7);
+    const float kahan = sumKahan(v.data(), v.size());
+    const float f64 = sumFp64(v.data(), v.size());
+    EXPECT_NEAR(kahan, f64, 1e-3f);
+}
+
+TEST(Reduce, Bf16SequentialDegradesBadly)
+{
+    std::vector<float> v(10000, 0.01f);
+    const float fp32 = sumSequential(v.data(), v.size());
+    const float bf16 = sumSequentialBf16(v.data(), v.size());
+    EXPECT_NEAR(fp32, 100.0f, 0.1f);
+    EXPECT_LT(bf16, 50.0f);
+}
+
+TEST(Reduce, RingAllReduceDeterministic)
+{
+    std::vector<std::vector<float>> shards;
+    for (int r = 0; r < 8; ++r)
+        shards.push_back(randomVec(64, 100 + r));
+    auto a = ringAllReduce(shards);
+    auto b = ringAllReduce(shards);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Reduce, RingVsRankOrderDifferInBitsButNotValue)
+{
+    std::vector<std::vector<float>> shards;
+    for (int r = 0; r < 8; ++r)
+        shards.push_back(randomVec(256, 200 + r, 1000.0));
+    auto ring = ringAllReduce(shards);
+    auto rank = rankOrderReduce(shards);
+    // Same mathematical value...
+    double max_rel = 0.0;
+    bool any_bit_diff = false;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const double denom = std::max(1.0, std::fabs(double{rank[i]}));
+        max_rel = std::max(
+            max_rel, std::fabs(double{ring[i]} - double{rank[i]}) / denom);
+        any_bit_diff |= (ring[i] != rank[i]);
+    }
+    EXPECT_LT(max_rel, 1e-4);
+    // ...but the accumulation order differs, so some element should differ
+    // in bits. (This is the Section 6.2 phenomenon: not a bug.)
+    EXPECT_TRUE(any_bit_diff);
+}
+
+TEST(Reduce, MatchedOrderIsBitwiseEqual)
+{
+    // Re-ordering the sequential baseline to the parallel order gives
+    // bitwise equality — the paper's criterion for "no implementation bug".
+    std::vector<std::vector<float>> shards;
+    for (int r = 0; r < 4; ++r)
+        shards.push_back(randomVec(128, 300 + r, 10.0));
+
+    const std::size_t p = shards.size();
+    const std::size_t n = shards[0].size();
+    std::vector<float> matched(n);
+    for (std::size_t part = 0; part < p; ++part) {
+        const std::size_t lo = part * n / p;
+        const std::size_t hi = (part + 1) * n / p;
+        for (std::size_t e = lo; e < hi; ++e) {
+            float acc = shards[(part + 1) % p][e];
+            for (std::size_t step = 1; step < p; ++step)
+                acc += shards[(part + 1 + step) % p][e];
+            matched[e] = acc;
+        }
+    }
+    EXPECT_EQ(matched, ringAllReduce(shards));
+}
+
+TEST(Reduce, MicroBatchAccumulationFp32VsBf16)
+{
+    // Many micro-batches of small gradients: FP32 accumulation tracks the
+    // double-precision truth, BF16 accumulation drifts.
+    std::vector<std::vector<float>> parts;
+    for (int m = 0; m < 64; ++m)
+        parts.push_back(randomVec(32, 400 + m, 0.01));
+
+    auto fp32 = accumulateMicroBatches(parts, false);
+    auto bf16 = accumulateMicroBatches(parts, true);
+
+    std::vector<double> truth(32, 0.0);
+    for (const auto &part : parts)
+        for (std::size_t e = 0; e < part.size(); ++e)
+            truth[e] += part[e];
+
+    double err32 = 0.0, err16 = 0.0;
+    for (std::size_t e = 0; e < truth.size(); ++e) {
+        err32 += std::fabs(fp32[e] - truth[e]);
+        err16 += std::fabs(bf16[e] - truth[e]);
+    }
+    EXPECT_LT(err32, err16);
+    EXPECT_LT(err32 / 32.0, 1e-5);
+}
+
+TEST(Reduce, EmptyAndSingleton)
+{
+    EXPECT_EQ(sumSequential(nullptr, 0), 0.0f);
+    EXPECT_EQ(sumPairwise(nullptr, 0), 0.0f);
+    float x = 3.5f;
+    EXPECT_EQ(sumPairwise(&x, 1), 3.5f);
+    EXPECT_EQ(sumKahan(&x, 1), 3.5f);
+}
+
+} // namespace
+} // namespace llm4d

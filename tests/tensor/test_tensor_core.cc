@@ -1,0 +1,125 @@
+#include "llm4d/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace llm4d {
+namespace {
+
+TEST(Tensor, ShapeAndNumel)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.dim(0), 2);
+    EXPECT_EQ(t.dim(1), 3);
+    EXPECT_EQ(t.dim(2), 4);
+    EXPECT_EQ(t.numel(), 24);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({5, 5});
+    for (std::int64_t i = 0; i < 5; ++i)
+        for (std::int64_t j = 0; j < 5; ++j)
+            EXPECT_EQ(t.at(i, j), 0.0f);
+}
+
+TEST(Tensor, RowMajorLayout)
+{
+    Tensor t({2, 3});
+    t.at(0, 0) = 1;
+    t.at(0, 2) = 2;
+    t.at(1, 0) = 3;
+    EXPECT_EQ(t.data()[0], 1.0f);
+    EXPECT_EQ(t.data()[2], 2.0f);
+    EXPECT_EQ(t.data()[3], 3.0f);
+}
+
+TEST(Tensor, FillAndScale)
+{
+    Tensor t = Tensor::full({4}, 2.0f);
+    t.scaleInPlace(3.0f);
+    for (std::int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t.at(i), 6.0f);
+}
+
+TEST(Tensor, AddInPlace)
+{
+    Tensor a = Tensor::full({2, 2}, 1.0f);
+    Tensor b = Tensor::full({2, 2}, 2.5f);
+    a.addInPlace(b);
+    EXPECT_EQ(a.at(1, 1), 3.5f);
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a = Tensor::full({3}, 1.0f);
+    Tensor b = Tensor::full({3}, 1.0f);
+    b.at(2) = -1.0f;
+    EXPECT_EQ(a.maxAbsDiff(b), 2.0f);
+    EXPECT_EQ(a.maxAbs(), 1.0f);
+}
+
+TEST(Tensor, BitwiseEqual)
+{
+    Rng rng(1);
+    Tensor a = Tensor::randn({4, 4}, rng);
+    Tensor b = a;
+    EXPECT_TRUE(a.bitwiseEqual(b));
+    b.at(3, 3) += 1e-7f;
+    EXPECT_FALSE(a.bitwiseEqual(b));
+}
+
+TEST(Tensor, SliceDim0)
+{
+    Tensor t({4, 2});
+    for (std::int64_t i = 0; i < 4; ++i)
+        for (std::int64_t j = 0; j < 2; ++j)
+            t.at(i, j) = static_cast<float>(10 * i + j);
+    Tensor s = t.slice(0, 1, 2);
+    EXPECT_EQ(s.dim(0), 2);
+    EXPECT_EQ(s.at(0, 1), 11.0f);
+    EXPECT_EQ(s.at(1, 0), 20.0f);
+}
+
+TEST(Tensor, SliceInnerDim)
+{
+    Tensor t({2, 5});
+    for (std::int64_t i = 0; i < 2; ++i)
+        for (std::int64_t j = 0; j < 5; ++j)
+            t.at(i, j) = static_cast<float>(10 * i + j);
+    Tensor s = t.slice(1, 2, 2);
+    EXPECT_EQ(s.dim(0), 2);
+    EXPECT_EQ(s.dim(1), 2);
+    EXPECT_EQ(s.at(0, 0), 2.0f);
+    EXPECT_EQ(s.at(1, 1), 13.0f);
+}
+
+TEST(Tensor, ConcatInverseOfSlice)
+{
+    Rng rng(2);
+    Tensor t = Tensor::randn({3, 6, 2}, rng);
+    Tensor a = t.slice(1, 0, 2);
+    Tensor b = t.slice(1, 2, 3);
+    Tensor c = t.slice(1, 5, 1);
+    Tensor r = Tensor::concat({a, b, c}, 1);
+    EXPECT_TRUE(r.bitwiseEqual(t));
+}
+
+TEST(Tensor, RandnDeterministicPerSeed)
+{
+    Rng r1(9), r2(9);
+    Tensor a = Tensor::randn({8, 8}, r1);
+    Tensor b = Tensor::randn({8, 8}, r2);
+    EXPECT_TRUE(a.bitwiseEqual(b));
+}
+
+TEST(Tensor, RoundToBf16Lossy)
+{
+    Tensor t = Tensor::full({1}, 3.14159f);
+    t.roundToBf16();
+    EXPECT_NE(t.at(0), 3.14159f);
+    EXPECT_NEAR(t.at(0), 3.14159f, 3.14159f * 0x1.0p-8f);
+}
+
+} // namespace
+} // namespace llm4d

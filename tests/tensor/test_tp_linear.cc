@@ -1,0 +1,126 @@
+#include "llm4d/tensor/tp_linear.h"
+
+#include <gtest/gtest.h>
+
+#include "llm4d/tensor/gemm.h"
+
+namespace llm4d {
+namespace {
+
+class TpLinearTest : public ::testing::TestWithParam<std::int64_t>
+{
+  protected:
+    TpLinearTest() : rng(5)
+    {
+        x = Tensor::randn({8, 16}, rng);
+        w1 = Tensor::randn({16, 24}, rng);
+        w2 = Tensor::randn({24, 16}, rng);
+    }
+
+    Rng rng;
+    Tensor x, w1, w2;
+};
+
+TEST_P(TpLinearTest, ColumnParallelIsBitwiseExact)
+{
+    // Every output element is produced by exactly one rank: no partial
+    // sums, so the TP result matches the dense GEMM bit for bit
+    // (Section 2.1 column-parallel split).
+    const std::int64_t tp = GetParam();
+    const Tensor ref = matmul(x, w1);
+    const Tensor sharded = columnParallelLinear(x, splitColumns(w1, tp));
+    EXPECT_TRUE(sharded.bitwiseEqual(ref)) << "tp=" << tp;
+}
+
+TEST_P(TpLinearTest, RowParallelMatchesToOrderTolerance)
+{
+    // Row-parallel sums tp partial products: bitwise equality with the
+    // dense GEMM is NOT guaranteed, but values agree to rounding.
+    const std::int64_t tp = GetParam();
+    const Tensor ref = matmul(x, w1);
+    const Tensor out =
+        rowParallelLinear(splitFeatures(x, tp), splitRows(w1, tp));
+    EXPECT_LT(out.maxAbsDiff(ref), 1e-4f) << "tp=" << tp;
+}
+
+TEST_P(TpLinearTest, RowParallelMatchesRankOrderBaselineBitwise)
+{
+    // The Section 6.2 matched-order criterion: summing the partial
+    // products in the same rank order reproduces the parallel result bit
+    // for bit.
+    const std::int64_t tp = GetParam();
+    const auto xs = splitFeatures(x, tp);
+    const auto ws = splitRows(w1, tp);
+    const Tensor parallel = rowParallelLinear(xs, ws);
+    // Manual matched baseline.
+    Tensor baseline = matmul(xs[0], ws[0]);
+    for (std::size_t r = 1; r < ws.size(); ++r)
+        baseline.addInPlace(matmul(xs[r], ws[r]));
+    EXPECT_TRUE(parallel.bitwiseEqual(baseline));
+}
+
+TEST_P(TpLinearTest, SpRoundTripIsLossless)
+{
+    const std::int64_t tp = GetParam();
+    // Partials that reduce to x: rank 0 holds x, others zero.
+    std::vector<Tensor> partials;
+    partials.push_back(x);
+    for (std::int64_t r = 1; r < tp; ++r)
+        partials.push_back(Tensor::zeros({x.dim(0), x.dim(1)}));
+    const auto shards = spReduceScatter(partials);
+    EXPECT_EQ(static_cast<std::int64_t>(shards.size()), tp);
+    const Tensor back = spAllGather(shards);
+    EXPECT_TRUE(back.bitwiseEqual(x));
+}
+
+TEST_P(TpLinearTest, FullTpSpMlpPreservesMath)
+{
+    const std::int64_t tp = GetParam();
+    EXPECT_LT(tpMlpMaxDeviation(x, w1, w2, tp), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(TpDegrees, TpLinearTest,
+                         ::testing::Values<std::int64_t>(1, 2, 4, 8));
+
+TEST(TpLinear, SplitShapes)
+{
+    Rng rng(6);
+    Tensor w = Tensor::randn({12, 8}, rng);
+    const auto cols = splitColumns(w, 4);
+    ASSERT_EQ(cols.size(), 4u);
+    EXPECT_EQ(cols[0].dim(0), 12);
+    EXPECT_EQ(cols[0].dim(1), 2);
+    const auto rows = splitRows(w, 3);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].dim(0), 4);
+    EXPECT_EQ(rows[0].dim(1), 8);
+}
+
+TEST(TpLinear, IndivisibleSplitAborts)
+{
+    Rng rng(7);
+    Tensor w = Tensor::randn({10, 10}, rng);
+    EXPECT_DEATH(splitColumns(w, 3), "divide");
+    EXPECT_DEATH(splitRows(w, 4), "divide");
+}
+
+TEST(TpLinear, DifferentTpDegreesDifferInBits)
+{
+    // Changing tp changes the row-parallel accumulation order — another
+    // Section 6.2 "not a bug" case. Use magnitudes that exercise
+    // rounding.
+    Rng rng(8);
+    Tensor x = Tensor::randn({16, 64}, rng);
+    x.scaleInPlace(100.0f);
+    Tensor w = Tensor::randn({64, 16}, rng);
+    const Tensor t2 =
+        rowParallelLinear(splitFeatures(x, 2), splitRows(w, 2));
+    const Tensor t4 =
+        rowParallelLinear(splitFeatures(x, 4), splitRows(w, 4));
+    EXPECT_LT(t2.maxAbsDiff(t4), 1e-2f);
+    EXPECT_FALSE(t2.bitwiseEqual(t4))
+        << "different orders should differ somewhere in the last bits";
+}
+
+} // namespace
+} // namespace llm4d
