@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2e_throughput"
+  "../bench/bench_e2e_throughput.pdb"
+  "CMakeFiles/bench_e2e_throughput.dir/bench_e2e_throughput.cc.o"
+  "CMakeFiles/bench_e2e_throughput.dir/bench_e2e_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_balanced_pp"
+  "../bench/bench_fig10_balanced_pp.pdb"
+  "CMakeFiles/bench_fig10_balanced_pp.dir/bench_fig10_balanced_pp.cc.o"
+  "CMakeFiles/bench_fig10_balanced_pp.dir/bench_fig10_balanced_pp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_balanced_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_cp_hfu"
+  "../bench/bench_fig11_cp_hfu.pdb"
+  "CMakeFiles/bench_fig11_cp_hfu.dir/bench_fig11_cp_hfu.cc.o"
+  "CMakeFiles/bench_fig11_cp_hfu.dir/bench_fig11_cp_hfu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cp_hfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_cp_agbw"
+  "../bench/bench_fig12_cp_agbw.pdb"
+  "CMakeFiles/bench_fig12_cp_agbw.dir/bench_fig12_cp_agbw.cc.o"
+  "CMakeFiles/bench_fig12_cp_agbw.dir/bench_fig12_cp_agbw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cp_agbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_cp_vs_ring"
+  "../bench/bench_fig13_cp_vs_ring.pdb"
+  "CMakeFiles/bench_fig13_cp_vs_ring.dir/bench_fig13_cp_vs_ring.cc.o"
+  "CMakeFiles/bench_fig13_cp_vs_ring.dir/bench_fig13_cp_vs_ring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cp_vs_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

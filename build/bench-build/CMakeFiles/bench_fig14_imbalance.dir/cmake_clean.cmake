@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_imbalance"
+  "../bench/bench_fig14_imbalance.pdb"
+  "CMakeFiles/bench_fig14_imbalance.dir/bench_fig14_imbalance.cc.o"
+  "CMakeFiles/bench_fig14_imbalance.dir/bench_fig14_imbalance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_pp_schedules"
+  "../bench/bench_fig9_pp_schedules.pdb"
+  "CMakeFiles/bench_fig9_pp_schedules.dir/bench_fig9_pp_schedules.cc.o"
+  "CMakeFiles/bench_fig9_pp_schedules.dir/bench_fig9_pp_schedules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_pp_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_pp_schedules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multimodal_encoder"
+  "../bench/bench_multimodal_encoder.pdb"
+  "CMakeFiles/bench_multimodal_encoder.dir/bench_multimodal_encoder.cc.o"
+  "CMakeFiles/bench_multimodal_encoder.dir/bench_multimodal_encoder.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multimodal_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

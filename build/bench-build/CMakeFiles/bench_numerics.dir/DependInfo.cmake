@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_numerics.cc" "bench-build/CMakeFiles/bench_numerics.dir/bench_numerics.cc.o" "gcc" "bench-build/CMakeFiles/bench_numerics.dir/bench_numerics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/plan/CMakeFiles/llm4d_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/sim/CMakeFiles/llm4d_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/fsdp/CMakeFiles/llm4d_fsdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/pp/CMakeFiles/llm4d_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/model/CMakeFiles/llm4d_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/debug/CMakeFiles/llm4d_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/parallel/CMakeFiles/llm4d_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/data/CMakeFiles/llm4d_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/cp/CMakeFiles/llm4d_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/net/CMakeFiles/llm4d_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/hw/CMakeFiles/llm4d_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_numerics"
+  "../bench/bench_numerics.pdb"
+  "CMakeFiles/bench_numerics.dir/bench_numerics.cc.o"
+  "CMakeFiles/bench_numerics.dir/bench_numerics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

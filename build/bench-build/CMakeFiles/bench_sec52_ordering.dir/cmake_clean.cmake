@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec52_ordering"
+  "../bench/bench_sec52_ordering.pdb"
+  "CMakeFiles/bench_sec52_ordering.dir/bench_sec52_ordering.cc.o"
+  "CMakeFiles/bench_sec52_ordering.dir/bench_sec52_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

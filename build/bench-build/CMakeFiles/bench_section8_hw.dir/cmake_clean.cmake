@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_section8_hw"
+  "../bench/bench_section8_hw.pdb"
+  "CMakeFiles/bench_section8_hw.dir/bench_section8_hw.cc.o"
+  "CMakeFiles/bench_section8_hw.dir/bench_section8_hw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section8_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_planner"
+  "../bench/bench_table2_planner.pdb"
+  "CMakeFiles/bench_table2_planner.dir/bench_table2_planner.cc.o"
+  "CMakeFiles/bench_table2_planner.dir/bench_table2_planner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_slow_rank.dir/debug_slow_rank.cpp.o"
+  "CMakeFiles/debug_slow_rank.dir/debug_slow_rank.cpp.o.d"
+  "debug_slow_rank"
+  "debug_slow_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_slow_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context_cp.dir/long_context_cp.cpp.o"
+  "CMakeFiles/long_context_cp.dir/long_context_cp.cpp.o.d"
+  "long_context_cp"
+  "long_context_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

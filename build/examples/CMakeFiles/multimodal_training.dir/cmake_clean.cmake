@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimodal_training.dir/multimodal_training.cpp.o"
+  "CMakeFiles/multimodal_training.dir/multimodal_training.cpp.o.d"
+  "multimodal_training"
+  "multimodal_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimodal_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

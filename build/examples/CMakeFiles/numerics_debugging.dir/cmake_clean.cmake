@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numerics_debugging.dir/numerics_debugging.cpp.o"
+  "CMakeFiles/numerics_debugging.dir/numerics_debugging.cpp.o.d"
+  "numerics_debugging"
+  "numerics_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numerics_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

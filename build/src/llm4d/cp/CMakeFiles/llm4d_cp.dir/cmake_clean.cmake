@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_cp.dir/cp_attention.cc.o"
+  "CMakeFiles/llm4d_cp.dir/cp_attention.cc.o.d"
+  "CMakeFiles/llm4d_cp.dir/cp_cost.cc.o"
+  "CMakeFiles/llm4d_cp.dir/cp_cost.cc.o.d"
+  "CMakeFiles/llm4d_cp.dir/sharding.cc.o"
+  "CMakeFiles/llm4d_cp.dir/sharding.cc.o.d"
+  "CMakeFiles/llm4d_cp.dir/workload.cc.o"
+  "CMakeFiles/llm4d_cp.dir/workload.cc.o.d"
+  "libllm4d_cp.a"
+  "libllm4d_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

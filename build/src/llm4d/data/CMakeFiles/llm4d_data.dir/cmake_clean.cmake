@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_data.dir/dataloader.cc.o"
+  "CMakeFiles/llm4d_data.dir/dataloader.cc.o.d"
+  "libllm4d_data.a"
+  "libllm4d_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

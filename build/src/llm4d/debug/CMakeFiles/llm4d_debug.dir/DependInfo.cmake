@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm4d/debug/mem_snapshot.cc" "src/llm4d/debug/CMakeFiles/llm4d_debug.dir/mem_snapshot.cc.o" "gcc" "src/llm4d/debug/CMakeFiles/llm4d_debug.dir/mem_snapshot.cc.o.d"
+  "/root/repo/src/llm4d/debug/numerics.cc" "src/llm4d/debug/CMakeFiles/llm4d_debug.dir/numerics.cc.o" "gcc" "src/llm4d/debug/CMakeFiles/llm4d_debug.dir/numerics.cc.o.d"
+  "/root/repo/src/llm4d/debug/slow_rank.cc" "src/llm4d/debug/CMakeFiles/llm4d_debug.dir/slow_rank.cc.o" "gcc" "src/llm4d/debug/CMakeFiles/llm4d_debug.dir/slow_rank.cc.o.d"
+  "/root/repo/src/llm4d/debug/trace.cc" "src/llm4d/debug/CMakeFiles/llm4d_debug.dir/trace.cc.o" "gcc" "src/llm4d/debug/CMakeFiles/llm4d_debug.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/parallel/CMakeFiles/llm4d_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_debug.dir/mem_snapshot.cc.o"
+  "CMakeFiles/llm4d_debug.dir/mem_snapshot.cc.o.d"
+  "CMakeFiles/llm4d_debug.dir/numerics.cc.o"
+  "CMakeFiles/llm4d_debug.dir/numerics.cc.o.d"
+  "CMakeFiles/llm4d_debug.dir/slow_rank.cc.o"
+  "CMakeFiles/llm4d_debug.dir/slow_rank.cc.o.d"
+  "CMakeFiles/llm4d_debug.dir/trace.cc.o"
+  "CMakeFiles/llm4d_debug.dir/trace.cc.o.d"
+  "libllm4d_debug.a"
+  "libllm4d_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

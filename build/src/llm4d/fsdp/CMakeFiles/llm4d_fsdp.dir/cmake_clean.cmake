@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_fsdp.dir/fsdp.cc.o"
+  "CMakeFiles/llm4d_fsdp.dir/fsdp.cc.o.d"
+  "libllm4d_fsdp.a"
+  "libllm4d_fsdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_fsdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm4d/hw/gpu_spec.cc" "src/llm4d/hw/CMakeFiles/llm4d_hw.dir/gpu_spec.cc.o" "gcc" "src/llm4d/hw/CMakeFiles/llm4d_hw.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/llm4d/hw/kernel_model.cc" "src/llm4d/hw/CMakeFiles/llm4d_hw.dir/kernel_model.cc.o" "gcc" "src/llm4d/hw/CMakeFiles/llm4d_hw.dir/kernel_model.cc.o.d"
+  "/root/repo/src/llm4d/hw/perf_variation.cc" "src/llm4d/hw/CMakeFiles/llm4d_hw.dir/perf_variation.cc.o" "gcc" "src/llm4d/hw/CMakeFiles/llm4d_hw.dir/perf_variation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

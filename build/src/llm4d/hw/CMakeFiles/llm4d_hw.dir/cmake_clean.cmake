@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/llm4d_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/llm4d_hw.dir/kernel_model.cc.o"
+  "CMakeFiles/llm4d_hw.dir/kernel_model.cc.o.d"
+  "CMakeFiles/llm4d_hw.dir/perf_variation.cc.o"
+  "CMakeFiles/llm4d_hw.dir/perf_variation.cc.o.d"
+  "libllm4d_hw.a"
+  "libllm4d_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_model.dir/layer_cost.cc.o"
+  "CMakeFiles/llm4d_model.dir/layer_cost.cc.o.d"
+  "CMakeFiles/llm4d_model.dir/memory_model.cc.o"
+  "CMakeFiles/llm4d_model.dir/memory_model.cc.o.d"
+  "CMakeFiles/llm4d_model.dir/model_config.cc.o"
+  "CMakeFiles/llm4d_model.dir/model_config.cc.o.d"
+  "libllm4d_model.a"
+  "libllm4d_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_net.dir/collective.cc.o"
+  "CMakeFiles/llm4d_net.dir/collective.cc.o.d"
+  "CMakeFiles/llm4d_net.dir/flow_sim.cc.o"
+  "CMakeFiles/llm4d_net.dir/flow_sim.cc.o.d"
+  "CMakeFiles/llm4d_net.dir/topology.cc.o"
+  "CMakeFiles/llm4d_net.dir/topology.cc.o.d"
+  "libllm4d_net.a"
+  "libllm4d_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

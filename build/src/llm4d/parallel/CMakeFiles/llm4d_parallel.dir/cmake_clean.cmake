@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_parallel.dir/parallelism.cc.o"
+  "CMakeFiles/llm4d_parallel.dir/parallelism.cc.o.d"
+  "libllm4d_parallel.a"
+  "libllm4d_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

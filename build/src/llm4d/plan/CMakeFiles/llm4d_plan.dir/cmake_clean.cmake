@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_plan.dir/planner.cc.o"
+  "CMakeFiles/llm4d_plan.dir/planner.cc.o.d"
+  "libllm4d_plan.a"
+  "libllm4d_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

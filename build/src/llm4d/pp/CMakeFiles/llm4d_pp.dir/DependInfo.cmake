@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm4d/pp/executor.cc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/executor.cc.o" "gcc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/executor.cc.o.d"
+  "/root/repo/src/llm4d/pp/grad_memory.cc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/grad_memory.cc.o" "gcc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/grad_memory.cc.o.d"
+  "/root/repo/src/llm4d/pp/layer_balance.cc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/layer_balance.cc.o" "gcc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/layer_balance.cc.o.d"
+  "/root/repo/src/llm4d/pp/legality.cc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/legality.cc.o" "gcc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/legality.cc.o.d"
+  "/root/repo/src/llm4d/pp/nc_advisor.cc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/nc_advisor.cc.o" "gcc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/nc_advisor.cc.o.d"
+  "/root/repo/src/llm4d/pp/schedule.cc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/schedule.cc.o" "gcc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/schedule.cc.o.d"
+  "/root/repo/src/llm4d/pp/timeline.cc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/timeline.cc.o" "gcc" "src/llm4d/pp/CMakeFiles/llm4d_pp.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/model/CMakeFiles/llm4d_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/hw/CMakeFiles/llm4d_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

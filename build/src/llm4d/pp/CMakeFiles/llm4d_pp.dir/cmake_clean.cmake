@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_pp.dir/executor.cc.o"
+  "CMakeFiles/llm4d_pp.dir/executor.cc.o.d"
+  "CMakeFiles/llm4d_pp.dir/grad_memory.cc.o"
+  "CMakeFiles/llm4d_pp.dir/grad_memory.cc.o.d"
+  "CMakeFiles/llm4d_pp.dir/layer_balance.cc.o"
+  "CMakeFiles/llm4d_pp.dir/layer_balance.cc.o.d"
+  "CMakeFiles/llm4d_pp.dir/legality.cc.o"
+  "CMakeFiles/llm4d_pp.dir/legality.cc.o.d"
+  "CMakeFiles/llm4d_pp.dir/nc_advisor.cc.o"
+  "CMakeFiles/llm4d_pp.dir/nc_advisor.cc.o.d"
+  "CMakeFiles/llm4d_pp.dir/schedule.cc.o"
+  "CMakeFiles/llm4d_pp.dir/schedule.cc.o.d"
+  "CMakeFiles/llm4d_pp.dir/timeline.cc.o"
+  "CMakeFiles/llm4d_pp.dir/timeline.cc.o.d"
+  "libllm4d_pp.a"
+  "libllm4d_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

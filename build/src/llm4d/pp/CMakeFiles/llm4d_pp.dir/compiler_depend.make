@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for llm4d_pp.
+# This may be replaced when dependencies are built.

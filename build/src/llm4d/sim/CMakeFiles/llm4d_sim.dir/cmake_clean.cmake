@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_sim.dir/multimodal.cc.o"
+  "CMakeFiles/llm4d_sim.dir/multimodal.cc.o.d"
+  "CMakeFiles/llm4d_sim.dir/train_sim.cc.o"
+  "CMakeFiles/llm4d_sim.dir/train_sim.cc.o.d"
+  "libllm4d_sim.a"
+  "libllm4d_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm4d/simcore/common.cc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/common.cc.o" "gcc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/common.cc.o.d"
+  "/root/repo/src/llm4d/simcore/engine.cc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/engine.cc.o" "gcc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/engine.cc.o.d"
+  "/root/repo/src/llm4d/simcore/rng.cc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/rng.cc.o" "gcc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/rng.cc.o.d"
+  "/root/repo/src/llm4d/simcore/stats.cc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/stats.cc.o" "gcc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/stats.cc.o.d"
+  "/root/repo/src/llm4d/simcore/table.cc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/table.cc.o" "gcc" "src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_simcore.dir/common.cc.o"
+  "CMakeFiles/llm4d_simcore.dir/common.cc.o.d"
+  "CMakeFiles/llm4d_simcore.dir/engine.cc.o"
+  "CMakeFiles/llm4d_simcore.dir/engine.cc.o.d"
+  "CMakeFiles/llm4d_simcore.dir/rng.cc.o"
+  "CMakeFiles/llm4d_simcore.dir/rng.cc.o.d"
+  "CMakeFiles/llm4d_simcore.dir/stats.cc.o"
+  "CMakeFiles/llm4d_simcore.dir/stats.cc.o.d"
+  "CMakeFiles/llm4d_simcore.dir/table.cc.o"
+  "CMakeFiles/llm4d_simcore.dir/table.cc.o.d"
+  "libllm4d_simcore.a"
+  "libllm4d_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

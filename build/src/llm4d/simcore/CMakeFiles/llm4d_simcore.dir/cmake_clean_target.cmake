@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllm4d_simcore.a"
+)

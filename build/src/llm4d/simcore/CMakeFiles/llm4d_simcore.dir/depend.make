@@ -1,0 +1,2 @@
+# Empty dependencies file for llm4d_simcore.
+# This may be replaced when dependencies are built.

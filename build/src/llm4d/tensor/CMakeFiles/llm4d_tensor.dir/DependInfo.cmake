@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm4d/tensor/attention.cc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/attention.cc.o" "gcc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/attention.cc.o.d"
+  "/root/repo/src/llm4d/tensor/doc_mask.cc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/doc_mask.cc.o" "gcc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/doc_mask.cc.o.d"
+  "/root/repo/src/llm4d/tensor/gemm.cc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/gemm.cc.o" "gcc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/gemm.cc.o.d"
+  "/root/repo/src/llm4d/tensor/reduce.cc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/reduce.cc.o" "gcc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/reduce.cc.o.d"
+  "/root/repo/src/llm4d/tensor/tensor.cc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/tensor.cc.o" "gcc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/tensor.cc.o.d"
+  "/root/repo/src/llm4d/tensor/tp_linear.cc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/tp_linear.cc.o" "gcc" "src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/tp_linear.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

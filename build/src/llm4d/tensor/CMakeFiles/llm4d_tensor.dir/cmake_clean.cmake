@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm4d_tensor.dir/attention.cc.o"
+  "CMakeFiles/llm4d_tensor.dir/attention.cc.o.d"
+  "CMakeFiles/llm4d_tensor.dir/doc_mask.cc.o"
+  "CMakeFiles/llm4d_tensor.dir/doc_mask.cc.o.d"
+  "CMakeFiles/llm4d_tensor.dir/gemm.cc.o"
+  "CMakeFiles/llm4d_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/llm4d_tensor.dir/reduce.cc.o"
+  "CMakeFiles/llm4d_tensor.dir/reduce.cc.o.d"
+  "CMakeFiles/llm4d_tensor.dir/tensor.cc.o"
+  "CMakeFiles/llm4d_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/llm4d_tensor.dir/tp_linear.cc.o"
+  "CMakeFiles/llm4d_tensor.dir/tp_linear.cc.o.d"
+  "libllm4d_tensor.a"
+  "libllm4d_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm4d_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

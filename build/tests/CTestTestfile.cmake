@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simcore")
+subdirs("tensor")
+subdirs("hw")
+subdirs("net")
+subdirs("parallel")
+subdirs("model")
+subdirs("pp")
+subdirs("cp")
+subdirs("fsdp")
+subdirs("plan")
+subdirs("sim")
+subdirs("debug")
+subdirs("data")
+subdirs("integration")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp.dir/test_cp_attention.cc.o"
+  "CMakeFiles/test_cp.dir/test_cp_attention.cc.o.d"
+  "CMakeFiles/test_cp.dir/test_cp_cost.cc.o"
+  "CMakeFiles/test_cp.dir/test_cp_cost.cc.o.d"
+  "CMakeFiles/test_cp.dir/test_sharding.cc.o"
+  "CMakeFiles/test_cp.dir/test_sharding.cc.o.d"
+  "test_cp"
+  "test_cp.pdb"
+  "test_cp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsdp.dir/test_fsdp.cc.o"
+  "CMakeFiles/test_fsdp.dir/test_fsdp.cc.o.d"
+  "test_fsdp"
+  "test_fsdp.pdb"
+  "test_fsdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

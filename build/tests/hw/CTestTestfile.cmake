@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hw
+# Build directory: /root/repo/build/tests/hw
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hw/test_hw[1]_include.cmake")

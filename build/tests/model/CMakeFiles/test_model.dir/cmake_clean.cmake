@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/test_layer_cost_properties.cc.o"
+  "CMakeFiles/test_model.dir/test_layer_cost_properties.cc.o.d"
+  "CMakeFiles/test_model.dir/test_model.cc.o"
+  "CMakeFiles/test_model.dir/test_model.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

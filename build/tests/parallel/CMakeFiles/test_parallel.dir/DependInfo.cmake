@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel/test_parallelism.cc" "tests/parallel/CMakeFiles/test_parallel.dir/test_parallelism.cc.o" "gcc" "tests/parallel/CMakeFiles/test_parallel.dir/test_parallelism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/parallel/CMakeFiles/llm4d_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

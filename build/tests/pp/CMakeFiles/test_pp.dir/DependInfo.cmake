@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pp/test_executor.cc" "tests/pp/CMakeFiles/test_pp.dir/test_executor.cc.o" "gcc" "tests/pp/CMakeFiles/test_pp.dir/test_executor.cc.o.d"
+  "/root/repo/tests/pp/test_executor_properties.cc" "tests/pp/CMakeFiles/test_pp.dir/test_executor_properties.cc.o" "gcc" "tests/pp/CMakeFiles/test_pp.dir/test_executor_properties.cc.o.d"
+  "/root/repo/tests/pp/test_grad_memory.cc" "tests/pp/CMakeFiles/test_pp.dir/test_grad_memory.cc.o" "gcc" "tests/pp/CMakeFiles/test_pp.dir/test_grad_memory.cc.o.d"
+  "/root/repo/tests/pp/test_layer_balance.cc" "tests/pp/CMakeFiles/test_pp.dir/test_layer_balance.cc.o" "gcc" "tests/pp/CMakeFiles/test_pp.dir/test_layer_balance.cc.o.d"
+  "/root/repo/tests/pp/test_nc_advisor.cc" "tests/pp/CMakeFiles/test_pp.dir/test_nc_advisor.cc.o" "gcc" "tests/pp/CMakeFiles/test_pp.dir/test_nc_advisor.cc.o.d"
+  "/root/repo/tests/pp/test_schedule.cc" "tests/pp/CMakeFiles/test_pp.dir/test_schedule.cc.o" "gcc" "tests/pp/CMakeFiles/test_pp.dir/test_schedule.cc.o.d"
+  "/root/repo/tests/pp/test_timeline.cc" "tests/pp/CMakeFiles/test_pp.dir/test_timeline.cc.o" "gcc" "tests/pp/CMakeFiles/test_pp.dir/test_timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/pp/CMakeFiles/llm4d_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/model/CMakeFiles/llm4d_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/hw/CMakeFiles/llm4d_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pp.dir/test_executor.cc.o"
+  "CMakeFiles/test_pp.dir/test_executor.cc.o.d"
+  "CMakeFiles/test_pp.dir/test_executor_properties.cc.o"
+  "CMakeFiles/test_pp.dir/test_executor_properties.cc.o.d"
+  "CMakeFiles/test_pp.dir/test_grad_memory.cc.o"
+  "CMakeFiles/test_pp.dir/test_grad_memory.cc.o.d"
+  "CMakeFiles/test_pp.dir/test_layer_balance.cc.o"
+  "CMakeFiles/test_pp.dir/test_layer_balance.cc.o.d"
+  "CMakeFiles/test_pp.dir/test_nc_advisor.cc.o"
+  "CMakeFiles/test_pp.dir/test_nc_advisor.cc.o.d"
+  "CMakeFiles/test_pp.dir/test_schedule.cc.o"
+  "CMakeFiles/test_pp.dir/test_schedule.cc.o.d"
+  "CMakeFiles/test_pp.dir/test_timeline.cc.o"
+  "CMakeFiles/test_pp.dir/test_timeline.cc.o.d"
+  "test_pp"
+  "test_pp.pdb"
+  "test_pp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simcore/test_engine.cc" "tests/simcore/CMakeFiles/test_simcore.dir/test_engine.cc.o" "gcc" "tests/simcore/CMakeFiles/test_simcore.dir/test_engine.cc.o.d"
+  "/root/repo/tests/simcore/test_rng.cc" "tests/simcore/CMakeFiles/test_simcore.dir/test_rng.cc.o" "gcc" "tests/simcore/CMakeFiles/test_simcore.dir/test_rng.cc.o.d"
+  "/root/repo/tests/simcore/test_stats.cc" "tests/simcore/CMakeFiles/test_simcore.dir/test_stats.cc.o" "gcc" "tests/simcore/CMakeFiles/test_simcore.dir/test_stats.cc.o.d"
+  "/root/repo/tests/simcore/test_table.cc" "tests/simcore/CMakeFiles/test_simcore.dir/test_table.cc.o" "gcc" "tests/simcore/CMakeFiles/test_simcore.dir/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcore.dir/test_engine.cc.o"
+  "CMakeFiles/test_simcore.dir/test_engine.cc.o.d"
+  "CMakeFiles/test_simcore.dir/test_rng.cc.o"
+  "CMakeFiles/test_simcore.dir/test_rng.cc.o.d"
+  "CMakeFiles/test_simcore.dir/test_stats.cc.o"
+  "CMakeFiles/test_simcore.dir/test_stats.cc.o.d"
+  "CMakeFiles/test_simcore.dir/test_table.cc.o"
+  "CMakeFiles/test_simcore.dir/test_table.cc.o.d"
+  "test_simcore"
+  "test_simcore.pdb"
+  "test_simcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/test_attention.cc" "tests/tensor/CMakeFiles/test_tensor.dir/test_attention.cc.o" "gcc" "tests/tensor/CMakeFiles/test_tensor.dir/test_attention.cc.o.d"
+  "/root/repo/tests/tensor/test_bf16_exhaustive.cc" "tests/tensor/CMakeFiles/test_tensor.dir/test_bf16_exhaustive.cc.o" "gcc" "tests/tensor/CMakeFiles/test_tensor.dir/test_bf16_exhaustive.cc.o.d"
+  "/root/repo/tests/tensor/test_bfloat16.cc" "tests/tensor/CMakeFiles/test_tensor.dir/test_bfloat16.cc.o" "gcc" "tests/tensor/CMakeFiles/test_tensor.dir/test_bfloat16.cc.o.d"
+  "/root/repo/tests/tensor/test_doc_mask.cc" "tests/tensor/CMakeFiles/test_tensor.dir/test_doc_mask.cc.o" "gcc" "tests/tensor/CMakeFiles/test_tensor.dir/test_doc_mask.cc.o.d"
+  "/root/repo/tests/tensor/test_gemm.cc" "tests/tensor/CMakeFiles/test_tensor.dir/test_gemm.cc.o" "gcc" "tests/tensor/CMakeFiles/test_tensor.dir/test_gemm.cc.o.d"
+  "/root/repo/tests/tensor/test_reduce.cc" "tests/tensor/CMakeFiles/test_tensor.dir/test_reduce.cc.o" "gcc" "tests/tensor/CMakeFiles/test_tensor.dir/test_reduce.cc.o.d"
+  "/root/repo/tests/tensor/test_tensor_core.cc" "tests/tensor/CMakeFiles/test_tensor.dir/test_tensor_core.cc.o" "gcc" "tests/tensor/CMakeFiles/test_tensor.dir/test_tensor_core.cc.o.d"
+  "/root/repo/tests/tensor/test_tp_linear.cc" "tests/tensor/CMakeFiles/test_tensor.dir/test_tp_linear.cc.o" "gcc" "tests/tensor/CMakeFiles/test_tensor.dir/test_tp_linear.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm4d/tensor/CMakeFiles/llm4d_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm4d/simcore/CMakeFiles/llm4d_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

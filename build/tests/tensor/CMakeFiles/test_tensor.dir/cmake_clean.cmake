@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/test_attention.cc.o"
+  "CMakeFiles/test_tensor.dir/test_attention.cc.o.d"
+  "CMakeFiles/test_tensor.dir/test_bf16_exhaustive.cc.o"
+  "CMakeFiles/test_tensor.dir/test_bf16_exhaustive.cc.o.d"
+  "CMakeFiles/test_tensor.dir/test_bfloat16.cc.o"
+  "CMakeFiles/test_tensor.dir/test_bfloat16.cc.o.d"
+  "CMakeFiles/test_tensor.dir/test_doc_mask.cc.o"
+  "CMakeFiles/test_tensor.dir/test_doc_mask.cc.o.d"
+  "CMakeFiles/test_tensor.dir/test_gemm.cc.o"
+  "CMakeFiles/test_tensor.dir/test_gemm.cc.o.d"
+  "CMakeFiles/test_tensor.dir/test_reduce.cc.o"
+  "CMakeFiles/test_tensor.dir/test_reduce.cc.o.d"
+  "CMakeFiles/test_tensor.dir/test_tensor_core.cc.o"
+  "CMakeFiles/test_tensor.dir/test_tensor_core.cc.o.d"
+  "CMakeFiles/test_tensor.dir/test_tp_linear.cc.o"
+  "CMakeFiles/test_tensor.dir/test_tp_linear.cc.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
