@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fault-tolerance simulation: goodput of a multi-day 405B training run
+ * under component failures, checkpoint/restart, link flaps, and silent
+ * stragglers (paper Section 8; Llama 3's 54-day production run saw 419
+ * unexpected interruptions — roughly one every three hours).
+ *
+ * Shows the three headline results of the fault subsystem:
+ *  1. where the wall-clock of a failure-ridden run actually goes;
+ *  2. the empirical optimal checkpoint interval vs. Young-Daly;
+ *  3. goodput shrinking with scale at fixed per-GPU failure rates.
+ *
+ * Deterministic under the fixed seed: rerunning prints identical numbers.
+ *
+ * Build & run:  ./build/examples/fault_tolerance
+ */
+
+#include <cstdio>
+
+#include "llm4d/sim/train_run_sim.h"
+#include "llm4d/simcore/table.h"
+
+using namespace llm4d;
+
+namespace {
+
+TrainRunConfig
+productionRun()
+{
+    TrainRunConfig cfg; // 405B on 16,384 H100s, Table-2 parallelism
+    cfg.total_steps = 5000;
+    cfg.checkpoint_interval_steps = 50;
+    cfg.seed = 2024;
+    return cfg;
+}
+
+void
+printRun(const TrainRunSim &sim, const TrainRunReport &rep)
+{
+    TextTable table("Simulated production run (16,384 GPUs)");
+    table.header({"metric", "value"});
+    table.row({"cluster MTBF",
+               TextTable::num(sim.mtbfSeconds() / 3600.0, 2) + " h"});
+    table.row({"steps committed",
+               TextTable::num(rep.steps_committed) + " / " +
+                   TextTable::num(sim.config().total_steps)});
+    table.row({"wall-clock", TextTable::num(rep.wall_seconds / 3600.0, 2) +
+                                 " h (ideal " +
+                                 TextTable::num(rep.ideal_seconds / 3600.0,
+                                                2) +
+                                 " h)"});
+    table.row({"interruptions",
+               TextTable::num(rep.faults.gpu_fatal + rep.faults.host_crash) +
+                   " fatal, " + TextTable::num(rep.faults.stragglers) +
+                   " stragglers, " + TextTable::num(rep.faults.link_flaps) +
+                   " link flaps"});
+    table.row({"restarts", TextTable::num(rep.restarts)});
+    table.row({"steps lost to rollback", TextTable::num(rep.steps_lost)});
+    table.row({"goodput", TextTable::num(rep.goodput_tflops_per_gpu, 1) +
+                              " TFLOPs/GPU (base " +
+                              TextTable::num(rep.base_tflops_per_gpu, 1) +
+                              ")"});
+    table.row({"goodput fraction", TextTable::pct(rep.goodputFraction())});
+    table.row({"availability", TextTable::pct(rep.availability)});
+    table.print();
+
+    TextTable where("Where the wall-clock went");
+    where.header({"bucket", "hours", "share"});
+    const auto bucket = [&](const char *name, double seconds) {
+        where.row({name, TextTable::num(seconds / 3600.0, 2),
+                   TextTable::pct(seconds / rep.wall_seconds)});
+    };
+    bucket("productive steps", rep.productive_seconds);
+    bucket("degradation (stragglers/flaps/warmup)", rep.degraded_seconds);
+    bucket("checkpoint saves", rep.checkpoint_seconds);
+    bucket("lost (rolled-back) work", rep.lost_seconds);
+    bucket("failure detection", rep.detection_seconds);
+    bucket("restart + restore", rep.restart_seconds);
+    where.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- 1. One production-scale run through the fault model. ---
+    const TrainRunSim sim(productionRun());
+    printRun(sim, sim.run());
+
+    // --- 2. Checkpoint-interval scan vs. the Young-Daly optimum. ---
+    const std::int64_t yd = sim.youngDalyIntervalSteps();
+    TextTable scan("Checkpoint interval scan (same fault timeline)");
+    scan.header({"interval (steps)", "goodput TFLOPs/GPU", "note"});
+    for (const auto &pt : sim.scanCheckpointIntervals(
+             {yd / 4, yd / 2, yd, 2 * yd, 4 * yd})) {
+        scan.row({TextTable::num(pt.interval_steps),
+                  TextTable::num(pt.goodput_tflops_per_gpu, 1),
+                  pt.interval_steps == yd ? "<- Young-Daly sqrt(2*MTBF*C)"
+                                          : ""});
+    }
+    scan.print();
+    std::printf("Checkpoint save: %.1f s sharded over the cluster "
+                "(%.1f GB/GPU)\n\n",
+                sim.checkpoint().saveSeconds(),
+                sim.checkpoint().bytesPerGpu() / 1e9);
+
+    // --- 3. Goodput vs. scale at the same per-GPU failure rates. ---
+    TextTable scale("Scale vs. goodput (same per-GPU failure rates, "
+                    "Young-Daly-tuned checkpoints)");
+    scale.header({"GPUs", "fatal faults/h", "ckpt interval",
+                  "goodput TFLOPs/GPU", "goodput fraction"});
+    struct Point
+    {
+        std::int64_t gpus;
+        ParallelismConfig par;
+        std::int64_t batch_tokens;
+    };
+    const Point points[] = {
+        {2048, ParallelismConfig{8, 1, 16, 16}, 2LL * 1024 * 1024},
+        {16384, ParallelismConfig{8, 1, 16, 128}, 16LL * 1024 * 1024},
+    };
+    for (const Point &p : points) {
+        TrainRunConfig cfg = productionRun();
+        cfg.job.cluster = ClusterSpec::llama3Production(p.gpus);
+        cfg.job.par = p.par;
+        cfg.job.global_batch_tokens = p.batch_tokens; // bs = 16 per DP group
+        cfg.total_steps = 3000;
+        // Each scale gets its own optimal interval: smaller clusters have
+        // slower per-host saves AND rarer failures, so they checkpoint
+        // far less often.
+        cfg.checkpoint_interval_steps =
+            TrainRunSim(cfg).youngDalyIntervalSteps();
+        const TrainRunSim s(cfg);
+        const TrainRunReport r = s.run();
+        scale.row({TextTable::num(p.gpus),
+                   TextTable::num(cfg.job.cluster.fatalFailuresPerHour(), 3),
+                   TextTable::num(cfg.checkpoint_interval_steps) + " steps",
+                   TextTable::num(r.goodput_tflops_per_gpu, 1),
+                   TextTable::pct(r.goodputFraction())});
+    }
+    scale.print();
+    std::puts("Same per-component MTBF: 8x the GPUs means 8x the cluster\n"
+              "failure rate, and the whole synchronized job pays for every\n"
+              "single one — the paper's Section 8 operations story.");
+    return 0;
+}

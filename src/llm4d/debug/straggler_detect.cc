@@ -1,0 +1,61 @@
+#include "llm4d/debug/straggler_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "llm4d/simcore/common.h"
+#include "llm4d/simcore/rng.h"
+
+namespace llm4d {
+
+std::int64_t
+stragglerDetectionSteps(double speed, const StragglerDetectModel &model)
+{
+    LLM4D_CHECK(std::isfinite(speed) && speed > 0.0 && speed < 1.0,
+                "straggler speed must be in (0, 1), got " << speed);
+    LLM4D_CHECK(model.jitter_sigma >= 0.0 && model.confidence_z > 0.0,
+                "invalid straggler detection model");
+    const double delta = 1.0 / speed - 1.0; // relative compute excess
+    // Mean over k steps has noise sigma/sqrt(k); require
+    // delta >= z * sigma / sqrt(k).
+    const double ratio = model.confidence_z * model.jitter_sigma / delta;
+    const auto steps = static_cast<std::int64_t>(std::ceil(ratio * ratio));
+    return std::clamp<std::int64_t>(steps, 1, model.max_steps);
+}
+
+SlowRankReport
+localizeInjectedStraggler(const RankGrid &grid, std::int64_t rank,
+                          double speed, double base_compute_seconds,
+                          std::int64_t steps,
+                          const StragglerDetectModel &model,
+                          std::uint64_t seed)
+{
+    LLM4D_CHECK(rank >= 0 && rank < grid.worldSize(),
+                "straggler rank out of range");
+    LLM4D_CHECK(speed > 0.0 && speed < 1.0,
+                "straggler speed must be in (0, 1)");
+    LLM4D_CHECK(base_compute_seconds > 0.0 && steps > 0,
+                "need positive compute time and step count");
+    const std::int64_t world = grid.worldSize();
+    // Mean per-rank compute over the trace window. Each rank gets an
+    // independent jitter stream so iteration order cannot matter.
+    std::vector<double> compute(static_cast<std::size_t>(world), 0.0);
+    for (std::int64_t r = 0; r < world; ++r) {
+        Rng rng(seed, static_cast<std::uint64_t>(r));
+        double sum = 0.0;
+        for (std::int64_t s = 0; s < steps; ++s) {
+            // One-sided jitter, matching PerfVariation: DVFS only ever
+            // slows a part down relative to nominal.
+            sum += base_compute_seconds *
+                   (1.0 + std::fabs(rng.normal()) * model.jitter_sigma);
+        }
+        double mean = sum / static_cast<double>(steps);
+        if (r == rank)
+            mean /= speed;
+        compute[static_cast<std::size_t>(r)] = mean;
+    }
+    const ClusterTrace trace = ClusterTrace::synthesize(grid, compute);
+    return findSlowRankFromTrace(grid, trace);
+}
+
+} // namespace llm4d

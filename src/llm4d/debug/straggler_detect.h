@@ -1,0 +1,66 @@
+#ifndef LLM4D_DEBUG_STRAGGLER_DETECT_H_
+#define LLM4D_DEBUG_STRAGGLER_DETECT_H_
+
+/**
+ * @file
+ * Detection-latency model for silent stragglers.
+ *
+ * A fatal fault announces itself (NCCL error, watchdog timeout); a silent
+ * straggler must be *inferred* from collective traces, and the inference
+ * takes time: the straggler's per-step compute excess has to rise above
+ * the baseline DVFS/binning jitter that every healthy rank shows. The
+ * model here turns that into a step count — averaging k steps shrinks the
+ * jitter noise on a rank's mean compute by sqrt(k), so a straggler whose
+ * relative excess is delta = 1/speed - 1 becomes distinguishable at
+ * confidence z after k >= (z * sigma / delta)^2 steps — and verifies it
+ * by synthesizing the traces and running the paper's Section 6.1 top-down
+ * localization on them.
+ */
+
+#include <cstdint>
+
+#include "llm4d/debug/trace.h"
+#include "llm4d/parallel/parallelism.h"
+
+namespace llm4d {
+
+/** Tuning of the trace-driven straggler detector. */
+struct StragglerDetectModel
+{
+    /** Baseline per-step compute jitter sigma every healthy rank shows. */
+    double jitter_sigma = 0.01;
+
+    /** Confidence multiple the excess must reach over the averaged noise. */
+    double confidence_z = 4.0;
+
+    /** Cap on the returned step count (pathologically mild stragglers). */
+    std::int64_t max_steps = 1000000;
+};
+
+/**
+ * Steps of degraded training needed before a straggler running at
+ * @p speed (in (0, 1)) is localizable from traces. Monotonically
+ * increasing in @p speed: milder stragglers hide in the jitter longer.
+ */
+std::int64_t stragglerDetectionSteps(double speed,
+                                     const StragglerDetectModel &model = {});
+
+/**
+ * End-to-end check of the detection model: synthesize @p steps iterations
+ * of per-rank compute times (baseline jitter from @p seed, the straggler
+ * at @p rank slowed to @p speed), average them into a cluster trace, and
+ * run top-down slow-rank localization.
+ *
+ * @return the localization report; .rank == @p rank when the straggler
+ *         was correctly identified at this trace length.
+ */
+SlowRankReport localizeInjectedStraggler(const RankGrid &grid,
+                                         std::int64_t rank, double speed,
+                                         double base_compute_seconds,
+                                         std::int64_t steps,
+                                         const StragglerDetectModel &model,
+                                         std::uint64_t seed);
+
+} // namespace llm4d
+
+#endif // LLM4D_DEBUG_STRAGGLER_DETECT_H_

@@ -1,0 +1,96 @@
+#include "llm4d/fault/checkpoint_model.h"
+
+#include <cmath>
+
+#include "llm4d/net/collective.h"
+#include "llm4d/net/topology.h"
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+/** FP32 master weights + two Adam moments. */
+constexpr double kCheckpointBytesPerParam = 12.0;
+
+constexpr double kGB = 1e9;
+
+} // namespace
+
+void
+CheckpointStorage::validate() const
+{
+    LLM4D_CHECK(write_gbps_per_host > 0.0 && read_gbps_per_host > 0.0,
+                "checkpoint storage bandwidth must be positive");
+    LLM4D_CHECK(barrier_seconds >= 0.0,
+                "checkpoint barrier must be non-negative");
+}
+
+CheckpointModel::CheckpointModel(const ModelConfig &model,
+                                 const ClusterSpec &cluster,
+                                 const ParallelismConfig &par,
+                                 CheckpointStorage storage)
+    : model_(model), cluster_(cluster), par_(par), storage_(storage)
+{
+    storage_.validate();
+    par_.validate();
+    LLM4D_CHECK(par_.worldSize() == cluster_.numGpus(),
+                "parallelism " << par_.str() << " does not match cluster of "
+                               << cluster_.numGpus() << " GPUs");
+    // Rematerializing BF16 weights on load: all-gather each rank's
+    // parameter shard over its FSDP (dp*cp) group.
+    if (par_.dp * par_.cp > 1) {
+        const Topology topo(cluster_);
+        const CollectiveModel coll(topo);
+        const RankGrid grid(par_);
+        const double bf16_params_per_mp_rank =
+            2.0 * static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par_.modelParallelSize());
+        const auto shard_bytes = static_cast<std::int64_t>(
+            bf16_params_per_mp_rank /
+            static_cast<double>(par_.dp * par_.cp));
+        regather_seconds_ =
+            coll.allGather(grid.dpCpGroup(0), shard_bytes);
+    }
+}
+
+double
+CheckpointModel::totalBytes() const
+{
+    return kCheckpointBytesPerParam *
+           static_cast<double>(model_.totalParams());
+}
+
+double
+CheckpointModel::bytesPerGpu() const
+{
+    return totalBytes() / static_cast<double>(cluster_.numGpus());
+}
+
+double
+CheckpointModel::saveSeconds() const
+{
+    const double bytes_per_host =
+        bytesPerGpu() * static_cast<double>(cluster_.node.gpus_per_node);
+    return bytes_per_host / (storage_.write_gbps_per_host * kGB) +
+           storage_.barrier_seconds;
+}
+
+double
+CheckpointModel::loadSeconds() const
+{
+    const double bytes_per_host =
+        bytesPerGpu() * static_cast<double>(cluster_.node.gpus_per_node);
+    return bytes_per_host / (storage_.read_gbps_per_host * kGB) +
+           storage_.barrier_seconds + regather_seconds_;
+}
+
+double
+youngDalyIntervalSeconds(double mtbf_seconds, double save_seconds)
+{
+    LLM4D_CHECK(mtbf_seconds > 0.0 && save_seconds > 0.0,
+                "Young-Daly needs positive MTBF and save cost");
+    return std::sqrt(2.0 * mtbf_seconds * save_seconds);
+}
+
+} // namespace llm4d

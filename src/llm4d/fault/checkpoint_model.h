@@ -1,0 +1,86 @@
+#ifndef LLM4D_FAULT_CHECKPOINT_MODEL_H_
+#define LLM4D_FAULT_CHECKPOINT_MODEL_H_
+
+/**
+ * @file
+ * Sharded checkpoint save/load cost model and the Young–Daly interval.
+ *
+ * TorchTitan (arXiv:2410.06511) treats recoverable checkpointing as a
+ * core subsystem of a production pre-training stack. The checkpoint
+ * contents are the FP32 master weights plus the two Adam moments
+ * (12 bytes/parameter, paper Section 6.2 keeps gradients/master state in
+ * FP32); BF16 working weights are rematerialized from the master copy on
+ * load. Saves are fully sharded — with ZeRO-1 the optimizer state is
+ * sharded over the dp*cp group and parameters over tp*pp, so each of the
+ * world's GPUs owns exactly totalBytes/world — and bottlenecked by each
+ * host's bandwidth to the distributed filesystem. Loads additionally pay
+ * one parameter all-gather over the FSDP group (priced through the
+ * collective model) to rematerialize the BF16 working weights.
+ */
+
+#include <cstdint>
+
+#include "llm4d/hw/gpu_spec.h"
+#include "llm4d/model/model_config.h"
+#include "llm4d/parallel/parallelism.h"
+
+namespace llm4d {
+
+/** Distributed-filesystem characteristics seen by one 8-GPU host. */
+struct CheckpointStorage
+{
+    /** Aggregate write bandwidth per host to the checkpoint store, GB/s. */
+    double write_gbps_per_host = 1.0;
+
+    /** Aggregate read bandwidth per host (reads cache better), GB/s. */
+    double read_gbps_per_host = 4.0;
+
+    /** Quiesce + metadata-commit barrier per save or load, seconds. */
+    double barrier_seconds = 4.0;
+
+    /** Abort unless bandwidths and overheads are sane. */
+    void validate() const;
+};
+
+/** Prices sharded checkpoint save/load for one job. */
+class CheckpointModel
+{
+  public:
+    CheckpointModel(const ModelConfig &model, const ClusterSpec &cluster,
+                    const ParallelismConfig &par,
+                    CheckpointStorage storage = {});
+
+    /** Total checkpoint bytes across the cluster (12 B / parameter). */
+    double totalBytes() const;
+
+    /** Sharded checkpoint bytes written/read by one GPU. */
+    double bytesPerGpu() const;
+
+    /** Synchronous sharded-save cost charged to the training step. */
+    double saveSeconds() const;
+
+    /**
+     * Restore cost: sharded read plus the FSDP parameter all-gather that
+     * rematerializes BF16 working weights on every rank.
+     */
+    double loadSeconds() const;
+
+  private:
+    ModelConfig model_;
+    ClusterSpec cluster_;
+    ParallelismConfig par_;
+    CheckpointStorage storage_;
+    double regather_seconds_ = 0.0;
+};
+
+/**
+ * Young–Daly first-order optimal checkpoint interval
+ * sqrt(2 * MTBF * save_cost), both arguments in seconds. Valid for
+ * save_cost << MTBF; the run simulator's empirical optimum is validated
+ * against it (acceptance criterion: within 2x).
+ */
+double youngDalyIntervalSeconds(double mtbf_seconds, double save_seconds);
+
+} // namespace llm4d
+
+#endif // LLM4D_FAULT_CHECKPOINT_MODEL_H_

@@ -1,0 +1,175 @@
+#include "llm4d/fault/fault_model.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+constexpr Time kNever = std::numeric_limits<Time>::max();
+
+constexpr double kSecondsPerHour = 3600.0;
+
+/** Per-class RNG stream ids; fixed so timelines survive refactors. */
+constexpr std::uint64_t kClassStream[kNumFaultKinds] = {0xfa01, 0xfa02,
+                                                        0xfa03, 0xfa04};
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::GpuFatal:
+        return "GpuFatal";
+      case FaultKind::HostCrash:
+        return "HostCrash";
+      case FaultKind::LinkFlap:
+        return "LinkFlap";
+      case FaultKind::StragglerOnset:
+        return "StragglerOnset";
+    }
+    LLM4D_PANIC("unreachable fault kind");
+}
+
+std::string
+FaultEvent::str() const
+{
+    std::ostringstream os;
+    os << "t=" << timeToSeconds(when) << "s " << faultKindName(kind)
+       << (kind == FaultKind::HostCrash ? " node=" : " gpu=") << component;
+    if (kind == FaultKind::StragglerOnset)
+        os << " speed=" << severity;
+    if (kind == FaultKind::LinkFlap)
+        os << " capacity=" << severity << " for "
+           << timeToSeconds(duration) << "s";
+    return os.str();
+}
+
+void
+FaultTuning::validate() const
+{
+    LLM4D_CHECK(straggler_speed_lo > 0.0 &&
+                    straggler_speed_hi < 1.0 &&
+                    straggler_speed_lo <= straggler_speed_hi,
+                "straggler speed range must satisfy 0 < lo <= hi < 1");
+    LLM4D_CHECK(flap_capacity_lo > 0.0 && flap_capacity_hi <= 1.0 &&
+                    flap_capacity_lo <= flap_capacity_hi,
+                "flap capacity range must satisfy 0 < lo <= hi <= 1");
+    LLM4D_CHECK(flap_duration_mean_s > 0.0,
+                "flap duration mean must be positive");
+}
+
+FaultModel::FaultModel(const ClusterSpec &cluster, const FaultTuning &tuning,
+                       std::uint64_t seed)
+    : cluster_(cluster), tuning_(tuning)
+{
+    tuning_.validate();
+    const std::int64_t gpus = cluster_.numGpus();
+    const auto setup = [&](FaultKind kind, std::int64_t components,
+                           double mtbf_hours) {
+        ClassState &cs = classes_[static_cast<int>(kind)];
+        cs.components = components;
+        cs.rng = Rng(seed, kClassStream[static_cast<int>(kind)]);
+        if (mtbf_hours <= 0.0 || components <= 0) {
+            cs.rate_per_second = 0.0;
+            cs.next_at = kNever;
+            return;
+        }
+        cs.rate_per_second = static_cast<double>(components) /
+                             (mtbf_hours * kSecondsPerHour);
+        cs.next_at = 0;
+        advance(static_cast<int>(kind));
+    };
+    setup(FaultKind::GpuFatal, gpus, cluster_.node.gpu.fatal_mtbf_hours);
+    setup(FaultKind::HostCrash, cluster_.num_nodes,
+          cluster_.node.host_mtbf_hours);
+    setup(FaultKind::LinkFlap, gpus, cluster_.node.nic_flap_mtbf_hours);
+    setup(FaultKind::StragglerOnset, gpus,
+          cluster_.node.gpu.straggler_mtbf_hours);
+}
+
+void
+FaultModel::advance(int k)
+{
+    ClassState &cs = classes_[k];
+    const double gap_s = cs.rng.exponential(1.0 / cs.rate_per_second);
+    const Time gap = std::max<Time>(1, secondsToTime(gap_s));
+    LLM4D_ASSERT(cs.next_at <= kNever - gap,
+                 "fault timeline overflowed simulated time");
+    cs.next_at += gap;
+}
+
+FaultEvent
+FaultModel::next()
+{
+    LLM4D_CHECK(!silent(),
+                "cannot draw fault events: every class is disabled");
+    // Earliest class wins; ties break on class order for determinism.
+    int best = -1;
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+        if (classes_[k].next_at == kNever)
+            continue;
+        if (best < 0 || classes_[k].next_at < classes_[best].next_at)
+            best = k;
+    }
+    ClassState &cs = classes_[best];
+    FaultEvent ev;
+    ev.kind = static_cast<FaultKind>(best);
+    ev.when = cs.next_at;
+    // Component and severity come from the same class stream as the
+    // arrival gap, so one stream per class fully determines its timeline.
+    ev.component = cs.rng.uniformInt(0, cs.components - 1);
+    switch (ev.kind) {
+      case FaultKind::StragglerOnset:
+        ev.severity = cs.rng.uniform(tuning_.straggler_speed_lo,
+                                     tuning_.straggler_speed_hi);
+        break;
+      case FaultKind::LinkFlap:
+        ev.severity = cs.rng.uniform(tuning_.flap_capacity_lo,
+                                     tuning_.flap_capacity_hi);
+        ev.duration = std::max<Time>(
+            1, secondsToTime(
+                   cs.rng.exponential(tuning_.flap_duration_mean_s)));
+        break;
+      case FaultKind::GpuFatal:
+      case FaultKind::HostCrash:
+        break;
+    }
+    advance(best);
+    return ev;
+}
+
+double
+FaultModel::eventsPerHour() const
+{
+    double rate = 0.0;
+    for (const ClassState &cs : classes_)
+        rate += cs.rate_per_second;
+    return rate * kSecondsPerHour;
+}
+
+double
+FaultModel::mtbfSeconds() const
+{
+    double rate = 0.0;
+    for (const ClassState &cs : classes_)
+        rate += cs.rate_per_second;
+    LLM4D_CHECK(rate > 0.0, "MTBF undefined: every class is disabled");
+    return 1.0 / rate;
+}
+
+bool
+FaultModel::silent() const
+{
+    for (const ClassState &cs : classes_)
+        if (cs.rate_per_second > 0.0)
+            return false;
+    return true;
+}
+
+} // namespace llm4d

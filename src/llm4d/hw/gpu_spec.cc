@@ -20,6 +20,45 @@ GpuSpec::h100Hbm2e()
     return spec;
 }
 
+namespace {
+
+/** Events/hour contributed by @p components parts of the given MTBF. */
+double
+classRate(std::int64_t components, double mtbf_hours)
+{
+    if (mtbf_hours <= 0.0)
+        return 0.0;
+    return static_cast<double>(components) / mtbf_hours;
+}
+
+} // namespace
+
+double
+ClusterSpec::failuresPerHour() const
+{
+    const std::int64_t gpus = numGpus();
+    return classRate(gpus, node.gpu.fatal_mtbf_hours) +
+           classRate(gpus, node.gpu.straggler_mtbf_hours) +
+           classRate(num_nodes, node.host_mtbf_hours) +
+           classRate(gpus, node.nic_flap_mtbf_hours);
+}
+
+double
+ClusterSpec::fatalFailuresPerHour() const
+{
+    return classRate(numGpus(), node.gpu.fatal_mtbf_hours) +
+           classRate(num_nodes, node.host_mtbf_hours);
+}
+
+double
+ClusterSpec::clusterMtbfHours() const
+{
+    const double rate = failuresPerHour();
+    LLM4D_CHECK(rate > 0.0,
+                "cluster MTBF undefined: every failure class is disabled");
+    return 1.0 / rate;
+}
+
 ClusterSpec
 ClusterSpec::llama3Production(std::int64_t num_gpus)
 {

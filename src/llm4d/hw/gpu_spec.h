@@ -50,6 +50,22 @@ struct GpuSpec
     /** Board power in watts (for Perf/Watt reporting, Section 8.2). */
     double tdp_watts = 700.0;
 
+    /**
+     * Mean time between fatal per-GPU faults (HBM ECC, driver hang, die
+     * fallout), hours; <= 0 disables the failure class. The default is
+     * calibrated against the Llama 3 54-day production run (419
+     * unexpected interruptions on 16384 GPUs, ~59% GPU-attributed).
+     */
+    double fatal_mtbf_hours = 85000.0;
+
+    /**
+     * Mean time between silent straggler onsets per GPU (thermal
+     * throttling, degraded HBM lanes — Section 8.1's "performance
+     * variations"), hours; <= 0 disables. Stragglers do not kill the job;
+     * they drag the whole synchronized cluster until localized.
+     */
+    double straggler_mtbf_hours = 500000.0;
+
     /** Peak BF16 throughput in FLOP/s. */
     double peakFlops() const { return peak_bf16_tflops * 1e12; }
 
@@ -74,6 +90,19 @@ struct NodeSpec
 
     /** Inter-node hop latency (RoCE), microseconds. */
     double net_latency_us = 8.0;
+
+    /**
+     * Mean time between whole-host crashes from non-GPU components (CPU,
+     * RAM, PSU, cooling), hours per host; <= 0 disables.
+     */
+    double host_mtbf_hours = 120000.0;
+
+    /**
+     * Mean time between NIC/link flaps per NIC (one NIC per GPU), hours;
+     * <= 0 disables. A flap degrades the link's capacity for its duration
+     * instead of failing the job.
+     */
+    double nic_flap_mtbf_hours = 200000.0;
 };
 
 /** Whole-cluster description with a three-level network hierarchy. */
@@ -94,6 +123,27 @@ struct ClusterSpec
 
     /** Total number of GPUs. */
     std::int64_t numGpus() const { return num_nodes * node.gpus_per_node; }
+
+    /**
+     * Aggregate component failure (or degradation-onset) rate of the
+     * whole cluster in events per hour, summing GPU-fatal, host-crash,
+     * NIC-flap, and straggler-onset classes over every component.
+     */
+    double failuresPerHour() const;
+
+    /**
+     * Rate of job-killing failures only (GPU-fatal + host-crash), events
+     * per hour — the MTBF that matters for Young–Daly checkpoint-interval
+     * analysis, since flaps and stragglers degrade without losing work.
+     */
+    double fatalFailuresPerHour() const;
+
+    /**
+     * Cluster-level mean time between failure events in hours
+     * (1 / failuresPerHour). ~3 hours at 16K GPUs with default rates,
+     * matching the Llama 3 production experience.
+     */
+    double clusterMtbfHours() const;
 
     /** The 16K-GPU Llama 3 production cluster. */
     static ClusterSpec llama3Production(std::int64_t num_gpus = 16384);

@@ -21,8 +21,14 @@ PerfVariation::jitter(double sigma, std::uint64_t seed)
 void
 PerfVariation::injectStraggler(std::int64_t rank, double speed)
 {
+    // Reject NaN explicitly: NaN fails the range comparison below too,
+    // but the message would misleadingly talk about the (0, 1] range.
+    LLM4D_CHECK(std::isfinite(speed),
+                "straggler speed must be finite, got " << speed);
     LLM4D_CHECK(speed > 0.0 && speed <= 1.0,
                 "straggler speed must be in (0, 1], got " << speed);
+    LLM4D_CHECK(rank >= 0, "straggler rank must be non-negative, got "
+                               << rank);
     stragglers_[rank] = speed;
 }
 

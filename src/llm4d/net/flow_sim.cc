@@ -34,6 +34,19 @@ FlowSim::addFlow(std::vector<LinkId> path, double bytes, Time start)
 }
 
 void
+FlowSim::scheduleCapacity(LinkId link, Time when, double bytes_per_second)
+{
+    LLM4D_CHECK(link >= 0 &&
+                    link < static_cast<LinkId>(linkCapacity_.size()),
+                "unknown link for capacity change");
+    LLM4D_CHECK(when >= 0, "capacity change in the past");
+    LLM4D_CHECK(bytes_per_second > 0.0,
+                "degraded capacity must stay positive: flaps degrade "
+                "links, they do not sever them");
+    capacityChanges_.push_back(CapacityChange{link, when, bytes_per_second});
+}
+
+void
 FlowSim::allocateRates()
 {
     ++recomputations_;
@@ -96,22 +109,38 @@ FlowSim::run()
     Time now = 0;
     std::int64_t remaining_flows =
         static_cast<std::int64_t>(flows_.size());
-    // Activate flows whose release time has passed, then advance to the
-    // next event (release or completion) under current rates.
+    // Capacity changes apply in time order; stable sort keeps scheduling
+    // order as the tie-break so same-instant changes are deterministic.
+    std::stable_sort(capacityChanges_.begin(), capacityChanges_.end(),
+                     [](const CapacityChange &a, const CapacityChange &b) {
+                         return a.when < b.when;
+                     });
+    std::size_t next_change = 0;
+    // Activate flows whose release time has passed, apply due capacity
+    // changes, then advance to the next event (release, completion, or
+    // capacity change) under current rates.
     while (remaining_flows > 0) {
-        bool changed = false;
+        while (next_change < capacityChanges_.size() &&
+               capacityChanges_[next_change].when <= now) {
+            const CapacityChange &cc = capacityChanges_[next_change];
+            linkCapacity_[static_cast<std::size_t>(cc.link)] =
+                cc.bytes_per_second;
+            ++next_change;
+        }
+        const Time next_capacity =
+            next_change < capacityChanges_.size()
+                ? capacityChanges_[next_change].when
+                : std::numeric_limits<Time>::max();
         Time next_release = std::numeric_limits<Time>::max();
         for (Flow &flow : flows_) {
             if (flow.done || flow.active)
                 continue;
             if (flow.start <= now) {
                 flow.active = true;
-                changed = true;
             } else {
                 next_release = std::min(next_release, flow.start);
             }
         }
-        (void)changed;
         allocateRates();
 
         // Next completion under these rates.
@@ -134,7 +163,7 @@ FlowSim::run()
             continue;
         }
         const Time next_event =
-            std::min(next_completion, next_release);
+            std::min({next_completion, next_release, next_capacity});
         // Drain bytes until the event. A flow whose residual would take
         // less than one clock tick (1 ns) to drain is complete — without
         // this, byte residues from timestamp rounding can make the next
@@ -183,6 +212,33 @@ measuredCongestionFactor(double link_bytes_per_second, double victim_bytes,
     const double t_busy =
         busy.run()[static_cast<std::size_t>(victim_b)].seconds();
     return t_busy / t_alone;
+}
+
+double
+flapSlowdownFactor(double link_bytes_per_second, double bytes,
+                   double capacity_factor, Time flap_start, Time flap_end)
+{
+    LLM4D_CHECK(capacity_factor > 0.0 && capacity_factor <= 1.0,
+                "flap capacity factor must be in (0, 1], got "
+                    << capacity_factor);
+    LLM4D_CHECK(flap_end >= flap_start, "flap must end after it starts");
+    // Healthy link.
+    FlowSim nominal;
+    const LinkId link_n = nominal.addLink(link_bytes_per_second);
+    const FlowId xfer_n = nominal.addFlow({link_n}, bytes, 0);
+    const double t_nominal =
+        nominal.run()[static_cast<std::size_t>(xfer_n)].seconds();
+
+    // Same transfer across the flap window.
+    FlowSim flapped;
+    const LinkId link_f = flapped.addLink(link_bytes_per_second);
+    flapped.scheduleCapacity(link_f, flap_start,
+                             link_bytes_per_second * capacity_factor);
+    flapped.scheduleCapacity(link_f, flap_end, link_bytes_per_second);
+    const FlowId xfer_f = flapped.addFlow({link_f}, bytes, 0);
+    const double t_flapped =
+        flapped.run()[static_cast<std::size_t>(xfer_f)].seconds();
+    return t_flapped / t_nominal;
 }
 
 } // namespace llm4d

@@ -44,6 +44,14 @@ class FlowSim
     LinkId addLink(double bytes_per_second);
 
     /**
+     * Schedule a capacity change on @p link at time @p when (e.g. a NIC
+     * flap degrading the link, then restoring it). The new capacity must
+     * stay positive: flaps degrade paths, they do not sever them. Rates
+     * of in-flight flows are re-allocated at the change point.
+     */
+    void scheduleCapacity(LinkId link, Time when, double bytes_per_second);
+
+    /**
      * Add a flow of @p bytes over @p path (ordered link ids), released at
      * @p start. Paths may share links; sharing is what's being modelled.
      */
@@ -70,11 +78,19 @@ class FlowSim
         double rate = 0.0;      ///< current allocation, bytes/sec
     };
 
+    struct CapacityChange
+    {
+        LinkId link = 0;
+        Time when = 0;
+        double bytes_per_second = 0.0;
+    };
+
     /** Max-min fair rate allocation across active flows. */
     void allocateRates();
 
     std::vector<double> linkCapacity_;
     std::vector<Flow> flows_;
+    std::vector<CapacityChange> capacityChanges_; ///< sorted by when
     std::int64_t recomputations_ = 0;
 };
 
@@ -88,6 +104,17 @@ double measuredCongestionFactor(double link_bytes_per_second,
                                 double victim_bytes,
                                 std::int64_t aggressors,
                                 double aggressor_bytes);
+
+/**
+ * Measured slowdown of a transfer of @p bytes released at t=0 on a link
+ * whose capacity drops to @p capacity_factor (in (0, 1]) of nominal over
+ * the window [@p flap_start, @p flap_end) — a NIC/link flap. Returns
+ * degraded_time / nominal_time >= 1; a transfer that completes before the
+ * flap starts returns exactly 1.
+ */
+double flapSlowdownFactor(double link_bytes_per_second, double bytes,
+                          double capacity_factor, Time flap_start,
+                          Time flap_end);
 
 } // namespace llm4d
 

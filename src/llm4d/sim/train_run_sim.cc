@@ -1,0 +1,429 @@
+#include "llm4d/sim/train_run_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "llm4d/net/flow_sim.h"
+#include "llm4d/net/topology.h"
+#include "llm4d/simcore/common.h"
+#include "llm4d/simcore/engine.h"
+
+namespace llm4d {
+
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+
+} // namespace
+
+TrainRunSim::TrainRunSim(TrainRunConfig cfg)
+    : cfg_(std::move(cfg)),
+      base_(TrainSim(cfg_.job).run()),
+      ckpt_(cfg_.job.model, cfg_.job.cluster, cfg_.job.par, cfg_.storage)
+{
+    LLM4D_CHECK(cfg_.total_steps > 0, "run needs at least one step");
+    LLM4D_CHECK(cfg_.checkpoint_interval_steps > 0,
+                "checkpoint interval must be positive");
+    LLM4D_CHECK(cfg_.restart.reinit_seconds >= 0.0 &&
+                    cfg_.restart.warmup_steps >= 0 &&
+                    cfg_.restart.warmup_slowdown >= 1.0,
+                "invalid restart config");
+    LLM4D_CHECK(cfg_.detection.fast_fail_seconds >= 0.0 &&
+                    cfg_.detection.timeout_seconds >= 0.0 &&
+                    cfg_.detection.straggler_analysis_seconds >= 0.0,
+                "detection latencies must be non-negative");
+    LLM4D_CHECK(cfg_.max_wall_days > 0.0, "max wall-clock must be positive");
+    cfg_.faults.validate();
+    flops_per_gpu_step_ =
+        base_.tflops_per_gpu * 1e12 * base_.step_seconds;
+}
+
+double
+TrainRunSim::mtbfSeconds() const
+{
+    return kSecondsPerHour / cfg_.job.cluster.failuresPerHour();
+}
+
+std::int64_t
+TrainRunSim::youngDalyIntervalSteps() const
+{
+    // Young–Daly counts only work-losing failures; stragglers and flaps
+    // degrade throughput but lose no checkpointable progress.
+    const double fatal_rate = cfg_.job.cluster.fatalFailuresPerHour();
+    LLM4D_CHECK(fatal_rate > 0.0,
+                "Young-Daly undefined without fatal failure classes");
+    const double yd_seconds = youngDalyIntervalSeconds(
+        kSecondsPerHour / fatal_rate, ckpt_.saveSeconds());
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(yd_seconds / base_.step_seconds)));
+}
+
+double
+TrainRunSim::degradedStepSeconds(std::int64_t straggler_rank,
+                                 double speed) const
+{
+    // TrainSim's cost table only samples the representative rank of each
+    // PP coordinate, so map the straggler onto the representative of its
+    // pipeline stage; synchronized training then propagates the slowdown
+    // to the whole step.
+    const RankGrid grid(cfg_.job.par);
+    const std::int64_t pp_coord = grid.coordOf(straggler_rank).pp;
+    const std::int64_t rep = grid.rankOf(RankCoord{0, 0, pp_coord, 0});
+    const auto key = std::make_pair(rep, speed);
+    const auto it = degraded_cache_.find(key);
+    if (it != degraded_cache_.end())
+        return it->second;
+    TrainJobConfig degraded = cfg_.job;
+    degraded.perf.injectStraggler(rep, speed);
+    const double seconds = TrainSim(degraded).run().step_seconds;
+    degraded_cache_[key] = std::max(seconds, base_.step_seconds);
+    return degraded_cache_[key];
+}
+
+TrainRunReport
+TrainRunSim::run() const
+{
+    return runWithInterval(cfg_.checkpoint_interval_steps);
+}
+
+TrainRunReport
+TrainRunSim::runWithInterval(std::int64_t interval_steps) const
+{
+    LLM4D_CHECK(interval_steps > 0, "checkpoint interval must be positive");
+    const double base_step_s = base_.step_seconds;
+    const double save_s = ckpt_.saveSeconds();
+    const double load_s = ckpt_.loadSeconds();
+    // Share of the step a NIC flap can slow down: traffic that crosses
+    // the NICs and sits on the critical path (FSDP + CP exposure). TP is
+    // NVLink-local and immune. Floor at 2% for PP P2P and infra traffic
+    // that the step report does not itemize.
+    const double nic_share = std::clamp(
+        (base_.exposed_fsdp_seconds + base_.exposed_cp_seconds) /
+            base_step_s,
+        0.02, 0.9);
+    const Time wall_limit =
+        secondsToTime(cfg_.max_wall_days * 24.0 * kSecondsPerHour);
+
+    FaultModel faults(cfg_.job.cluster, cfg_.faults, cfg_.seed);
+    const bool has_faults = !faults.silent();
+    const Topology topo(cfg_.job.cluster);
+
+    Engine eng;
+    TrainRunReport rep;
+    rep.base_tflops_per_gpu = base_.tflops_per_gpu;
+    rep.ideal_seconds =
+        static_cast<double>(cfg_.total_steps) * base_step_s;
+
+    struct ActiveFlap
+    {
+        Time until = 0;
+        double multiplier = 1.0;
+    };
+    struct ActiveStraggler
+    {
+        double speed = 1.0;
+        std::int64_t steps_to_detect = 0;
+    };
+
+    // ---- Run state, mutated by the event handlers below. ----
+    std::int64_t committed = 0;        ///< steps safely in a checkpoint
+    std::int64_t done_since_ckpt = 0;  ///< completed, not yet committed
+    double tentative_base_s = 0.0;     ///< base-speed part of those steps
+    double tentative_extra_s = 0.0;    ///< degradation part of those steps
+    std::int64_t warmup_left = 0;
+    bool running = false;   ///< a step or checkpoint event is in flight
+    bool down = false;      ///< between failure and restored service
+    bool finished = false;
+    bool truncated = false;
+    Time stopped_at = 0;    ///< clock when the run ended (either way)
+    Time step_started = 0;
+    double step_len_s = 0.0; ///< duration of the in-flight step
+    EventId work_event = 0;  ///< pending step/checkpoint completion
+    EventId resume_event = 0; ///< pending service restoration
+    Time resume_at = 0;       ///< when that restoration fires
+    bool in_checkpoint = false;
+    Time ckpt_started = 0;
+    std::unordered_map<std::int64_t, ActiveFlap> flaps;      // by NIC/rank
+    std::unordered_map<std::int64_t, ActiveStraggler> stragglers; // by rank
+
+    // Forward declarations so handlers can schedule each other.
+    std::function<void()> schedule_step;
+    std::function<void(const FaultEvent &)> on_fault;
+
+    const auto flap_multiplier = [&]() {
+        double worst_capacity = 1.0;
+        for (const auto &[rank, flap] : flaps) {
+            if (flap.until > eng.now())
+                worst_capacity = std::min(worst_capacity, flap.multiplier);
+        }
+        if (worst_capacity >= 1.0)
+            return 1.0;
+        // Transfer-level slowdown of the degraded NIC, measured through
+        // the flow simulator's capacity-reduction machinery.
+        const double nic_bps = cfg_.job.cluster.node.gpu.nic_bw_gbps * 1e9;
+        const double xfer_slowdown = flapSlowdownFactor(
+            nic_bps, nic_bps /* a 1-second reference transfer */,
+            worst_capacity, 0, secondsToTime(1e6));
+        return 1.0 + (xfer_slowdown - 1.0) * nic_share;
+    };
+
+    const auto current_step_seconds = [&]() {
+        double s = base_step_s;
+        for (const auto &[rank, st] : stragglers)
+            s = std::max(s, degradedStepSeconds(rank, st.speed));
+        s *= flap_multiplier();
+        if (warmup_left > 0)
+            s *= cfg_.restart.warmup_slowdown;
+        return s;
+    };
+
+    const auto commit = [&](bool charge_save) {
+        if (charge_save)
+            rep.checkpoint_seconds += save_s;
+        committed += done_since_ckpt;
+        rep.productive_seconds += tentative_base_s;
+        rep.degraded_seconds += tentative_extra_s;
+        done_since_ckpt = 0;
+        tentative_base_s = 0.0;
+        tentative_extra_s = 0.0;
+    };
+
+    const auto rollback = [&]() {
+        rep.lost_seconds += tentative_base_s + tentative_extra_s;
+        rep.steps_lost += done_since_ckpt;
+        done_since_ckpt = 0;
+        tentative_base_s = 0.0;
+        tentative_extra_s = 0.0;
+    };
+
+    const auto begin_restart = [&](double detection_s) {
+        ++rep.restarts;
+        rep.detection_seconds += detection_s;
+        rep.restart_seconds += cfg_.restart.reinit_seconds + load_s;
+        warmup_left = cfg_.restart.warmup_steps;
+        down = true;
+        running = false;
+        const double outage_s =
+            detection_s + cfg_.restart.reinit_seconds + load_s;
+        resume_at = eng.now() + secondsToTime(outage_s);
+        resume_event = eng.schedule(secondsToTime(outage_s), [&]() {
+            down = false;
+            schedule_step();
+        });
+    };
+
+    const auto finish = [&]() {
+        // The run always ends by committing the final steps to storage.
+        in_checkpoint = true;
+        ckpt_started = eng.now();
+        running = true;
+        work_event = eng.schedule(secondsToTime(save_s), [&]() {
+            commit(/*charge_save=*/true);
+            finished = true;
+            running = false;
+            stopped_at = eng.now();
+        });
+    };
+
+    schedule_step = [&]() {
+        running = false;
+        if (finished || truncated || down)
+            return;
+        if (eng.now() > wall_limit) {
+            truncated = true;
+            stopped_at = eng.now();
+            return;
+        }
+        step_len_s = current_step_seconds();
+        step_started = eng.now();
+        in_checkpoint = false;
+        running = true;
+        work_event = eng.schedule(secondsToTime(step_len_s), [&]() {
+            // Step completed.
+            ++done_since_ckpt;
+            tentative_base_s += base_step_s;
+            tentative_extra_s += step_len_s - base_step_s;
+            if (warmup_left > 0)
+                --warmup_left;
+            // Straggler detection accumulates evidence one degraded step
+            // at a time; on localization, an orderly maintenance restart
+            // checkpoints first (no lost work) and evicts the culprit.
+            // Lowest rank wins ties so the outcome does not depend on
+            // hash-map iteration order.
+            std::int64_t detected = -1;
+            for (auto &[rank, st] : stragglers) {
+                --st.steps_to_detect;
+                if (st.steps_to_detect <= 0 &&
+                    (detected < 0 || rank < detected))
+                    detected = rank;
+            }
+            if (committed + done_since_ckpt >= cfg_.total_steps) {
+                finish();
+                return;
+            }
+            if (detected >= 0) {
+                in_checkpoint = true;
+                ckpt_started = eng.now();
+                running = true;
+                work_event = eng.schedule(secondsToTime(save_s),
+                                          [&, detected]() {
+                    commit(/*charge_save=*/true);
+                    stragglers.erase(detected);
+                    begin_restart(
+                        cfg_.detection.straggler_analysis_seconds);
+                });
+                return;
+            }
+            if (done_since_ckpt >= interval_steps) {
+                // Synchronous sharded save.
+                in_checkpoint = true;
+                ckpt_started = eng.now();
+                running = true;
+                work_event = eng.schedule(secondsToTime(save_s), [&]() {
+                    commit(/*charge_save=*/true);
+                    schedule_step();
+                });
+                return;
+            }
+            schedule_step();
+        });
+    };
+
+    on_fault = [&](const FaultEvent &ev) {
+        if (finished || truncated)
+            return; // queue drains; no further faults are pulled
+        if (eng.now() > wall_limit) {
+            truncated = true;
+            stopped_at = eng.now();
+            return;
+        }
+        switch (ev.kind) {
+          case FaultKind::GpuFatal:
+          case FaultKind::HostCrash: {
+            if (ev.kind == FaultKind::GpuFatal)
+                ++rep.faults.gpu_fatal;
+            else
+                ++rep.faults.host_crash;
+            // A replaced GPU/host also cures any straggler it hosted.
+            if (ev.kind == FaultKind::GpuFatal) {
+                stragglers.erase(ev.component);
+            } else {
+                for (auto it = stragglers.begin();
+                     it != stragglers.end();) {
+                    if (topo.nodeOf(it->first) == ev.component)
+                        it = stragglers.erase(it);
+                    else
+                        ++it;
+                }
+            }
+            if (down) {
+                // Back-to-back failure while recovering (e.g. the
+                // replacement host dies too): the old outage's un-elapsed
+                // tail never happens — refund it and recover from scratch.
+                eng.cancel(resume_event);
+                const double remaining =
+                    timeToSeconds(resume_at - eng.now());
+                const double restart_part = std::min(
+                    remaining, cfg_.restart.reinit_seconds + load_s);
+                rep.restart_seconds -= restart_part;
+                rep.detection_seconds -= remaining - restart_part;
+                begin_restart(cfg_.detection.fatalDetectionSeconds());
+                break;
+            }
+            if (running) {
+                eng.cancel(work_event);
+                const double elapsed = timeToSeconds(
+                    eng.now() - (in_checkpoint ? ckpt_started
+                                               : step_started));
+                // Partial step work and a non-committed save are lost.
+                rep.lost_seconds += elapsed;
+            }
+            rollback();
+            begin_restart(cfg_.detection.fatalDetectionSeconds());
+            break;
+          }
+          case FaultKind::StragglerOnset: {
+            ++rep.faults.stragglers;
+            ActiveStraggler st;
+            st.speed = ev.severity;
+            st.steps_to_detect = stragglerDetectionSteps(
+                ev.severity, cfg_.detection.straggler);
+            const auto it = stragglers.find(ev.component);
+            if (it == stragglers.end() || ev.severity < it->second.speed)
+                stragglers[ev.component] = st;
+            break;
+          }
+          case FaultKind::LinkFlap: {
+            ++rep.faults.link_flaps;
+            ActiveFlap flap;
+            flap.until = ev.when + ev.duration;
+            flap.multiplier = ev.severity;
+            const auto it = flaps.find(ev.component);
+            if (it == flaps.end() || flap.until > it->second.until)
+                flaps[ev.component] = flap;
+            eng.scheduleAt(flap.until, [&, rank = ev.component]() {
+                const auto fit = flaps.find(rank);
+                if (fit != flaps.end() && fit->second.until <= eng.now())
+                    flaps.erase(fit);
+            });
+            break;
+          }
+        }
+    };
+
+    // Pull-based fault stream: exactly one fault event is in the queue at
+    // a time; consuming it schedules the next, so the timeline is a pure
+    // function of the seed no matter how long the run takes.
+    std::function<void()> pump_fault;
+    if (has_faults) {
+        pump_fault = [&]() {
+            const FaultEvent ev = faults.next();
+            eng.scheduleAt(std::max(ev.when, eng.now()), [&, ev]() {
+                if (finished || truncated)
+                    return;
+                rep.timeline.push_back(ev);
+                on_fault(ev);
+                pump_fault();
+            });
+        };
+        pump_fault();
+    }
+
+    schedule_step();
+    eng.run();
+
+    rep.completed = finished && !truncated;
+    rep.steps_committed = committed;
+    // The engine clock can drift past the end while draining a trailing
+    // (ignored) fault event; the recorded stop time is the true wall.
+    rep.wall_seconds = timeToSeconds(
+        (finished || truncated) ? stopped_at : eng.now());
+    rep.goodput_tflops_per_gpu =
+        rep.wall_seconds > 0.0
+            ? flops_per_gpu_step_ *
+                  static_cast<double>(rep.steps_committed) /
+                  rep.wall_seconds / 1e12
+            : 0.0;
+    rep.availability = rep.wall_seconds > 0.0
+                           ? rep.productive_seconds / rep.wall_seconds
+                           : 0.0;
+    return rep;
+}
+
+std::vector<IntervalScanPoint>
+TrainRunSim::scanCheckpointIntervals(
+    const std::vector<std::int64_t> &intervals) const
+{
+    std::vector<IntervalScanPoint> points;
+    points.reserve(intervals.size());
+    for (const std::int64_t interval : intervals) {
+        const TrainRunReport r = runWithInterval(interval);
+        points.push_back(
+            IntervalScanPoint{interval, r.goodput_tflops_per_gpu});
+    }
+    return points;
+}
+
+} // namespace llm4d

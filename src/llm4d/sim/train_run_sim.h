@@ -1,0 +1,239 @@
+#ifndef LLM4D_SIM_TRAIN_RUN_SIM_H_
+#define LLM4D_SIM_TRAIN_RUN_SIM_H_
+
+/**
+ * @file
+ * Multi-step training-*run* simulation: goodput under failures,
+ * checkpoint/restart, and straggler degradation.
+ *
+ * TrainSim prices one fault-free step; production behavior at 16K GPUs is
+ * dominated by everything around the steps (paper Section 8, MegaScale
+ * arXiv:2402.15627). TrainRunSim composes the per-step cost model with
+ * the fault subsystem over days of simulated wall-clock through the
+ * discrete-event Engine:
+ *
+ *  - steps execute at TrainSim speed and periodically pay a synchronous
+ *    sharded checkpoint save;
+ *  - fatal faults (GPU / host) interrupt the in-flight step after a
+ *    detection latency (fast-fail NCCL error vs. watchdog timeout), roll
+ *    progress back to the last checkpoint, and charge re-init +
+ *    checkpoint load + slow warmup steps;
+ *  - silent stragglers degrade every subsequent step (the synchronized
+ *    cluster runs at its slowest rank) until the trace-driven detector
+ *    (debug/straggler_detect.h) accumulates enough steps to localize
+ *    them, then force a maintenance restart that evicts the culprit;
+ *  - NIC flaps degrade (not kill) steps for their duration via the
+ *    FlowSim-derived link-capacity slowdown.
+ *
+ * The report is MegaScale's first-order production metric: goodput —
+ * effective TFLOPs/GPU after discounting lost, degraded, and overhead
+ * time — plus availability and a lost-time breakdown. The empirical
+ * optimal checkpoint interval is validated against the Young–Daly
+ * approximation sqrt(2 * MTBF * save_cost).
+ */
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "llm4d/debug/straggler_detect.h"
+#include "llm4d/fault/checkpoint_model.h"
+#include "llm4d/fault/fault_model.h"
+#include "llm4d/sim/train_sim.h"
+
+namespace llm4d {
+
+/** How failures are noticed (MegaScale Section 4: detection latency). */
+struct DetectionConfig
+{
+    /** Fast-fail error propagation (NCCL abort) vs. watchdog timeout. */
+    bool fast_fail = true;
+
+    /** Detection latency for fatal faults under fast-fail, seconds. */
+    double fast_fail_seconds = 30.0;
+
+    /** Watchdog timeout when fast-fail is off, seconds. */
+    double timeout_seconds = 600.0;
+
+    /** Trace collection + top-down localization run, once suspected. */
+    double straggler_analysis_seconds = 120.0;
+
+    /** Noise/confidence model feeding stragglerDetectionSteps(). */
+    StragglerDetectModel straggler;
+
+    double fatalDetectionSeconds() const
+    {
+        return fast_fail ? fast_fail_seconds : timeout_seconds;
+    }
+};
+
+/** Cost of coming back after an interruption. */
+struct RestartConfig
+{
+    /** Scheduler re-queue + process spawn + NCCL re-init, seconds. */
+    double reinit_seconds = 180.0;
+
+    /** Steps after restore that run slower (cache/dataloader warmup). */
+    std::int64_t warmup_steps = 3;
+
+    /** Slowdown multiplier of warmup steps (>= 1). */
+    double warmup_slowdown = 1.5;
+};
+
+/** Full description of one multi-step training run. */
+struct TrainRunConfig
+{
+    TrainJobConfig job;
+
+    /** Steps the run must complete (committed past the final step). */
+    std::int64_t total_steps = 2000;
+
+    /** Steps between synchronous sharded checkpoints. */
+    std::int64_t checkpoint_interval_steps = 50;
+
+    FaultTuning faults;
+    CheckpointStorage storage;
+    DetectionConfig detection;
+    RestartConfig restart;
+
+    /** Fault-timeline RNG seed (independent of job.seed). */
+    std::uint64_t seed = 1;
+
+    /** Give up and report an incomplete run past this much wall-clock. */
+    double max_wall_days = 365.0;
+};
+
+/** Per-kind interruption/degradation counters. */
+struct FaultCounts
+{
+    std::int64_t gpu_fatal = 0;
+    std::int64_t host_crash = 0;
+    std::int64_t link_flaps = 0;
+    std::int64_t stragglers = 0;
+
+    std::int64_t total() const
+    {
+        return gpu_fatal + host_crash + link_flaps + stragglers;
+    }
+};
+
+/** Outcome of one simulated training run. */
+struct TrainRunReport
+{
+    /** False when the run hit max_wall_days before finishing. */
+    bool completed = false;
+
+    /** Total simulated wall-clock, seconds. */
+    double wall_seconds = 0.0;
+
+    /** Fault-free wall-clock for the same steps (no checkpoints). */
+    double ideal_seconds = 0.0;
+
+    /** Committed steps (== total_steps when completed). */
+    std::int64_t steps_committed = 0;
+
+    /** Steps whose work was rolled back and re-executed. */
+    std::int64_t steps_lost = 0;
+
+    /** Number of full restarts (fatal faults + straggler evictions). */
+    std::int64_t restarts = 0;
+
+    FaultCounts faults;
+
+    /**
+     * Wall-clock breakdown, sums to wall_seconds:
+     *  productive — committed steps at fault-free speed;
+     *  degraded   — extra step time under stragglers/flaps/warmup;
+     *  checkpoint — synchronous saves;
+     *  lost       — rolled-back step work (including partial steps);
+     *  detection  — fault detection latency windows;
+     *  restart    — re-init + checkpoint restore.
+     * @{
+     */
+    double productive_seconds = 0.0;
+    double degraded_seconds = 0.0;
+    double checkpoint_seconds = 0.0;
+    double lost_seconds = 0.0;
+    double detection_seconds = 0.0;
+    double restart_seconds = 0.0;
+    /** @} */
+
+    /** Effective useful TFLOPs per GPU-second over the whole run. */
+    double goodput_tflops_per_gpu = 0.0;
+
+    /** Fault-free TFLOPs/GPU of the underlying step (TrainSim). */
+    double base_tflops_per_gpu = 0.0;
+
+    /** goodput / base: the fraction of ideal throughput retained. */
+    double goodputFraction() const
+    {
+        return base_tflops_per_gpu > 0.0
+                   ? goodput_tflops_per_gpu / base_tflops_per_gpu
+                   : 0.0;
+    }
+
+    /** Fraction of wall-clock spent on committed productive steps. */
+    double availability = 0.0;
+
+    /** Failure timeline that shaped this run (onset-ordered). */
+    std::vector<FaultEvent> timeline;
+};
+
+/** One point of a checkpoint-interval scan. */
+struct IntervalScanPoint
+{
+    std::int64_t interval_steps = 0;
+    double goodput_tflops_per_gpu = 0.0;
+};
+
+/** Simulates whole training runs for one job configuration. */
+class TrainRunSim
+{
+  public:
+    /** Validates the config and prices the fault-free step once. */
+    explicit TrainRunSim(TrainRunConfig cfg);
+
+    const TrainRunConfig &config() const { return cfg_; }
+
+    /** The fault-free per-step report the run is built on. */
+    const TrainStepReport &baseStep() const { return base_; }
+
+    /** Checkpoint save/load pricing in use. */
+    const CheckpointModel &checkpoint() const { return ckpt_; }
+
+    /** Cluster-level mean time between fault events, seconds. */
+    double mtbfSeconds() const;
+
+    /** Simulate the configured run. */
+    TrainRunReport run() const;
+
+    /** Simulate with an overridden checkpoint interval. */
+    TrainRunReport runWithInterval(std::int64_t interval_steps) const;
+
+    /** Goodput at each candidate interval (same fault timeline: the
+     *  failure process is exogenous, so common random numbers make the
+     *  scan a true apples-to-apples comparison). */
+    std::vector<IntervalScanPoint>
+    scanCheckpointIntervals(const std::vector<std::int64_t> &intervals) const;
+
+    /** Young–Daly optimal interval for this run, in steps (>= 1). */
+    std::int64_t youngDalyIntervalSteps() const;
+
+  private:
+    double degradedStepSeconds(std::int64_t straggler_rank,
+                               double speed) const;
+
+    TrainRunConfig cfg_;
+    TrainStepReport base_;
+    CheckpointModel ckpt_;
+    double flops_per_gpu_step_ = 0.0;
+
+    /** TrainSim reruns per straggler are cached: (rep. rank, speed). */
+    mutable std::map<std::pair<std::int64_t, double>, double>
+        degraded_cache_;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_SIM_TRAIN_RUN_SIM_H_

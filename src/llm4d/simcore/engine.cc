@@ -6,31 +6,53 @@
 
 namespace llm4d {
 
-void
+EventId
 Engine::schedule(Time delay, Callback fn)
 {
     LLM4D_ASSERT(delay >= 0, "negative event delay " << delay);
-    scheduleAt(now_ + delay, std::move(fn));
+    return scheduleAt(now_ + delay, std::move(fn));
 }
 
-void
+EventId
 Engine::scheduleAt(Time when, Callback fn)
 {
     LLM4D_ASSERT(when >= now_, "event scheduled in the past: " << when
                                << " < " << now_);
-    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+    const EventId id = nextSeq_++;
+    queue_.push(Event{when, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+}
+
+bool
+Engine::cancel(EventId id)
+{
+    // Cancellation is lazy: the event stays queued and is skipped when it
+    // reaches the head, so cancel() is O(1) and the queue never reorders.
+    // Removing from pending_ both marks the cancellation and rejects ids
+    // that already ran, were already cancelled, or never existed.
+    return pending_.erase(id) > 0;
+}
+
+bool
+Engine::popInto(Event &out)
+{
+    // Copying the top is unavoidable with std::priority_queue; the
+    // callback is moved out via const_cast, which is safe because the
+    // element is popped immediately after.
+    auto &top = const_cast<Event &>(queue_.top());
+    out = Event{top.when, top.seq, std::move(top.fn)};
+    queue_.pop();
+    return pending_.erase(out.seq) > 0;
 }
 
 Time
 Engine::run()
 {
     while (!queue_.empty()) {
-        // Copying the top is unavoidable with std::priority_queue; the
-        // callback is moved out via const_cast, which is safe because the
-        // element is popped immediately after.
-        auto &top = const_cast<Event &>(queue_.top());
-        Event ev{top.when, top.seq, std::move(top.fn)};
-        queue_.pop();
+        Event ev;
+        if (!popInto(ev))
+            continue; // cancelled: no callback, no clock advance
         now_ = ev.when;
         ++processed_;
         ev.fn();
@@ -42,16 +64,23 @@ Time
 Engine::runUntil(Time limit)
 {
     while (!queue_.empty() && queue_.top().when <= limit) {
-        auto &top = const_cast<Event &>(queue_.top());
-        Event ev{top.when, top.seq, std::move(top.fn)};
-        queue_.pop();
+        Event ev;
+        if (!popInto(ev))
+            continue;
         now_ = ev.when;
         ++processed_;
         ev.fn();
     }
-    if (now_ < limit && queue_.empty())
+    if (now_ < limit)
         now_ = limit;
     return now_;
+}
+
+Time
+Engine::runFor(Time duration)
+{
+    LLM4D_ASSERT(duration >= 0, "negative run duration " << duration);
+    return runUntil(now_ + duration);
 }
 
 } // namespace llm4d

@@ -6,16 +6,26 @@
  * Discrete-event simulation engine. Deterministic: simultaneous events
  * execute in scheduling order (FIFO tie-break on a sequence number), so a
  * given model produces bit-identical results on every run.
+ *
+ * The FIFO tie-break is a contract, not an accident: interrupt-style
+ * models (the fault injector) schedule an "interrupt" event at the exact
+ * timestamp of an already-pending completion and rely on the completion
+ * that was scheduled FIRST executing first, so the handler scheduled
+ * later observes a consistent before/after ordering.
  */
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "llm4d/simcore/time.h"
 
 namespace llm4d {
+
+/** Handle to a scheduled event, usable with Engine::cancel(). */
+using EventId = std::uint64_t;
 
 /** Discrete-event engine with a single simulated clock. */
 class Engine
@@ -26,33 +36,57 @@ class Engine
     /** Current simulated time. */
     Time now() const { return now_; }
 
-    /** Schedule @p fn to run at now() + @p delay (delay >= 0). */
-    void schedule(Time delay, Callback fn);
+    /**
+     * Schedule @p fn to run at now() + @p delay (delay >= 0).
+     * @return handle for Engine::cancel().
+     */
+    EventId schedule(Time delay, Callback fn);
 
-    /** Schedule @p fn at absolute time @p when (when >= now()). */
-    void scheduleAt(Time when, Callback fn);
+    /**
+     * Schedule @p fn at absolute time @p when (when >= now()).
+     * @return handle for Engine::cancel().
+     */
+    EventId scheduleAt(Time when, Callback fn);
+
+    /**
+     * Cancel a pending event. A cancelled event neither runs nor advances
+     * the clock. Models that interrupt in-flight work (failure injection
+     * aborting a training step) cancel the step's completion event.
+     * @return true when the event was pending; false when it already ran,
+     *         was already cancelled, or never existed.
+     */
+    bool cancel(EventId id);
 
     /** Run until the event queue drains. @return final simulated time. */
     Time run();
 
     /**
      * Run until the queue drains or simulated time would exceed @p limit.
-     * Events at exactly @p limit still execute.
-     * @return simulated time when the run stopped.
+     * Events at exactly @p limit still execute, in FIFO scheduling order
+     * among themselves (see file comment); events later than @p limit
+     * stay queued. The clock always ends at @p limit or later, even when
+     * the queue drains early or only later events remain.
+     * @return simulated time when the run stopped (>= @p limit).
      */
     Time runUntil(Time limit);
 
-    /** Number of events executed so far. */
+    /**
+     * Run for a further @p duration of simulated time (>= 0); equivalent
+     * to runUntil(now() + duration).
+     */
+    Time runFor(Time duration);
+
+    /** Number of events executed so far (cancelled events excluded). */
     std::int64_t eventsProcessed() const { return processed_; }
 
-    /** True when no events are pending. */
-    bool idle() const { return queue_.empty(); }
+    /** True when no live (non-cancelled) events are pending. */
+    bool idle() const { return pending_.empty(); }
 
   private:
     struct Event
     {
         Time when;
-        std::uint64_t seq;
+        EventId seq;
         Callback fn;
     };
 
@@ -67,9 +101,14 @@ class Engine
         }
     };
 
+    /** Pop the queue head; @return false for cancelled (skipped) events. */
+    bool popInto(Event &out);
+
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /** Ids scheduled but neither executed nor cancelled. */
+    std::unordered_set<EventId> pending_;
     Time now_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    EventId nextSeq_ = 0;
     std::int64_t processed_ = 0;
 };
 

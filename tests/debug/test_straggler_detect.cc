@@ -1,0 +1,73 @@
+#include "llm4d/debug/straggler_detect.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llm4d {
+namespace {
+
+TEST(StragglerDetect, MilderStragglersHideLonger)
+{
+    const StragglerDetectModel model{0.2, 4.0, 1000000};
+    const std::int64_t severe = stragglerDetectionSteps(0.5, model);
+    const std::int64_t medium = stragglerDetectionSteps(0.8, model);
+    const std::int64_t mild = stragglerDetectionSteps(0.97, model);
+    EXPECT_GE(severe, 1);
+    EXPECT_LT(severe, medium);
+    EXPECT_LT(medium, mild);
+}
+
+TEST(StragglerDetect, MatchesNoiseAveragingFormula)
+{
+    // k >= (z * sigma / delta)^2 with delta = 1/speed - 1.
+    const StragglerDetectModel model{0.1, 4.0, 1000000};
+    const double delta = 1.0 / 0.8 - 1.0;
+    const double k = (model.confidence_z * model.jitter_sigma / delta) *
+                     (model.confidence_z * model.jitter_sigma / delta);
+    EXPECT_EQ(stragglerDetectionSteps(0.8, model),
+              static_cast<std::int64_t>(std::ceil(k)));
+}
+
+TEST(StragglerDetect, StepCountIsCapped)
+{
+    StragglerDetectModel model{0.1, 4.0, 500};
+    EXPECT_EQ(stragglerDetectionSteps(0.9999, model), 500);
+}
+
+TEST(StragglerDetect, LocalizesInjectedStragglerEndToEnd)
+{
+    const RankGrid grid(ParallelismConfig{2, 1, 4, 8});
+    const StragglerDetectModel model; // sigma = 0.01
+    const std::int64_t culprit = 37;
+    const double speed = 0.7;
+    const std::int64_t steps = stragglerDetectionSteps(speed, model);
+    const SlowRankReport rep = localizeInjectedStraggler(
+        grid, culprit, speed, 0.1, steps, model, 99);
+    EXPECT_EQ(rep.rank, culprit);
+    EXPECT_GT(rep.compute_seconds, rep.median_compute_seconds);
+}
+
+TEST(StragglerDetect, TooFewStepsForMildStragglerMayMiss)
+{
+    // The formula's point: a 2% straggler under 1% jitter needs many
+    // averaged steps. At the prescribed count it is found.
+    const RankGrid grid(ParallelismConfig{2, 1, 4, 8});
+    const StragglerDetectModel model{0.01, 4.0, 1000000};
+    const double speed = 0.98;
+    const std::int64_t k = stragglerDetectionSteps(speed, model);
+    EXPECT_GT(k, 1);
+    const SlowRankReport found = localizeInjectedStraggler(
+        grid, 11, speed, 0.1, k, model, 7);
+    EXPECT_EQ(found.rank, 11);
+}
+
+TEST(StragglerDetectDeathTest, RejectsBadSpeed)
+{
+    EXPECT_DEATH(stragglerDetectionSteps(0.0), "speed");
+    EXPECT_DEATH(stragglerDetectionSteps(1.0), "speed");
+    EXPECT_DEATH(stragglerDetectionSteps(-0.3), "speed");
+}
+
+} // namespace
+} // namespace llm4d

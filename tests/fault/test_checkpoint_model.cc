@@ -1,0 +1,91 @@
+#include "llm4d/fault/checkpoint_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace llm4d {
+namespace {
+
+struct Fixture
+{
+    ModelConfig model = ModelConfig::llama3_405b();
+    ClusterSpec cluster = ClusterSpec::llama3Production(16384);
+    ParallelismConfig par{8, 1, 16, 128};
+};
+
+TEST(CheckpointModel, TwelveBytesPerParameterFullySharded)
+{
+    const Fixture f;
+    const CheckpointModel ckpt(f.model, f.cluster, f.par);
+    EXPECT_DOUBLE_EQ(ckpt.totalBytes(),
+                     12.0 * static_cast<double>(f.model.totalParams()));
+    EXPECT_DOUBLE_EQ(ckpt.bytesPerGpu(),
+                     ckpt.totalBytes() /
+                         static_cast<double>(f.cluster.numGpus()));
+}
+
+TEST(CheckpointModel, SaveCostIsHostBandwidthBound)
+{
+    const Fixture f;
+    CheckpointStorage storage;
+    const CheckpointModel slow(f.model, f.cluster, f.par, storage);
+    storage.write_gbps_per_host *= 2.0;
+    const CheckpointModel fast(f.model, f.cluster, f.par, storage);
+    const double slow_io = slow.saveSeconds() - storage.barrier_seconds;
+    const double fast_io = fast.saveSeconds() - storage.barrier_seconds;
+    EXPECT_GT(slow_io, 0.0);
+    EXPECT_NEAR(fast_io, slow_io / 2.0, 1e-9);
+}
+
+TEST(CheckpointModel, LoadPaysRematerializationOnTopOfRead)
+{
+    const Fixture f;
+    const CheckpointStorage storage;
+    const CheckpointModel ckpt(f.model, f.cluster, f.par, storage);
+    const double bytes_per_host =
+        ckpt.bytesPerGpu() * f.cluster.node.gpus_per_node;
+    const double read_io =
+        bytes_per_host / (storage.read_gbps_per_host * 1e9);
+    // Load = sharded read + barrier + FSDP all-gather; strictly more than
+    // the raw filesystem read.
+    EXPECT_GT(ckpt.loadSeconds(), read_io + storage.barrier_seconds);
+}
+
+TEST(CheckpointModel, BiggerClustersSaveFasterPerHost)
+{
+    // Fully sharded saves: per-host shard shrinks as the cluster grows.
+    const Fixture f;
+    const CheckpointModel big(f.model, f.cluster, f.par);
+    const CheckpointModel small(f.model, ClusterSpec::llama3Production(2048),
+                                ParallelismConfig{8, 1, 16, 16});
+    EXPECT_LT(big.saveSeconds(), small.saveSeconds());
+    EXPECT_DOUBLE_EQ(big.totalBytes(), small.totalBytes());
+}
+
+TEST(CheckpointModel, YoungDalyFormula)
+{
+    EXPECT_DOUBLE_EQ(youngDalyIntervalSeconds(3600.0, 8.0),
+                     std::sqrt(2.0 * 3600.0 * 8.0));
+    // Longer MTBF or costlier saves both stretch the optimal interval.
+    EXPECT_GT(youngDalyIntervalSeconds(7200.0, 8.0),
+              youngDalyIntervalSeconds(3600.0, 8.0));
+    EXPECT_GT(youngDalyIntervalSeconds(3600.0, 16.0),
+              youngDalyIntervalSeconds(3600.0, 8.0));
+}
+
+TEST(CheckpointModelDeathTest, RejectsBadStorage)
+{
+    CheckpointStorage storage;
+    storage.write_gbps_per_host = 0.0;
+    EXPECT_DEATH(storage.validate(), "bandwidth");
+    CheckpointStorage bad_read;
+    bad_read.read_gbps_per_host = -1.0;
+    EXPECT_DEATH(bad_read.validate(), "bandwidth");
+    CheckpointStorage bad_barrier;
+    bad_barrier.barrier_seconds = -0.5;
+    EXPECT_DEATH(bad_barrier.validate(), "barrier");
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,176 @@
+#include "llm4d/fault/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "llm4d/simcore/time.h"
+
+namespace llm4d {
+namespace {
+
+ClusterSpec
+production16k()
+{
+    return ClusterSpec::llama3Production(16384);
+}
+
+std::vector<FaultEvent>
+drain(FaultModel &model, int n)
+{
+    std::vector<FaultEvent> events;
+    events.reserve(n);
+    for (int i = 0; i < n; ++i)
+        events.push_back(model.next());
+    return events;
+}
+
+TEST(FaultModel, TimelineIsDeterministic)
+{
+    FaultModel a(production16k(), FaultTuning{}, 7);
+    FaultModel b(production16k(), FaultTuning{}, 7);
+    const auto ea = drain(a, 200);
+    const auto eb = drain(b, 200);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(ea[i].when, eb[i].when) << "event " << i;
+        EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+        EXPECT_EQ(ea[i].component, eb[i].component) << "event " << i;
+        EXPECT_EQ(ea[i].severity, eb[i].severity) << "event " << i;
+        EXPECT_EQ(ea[i].duration, eb[i].duration) << "event " << i;
+    }
+}
+
+TEST(FaultModel, DifferentSeedsDiffer)
+{
+    FaultModel a(production16k(), FaultTuning{}, 7);
+    FaultModel b(production16k(), FaultTuning{}, 8);
+    const auto ea = drain(a, 20);
+    const auto eb = drain(b, 20);
+    int same = 0;
+    for (int i = 0; i < 20; ++i)
+        same += ea[i].when == eb[i].when;
+    EXPECT_LT(same, 20);
+}
+
+TEST(FaultModel, EventsAreTimeOrderedAndValid)
+{
+    const ClusterSpec cluster = production16k();
+    FaultModel model(cluster, FaultTuning{}, 3);
+    const FaultTuning tuning;
+    Time prev = 0;
+    for (const FaultEvent &ev : drain(model, 500)) {
+        EXPECT_GE(ev.when, prev);
+        prev = ev.when;
+        switch (ev.kind) {
+          case FaultKind::GpuFatal:
+          case FaultKind::StragglerOnset:
+          case FaultKind::LinkFlap:
+            EXPECT_GE(ev.component, 0);
+            EXPECT_LT(ev.component, cluster.numGpus());
+            break;
+          case FaultKind::HostCrash:
+            EXPECT_GE(ev.component, 0);
+            EXPECT_LT(ev.component, cluster.num_nodes);
+            break;
+        }
+        if (ev.kind == FaultKind::StragglerOnset) {
+            EXPECT_GE(ev.severity, tuning.straggler_speed_lo);
+            EXPECT_LE(ev.severity, tuning.straggler_speed_hi);
+        } else if (ev.kind == FaultKind::LinkFlap) {
+            EXPECT_GE(ev.severity, tuning.flap_capacity_lo);
+            EXPECT_LE(ev.severity, tuning.flap_capacity_hi);
+            EXPECT_GT(ev.duration, 0);
+        } else {
+            EXPECT_TRUE(ev.fatal());
+            EXPECT_DOUBLE_EQ(ev.severity, 1.0);
+            EXPECT_EQ(ev.duration, 0);
+        }
+    }
+}
+
+TEST(FaultModel, RateMatchesClusterSpec)
+{
+    const ClusterSpec cluster = production16k();
+    FaultModel model(cluster, FaultTuning{}, 1);
+    EXPECT_DOUBLE_EQ(model.eventsPerHour(), cluster.failuresPerHour());
+    EXPECT_FALSE(model.silent());
+    // Llama 3 production experience: ~3h between interruptions at 16K.
+    EXPECT_GT(cluster.clusterMtbfHours(), 1.5);
+    EXPECT_LT(cluster.clusterMtbfHours(), 5.0);
+}
+
+TEST(FaultModel, EmpiricalInterArrivalMatchesMtbf)
+{
+    FaultModel model(production16k(), FaultTuning{}, 11);
+    const int n = 4000;
+    const auto events = drain(model, n);
+    const double mean_s = timeToSeconds(events.back().when) / n;
+    EXPECT_NEAR(mean_s, model.mtbfSeconds(), 0.1 * model.mtbfSeconds());
+}
+
+TEST(FaultModel, DisabledClassesAreSilent)
+{
+    ClusterSpec cluster = production16k();
+    cluster.node.gpu.fatal_mtbf_hours = 0.0;
+    cluster.node.gpu.straggler_mtbf_hours = -1.0;
+    cluster.node.host_mtbf_hours = 0.0;
+    cluster.node.nic_flap_mtbf_hours = 0.0;
+    FaultModel model(cluster, FaultTuning{}, 1);
+    EXPECT_TRUE(model.silent());
+    EXPECT_DOUBLE_EQ(model.eventsPerHour(), 0.0);
+}
+
+TEST(FaultModel, SingleEnabledClassDominates)
+{
+    ClusterSpec cluster = production16k();
+    cluster.node.gpu.fatal_mtbf_hours = 0.0;
+    cluster.node.host_mtbf_hours = 0.0;
+    cluster.node.nic_flap_mtbf_hours = 0.0;
+    FaultModel model(cluster, FaultTuning{}, 5);
+    for (const FaultEvent &ev : drain(model, 100))
+        EXPECT_EQ(ev.kind, FaultKind::StragglerOnset);
+}
+
+TEST(FaultModel, FatalShareTracksRates)
+{
+    // ~59% of Llama 3 interruptions were GPU-attributed; with the default
+    // MTBFs the fatal share of all events lands near the configured ratio.
+    const ClusterSpec cluster = production16k();
+    FaultModel model(cluster, FaultTuning{}, 13);
+    int fatal = 0;
+    const int n = 4000;
+    for (const FaultEvent &ev : drain(model, n))
+        fatal += ev.fatal();
+    const double expect =
+        cluster.fatalFailuresPerHour() / cluster.failuresPerHour();
+    EXPECT_NEAR(static_cast<double>(fatal) / n, expect, 0.05);
+}
+
+TEST(FaultModel, KindNamesAreStable)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::GpuFatal), "GpuFatal");
+    EXPECT_STREQ(faultKindName(FaultKind::HostCrash), "HostCrash");
+    EXPECT_STREQ(faultKindName(FaultKind::LinkFlap), "LinkFlap");
+    EXPECT_STREQ(faultKindName(FaultKind::StragglerOnset),
+                 "StragglerOnset");
+    FaultModel model(production16k(), FaultTuning{}, 1);
+    EXPECT_FALSE(model.next().str().empty());
+}
+
+TEST(FaultModelDeathTest, RejectsBadTuning)
+{
+    FaultTuning bad;
+    bad.straggler_speed_lo = 0.0;
+    EXPECT_DEATH(bad.validate(), "straggler");
+    FaultTuning inverted;
+    inverted.flap_capacity_lo = 0.7;
+    inverted.flap_capacity_hi = 0.2;
+    EXPECT_DEATH(inverted.validate(), "flap");
+    FaultTuning no_duration;
+    no_duration.flap_duration_mean_s = 0.0;
+    EXPECT_DEATH(no_duration.validate(), "duration");
+}
+
+} // namespace
+} // namespace llm4d

@@ -1,0 +1,78 @@
+#include "llm4d/hw/perf_variation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace llm4d {
+namespace {
+
+TEST(PerfVariation, NominalByDefault)
+{
+    PerfVariation pv;
+    EXPECT_DOUBLE_EQ(pv.speedOf(0), 1.0);
+    EXPECT_DOUBLE_EQ(pv.apply(0, 2.5), 2.5);
+}
+
+TEST(PerfVariation, StragglerScalesDurations)
+{
+    PerfVariation pv;
+    pv.injectStraggler(7, 0.5);
+    EXPECT_DOUBLE_EQ(pv.speedOf(7), 0.5);
+    EXPECT_DOUBLE_EQ(pv.apply(7, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(pv.speedOf(8), 1.0);
+}
+
+TEST(PerfVariation, RejectsNonPositiveSpeed)
+{
+    PerfVariation pv;
+    EXPECT_DEATH(pv.injectStraggler(0, 0.0), "straggler speed");
+    EXPECT_DEATH(pv.injectStraggler(0, -0.5), "straggler speed");
+}
+
+TEST(PerfVariation, RejectsNanAndInfiniteSpeed)
+{
+    PerfVariation pv;
+    EXPECT_DEATH(pv.injectStraggler(0,
+                                    std::numeric_limits<double>::quiet_NaN()),
+                 "finite");
+    EXPECT_DEATH(pv.injectStraggler(0,
+                                    std::numeric_limits<double>::infinity()),
+                 "finite");
+}
+
+TEST(PerfVariation, RejectsSpeedAboveNominal)
+{
+    PerfVariation pv;
+    EXPECT_DEATH(pv.injectStraggler(0, 1.5), "straggler speed");
+}
+
+TEST(PerfVariation, RejectsNegativeRank)
+{
+    PerfVariation pv;
+    EXPECT_DEATH(pv.injectStraggler(-1, 0.5), "rank");
+}
+
+TEST(PerfVariation, JitterIsDeterministicAndBounded)
+{
+    const PerfVariation a = PerfVariation::jitter(0.01, 42);
+    const PerfVariation b = PerfVariation::jitter(0.01, 42);
+    for (std::int64_t r = 0; r < 64; ++r) {
+        const double s = a.speedOf(r);
+        EXPECT_DOUBLE_EQ(s, b.speedOf(r)) << "rank " << r;
+        EXPECT_LE(s, 1.0);
+        EXPECT_GT(s, 0.9) << "1% sigma should not produce >10% slowdown";
+    }
+}
+
+TEST(PerfVariation, StragglerOverridesJitter)
+{
+    PerfVariation pv = PerfVariation::jitter(0.01, 42);
+    pv.injectStraggler(3, 0.25);
+    EXPECT_DOUBLE_EQ(pv.speedOf(3), 0.25);
+    EXPECT_EQ(pv.stragglers().size(), 1u);
+}
+
+} // namespace
+} // namespace llm4d

@@ -132,6 +132,55 @@ TEST(FlowSim, InvalidInputsAbort)
     const LinkId link = sim.addLink(kGB);
     EXPECT_DEATH(sim.addFlow({}, 1.0, 0), "at least one link");
     EXPECT_DEATH(sim.addFlow({link + 5}, 1.0, 0), "unknown link");
+    EXPECT_DEATH(sim.scheduleCapacity(link + 5, 0, kGB), "unknown link");
+    EXPECT_DEATH(sim.scheduleCapacity(link, 0, 0.0), "degrade");
+}
+
+TEST(FlowSim, CapacityDegradationSlowsInFlightFlow)
+{
+    // 10 GB at 10 GB/s would take 1s; halving capacity at t=0.5 leaves
+    // 5 GB to move at 5 GB/s -> finishes at t = 1.5s.
+    FlowSim sim;
+    const LinkId link = sim.addLink(10.0 * kGB);
+    sim.scheduleCapacity(link, secondsToTime(0.5), 5.0 * kGB);
+    const FlowId flow = sim.addFlow({link}, 10.0 * kGB, 0);
+    const auto results = sim.run();
+    EXPECT_NEAR(results[static_cast<std::size_t>(flow)].seconds(), 1.5,
+                1e-6);
+}
+
+TEST(FlowSim, CapacityRestorationSpeedsFlowBackUp)
+{
+    // Degrade to 20% over [0.5s, 1.0s): 5 GB in the first half second,
+    // 1 GB during the flap, the remaining 4 GB at full rate.
+    FlowSim sim;
+    const LinkId link = sim.addLink(10.0 * kGB);
+    sim.scheduleCapacity(link, secondsToTime(0.5), 2.0 * kGB);
+    sim.scheduleCapacity(link, secondsToTime(1.0), 10.0 * kGB);
+    const FlowId flow = sim.addFlow({link}, 10.0 * kGB, 0);
+    const auto results = sim.run();
+    EXPECT_NEAR(results[static_cast<std::size_t>(flow)].seconds(), 1.4,
+                1e-6);
+}
+
+TEST(FlowSim, FlapSlowdownFactorBounds)
+{
+    // A transfer fully inside the flap window slows by 1/factor; one that
+    // completes before the flap is unaffected; partial overlap lands
+    // strictly in between.
+    const double full = flapSlowdownFactor(
+        10.0 * kGB, 10.0 * kGB, 0.5, 0, secondsToTime(100.0));
+    EXPECT_NEAR(full, 2.0, 1e-6);
+    const double none = flapSlowdownFactor(
+        10.0 * kGB, 10.0 * kGB, 0.5, secondsToTime(10.0),
+        secondsToTime(20.0));
+    EXPECT_NEAR(none, 1.0, 1e-6);
+    const double partial = flapSlowdownFactor(
+        10.0 * kGB, 10.0 * kGB, 0.5, secondsToTime(0.5),
+        secondsToTime(100.0));
+    EXPECT_GT(partial, 1.0);
+    EXPECT_LT(partial, 2.0);
+    EXPECT_DEATH(flapSlowdownFactor(kGB, kGB, 0.0, 0, 0), "factor");
 }
 
 } // namespace

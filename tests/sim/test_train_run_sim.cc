@@ -1,0 +1,289 @@
+#include "llm4d/sim/train_run_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace llm4d {
+namespace {
+
+/** Disable every stochastic failure class. */
+void
+disableAllFaults(TrainRunConfig &cfg)
+{
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 0.0;
+    cfg.job.cluster.node.gpu.straggler_mtbf_hours = 0.0;
+    cfg.job.cluster.node.host_mtbf_hours = 0.0;
+    cfg.job.cluster.node.nic_flap_mtbf_hours = 0.0;
+}
+
+/** Production 16K-GPU job, shortened to a test-sized run. */
+TrainRunConfig
+baseConfig()
+{
+    TrainRunConfig cfg;
+    cfg.total_steps = 400;
+    cfg.checkpoint_interval_steps = 40;
+    cfg.seed = 42;
+    return cfg;
+}
+
+double
+breakdownSum(const TrainRunReport &rep)
+{
+    return rep.productive_seconds + rep.degraded_seconds +
+           rep.checkpoint_seconds + rep.lost_seconds +
+           rep.detection_seconds + rep.restart_seconds;
+}
+
+TEST(TrainRunSim, FaultFreeRunPaysOnlyCheckpoints)
+{
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    const TrainRunSim sim(cfg);
+    const TrainRunReport rep = sim.run();
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.steps_committed, cfg.total_steps);
+    EXPECT_EQ(rep.steps_lost, 0);
+    EXPECT_EQ(rep.restarts, 0);
+    EXPECT_EQ(rep.faults.total(), 0);
+    EXPECT_TRUE(rep.timeline.empty());
+    EXPECT_NEAR(rep.productive_seconds, rep.ideal_seconds,
+                1e-6 * rep.ideal_seconds);
+    // 400 steps at interval 40: nine interval saves plus the final commit.
+    EXPECT_NEAR(rep.checkpoint_seconds,
+                10.0 * sim.checkpoint().saveSeconds(), 1e-6);
+    EXPECT_NEAR(rep.wall_seconds,
+                rep.productive_seconds + rep.checkpoint_seconds,
+                1e-6 * rep.wall_seconds);
+    EXPECT_DOUBLE_EQ(rep.degraded_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(rep.lost_seconds, 0.0);
+    // Goodput is the base throughput shaved by checkpoint overhead only.
+    EXPECT_LT(rep.goodputFraction(), 1.0);
+    EXPECT_GT(rep.goodputFraction(), 0.95);
+    EXPECT_GT(rep.availability, 0.95);
+}
+
+TEST(TrainRunSim, RunsAreDeterministic)
+{
+    // Same config + seed must reproduce the run bit-for-bit, including
+    // the fault timeline — the property every debugging replay relies on.
+    TrainRunConfig cfg = baseConfig();
+    cfg.total_steps = 300;
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 15000.0;
+    cfg.job.cluster.node.gpu.straggler_mtbf_hours = 6000.0;
+    cfg.job.cluster.node.host_mtbf_hours = 15000.0;
+    cfg.job.cluster.node.nic_flap_mtbf_hours = 3000.0;
+    const TrainRunReport a = TrainRunSim(cfg).run();
+    const TrainRunReport b = TrainRunSim(cfg).run();
+    EXPECT_GT(a.faults.total(), 0) << "config too quiet to test anything";
+    EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+    EXPECT_EQ(a.goodput_tflops_per_gpu, b.goodput_tflops_per_gpu);
+    EXPECT_EQ(a.steps_committed, b.steps_committed);
+    EXPECT_EQ(a.steps_lost, b.steps_lost);
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.productive_seconds, b.productive_seconds);
+    EXPECT_EQ(a.degraded_seconds, b.degraded_seconds);
+    EXPECT_EQ(a.lost_seconds, b.lost_seconds);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].when, b.timeline[i].when);
+        EXPECT_EQ(a.timeline[i].kind, b.timeline[i].kind);
+        EXPECT_EQ(a.timeline[i].component, b.timeline[i].component);
+    }
+    // A different fault seed must actually change the run.
+    TrainRunConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    const TrainRunReport c = TrainRunSim(other).run();
+    EXPECT_NE(a.wall_seconds, c.wall_seconds);
+}
+
+TEST(TrainRunSim, WallClockBreakdownIsComplete)
+{
+    TrainRunConfig cfg = baseConfig();
+    cfg.total_steps = 300;
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 15000.0;
+    cfg.job.cluster.node.gpu.straggler_mtbf_hours = 6000.0;
+    cfg.job.cluster.node.host_mtbf_hours = 15000.0;
+    cfg.job.cluster.node.nic_flap_mtbf_hours = 3000.0;
+    const TrainRunReport rep = TrainRunSim(cfg).run();
+    ASSERT_TRUE(rep.completed);
+    EXPECT_GT(rep.faults.total(), 0);
+    EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
+                1e-6 * rep.wall_seconds);
+}
+
+TEST(TrainRunSim, FatalFaultsLoseWorkAndForceRestarts)
+{
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    // Fatal-only, cranked hot: cluster fatal MTBF of ~30 min.
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 8192.0;
+    cfg.total_steps = 600;
+    const TrainRunSim sim(cfg);
+    const TrainRunReport rep = sim.run();
+    ASSERT_TRUE(rep.completed);
+    EXPECT_GT(rep.faults.gpu_fatal, 0);
+    EXPECT_GT(rep.restarts, 0);
+    EXPECT_GT(rep.steps_lost, 0);
+    EXPECT_GT(rep.lost_seconds, 0.0);
+    EXPECT_GT(rep.detection_seconds, 0.0);
+    EXPECT_GT(rep.restart_seconds, 0.0);
+    EXPECT_EQ(rep.steps_committed, cfg.total_steps);
+    EXPECT_LT(rep.goodputFraction(), 0.95);
+    EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
+                1e-6 * rep.wall_seconds);
+}
+
+TEST(TrainRunSim, StragglersDegradeUntilEvicted)
+{
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.straggler_mtbf_hours = 3000.0;
+    // Make detection take a few steps so the drag is visible.
+    cfg.detection.straggler.jitter_sigma = 0.1;
+    cfg.total_steps = 300;
+    const TrainRunReport rep = TrainRunSim(cfg).run();
+    ASSERT_TRUE(rep.completed);
+    EXPECT_GT(rep.faults.stragglers, 0);
+    EXPECT_GT(rep.degraded_seconds, 0.0);
+    // Evictions are orderly maintenance restarts: checkpoint first, so
+    // nothing is ever rolled back.
+    EXPECT_GT(rep.restarts, 0);
+    EXPECT_EQ(rep.steps_lost, 0);
+    EXPECT_DOUBLE_EQ(rep.lost_seconds, 0.0);
+    EXPECT_LT(rep.goodputFraction(), 1.0);
+}
+
+TEST(TrainRunSim, LinkFlapsDegradeWithoutKillingTheJob)
+{
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.nic_flap_mtbf_hours = 2000.0;
+    cfg.total_steps = 300;
+    const TrainRunReport rep = TrainRunSim(cfg).run();
+    ASSERT_TRUE(rep.completed);
+    EXPECT_GT(rep.faults.link_flaps, 0);
+    EXPECT_GT(rep.degraded_seconds, 0.0);
+    EXPECT_EQ(rep.restarts, 0);
+    EXPECT_EQ(rep.steps_lost, 0);
+    EXPECT_EQ(rep.steps_committed, cfg.total_steps);
+}
+
+TEST(TrainRunSim, TruncatesAtWallClockLimit)
+{
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    cfg.total_steps = 100000;
+    cfg.max_wall_days = 0.01; // 864 simulated seconds
+    const TrainRunReport rep = TrainRunSim(cfg).run();
+    EXPECT_FALSE(rep.completed);
+    EXPECT_GT(rep.steps_committed, 0);
+    EXPECT_LT(rep.steps_committed, cfg.total_steps);
+    const double limit_s = cfg.max_wall_days * 86400.0;
+    EXPECT_GE(rep.wall_seconds, limit_s);
+    EXPECT_LT(rep.wall_seconds, limit_s * 1.2);
+}
+
+TEST(TrainRunSim, OptimalIntervalTracksYoungDaly)
+{
+    // Acceptance criterion: with work-losing faults only, the empirical
+    // goodput-maximizing checkpoint interval lands within 2x of the
+    // Young-Daly first-order optimum. Common random numbers (the fault
+    // process is exogenous) make the scan an apples-to-apples comparison.
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 8192.0; // ~30 min MTBF
+    cfg.total_steps = 4000;
+    cfg.seed = 5;
+    const TrainRunSim sim(cfg);
+    const std::int64_t yd = sim.youngDalyIntervalSteps();
+    ASSERT_GE(yd, 4) << "test config degenerated";
+    const std::vector<std::int64_t> intervals = {
+        std::max<std::int64_t>(1, yd / 4),
+        std::max<std::int64_t>(1, yd / 2), yd, 2 * yd, 4 * yd};
+    const auto points = sim.scanCheckpointIntervals(intervals);
+    ASSERT_EQ(points.size(), intervals.size());
+    const auto best = std::max_element(
+        points.begin(), points.end(),
+        [](const IntervalScanPoint &a, const IntervalScanPoint &b) {
+            return a.goodput_tflops_per_gpu < b.goodput_tflops_per_gpu;
+        });
+    EXPECT_GE(best->interval_steps, (yd + 1) / 2)
+        << "optimum below half the Young-Daly interval";
+    EXPECT_LE(best->interval_steps, 2 * yd)
+        << "optimum above twice the Young-Daly interval";
+    // Over-checkpointing and under-checkpointing must both visibly hurt.
+    EXPECT_GT(best->goodput_tflops_per_gpu,
+              points.front().goodput_tflops_per_gpu);
+    EXPECT_GT(best->goodput_tflops_per_gpu,
+              points.back().goodput_tflops_per_gpu);
+}
+
+TEST(TrainRunSim, ScaleUpLowersGoodputAtSamePerGpuFailureRate)
+{
+    // Acceptance criterion: at identical per-component failure rates and
+    // identical per-DP-group batch, the 16K-GPU job loses strictly more
+    // goodput to failures than the 2K-GPU job (8x the cluster fault rate).
+    const auto configure = [](std::int64_t gpus, ParallelismConfig par,
+                              std::int64_t batch_tokens) {
+        TrainRunConfig cfg;
+        cfg.job.cluster = ClusterSpec::llama3Production(gpus);
+        cfg.job.par = par;
+        cfg.job.global_batch_tokens = batch_tokens;
+        disableAllFaults(cfg);
+        cfg.job.cluster.node.gpu.fatal_mtbf_hours = 4000.0;
+        cfg.total_steps = 1200;
+        cfg.checkpoint_interval_steps = 40;
+        cfg.seed = 9;
+        return cfg;
+    };
+    const TrainRunConfig big =
+        configure(16384, ParallelismConfig{8, 1, 16, 128},
+                  16LL * 1024 * 1024);
+    const TrainRunConfig small =
+        configure(2048, ParallelismConfig{8, 1, 16, 16},
+                  2LL * 1024 * 1024);
+    const TrainRunReport big_rep = TrainRunSim(big).run();
+    const TrainRunReport small_rep = TrainRunSim(small).run();
+    ASSERT_TRUE(big_rep.completed);
+    ASSERT_TRUE(small_rep.completed);
+    EXPECT_GT(big_rep.faults.total(), small_rep.faults.total());
+    EXPECT_LT(big_rep.goodput_tflops_per_gpu,
+              small_rep.goodput_tflops_per_gpu);
+    EXPECT_LT(big_rep.goodputFraction(), small_rep.goodputFraction());
+    EXPECT_LT(big_rep.availability, small_rep.availability);
+}
+
+TEST(TrainRunSim, YoungDalyStepsMatchesClosedForm)
+{
+    TrainRunConfig cfg = baseConfig();
+    const TrainRunSim sim(cfg);
+    const double fatal_mtbf_s =
+        3600.0 / cfg.job.cluster.fatalFailuresPerHour();
+    const double yd_s = youngDalyIntervalSeconds(
+        fatal_mtbf_s, sim.checkpoint().saveSeconds());
+    const auto expect = std::max<std::int64_t>(
+        1, std::llround(yd_s / sim.baseStep().step_seconds));
+    EXPECT_EQ(sim.youngDalyIntervalSteps(), expect);
+    EXPECT_GT(sim.mtbfSeconds(), 0.0);
+}
+
+TEST(TrainRunSimDeathTest, RejectsBadConfigs)
+{
+    TrainRunConfig cfg = baseConfig();
+    cfg.total_steps = 0;
+    EXPECT_DEATH(TrainRunSim{cfg}, "at least one step");
+    TrainRunConfig bad_interval = baseConfig();
+    bad_interval.checkpoint_interval_steps = 0;
+    EXPECT_DEATH(TrainRunSim{bad_interval}, "interval");
+    TrainRunConfig cfg2 = baseConfig();
+    const TrainRunSim sim(cfg2);
+    EXPECT_DEATH(sim.runWithInterval(-1), "interval");
+}
+
+} // namespace
+} // namespace llm4d

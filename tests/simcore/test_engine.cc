@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 namespace llm4d {
@@ -84,6 +85,113 @@ TEST(Engine, ZeroDelayEventRunsAtCurrentTime)
     });
     eng.run();
     EXPECT_EQ(seen, 7 * kUs);
+}
+
+TEST(Engine, RunUntilExactLimitBoundary)
+{
+    // Events at exactly the limit execute; later ones stay queued; and
+    // simultaneous events at the limit keep FIFO scheduling order — the
+    // guarantee interrupt-style models (the fault injector) rely on.
+    Engine eng;
+    std::vector<int> order;
+    eng.schedule(10 * kUs, [&] { order.push_back(1); });
+    eng.schedule(10 * kUs, [&] { order.push_back(2); });
+    eng.schedule(10 * kUs + 1, [&] { order.push_back(3); });
+    const Time t = eng.runUntil(10 * kUs);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(t, 10 * kUs);
+    EXPECT_FALSE(eng.idle());
+}
+
+TEST(Engine, RunUntilAdvancesClockPastPendingEvents)
+{
+    // The clock always reaches the limit, even when the only pending
+    // events lie beyond it.
+    Engine eng;
+    int fired = 0;
+    eng.schedule(kMs, [&] { ++fired; });
+    EXPECT_EQ(eng.runUntil(10 * kUs), 10 * kUs);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eng.now(), 10 * kUs);
+}
+
+TEST(Engine, RunForAdvancesRelativeToNow)
+{
+    Engine eng;
+    std::vector<Time> seen;
+    eng.schedule(5 * kUs, [&] { seen.push_back(eng.now()); });
+    eng.schedule(25 * kUs, [&] { seen.push_back(eng.now()); });
+    EXPECT_EQ(eng.runFor(10 * kUs), 10 * kUs);
+    EXPECT_EQ(seen, (std::vector<Time>{5 * kUs}));
+    // Second leg is relative to the new now(), not to zero.
+    EXPECT_EQ(eng.runFor(20 * kUs), 30 * kUs);
+    EXPECT_EQ(seen, (std::vector<Time>{5 * kUs, 25 * kUs}));
+}
+
+TEST(Engine, CancelPreventsExecution)
+{
+    Engine eng;
+    int fired = 0;
+    const EventId id = eng.schedule(10 * kUs, [&] { ++fired; });
+    eng.schedule(20 * kUs, [&] { ++fired; });
+    EXPECT_TRUE(eng.cancel(id));
+    EXPECT_FALSE(eng.cancel(id)) << "double-cancel must report failure";
+    eng.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eng.eventsProcessed(), 1)
+        << "cancelled events must not count as processed";
+}
+
+TEST(Engine, CancelUnknownIdFails)
+{
+    Engine eng;
+    EXPECT_FALSE(eng.cancel(12345));
+}
+
+TEST(Engine, CancelledEventDoesNotAdvanceClock)
+{
+    Engine eng;
+    const EventId id = eng.schedule(50 * kUs, [] {});
+    eng.schedule(10 * kUs, [] {});
+    EXPECT_TRUE(eng.cancel(id));
+    EXPECT_EQ(eng.run(), 10 * kUs)
+        << "the cancelled 50us event must not drag the clock forward";
+}
+
+TEST(Engine, CancelAfterExecutionFails)
+{
+    Engine eng;
+    const EventId id = eng.schedule(kUs, [] {});
+    eng.run();
+    EXPECT_FALSE(eng.cancel(id));
+}
+
+TEST(Engine, IdleAccountsForCancelledEvents)
+{
+    Engine eng;
+    const EventId id = eng.schedule(kUs, [] {});
+    EXPECT_FALSE(eng.idle());
+    EXPECT_TRUE(eng.cancel(id));
+    EXPECT_TRUE(eng.idle())
+        << "a queue holding only cancelled events is idle";
+}
+
+TEST(Engine, InterruptPatternCancelsInFlightCompletion)
+{
+    // The fault-injection pattern: a completion is pending, an interrupt
+    // fires earlier, cancels it, and reschedules recovery work.
+    Engine eng;
+    std::vector<std::string> log;
+    EventId completion =
+        eng.schedule(100 * kUs, [&] { log.push_back("step-done"); });
+    eng.schedule(40 * kUs, [&] {
+        log.push_back("fault");
+        EXPECT_TRUE(eng.cancel(completion));
+        eng.schedule(60 * kUs, [&] { log.push_back("restarted"); });
+    });
+    eng.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"fault", "restarted"}));
+    EXPECT_EQ(eng.now(), 100 * kUs);
 }
 
 TEST(TimeConversions, RoundTrip)
