@@ -15,6 +15,8 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <vector>
 
 #include "llm4d/sim/train_run_sim.h"
@@ -83,5 +85,117 @@ main()
     bench::compare("optimal interval / Young-Daly", 1.0,
                    static_cast<double>(best->interval_steps) /
                        static_cast<double>(yd));
+
+    // --- Young-Daly re-scan under async checkpointing: only the DRAM ---
+    // snapshot blocks the step, so the optimum contracts to the much
+    // shorter sqrt(2 * MTBF * snapshot) and the run checkpoints far more
+    // often for the same blocking overhead.
+    TrainRunConfig async_cfg = cfg;
+    async_cfg.policy.checkpoint_mode = CheckpointMode::Async;
+    const std::int64_t yd_async =
+        TrainRunSim(async_cfg).youngDalyIntervalSteps();
+    async_cfg.checkpoint_interval_steps = yd_async;
+    const TrainRunSim async_sim(async_cfg);
+    const std::vector<std::int64_t> async_intervals = {
+        std::max<std::int64_t>(1, yd_async / 4),
+        std::max<std::int64_t>(1, yd_async / 2), yd_async, 2 * yd_async,
+        4 * yd_async, yd};
+    const auto async_points =
+        async_sim.scanCheckpointIntervals(async_intervals);
+    TextTable ascan("Goodput vs interval, async checkpoints "
+                    "(snapshot blocks, drain overlaps)");
+    ascan.header({"interval (steps)", "goodput TFLOPs/GPU", "note"});
+    for (const auto &pt : async_points)
+        ascan.row({TextTable::num(pt.interval_steps),
+                   TextTable::num(pt.goodput_tflops_per_gpu, 1),
+                   pt.interval_steps == yd_async
+                       ? "<- async Young-Daly (snapshot cost)"
+                       : (pt.interval_steps == yd ? "<- sync Young-Daly"
+                                                  : "")});
+    ascan.print();
+    bench::compare("async / sync Young-Daly interval",
+                   std::sqrt(tuned.checkpoint().snapshotSeconds() /
+                             tuned.checkpoint().saveSeconds()),
+                   static_cast<double>(yd_async) /
+                       static_cast<double>(yd));
+    const auto async_best = std::max_element(
+        async_points.begin(), async_points.end(),
+        [](const IntervalScanPoint &a, const IntervalScanPoint &b) {
+            return a.goodput_tflops_per_gpu < b.goodput_tflops_per_gpu;
+        });
+    bench::compare("async optimal interval / async Young-Daly", 1.0,
+                   static_cast<double>(async_best->interval_steps) /
+                       static_cast<double>(yd_async));
+
+    // --- Recovery-policy study across scales (common seed per scale: ---
+    // the fault timeline is exogenous, so the comparison isolates the
+    // policy). Full stop-the-world restarts vs warm-spare swaps vs the
+    // full elastic stack (spares + DP-shrink + async + rebalancing).
+    struct ScalePoint
+    {
+        std::int64_t gpus;
+        ParallelismConfig par;
+        std::int64_t batch_tokens;
+        std::int64_t spares;
+    };
+    const ScalePoint scales[] = {
+        {2048, ParallelismConfig{8, 1, 16, 16}, 2LL * 1024 * 1024, 2},
+        {4096, ParallelismConfig{8, 1, 16, 32}, 4LL * 1024 * 1024, 4},
+        {8192, ParallelismConfig{8, 1, 16, 64}, 8LL * 1024 * 1024, 8},
+        {16384, ParallelismConfig{8, 1, 16, 128}, 16LL * 1024 * 1024, 16},
+    };
+    struct PolicyColumn
+    {
+        const char *name;
+        RecoveryPolicy policy;
+    };
+    TextTable study("Goodput fraction by recovery policy "
+                    "(per-policy Young-Daly tuning, common fault seed)");
+    study.header({"GPUs", "full/sync", "full/async", "warm/sync",
+                  "elastic (spares+shrink+async)"});
+    double full_sync_16k = 0.0;
+    double elastic_16k = 0.0;
+    for (const ScalePoint &sp : scales) {
+        RecoveryPolicy full_async;
+        full_async.checkpoint_mode = CheckpointMode::Async;
+        RecoveryPolicy warm_sync;
+        warm_sync.mode = RecoveryMode::WarmSpare;
+        warm_sync.spare_hosts = sp.spares;
+        const PolicyColumn columns[] = {
+            {"full/sync", RecoveryPolicy{}},
+            {"full/async", full_async},
+            {"warm/sync", warm_sync},
+            {"elastic", RecoveryPolicy::elastic(sp.spares)},
+        };
+        std::vector<std::string> row = {TextTable::num(sp.gpus)};
+        for (const PolicyColumn &col : columns) {
+            TrainRunConfig pcfg;
+            pcfg.job.cluster = ClusterSpec::llama3Production(sp.gpus);
+            pcfg.job.par = sp.par;
+            pcfg.job.global_batch_tokens = sp.batch_tokens;
+            pcfg.total_steps = 12000; // ~1 simulated day per cell
+            pcfg.seed = 54 + static_cast<std::uint64_t>(sp.gpus);
+            pcfg.policy = col.policy;
+            pcfg.checkpoint_interval_steps =
+                TrainRunSim(pcfg).youngDalyIntervalSteps();
+            const TrainRunReport r = TrainRunSim(pcfg).run();
+            row.push_back(TextTable::pct(r.goodputFraction()));
+            if (sp.gpus == 16384) {
+                if (std::string(col.name) == "full/sync")
+                    full_sync_16k = r.goodputFraction();
+                else if (std::string(col.name) == "elastic")
+                    elastic_16k = r.goodputFraction();
+            }
+        }
+        study.row(row);
+    }
+    study.print();
+    bench::compare("16K goodput fraction, elastic vs full/sync",
+                   full_sync_16k, elastic_16k);
+    std::puts("  The gap widens with scale: every fault costs the whole\n"
+              "  synchronized job, and the elastic stack turns each 180 s\n"
+              "  scheduler round-trip into a ~80 s spare swap while async\n"
+              "  checkpointing shrinks both the blocking save and the\n"
+              "  rollback window.");
     return 0;
 }

@@ -5,10 +5,13 @@
  * stragglers (paper Section 8; Llama 3's 54-day production run saw 419
  * unexpected interruptions — roughly one every three hours).
  *
- * Shows the three headline results of the fault subsystem:
+ * Shows the four headline results of the fault subsystem:
  *  1. where the wall-clock of a failure-ridden run actually goes;
  *  2. the empirical optimal checkpoint interval vs. Young-Daly;
- *  3. goodput shrinking with scale at fixed per-GPU failure rates.
+ *  3. goodput shrinking with scale at fixed per-GPU failure rates;
+ *  4. recovery policies compared on one fault timeline: full restarts
+ *     vs. warm-spare swaps vs. the elastic stack (spares + DP-shrink +
+ *     async checkpointing + straggler rebalancing).
  *
  * Deterministic under the fixed seed: rerunning prints identical numbers.
  *
@@ -142,6 +145,53 @@ main()
     scale.print();
     std::puts("Same per-component MTBF: 8x the GPUs means 8x the cluster\n"
               "failure rate, and the whole synchronized job pays for every\n"
-              "single one — the paper's Section 8 operations story.");
+              "single one — the paper's Section 8 operations story.\n");
+
+    // --- 4. Recovery policies on one fault timeline (common seed). ---
+    // The failure process is exogenous — a pure function of the seed —
+    // so all three runs face the exact same faults and the table
+    // isolates what each policy does about them.
+    struct Candidate
+    {
+        const char *name;
+        RecoveryPolicy policy;
+    };
+    RecoveryPolicy warm_sync;
+    warm_sync.mode = RecoveryMode::WarmSpare;
+    warm_sync.spare_hosts = 8;
+    const Candidate candidates[] = {
+        {"full restart / sync ckpt", RecoveryPolicy{}},
+        {"warm spares / sync ckpt", warm_sync},
+        {"elastic: spares+shrink+async+rebalance",
+         RecoveryPolicy::elastic(8)},
+    };
+    TextTable policies("Recovery policies, identical fault timeline "
+                       "(16,384 GPUs, seed 2024)");
+    policies.header({"policy", "restarts", "swaps", "rebalances",
+                     "ckpt+stall h", "lost h", "goodput"});
+    for (const Candidate &c : candidates) {
+        TrainRunConfig cfg = productionRun();
+        cfg.policy = c.policy;
+        const TrainRunSim s(cfg);
+        const TrainRunReport r = s.run();
+        policies.row(
+            {c.name, TextTable::num(r.restarts),
+             TextTable::num(r.spare_swaps),
+             TextTable::num(r.rebalances),
+             TextTable::num((r.checkpoint_seconds +
+                             r.drain_stall_seconds) /
+                                3600.0,
+                            2),
+             TextTable::num(r.lost_seconds / 3600.0, 2),
+             TextTable::pct(r.goodputFraction())});
+    }
+    policies.print();
+    std::puts("Warm spares replace the 180 s scheduler round-trip with a\n"
+              "~80 s swap; async checkpointing moves the sharded save off\n"
+              "the critical path (only the DRAM snapshot blocks) and its\n"
+              "shorter Young-Daly interval shrinks every rollback window;\n"
+              "micro-batch rebalancing absorbs stragglers without evicting\n"
+              "the host (MegaScale arXiv:2402.15627, TorchTitan\n"
+              "arXiv:2410.06511).");
     return 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-command pre-merge gate: the tier-1 build + test cycle followed by
+# the ASan/UBSan tier (the `sanitize` CMake preset runs every test with
+# the sanitize ctest label). Run from anywhere:
+#
+#   ./scripts/check.sh
+#
+# Exits non-zero on the first failing build or test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "== tier 1: default build + full test suite =="
+cmake --preset default
+cmake --build --preset default -j "${jobs}"
+ctest --preset default
+
+echo "== tier 2: ASan + UBSan build + sanitize-labeled tests =="
+cmake --preset sanitize
+cmake --build --preset sanitize -j "${jobs}"
+ctest --preset sanitize
+
+echo "All checks passed."

@@ -58,4 +58,38 @@ localizeInjectedStraggler(const RankGrid &grid, std::int64_t rank,
     return findSlowRankFromTrace(grid, trace);
 }
 
+RebalancePlan
+planMicrobatchRebalance(double speed, std::int64_t dp_peers,
+                        std::int64_t microbatches_per_rank,
+                        double headroom_microbatches_per_peer)
+{
+    LLM4D_CHECK(std::isfinite(speed) && speed > 0.0 && speed < 1.0,
+                "straggler speed must be in (0, 1), got " << speed);
+    LLM4D_CHECK(dp_peers >= 0 && microbatches_per_rank >= 1,
+                "rebalance needs a non-negative peer count and at least "
+                "one micro-batch per rank");
+    LLM4D_CHECK(headroom_microbatches_per_peer >= 0.0,
+                "memory headroom cannot be negative");
+    RebalancePlan plan;
+    plan.residual_multiplier = 1.0 / speed;
+    if (dp_peers == 0 || headroom_microbatches_per_peer <= 0.0)
+        return plan; // nowhere to shed load, or no memory to absorb it
+    const auto d = static_cast<double>(dp_peers);
+    const auto nmb = static_cast<double>(microbatches_per_rank);
+    // Moving fraction f of the slow rank's micro-batches: it runs
+    // (1-f)*nmb at 1/speed per unit, each peer runs (1 + f/d)*nmb.
+    // Equal finish time at f* = d*(1-speed)/(d+speed); the step then
+    // runs at (d+1)/(d+speed) of base instead of 1/speed.
+    const double f_balanced = d * (1.0 - speed) / (d + speed);
+    const double f_memory = headroom_microbatches_per_peer * d / nmb;
+    const double f = std::min(f_balanced, f_memory);
+    if (f <= 0.0)
+        return plan;
+    plan.feasible = true;
+    plan.moved_fraction = f;
+    plan.residual_multiplier =
+        std::max((1.0 - f) / speed, 1.0 + f / d);
+    return plan;
+}
+
 } // namespace llm4d

@@ -61,6 +61,41 @@ SlowRankReport localizeInjectedStraggler(const RankGrid &grid,
                                          const StragglerDetectModel &model,
                                          std::uint64_t seed);
 
+/**
+ * Mitigation plan once a straggler is localized: shift micro-batches
+ * away from the slow rank onto its DP peers instead of evicting it
+ * (MegaScale-style load shedding short of a maintenance restart).
+ */
+struct RebalancePlan
+{
+    /** Some shift is possible within the peers' memory headroom. */
+    bool feasible = false;
+
+    /** Fraction of the slow rank's micro-batches handed to peers. */
+    double moved_fraction = 0.0;
+
+    /**
+     * Step-time multiplier that remains after the shift (>= 1): the
+     * max of the relieved slow rank and the loaded-up peers. Equals
+     * 1/speed when nothing could move.
+     */
+    double residual_multiplier = 1.0;
+};
+
+/**
+ * Plan the micro-batch shift for a localized straggler running at
+ * @p speed in (0, 1). @p dp_peers is the number of *other* DP replicas
+ * that can absorb load, @p microbatches_per_rank the per-step count each
+ * currently runs, and @p headroom_microbatches_per_peer the extra
+ * in-flight micro-batches each peer can hold without exceeding its HBM
+ * budget (from MemoryBreakdown::headroomBytes). The plan equalizes
+ * slow-rank and peer step time when headroom allows, and otherwise moves
+ * as much as memory permits.
+ */
+RebalancePlan planMicrobatchRebalance(double speed, std::int64_t dp_peers,
+                                      std::int64_t microbatches_per_rank,
+                                      double headroom_microbatches_per_peer);
+
 } // namespace llm4d
 
 #endif // LLM4D_DEBUG_STRAGGLER_DETECT_H_

@@ -24,6 +24,12 @@ CheckpointStorage::validate() const
                 "checkpoint storage bandwidth must be positive");
     LLM4D_CHECK(barrier_seconds >= 0.0,
                 "checkpoint barrier must be non-negative");
+    LLM4D_CHECK(async.snapshot_gbps_per_gpu > 0.0,
+                "snapshot bandwidth must be positive");
+    LLM4D_CHECK(async.snapshot_barrier_seconds >= 0.0,
+                "snapshot barrier must be non-negative");
+    LLM4D_CHECK(async.drain_step_slowdown >= 1.0,
+                "drain slowdown must be a multiplier >= 1");
 }
 
 CheckpointModel::CheckpointModel(const ModelConfig &model,
@@ -70,6 +76,25 @@ CheckpointModel::bytesPerGpu() const
 double
 CheckpointModel::saveSeconds() const
 {
+    const double bytes_per_host =
+        bytesPerGpu() * static_cast<double>(cluster_.node.gpus_per_node);
+    return bytes_per_host / (storage_.write_gbps_per_host * kGB) +
+           storage_.barrier_seconds;
+}
+
+double
+CheckpointModel::snapshotSeconds() const
+{
+    // Every GPU DMAs its own shard over its PCIe path concurrently.
+    return bytesPerGpu() / (storage_.async.snapshot_gbps_per_gpu * kGB) +
+           storage_.async.snapshot_barrier_seconds;
+}
+
+double
+CheckpointModel::drainSeconds() const
+{
+    // Same filesystem bottleneck as a synchronous save — the win is
+    // that steps no longer wait for it.
     const double bytes_per_host =
         bytesPerGpu() * static_cast<double>(cluster_.node.gpus_per_node);
     return bytes_per_host / (storage_.write_gbps_per_host * kGB) +

@@ -26,6 +26,27 @@
 
 namespace llm4d {
 
+/**
+ * Two-stage asynchronous checkpointing (TorchTitan arXiv:2410.06511):
+ * the step blocks only for a DMA snapshot of the shard into host DRAM;
+ * the filesystem drain overlaps subsequent steps. A checkpoint becomes
+ * *durable* — usable for rollback — only once its drain completes.
+ */
+struct AsyncCheckpointSpec
+{
+    /** HBM -> host-DRAM snapshot bandwidth per GPU (PCIe DMA), GB/s. */
+    double snapshot_gbps_per_gpu = 40.0;
+
+    /** Quiesce barrier for the blocking snapshot stage, seconds. */
+    double snapshot_barrier_seconds = 0.5;
+
+    /**
+     * Step-time multiplier while a drain is in flight (>= 1): the
+     * background write contends for host memory/NIC bandwidth.
+     */
+    double drain_step_slowdown = 1.03;
+};
+
 /** Distributed-filesystem characteristics seen by one 8-GPU host. */
 struct CheckpointStorage
 {
@@ -37,6 +58,9 @@ struct CheckpointStorage
 
     /** Quiesce + metadata-commit barrier per save or load, seconds. */
     double barrier_seconds = 4.0;
+
+    /** Two-stage (snapshot + overlapped drain) checkpoint tuning. */
+    AsyncCheckpointSpec async;
 
     /** Abort unless bandwidths and overheads are sane. */
     void validate() const;
@@ -58,6 +82,19 @@ class CheckpointModel
 
     /** Synchronous sharded-save cost charged to the training step. */
     double saveSeconds() const;
+
+    /**
+     * Step-blocking cost of an asynchronous save: each GPU DMAs its
+     * shard into host DRAM; the filesystem write happens later.
+     */
+    double snapshotSeconds() const;
+
+    /**
+     * Background drain of a snapshot to the filesystem (including the
+     * durability metadata commit). Overlaps training steps; only its
+     * *completion* makes the checkpoint usable for rollback.
+     */
+    double drainSeconds() const;
 
     /**
      * Restore cost: sharded read plus the FSDP parameter all-gather that

@@ -1,0 +1,175 @@
+#include "llm4d/fault/recovery_policy.h"
+
+#include <algorithm>
+
+#include "llm4d/net/collective.h"
+#include "llm4d/net/topology.h"
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+constexpr double kBf16Bytes = 2.0;
+
+/** ZeRO-1 checkpoint state: FP32 master weights + two Adam moments. */
+constexpr double kOptimBytesPerParam = 12.0;
+
+} // namespace
+
+const char *
+recoveryModeName(RecoveryMode mode)
+{
+    switch (mode) {
+      case RecoveryMode::FullRestart:
+        return "full-restart";
+      case RecoveryMode::WarmSpare:
+        return "warm-spare";
+    }
+    LLM4D_PANIC("unreachable recovery mode");
+}
+
+const char *
+checkpointModeName(CheckpointMode mode)
+{
+    switch (mode) {
+      case CheckpointMode::Sync:
+        return "sync";
+      case CheckpointMode::Async:
+        return "async";
+    }
+    LLM4D_PANIC("unreachable checkpoint mode");
+}
+
+RecoveryPolicy
+RecoveryPolicy::elastic(std::int64_t spares)
+{
+    RecoveryPolicy policy;
+    policy.mode = RecoveryMode::WarmSpare;
+    policy.spare_hosts = spares;
+    policy.allow_dp_shrink = true;
+    policy.checkpoint_mode = CheckpointMode::Async;
+    policy.straggler_rebalance = true;
+    return policy;
+}
+
+void
+RecoveryPolicy::validate(const ClusterSpec &cluster) const
+{
+    LLM4D_CHECK(spare_hosts >= 0, "spare pool size cannot be negative");
+    LLM4D_CHECK(spare_hosts <= cluster.num_nodes,
+                "spare pool of " << spare_hosts
+                                 << " hosts exceeds the cluster's "
+                                 << cluster.num_nodes << " hosts");
+    LLM4D_CHECK(mode == RecoveryMode::WarmSpare || spare_hosts == 0,
+                "spare hosts require the warm-spare recovery mode");
+    LLM4D_CHECK(spare_activation_seconds >= 0.0 &&
+                    swap_reinit_seconds >= 0.0,
+                "spare swap latencies must be non-negative");
+    LLM4D_CHECK(rebalance_seconds >= 0.0,
+                "rebalance latency must be non-negative");
+    LLM4D_CHECK(rebalance_max_residual >= 1.0,
+                "rebalance residual threshold is a multiplier >= 1");
+}
+
+RecoveryCostModel::RecoveryCostModel(const ModelConfig &model,
+                                     const ClusterSpec &cluster,
+                                     const ParallelismConfig &par,
+                                     CheckpointStorage storage,
+                                     RecoveryPolicy policy)
+    : model_(model), cluster_(cluster), par_(par), storage_(storage),
+      policy_(policy)
+{
+    policy_.validate(cluster_);
+    const CheckpointModel ckpt(model_, cluster_, par_, storage_);
+    // The whole fleet restores from the last checkpoint in parallel
+    // (the spare included); meanwhile the spare's ranks pull the
+    // replicated BF16 working weights from their FSDP peers. The two
+    // re-acquisition paths overlap, so the longer one bounds the swap.
+    double weights_fetch = 0.0;
+    if (par_.dp * par_.cp > 1) {
+        const Topology topo(cluster_);
+        const CollectiveModel coll(topo);
+        const RankGrid grid(par_);
+        const double bf16_bytes_per_mp_rank =
+            kBf16Bytes * static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par_.modelParallelSize());
+        const auto peer_shard = static_cast<std::int64_t>(
+            bf16_bytes_per_mp_rank /
+            static_cast<double>(par_.dp * par_.cp));
+        weights_fetch = coll.gatherTo(grid.dpCpGroup(0), peer_shard);
+    }
+    spare_swap_seconds_ = policy_.spare_activation_seconds +
+                          policy_.swap_reinit_seconds +
+                          std::max(ckpt.loadSeconds(), weights_fetch);
+}
+
+double
+RecoveryCostModel::spareSwapSeconds() const
+{
+    return spare_swap_seconds_;
+}
+
+ParallelismConfig
+RecoveryCostModel::shrunkPar(const ParallelismConfig &par, std::int64_t dp)
+{
+    LLM4D_CHECK(dp >= 1 && dp <= par.dp,
+                "shrunk dp must be in [1, " << par.dp << "]");
+    ParallelismConfig shrunk = par;
+    shrunk.dp = dp;
+    return shrunk;
+}
+
+ClusterSpec
+RecoveryCostModel::shrunkCluster(const ClusterSpec &cluster,
+                                 const ParallelismConfig &par)
+{
+    const std::int64_t world = par.worldSize();
+    LLM4D_CHECK(world % cluster.node.gpus_per_node == 0,
+                "shrunk world of " << world
+                                   << " GPUs does not fill whole hosts");
+    ClusterSpec shrunk = cluster;
+    shrunk.num_nodes = world / cluster.node.gpus_per_node;
+    return shrunk;
+}
+
+double
+RecoveryCostModel::loadSecondsAt(std::int64_t dp) const
+{
+    const ParallelismConfig par = shrunkPar(par_, dp);
+    const ClusterSpec cluster = shrunkCluster(cluster_, par);
+    return CheckpointModel(model_, cluster, par, storage_).loadSeconds();
+}
+
+double
+RecoveryCostModel::shrinkSeconds(std::int64_t to_dp) const
+{
+    LLM4D_CHECK(to_dp >= 1 && to_dp < par_.dp,
+                "shrink target must drop at least one replica");
+    const ParallelismConfig par = shrunkPar(par_, to_dp);
+    const ClusterSpec cluster = shrunkCluster(cluster_, par);
+    const CheckpointModel ckpt(model_, cluster, par, storage_);
+    // Survivors re-partition the dropped replica's ZeRO shards: each
+    // member of the (now smaller) dp*cp group grows its optimizer shard
+    // and gathers the delta from peers while the sharded restore runs.
+    double reshard = 0.0;
+    if (par.dp * par.cp > 1) {
+        const Topology topo(cluster);
+        const CollectiveModel coll(topo);
+        const RankGrid grid(par);
+        const double group_state_bytes =
+            kOptimBytesPerParam *
+            static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par.modelParallelSize());
+        const double old_members =
+            static_cast<double>((to_dp + 1) * par.cp);
+        const double new_members = static_cast<double>(to_dp * par.cp);
+        const auto delta_bytes = static_cast<std::int64_t>(
+            group_state_bytes * (1.0 / new_members - 1.0 / old_members));
+        reshard = coll.gatherTo(grid.dpCpGroup(0), delta_bytes);
+    }
+    return policy_.swap_reinit_seconds +
+           std::max(ckpt.loadSeconds(), reshard);
+}
+
+} // namespace llm4d

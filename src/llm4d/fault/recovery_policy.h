@@ -1,0 +1,159 @@
+#ifndef LLM4D_FAULT_RECOVERY_POLICY_H_
+#define LLM4D_FAULT_RECOVERY_POLICY_H_
+
+/**
+ * @file
+ * Recovery-policy configuration and cost model for elastic fault
+ * recovery.
+ *
+ * PR 1's run simulator had exactly one answer to a fatal fault: a full
+ * stop-the-world restart (scheduler re-queue + NCCL re-init + sharded
+ * restore). Production systems do better. MegaScale (arXiv:2402.15627)
+ * keeps a pool of *warm spare* hosts and recovers by swapping the failed
+ * host for a pre-provisioned replacement; when the pool runs dry it can
+ * *shrink* the data-parallel dimension — drop one FSDP replica group and
+ * re-partition its optimizer shards over the survivors — instead of
+ * stalling the whole job. Both paths skip the scheduler round-trip; what
+ * remains is spare activation, NCCL re-initialization, and sharded-state
+ * re-acquisition, which this model prices through the collective model
+ * over the real cluster topology.
+ *
+ * The policy also selects the checkpointing mode (synchronous sharded
+ * saves vs. the TorchTitan-style snapshot + overlapped drain priced by
+ * CheckpointModel) and whether localized stragglers are mitigated by
+ * micro-batch rebalancing (debug/straggler_detect.h) before falling back
+ * to eviction.
+ */
+
+#include <cstdint>
+
+#include "llm4d/fault/checkpoint_model.h"
+#include "llm4d/hw/gpu_spec.h"
+#include "llm4d/model/model_config.h"
+#include "llm4d/parallel/parallelism.h"
+
+namespace llm4d {
+
+/** What the run does when a GPU or host dies. */
+enum class RecoveryMode
+{
+    /** Stop the world, re-queue, restart from the last checkpoint. */
+    FullRestart,
+
+    /**
+     * Swap the failed host for a warm spare; degrade to a DP-shrink
+     * when the pool is empty (if allowed), and to a full restart only
+     * when shrinking is impossible too.
+     */
+    WarmSpare,
+};
+
+/** Name of a recovery mode. */
+const char *recoveryModeName(RecoveryMode mode);
+
+/** How checkpoints are taken. */
+enum class CheckpointMode
+{
+    Sync,  ///< step blocks for the full sharded filesystem write
+    Async, ///< step blocks for a DRAM snapshot; the drain overlaps
+};
+
+/** Name of a checkpoint mode. */
+const char *checkpointModeName(CheckpointMode mode);
+
+/** Full recovery behavior of one training run. */
+struct RecoveryPolicy
+{
+    RecoveryMode mode = RecoveryMode::FullRestart;
+
+    /** Pre-provisioned warm spare hosts (consumed one per swap). */
+    std::int64_t spare_hosts = 0;
+
+    /** Power-on/health-check/attach latency of a warm spare, seconds. */
+    double spare_activation_seconds = 20.0;
+
+    /**
+     * NCCL communicator re-initialization after a swap or shrink,
+     * seconds. No scheduler re-queue — this is the MegaScale saving.
+     */
+    double swap_reinit_seconds = 60.0;
+
+    /** Degrade to DP-shrink once the spare pool is exhausted. */
+    bool allow_dp_shrink = false;
+
+    CheckpointMode checkpoint_mode = CheckpointMode::Sync;
+
+    /** Rebalance micro-batches off a localized straggler vs. evicting. */
+    bool straggler_rebalance = false;
+
+    /** Dataloader re-split + schedule push after localization, seconds. */
+    double rebalance_seconds = 15.0;
+
+    /**
+     * Evict anyway when the post-rebalance residual step-time
+     * multiplier exceeds this (the slowdown exceeds what shifting
+     * micro-batches can absorb).
+     */
+    double rebalance_max_residual = 1.05;
+
+    /** The full MegaScale-style mitigation stack, for studies. */
+    static RecoveryPolicy elastic(std::int64_t spares);
+
+    /** Abort unless the policy is sane for @p cluster. */
+    void validate(const ClusterSpec &cluster) const;
+};
+
+/**
+ * Prices the one-time transition costs of each recovery path for one
+ * job. All network terms go through CollectiveModel over the job's
+ * actual topology; storage terms through CheckpointModel.
+ */
+class RecoveryCostModel
+{
+  public:
+    RecoveryCostModel(const ModelConfig &model, const ClusterSpec &cluster,
+                      const ParallelismConfig &par,
+                      CheckpointStorage storage, RecoveryPolicy policy);
+
+    const RecoveryPolicy &policy() const { return policy_; }
+
+    /**
+     * Outage of a warm-spare swap, excluding detection latency: spare
+     * activation + NCCL re-init + state re-acquisition. Re-acquisition
+     * is the parallel sharded restore overlapped with the spare host's
+     * ranks gathering their replicated BF16 working weights from their
+     * FSDP peers (gatherTo over the dp*cp group).
+     */
+    double spareSwapSeconds() const;
+
+    /**
+     * Outage of shrinking to @p to_dp data-parallel replicas, excluding
+     * detection: NCCL re-init at the smaller world + re-partitioned
+     * sharded restore + the survivors gathering their enlarged optimizer
+     * shards (the dropped replica's share) from group peers.
+     */
+    double shrinkSeconds(std::int64_t to_dp) const;
+
+    /** Sharded restore cost at @p dp replicas (dp == par.dp: as-is). */
+    double loadSecondsAt(std::int64_t dp) const;
+
+    /** The parallelism layout after shrinking to @p dp replicas. */
+    static ParallelismConfig shrunkPar(const ParallelismConfig &par,
+                                       std::int64_t dp);
+
+    /** The cluster actually occupied by @p par (for re-pricing steps). */
+    static ClusterSpec shrunkCluster(const ClusterSpec &cluster,
+                                     const ParallelismConfig &par);
+
+  private:
+    ModelConfig model_;
+    ClusterSpec cluster_;
+    ParallelismConfig par_;
+    CheckpointStorage storage_;
+    RecoveryPolicy policy_;
+    double spare_swap_seconds_ = 0.0;
+};
+
+} // namespace llm4d
+
+#endif // LLM4D_FAULT_RECOVERY_POLICY_H_

@@ -15,6 +15,14 @@ constexpr double kUnoptimizedActFactor = 1.8;
 
 } // namespace
 
+double
+MemoryBreakdown::headroomBytes(double capacity_gib, double guard) const
+{
+    LLM4D_CHECK(capacity_gib > 0.0 && guard > 0.0 && guard <= 1.0,
+                "headroom needs positive capacity and guard in (0, 1]");
+    return guard * capacity_gib * 1024.0 * 1024.0 * 1024.0 - total();
+}
+
 const char *
 zeroModeName(ZeroMode mode)
 {

@@ -58,6 +58,14 @@ struct MemoryBreakdown
 
     /** Total in GiB. */
     double totalGib() const { return toGib(total()); }
+
+    /**
+     * Bytes left under @p guard * capacity — the budget elastic
+     * mitigation (e.g. straggler micro-batch rebalancing) may spend on
+     * extra in-flight activations. Negative when the rank is already
+     * over budget.
+     */
+    double headroomBytes(double capacity_gib, double guard = 0.94) const;
 };
 
 /** Computes per-rank memory for a model under a parallelism layout. */

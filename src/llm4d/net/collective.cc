@@ -18,6 +18,8 @@ collectiveKindName(CollectiveKind kind)
         return "all_reduce";
       case CollectiveKind::Broadcast:
         return "broadcast";
+      case CollectiveKind::Gather:
+        return "gather";
       case CollectiveKind::P2P:
         return "p2p";
     }
@@ -81,6 +83,25 @@ CollectiveModel::broadcast(const std::vector<std::int64_t> &ranks,
     // Pipelined binomial tree: one full payload transfer plus a latency
     // term per tree level.
     return static_cast<double>(bytes) / bw + rounds * lat;
+}
+
+double
+CollectiveModel::gatherTo(const std::vector<std::int64_t> &ranks,
+                          std::int64_t bytes_per_rank) const
+{
+    LLM4D_ASSERT(!ranks.empty(), "empty collective group");
+    LLM4D_ASSERT(bytes_per_rank >= 0, "negative collective size");
+    const auto p = static_cast<std::int64_t>(ranks.size());
+    if (p == 1 || bytes_per_rank == 0)
+        return 0.0;
+    const NetLevel level = topo_->levelOf(ranks);
+    const double bw =
+        topo_->bandwidth(level) * 1e9 * kBandwidthEfficiency;
+    const double lat = topo_->latency(level);
+    // All senders funnel into the root's single ingress path, so the
+    // (p-1) shards serialize on bandwidth; latency pipelines.
+    const double steps = static_cast<double>(p - 1);
+    return steps * static_cast<double>(bytes_per_rank) / bw + lat;
 }
 
 double

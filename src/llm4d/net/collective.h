@@ -25,6 +25,7 @@ enum class CollectiveKind
     ReduceScatter,
     AllReduce,
     Broadcast,
+    Gather,
     P2P,
 };
 
@@ -66,6 +67,16 @@ class CollectiveModel
     /** Binomial-tree broadcast of @p bytes from one rank to the group. */
     double broadcast(const std::vector<std::int64_t> &ranks,
                      std::int64_t bytes) const;
+
+    /**
+     * Gather @p bytes_per_rank from every group member onto one root —
+     * the re-shard primitive of elastic recovery: a warm-spare (or a
+     * surviving rank after a DP-shrink) pulls the state shards it must
+     * now own from its group peers. Bound by the root's ingress link:
+     * (p-1) shards serialize through the root's bottleneck level.
+     */
+    double gatherTo(const std::vector<std::int64_t> &ranks,
+                    std::int64_t bytes_per_rank) const;
 
     /** Point-to-point transfer of @p bytes between two ranks. */
     double p2p(std::int64_t src, std::int64_t dst, std::int64_t bytes) const;

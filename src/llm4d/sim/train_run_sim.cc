@@ -15,26 +15,42 @@ namespace {
 
 constexpr double kSecondsPerHour = 3600.0;
 
+TrainRunConfig
+validated(TrainRunConfig cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
 } // namespace
 
-TrainRunSim::TrainRunSim(TrainRunConfig cfg)
-    : cfg_(std::move(cfg)),
-      base_(TrainSim(cfg_.job).run()),
-      ckpt_(cfg_.job.model, cfg_.job.cluster, cfg_.job.par, cfg_.storage)
+void
+TrainRunConfig::validate() const
 {
-    LLM4D_CHECK(cfg_.total_steps > 0, "run needs at least one step");
-    LLM4D_CHECK(cfg_.checkpoint_interval_steps > 0,
+    LLM4D_CHECK(total_steps > 0, "run needs at least one step");
+    LLM4D_CHECK(checkpoint_interval_steps > 0,
                 "checkpoint interval must be positive");
-    LLM4D_CHECK(cfg_.restart.reinit_seconds >= 0.0 &&
-                    cfg_.restart.warmup_steps >= 0 &&
-                    cfg_.restart.warmup_slowdown >= 1.0,
+    LLM4D_CHECK(restart.reinit_seconds >= 0.0 &&
+                    restart.warmup_steps >= 0 &&
+                    restart.warmup_slowdown >= 1.0,
                 "invalid restart config");
-    LLM4D_CHECK(cfg_.detection.fast_fail_seconds >= 0.0 &&
-                    cfg_.detection.timeout_seconds >= 0.0 &&
-                    cfg_.detection.straggler_analysis_seconds >= 0.0,
+    LLM4D_CHECK(detection.fast_fail_seconds >= 0.0 &&
+                    detection.timeout_seconds >= 0.0 &&
+                    detection.straggler_analysis_seconds >= 0.0,
                 "detection latencies must be non-negative");
-    LLM4D_CHECK(cfg_.max_wall_days > 0.0, "max wall-clock must be positive");
-    cfg_.faults.validate();
+    LLM4D_CHECK(max_wall_days > 0.0, "max wall-clock must be positive");
+    faults.validate();
+    storage.validate();
+    policy.validate(job.cluster);
+}
+
+TrainRunSim::TrainRunSim(TrainRunConfig cfg)
+    : cfg_(validated(std::move(cfg))),
+      base_(TrainSim(cfg_.job).run()),
+      ckpt_(cfg_.job.model, cfg_.job.cluster, cfg_.job.par, cfg_.storage),
+      recovery_(cfg_.job.model, cfg_.job.cluster, cfg_.job.par,
+                cfg_.storage, cfg_.policy)
+{
     flops_per_gpu_step_ =
         base_.tflops_per_gpu * 1e12 * base_.step_seconds;
 }
@@ -45,16 +61,26 @@ TrainRunSim::mtbfSeconds() const
     return kSecondsPerHour / cfg_.job.cluster.failuresPerHour();
 }
 
+double
+TrainRunSim::blockingSaveSeconds() const
+{
+    return cfg_.policy.checkpoint_mode == CheckpointMode::Async
+               ? ckpt_.snapshotSeconds()
+               : ckpt_.saveSeconds();
+}
+
 std::int64_t
 TrainRunSim::youngDalyIntervalSteps() const
 {
     // Young–Daly counts only work-losing failures; stragglers and flaps
-    // degrade throughput but lose no checkpointable progress.
+    // degrade throughput but lose no checkpointable progress. Under
+    // async checkpointing only the snapshot blocks the step, so the
+    // relevant C is blockingSaveSeconds(), not the filesystem drain.
     const double fatal_rate = cfg_.job.cluster.fatalFailuresPerHour();
     LLM4D_CHECK(fatal_rate > 0.0,
                 "Young-Daly undefined without fatal failure classes");
     const double yd_seconds = youngDalyIntervalSeconds(
-        kSecondsPerHour / fatal_rate, ckpt_.saveSeconds());
+        kSecondsPerHour / fatal_rate, blockingSaveSeconds());
     return std::max<std::int64_t>(
         1, static_cast<std::int64_t>(
                std::llround(yd_seconds / base_.step_seconds)));
@@ -82,6 +108,114 @@ TrainRunSim::degradedStepSeconds(std::int64_t straggler_rank,
     return degraded_cache_[key];
 }
 
+bool
+TrainRunSim::canShrinkTo(std::int64_t dp) const
+{
+    if (dp < 1)
+        return false;
+    const std::int64_t world =
+        cfg_.job.par.worldSize() / cfg_.job.par.dp * dp;
+    if (world % cfg_.job.cluster.node.gpus_per_node != 0)
+        return false;
+    // The surviving replicas must still split the global batch into
+    // whole micro-batches (TrainSim aborts otherwise, so pre-check).
+    if (cfg_.job.global_batch_tokens % cfg_.job.seq != 0)
+        return false;
+    const std::int64_t gbs_seqs =
+        cfg_.job.global_batch_tokens / cfg_.job.seq;
+    if (gbs_seqs % dp != 0)
+        return false;
+    if ((gbs_seqs / dp) % cfg_.job.mbs != 0)
+        return false;
+    // Schedule-feasibility envelope: the flexible PP schedule deadlocks
+    // past one micro-batch per pipeline stage in flight, so survivors
+    // cannot absorb more micro-batches than the pipeline is deep.
+    const std::int64_t shrunk_nmb = gbs_seqs / dp / cfg_.job.mbs;
+    return shrunk_nmb <= std::max(base_.nmb, cfg_.job.par.pp);
+}
+
+double
+TrainRunSim::stepSecondsAtDp(std::int64_t dp) const
+{
+    if (dp == cfg_.job.par.dp)
+        return base_.step_seconds;
+    const auto it = shrunk_step_cache_.find(dp);
+    if (it != shrunk_step_cache_.end())
+        return it->second;
+    // Same global batch over fewer replicas: each survivor runs more
+    // micro-batches, so the fault-free step gets strictly slower.
+    TrainJobConfig job = cfg_.job;
+    job.par = RecoveryCostModel::shrunkPar(job.par, dp);
+    job.cluster = RecoveryCostModel::shrunkCluster(job.cluster, job.par);
+    const double seconds =
+        std::max(TrainSim(job).run().step_seconds, base_.step_seconds);
+    shrunk_step_cache_[dp] = seconds;
+    return seconds;
+}
+
+const TrainRunSim::CkptCosts &
+TrainRunSim::checkpointCostsAt(std::int64_t dp) const
+{
+    const auto it = ckpt_cost_cache_.find(dp);
+    if (it != ckpt_cost_cache_.end())
+        return it->second;
+    CkptCosts costs;
+    if (dp == cfg_.job.par.dp) {
+        costs = CkptCosts{ckpt_.saveSeconds(), ckpt_.snapshotSeconds(),
+                          ckpt_.drainSeconds(), ckpt_.loadSeconds()};
+    } else {
+        const ParallelismConfig par =
+            RecoveryCostModel::shrunkPar(cfg_.job.par, dp);
+        const ClusterSpec cluster =
+            RecoveryCostModel::shrunkCluster(cfg_.job.cluster, par);
+        const CheckpointModel model(cfg_.job.model, cluster, par,
+                                    cfg_.storage);
+        costs = CkptCosts{model.saveSeconds(), model.snapshotSeconds(),
+                          model.drainSeconds(), model.loadSeconds()};
+    }
+    return ckpt_cost_cache_.emplace(dp, costs).first->second;
+}
+
+double
+TrainRunSim::shrinkSecondsTo(std::int64_t dp) const
+{
+    const auto it = shrink_cost_cache_.find(dp);
+    if (it != shrink_cost_cache_.end())
+        return it->second;
+    const double seconds = recovery_.shrinkSeconds(dp);
+    shrink_cost_cache_[dp] = seconds;
+    return seconds;
+}
+
+double
+TrainRunSim::rebalanceHeadroomMicrobatches(
+    std::int64_t straggler_rank) const
+{
+    const RankGrid grid(cfg_.job.par);
+    const std::int64_t pp_coord = grid.coordOf(straggler_rank).pp;
+    const auto &mem =
+        base_.pp_rank_memory[static_cast<std::size_t>(pp_coord)];
+    const double headroom =
+        mem.headroomBytes(cfg_.job.cluster.node.gpu.hbm_capacity_gib);
+    if (headroom <= 0.0)
+        return 0.0;
+    // Bytes of one extra in-flight stage micro-batch on the peers that
+    // would absorb the shifted work (same PP coordinate as the
+    // straggler, so the same activation footprint).
+    const MemoryModel mm(cfg_.job.model, cfg_.job.par.tp,
+                         cfg_.job.par.dp * cfg_.job.par.cp, cfg_.job.zero,
+                         cfg_.job.memory_optimized);
+    const std::int64_t layers_per_rank =
+        ceilDiv(cfg_.job.model.num_layers, cfg_.job.par.pp);
+    const std::int64_t stage_layers =
+        ceilDiv(layers_per_rank, std::max<std::int64_t>(1, base_.v));
+    const std::int64_t tokens =
+        cfg_.job.mbs * cfg_.job.seq / cfg_.job.par.cp;
+    const double per_microbatch = mm.activationBytes(
+        tokens, stage_layers, false, false, cfg_.job.act);
+    return per_microbatch > 0.0 ? headroom / per_microbatch : 0.0;
+}
+
 TrainRunReport
 TrainRunSim::run() const
 {
@@ -92,9 +226,9 @@ TrainRunReport
 TrainRunSim::runWithInterval(std::int64_t interval_steps) const
 {
     LLM4D_CHECK(interval_steps > 0, "checkpoint interval must be positive");
+    const RecoveryPolicy &pol = cfg_.policy;
+    const bool async = pol.checkpoint_mode == CheckpointMode::Async;
     const double base_step_s = base_.step_seconds;
-    const double save_s = ckpt_.saveSeconds();
-    const double load_s = ckpt_.loadSeconds();
     // Share of the step a NIC flap can slow down: traffic that crosses
     // the NICs and sits on the critical path (FSDP + CP exposure). TP is
     // NVLink-local and immune. Floor at 2% for PP P2P and infra traffic
@@ -125,17 +259,31 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     {
         double speed = 1.0;
         std::int64_t steps_to_detect = 0;
+        bool mitigated = false;    ///< micro-batches rebalanced away
+        double residual = 1.0;     ///< post-rebalance step multiplier
+    };
+    enum class AsyncWait
+    {
+        None,     ///< no one is blocked on the drain
+        Snapshot, ///< a snapshot wants the single host buffer
+        Final,    ///< finish/eviction blocks until durability
     };
 
     // ---- Run state, mutated by the event handlers below. ----
-    std::int64_t committed = 0;        ///< steps safely in a checkpoint
-    std::int64_t done_since_ckpt = 0;  ///< completed, not yet committed
+    std::int64_t committed = 0;        ///< steps durably in a checkpoint
+    std::int64_t done_since_ckpt = 0;  ///< completed, not yet snapshotted
     double tentative_base_s = 0.0;     ///< base-speed part of those steps
     double tentative_extra_s = 0.0;    ///< degradation part of those steps
+    std::int64_t pending_steps = 0;    ///< snapshotted, drain in flight
+    double pending_base_s = 0.0;
+    double pending_extra_s = 0.0;
+    std::int64_t dp_now = cfg_.job.par.dp;  ///< shrinks are persistent
+    std::int64_t spares_left = pol.spare_hosts;
     std::int64_t warmup_left = 0;
     bool running = false;   ///< a step or checkpoint event is in flight
     bool down = false;      ///< between failure and restored service
     bool finished = false;
+    bool finishing = false; ///< all steps done; final durability pending
     bool truncated = false;
     Time stopped_at = 0;    ///< clock when the run ended (either way)
     Time step_started = 0;
@@ -143,14 +291,23 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     EventId work_event = 0;  ///< pending step/checkpoint completion
     EventId resume_event = 0; ///< pending service restoration
     Time resume_at = 0;       ///< when that restoration fires
+    double outage_rest_s = 0.0;        ///< recovery part of the outage
+    double *outage_bucket = &rep.restart_seconds; ///< where it went
     bool in_checkpoint = false;
     Time ckpt_started = 0;
+    bool drain_active = false;
+    EventId drain_event = 0;
+    AsyncWait wait = AsyncWait::None;
+    Time stall_started = 0;
+    std::int64_t evict_rank = -1; ///< straggler awaiting durable evict
     std::unordered_map<std::int64_t, ActiveFlap> flaps;      // by NIC/rank
     std::unordered_map<std::int64_t, ActiveStraggler> stragglers; // by rank
 
     // Forward declarations so handlers can schedule each other.
     std::function<void()> schedule_step;
     std::function<void(const FaultEvent &)> on_fault;
+    std::function<void()> start_snapshot;
+    std::function<void()> on_drain_done;
 
     const auto flap_multiplier = [&]() {
         double worst_capacity = 1.0;
@@ -170,18 +327,33 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     };
 
     const auto current_step_seconds = [&]() {
-        double s = base_step_s;
-        for (const auto &[rank, st] : stragglers)
-            s = std::max(s, degradedStepSeconds(rank, st.speed));
+        const double eff = stepSecondsAtDp(dp_now);
+        double s = eff;
+        double worst_residual = 1.0;
+        for (const auto &[rank, st] : stragglers) {
+            if (st.mitigated)
+                worst_residual = std::max(worst_residual, st.residual);
+            else
+                s = std::max(s, eff *
+                                    degradedStepSeconds(rank, st.speed) /
+                                    base_step_s);
+        }
+        s = std::max(s, eff * worst_residual);
         s *= flap_multiplier();
         if (warmup_left > 0)
             s *= cfg_.restart.warmup_slowdown;
+        if (drain_active)
+            s *= cfg_.storage.async.drain_step_slowdown;
         return s;
     };
 
-    const auto commit = [&](bool charge_save) {
-        if (charge_save)
-            rep.checkpoint_seconds += save_s;
+    const auto steps_done = [&]() {
+        return committed + pending_steps + done_since_ckpt;
+    };
+
+    /** Sync-mode commit: the completed save makes everything durable. */
+    const auto commit = [&](double save_s) {
+        rep.checkpoint_seconds += save_s;
         committed += done_since_ckpt;
         rep.productive_seconds += tentative_base_s;
         rep.degraded_seconds += tentative_extra_s;
@@ -191,22 +363,36 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     };
 
     const auto rollback = [&]() {
-        rep.lost_seconds += tentative_base_s + tentative_extra_s;
-        rep.steps_lost += done_since_ckpt;
+        // Un-durable work is lost: both the steps since the last
+        // snapshot and any snapshot whose drain has not finished.
+        if (drain_active) {
+            eng.cancel(drain_event);
+            drain_active = false;
+        }
+        rep.lost_seconds += tentative_base_s + tentative_extra_s +
+                            pending_base_s + pending_extra_s;
+        rep.steps_lost += done_since_ckpt + pending_steps;
         done_since_ckpt = 0;
         tentative_base_s = 0.0;
         tentative_extra_s = 0.0;
+        pending_steps = 0;
+        pending_base_s = 0.0;
+        pending_extra_s = 0.0;
     };
 
-    const auto begin_restart = [&](double detection_s) {
-        ++rep.restarts;
+    /** Service outage: detection, then @p rest_s of recovery work
+     *  charged to @p bucket. Both are charged upfront and refunded if a
+     *  back-to-back failure cuts the outage short. */
+    const auto begin_outage = [&](double detection_s, double rest_s,
+                                  double *bucket) {
         rep.detection_seconds += detection_s;
-        rep.restart_seconds += cfg_.restart.reinit_seconds + load_s;
+        *bucket += rest_s;
+        outage_rest_s = rest_s;
+        outage_bucket = bucket;
         warmup_left = cfg_.restart.warmup_steps;
         down = true;
         running = false;
-        const double outage_s =
-            detection_s + cfg_.restart.reinit_seconds + load_s;
+        const double outage_s = detection_s + rest_s;
         resume_at = eng.now() + secondsToTime(outage_s);
         resume_event = eng.schedule(secondsToTime(outage_s), [&]() {
             down = false;
@@ -214,26 +400,222 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         });
     };
 
-    const auto finish = [&]() {
-        // The run always ends by committing the final steps to storage.
+    /** Refund the un-elapsed tail of an in-progress outage (the
+     *  recovery it paid for never happens). */
+    const auto refund_outage = [&]() {
+        eng.cancel(resume_event);
+        const double remaining = timeToSeconds(resume_at - eng.now());
+        const double rest_part = std::min(remaining, outage_rest_s);
+        *outage_bucket -= rest_part;
+        rep.detection_seconds -= remaining - rest_part;
+        down = false;
+    };
+
+    /** Recovery dispatch: warm spare -> DP shrink -> full restart. */
+    const auto begin_recovery = [&](double detection_s) {
+        if (pol.mode == RecoveryMode::WarmSpare && spares_left > 0) {
+            --spares_left;
+            ++rep.spare_swaps;
+            begin_outage(detection_s, recovery_.spareSwapSeconds(),
+                         &rep.spare_swap_seconds);
+            return;
+        }
+        if (pol.mode == RecoveryMode::WarmSpare && pol.allow_dp_shrink &&
+            dp_now > 1 && canShrinkTo(dp_now - 1)) {
+            --dp_now;
+            ++rep.dp_shrinks;
+            begin_outage(detection_s, shrinkSecondsTo(dp_now),
+                         &rep.shrink_seconds);
+            return;
+        }
+        ++rep.restarts;
+        begin_outage(detection_s,
+                     cfg_.restart.reinit_seconds +
+                         checkpointCostsAt(dp_now).load,
+                     &rep.restart_seconds);
+    };
+
+    /** Pure pause (straggler localization + rebalance push): charged to
+     *  detection, no recovery work, no warmup. */
+    const auto begin_pause = [&](double pause_s) {
+        rep.detection_seconds += pause_s;
+        outage_rest_s = 0.0;
+        outage_bucket = &rep.restart_seconds;
+        down = true;
+        running = false;
+        resume_at = eng.now() + secondsToTime(pause_s);
+        resume_event = eng.schedule(secondsToTime(pause_s), [&]() {
+            down = false;
+            schedule_step();
+        });
+    };
+
+    const auto truncate_now = [&]() {
+        if (wait != AsyncWait::None) {
+            rep.drain_stall_seconds +=
+                timeToSeconds(eng.now() - stall_started);
+            wait = AsyncWait::None;
+        }
+        if (running) {
+            eng.cancel(work_event);
+            rep.lost_seconds += timeToSeconds(
+                eng.now() - (in_checkpoint ? ckpt_started : step_started));
+            running = false;
+        }
+        if (down)
+            refund_outage();
+        rollback();
+        truncated = true;
+        stopped_at = eng.now();
+    };
+
+    start_snapshot = [&]() {
         in_checkpoint = true;
         ckpt_started = eng.now();
         running = true;
-        work_event = eng.schedule(secondsToTime(save_s), [&]() {
-            commit(/*charge_save=*/true);
+        const double snap_s = checkpointCostsAt(dp_now).snapshot;
+        work_event = eng.schedule(secondsToTime(snap_s), [&, snap_s]() {
+            // Snapshot landed in host DRAM: the steps it covers move to
+            // the pending (snapshotted, not yet durable) stage and the
+            // filesystem drain starts in the background.
+            rep.checkpoint_seconds += snap_s;
+            pending_steps += done_since_ckpt;
+            pending_base_s += tentative_base_s;
+            pending_extra_s += tentative_extra_s;
+            done_since_ckpt = 0;
+            tentative_base_s = 0.0;
+            tentative_extra_s = 0.0;
+            running = false;
+            in_checkpoint = false;
+            drain_active = true;
+            const double drain_s = checkpointCostsAt(dp_now).drain;
+            drain_event = eng.schedule(secondsToTime(drain_s),
+                                       [&]() { on_drain_done(); });
+            if (finishing || evict_rank >= 0) {
+                // Durability is on the critical path: block for the
+                // drain instead of overlapping it with steps.
+                wait = AsyncWait::Final;
+                stall_started = eng.now();
+            } else {
+                schedule_step();
+            }
+        });
+    };
+
+    on_drain_done = [&]() {
+        if (finished || truncated)
+            return;
+        drain_active = false;
+        committed += pending_steps;
+        rep.productive_seconds += pending_base_s;
+        rep.degraded_seconds += pending_extra_s;
+        pending_steps = 0;
+        pending_base_s = 0.0;
+        pending_extra_s = 0.0;
+        if (wait == AsyncWait::Snapshot) {
+            rep.drain_stall_seconds +=
+                timeToSeconds(eng.now() - stall_started);
+            wait = AsyncWait::None;
+            start_snapshot();
+            return;
+        }
+        if (wait == AsyncWait::Final) {
+            rep.drain_stall_seconds +=
+                timeToSeconds(eng.now() - stall_started);
+            wait = AsyncWait::None;
+            if (finishing) {
+                finished = true;
+                running = false;
+                stopped_at = eng.now();
+                return;
+            }
+            if (evict_rank >= 0) {
+                stragglers.erase(evict_rank);
+                evict_rank = -1;
+                begin_recovery(cfg_.detection.straggler_analysis_seconds);
+            }
+        }
+    };
+
+    /** Async checkpoint entry: the single host snapshot buffer forces a
+     *  stall while the previous drain is still writing it out. */
+    const auto request_snapshot = [&]() {
+        if (drain_active) {
+            wait = AsyncWait::Snapshot;
+            stall_started = eng.now();
+            running = false;
+            return;
+        }
+        start_snapshot();
+    };
+
+    const auto finish = [&]() {
+        // The run always ends by making the final steps durable.
+        finishing = true;
+        if (async) {
+            request_snapshot();
+            return;
+        }
+        in_checkpoint = true;
+        ckpt_started = eng.now();
+        running = true;
+        const double save_s = checkpointCostsAt(dp_now).save;
+        work_event = eng.schedule(secondsToTime(save_s), [&, save_s]() {
+            commit(save_s);
             finished = true;
             running = false;
             stopped_at = eng.now();
         });
     };
 
+    /** Straggler localized: rebalance if the policy allows and the DP
+     *  peers have the memory headroom to absorb the shifted
+     *  micro-batches; otherwise checkpoint and evict. */
+    const auto handle_detected = [&](std::int64_t detected) {
+        auto &st = stragglers[detected];
+        if (pol.straggler_rebalance && st.speed > 0.0 && st.speed < 1.0 &&
+            dp_now > 1) {
+            const double degraded_ratio =
+                degradedStepSeconds(detected, st.speed) / base_step_s;
+            const RebalancePlan plan = planMicrobatchRebalance(
+                st.speed, dp_now - 1, base_.nmb,
+                rebalanceHeadroomMicrobatches(detected));
+            if (plan.feasible &&
+                plan.residual_multiplier <= pol.rebalance_max_residual &&
+                plan.residual_multiplier < degraded_ratio) {
+                st.mitigated = true;
+                st.residual = plan.residual_multiplier;
+                ++rep.rebalances;
+                begin_pause(cfg_.detection.straggler_analysis_seconds +
+                            pol.rebalance_seconds);
+                return;
+            }
+        }
+        // Orderly maintenance restart: make progress durable first (no
+        // lost work), then evict the culprit through the recovery path.
+        if (async) {
+            evict_rank = detected;
+            request_snapshot();
+            return;
+        }
+        in_checkpoint = true;
+        ckpt_started = eng.now();
+        running = true;
+        const double save_s = checkpointCostsAt(dp_now).save;
+        work_event =
+            eng.schedule(secondsToTime(save_s), [&, save_s, detected]() {
+                commit(save_s);
+                stragglers.erase(detected);
+                begin_recovery(cfg_.detection.straggler_analysis_seconds);
+            });
+    };
+
     schedule_step = [&]() {
         running = false;
-        if (finished || truncated || down)
+        if (finished || truncated || down || wait != AsyncWait::None)
             return;
         if (eng.now() > wall_limit) {
-            truncated = true;
-            stopped_at = eng.now();
+            truncate_now();
             return;
         }
         step_len_s = current_step_seconds();
@@ -248,43 +630,41 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
             if (warmup_left > 0)
                 --warmup_left;
             // Straggler detection accumulates evidence one degraded step
-            // at a time; on localization, an orderly maintenance restart
-            // checkpoints first (no lost work) and evicts the culprit.
+            // at a time; mitigated stragglers are already handled.
             // Lowest rank wins ties so the outcome does not depend on
             // hash-map iteration order.
             std::int64_t detected = -1;
             for (auto &[rank, st] : stragglers) {
+                if (st.mitigated)
+                    continue;
                 --st.steps_to_detect;
                 if (st.steps_to_detect <= 0 &&
                     (detected < 0 || rank < detected))
                     detected = rank;
             }
-            if (committed + done_since_ckpt >= cfg_.total_steps) {
+            if (steps_done() >= cfg_.total_steps) {
                 finish();
                 return;
             }
             if (detected >= 0) {
-                in_checkpoint = true;
-                ckpt_started = eng.now();
-                running = true;
-                work_event = eng.schedule(secondsToTime(save_s),
-                                          [&, detected]() {
-                    commit(/*charge_save=*/true);
-                    stragglers.erase(detected);
-                    begin_restart(
-                        cfg_.detection.straggler_analysis_seconds);
-                });
+                handle_detected(detected);
                 return;
             }
             if (done_since_ckpt >= interval_steps) {
+                if (async) {
+                    request_snapshot();
+                    return;
+                }
                 // Synchronous sharded save.
                 in_checkpoint = true;
                 ckpt_started = eng.now();
                 running = true;
-                work_event = eng.schedule(secondsToTime(save_s), [&]() {
-                    commit(/*charge_save=*/true);
-                    schedule_step();
-                });
+                const double save_s = checkpointCostsAt(dp_now).save;
+                work_event = eng.schedule(secondsToTime(save_s),
+                                          [&, save_s]() {
+                                              commit(save_s);
+                                              schedule_step();
+                                          });
                 return;
             }
             schedule_step();
@@ -295,8 +675,7 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         if (finished || truncated)
             return; // queue drains; no further faults are pulled
         if (eng.now() > wall_limit) {
-            truncated = true;
-            stopped_at = eng.now();
+            truncate_now();
             return;
         }
         switch (ev.kind) {
@@ -322,26 +701,30 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 // Back-to-back failure while recovering (e.g. the
                 // replacement host dies too): the old outage's un-elapsed
                 // tail never happens — refund it and recover from scratch.
-                eng.cancel(resume_event);
-                const double remaining =
-                    timeToSeconds(resume_at - eng.now());
-                const double restart_part = std::min(
-                    remaining, cfg_.restart.reinit_seconds + load_s);
-                rep.restart_seconds -= restart_part;
-                rep.detection_seconds -= remaining - restart_part;
-                begin_restart(cfg_.detection.fatalDetectionSeconds());
+                refund_outage();
+                begin_recovery(cfg_.detection.fatalDetectionSeconds());
                 break;
+            }
+            if (wait != AsyncWait::None) {
+                // Stalled on a drain that now dies with the host state:
+                // the elapsed stall is real wall time, the durability it
+                // was waiting for never arrives.
+                rep.drain_stall_seconds +=
+                    timeToSeconds(eng.now() - stall_started);
+                wait = AsyncWait::None;
+                finishing = false;
+                evict_rank = -1;
             }
             if (running) {
                 eng.cancel(work_event);
                 const double elapsed = timeToSeconds(
                     eng.now() - (in_checkpoint ? ckpt_started
                                                : step_started));
-                // Partial step work and a non-committed save are lost.
+                // Partial step work and a non-durable save are lost.
                 rep.lost_seconds += elapsed;
             }
             rollback();
-            begin_restart(cfg_.detection.fatalDetectionSeconds());
+            begin_recovery(cfg_.detection.fatalDetectionSeconds());
             break;
           }
           case FaultKind::StragglerOnset: {
@@ -396,6 +779,7 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
 
     rep.completed = finished && !truncated;
     rep.steps_committed = committed;
+    rep.final_dp = dp_now;
     // The engine clock can drift past the end while draining a trailing
     // (ignored) fault event; the recorded stop time is the true wall.
     rep.wall_seconds = timeToSeconds(

@@ -12,16 +12,24 @@
  * the fault subsystem over days of simulated wall-clock through the
  * discrete-event Engine:
  *
- *  - steps execute at TrainSim speed and periodically pay a synchronous
- *    sharded checkpoint save;
+ *  - steps execute at TrainSim speed and periodically pay a checkpoint:
+ *    either a synchronous sharded save, or (CheckpointMode::Async) a
+ *    blocking DRAM snapshot whose filesystem drain overlaps subsequent
+ *    steps — rollback then targets the last *durable* (fully drained)
+ *    checkpoint, and a snapshot that catches the previous drain still
+ *    in flight stalls until it completes;
  *  - fatal faults (GPU / host) interrupt the in-flight step after a
  *    detection latency (fast-fail NCCL error vs. watchdog timeout), roll
- *    progress back to the last checkpoint, and charge re-init +
- *    checkpoint load + slow warmup steps;
+ *    progress back to the last durable checkpoint, and recover per the
+ *    configured RecoveryPolicy: swap in a warm spare host, shrink the
+ *    DP dimension when the pool is dry, or fall back to the full
+ *    stop-the-world restart (re-init + checkpoint load + slow warmup);
  *  - silent stragglers degrade every subsequent step (the synchronized
  *    cluster runs at its slowest rank) until the trace-driven detector
  *    (debug/straggler_detect.h) accumulates enough steps to localize
- *    them, then force a maintenance restart that evicts the culprit;
+ *    them, then either rebalance micro-batches away from the culprit
+ *    (bounded by DP-peer memory headroom) or force a maintenance
+ *    restart that evicts it;
  *  - NIC flaps degrade (not kill) steps for their duration via the
  *    FlowSim-derived link-capacity slowdown.
  *
@@ -40,6 +48,7 @@
 #include "llm4d/debug/straggler_detect.h"
 #include "llm4d/fault/checkpoint_model.h"
 #include "llm4d/fault/fault_model.h"
+#include "llm4d/fault/recovery_policy.h"
 #include "llm4d/sim/train_sim.h"
 
 namespace llm4d {
@@ -96,12 +105,22 @@ struct TrainRunConfig
     CheckpointStorage storage;
     DetectionConfig detection;
     RestartConfig restart;
+    RecoveryPolicy policy;
 
     /** Fault-timeline RNG seed (independent of job.seed). */
     std::uint64_t seed = 1;
 
     /** Give up and report an incomplete run past this much wall-clock. */
     double max_wall_days = 365.0;
+
+    /**
+     * Abort unless every field is sane: positive step counts and
+     * checkpoint interval, non-negative detection/restart latencies,
+     * valid fault tuning and storage, and a recovery policy that fits
+     * the cluster (spare pool <= hosts). Called by TrainRunSim before
+     * any simulation.
+     */
+    void validate() const;
 };
 
 /** Per-kind interruption/degradation counters. */
@@ -139,16 +158,33 @@ struct TrainRunReport
     /** Number of full restarts (fatal faults + straggler evictions). */
     std::int64_t restarts = 0;
 
+    /** Warm-spare host swaps (RecoveryMode::WarmSpare). */
+    std::int64_t spare_swaps = 0;
+
+    /** DP-shrink events after the spare pool ran dry. */
+    std::int64_t dp_shrinks = 0;
+
+    /** Stragglers mitigated by micro-batch rebalancing (not evicted). */
+    std::int64_t rebalances = 0;
+
+    /** Data-parallel degree at the end of the run (shrinks persist). */
+    std::int64_t final_dp = 0;
+
     FaultCounts faults;
 
     /**
      * Wall-clock breakdown, sums to wall_seconds:
-     *  productive — committed steps at fault-free speed;
-     *  degraded   — extra step time under stragglers/flaps/warmup;
-     *  checkpoint — synchronous saves;
-     *  lost       — rolled-back step work (including partial steps);
-     *  detection  — fault detection latency windows;
-     *  restart    — re-init + checkpoint restore.
+     *  productive  — committed steps at fault-free speed;
+     *  degraded    — extra step time under stragglers/flaps/warmup,
+     *                post-shrink slowdown, and drain contention;
+     *  checkpoint  — blocking save or snapshot stages;
+     *  lost        — rolled-back step work (including partial steps);
+     *  detection   — fault detection/localization latency windows
+     *                (plus rebalance reconfiguration);
+     *  restart     — full-restart re-init + checkpoint restore;
+     *  spare_swap  — warm-spare activation + re-init + re-acquisition;
+     *  shrink      — DP-shrink re-init + re-shard + restore;
+     *  drain_stall — waits on an in-flight async checkpoint drain.
      * @{
      */
     double productive_seconds = 0.0;
@@ -157,6 +193,9 @@ struct TrainRunReport
     double lost_seconds = 0.0;
     double detection_seconds = 0.0;
     double restart_seconds = 0.0;
+    double spare_swap_seconds = 0.0;
+    double shrink_seconds = 0.0;
+    double drain_stall_seconds = 0.0;
     /** @} */
 
     /** Effective useful TFLOPs per GPU-second over the whole run. */
@@ -217,21 +256,63 @@ class TrainRunSim
     std::vector<IntervalScanPoint>
     scanCheckpointIntervals(const std::vector<std::int64_t> &intervals) const;
 
-    /** Young–Daly optimal interval for this run, in steps (>= 1). */
+    /** Young–Daly optimal interval for this run, in steps (>= 1).
+     *  Uses blockingSaveSeconds(): under async checkpointing only the
+     *  snapshot blocks the step, so the optimum shifts to the much
+     *  shorter sqrt(2 * MTBF * snapshot) interval. */
     std::int64_t youngDalyIntervalSteps() const;
 
+    /** Step-blocking cost of one checkpoint under the configured mode:
+     *  the full sharded save (sync) or just the DRAM snapshot (async). */
+    double blockingSaveSeconds() const;
+
+    /** Recovery-path transition pricing for this job. */
+    const RecoveryCostModel &recovery() const { return recovery_; }
+
   private:
+    /** Blocking/overlapped checkpoint costs at one DP degree. */
+    struct CkptCosts
+    {
+        double save = 0.0;
+        double snapshot = 0.0;
+        double drain = 0.0;
+        double load = 0.0;
+    };
+
     double degradedStepSeconds(std::int64_t straggler_rank,
                                double speed) const;
+
+    /** Whether the job remains valid with DP shrunk to @p dp. */
+    bool canShrinkTo(std::int64_t dp) const;
+
+    /** Fault-free step seconds at DP degree @p dp (TrainSim rerun,
+     *  cached; same global batch, so fewer replicas -> slower steps). */
+    double stepSecondsAtDp(std::int64_t dp) const;
+
+    /** Checkpoint pricing at DP degree @p dp (cached). */
+    const CkptCosts &checkpointCostsAt(std::int64_t dp) const;
+
+    /** Outage of shrinking to @p dp replicas (cached). */
+    double shrinkSecondsTo(std::int64_t dp) const;
+
+    /** Activation headroom on the straggler's DP peers, in units of one
+     *  stage micro-batch (how many extra in-flight micro-batches the
+     *  tightest peer can absorb). */
+    double rebalanceHeadroomMicrobatches(
+        std::int64_t straggler_rank) const;
 
     TrainRunConfig cfg_;
     TrainStepReport base_;
     CheckpointModel ckpt_;
+    RecoveryCostModel recovery_;
     double flops_per_gpu_step_ = 0.0;
 
     /** TrainSim reruns per straggler are cached: (rep. rank, speed). */
     mutable std::map<std::pair<std::int64_t, double>, double>
         degraded_cache_;
+    mutable std::map<std::int64_t, double> shrunk_step_cache_;
+    mutable std::map<std::int64_t, CkptCosts> ckpt_cost_cache_;
+    mutable std::map<std::int64_t, double> shrink_cost_cache_;
 };
 
 } // namespace llm4d

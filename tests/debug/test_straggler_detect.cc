@@ -69,5 +69,54 @@ TEST(StragglerDetectDeathTest, RejectsBadSpeed)
     EXPECT_DEATH(stragglerDetectionSteps(-0.3), "speed");
 }
 
+TEST(RebalancePlan, ShiftsLoadUntilBalancedWhenMemoryAllows)
+{
+    // 15 peers, ample headroom: the planner moves the load-balancing
+    // fraction and the residual multiplier collapses towards 1.
+    const RebalancePlan plan =
+        planMicrobatchRebalance(0.8, 15, 16, 100.0);
+    ASSERT_TRUE(plan.feasible);
+    const double f = 15.0 * (1.0 - 0.8) / (15.0 + 0.8);
+    EXPECT_NEAR(plan.moved_fraction, f, 1e-12);
+    EXPECT_NEAR(plan.residual_multiplier,
+                std::max((1.0 - f) / 0.8, 1.0 + f / 15.0), 1e-12);
+    // Mitigation must beat the raw slowdown by a wide margin.
+    EXPECT_LT(plan.residual_multiplier, 1.05);
+    EXPECT_LT(plan.residual_multiplier, 1.0 / 0.8);
+}
+
+TEST(RebalancePlan, MemoryHeadroomCapsTheMove)
+{
+    // Peers can absorb only 0.1 extra micro-batch each: the move is
+    // memory-bound and the residual stays near the raw slowdown.
+    const RebalancePlan tight = planMicrobatchRebalance(0.5, 7, 16, 0.1);
+    ASSERT_TRUE(tight.feasible);
+    EXPECT_NEAR(tight.moved_fraction, 0.1 * 7.0 / 16.0, 1e-12);
+    const RebalancePlan roomy = planMicrobatchRebalance(0.5, 7, 16, 4.0);
+    ASSERT_TRUE(roomy.feasible);
+    EXPECT_LT(roomy.residual_multiplier, tight.residual_multiplier);
+    EXPECT_GT(roomy.moved_fraction, tight.moved_fraction);
+}
+
+TEST(RebalancePlan, InfeasibleWithoutPeersOrHeadroom)
+{
+    EXPECT_FALSE(planMicrobatchRebalance(0.8, 0, 16, 10.0).feasible);
+    const RebalancePlan no_mem =
+        planMicrobatchRebalance(0.8, 15, 16, 0.0);
+    EXPECT_FALSE(no_mem.feasible);
+    // The infeasible residual is the unmitigated slowdown itself.
+    EXPECT_NEAR(no_mem.residual_multiplier, 1.0 / 0.8, 1e-12);
+    EXPECT_DOUBLE_EQ(no_mem.moved_fraction, 0.0);
+}
+
+TEST(RebalancePlanDeathTest, RejectsBadArguments)
+{
+    EXPECT_DEATH(planMicrobatchRebalance(0.0, 4, 16, 1.0), "speed");
+    EXPECT_DEATH(planMicrobatchRebalance(1.0, 4, 16, 1.0), "speed");
+    EXPECT_DEATH(planMicrobatchRebalance(0.8, -1, 16, 1.0), "peer");
+    EXPECT_DEATH(planMicrobatchRebalance(0.8, 4, 0, 1.0), "micro-batch");
+    EXPECT_DEATH(planMicrobatchRebalance(0.8, 4, 16, -1.0), "headroom");
+}
+
 } // namespace
 } // namespace llm4d

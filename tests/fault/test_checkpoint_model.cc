@@ -74,6 +74,42 @@ TEST(CheckpointModel, YoungDalyFormula)
               youngDalyIntervalSeconds(3600.0, 8.0));
 }
 
+TEST(CheckpointModel, SnapshotIsMuchCheaperThanTheBlockingSave)
+{
+    // The TorchTitan async-checkpoint premise: the DRAM snapshot every
+    // GPU takes over its own PCIe path is an order of magnitude cheaper
+    // than the synchronous filesystem save it replaces on the critical
+    // path.
+    const Fixture f;
+    const CheckpointModel ckpt(f.model, f.cluster, f.par);
+    EXPECT_LT(ckpt.snapshotSeconds() * 5.0, ckpt.saveSeconds());
+    EXPECT_GT(ckpt.snapshotSeconds(), 0.0);
+}
+
+TEST(CheckpointModel, DrainHitsTheSameFilesystemBottleneckAsSave)
+{
+    // The drain writes the same bytes through the same per-host
+    // bandwidth; the win is overlap, not a faster write.
+    const Fixture f;
+    const CheckpointModel ckpt(f.model, f.cluster, f.par);
+    EXPECT_DOUBLE_EQ(ckpt.drainSeconds(), ckpt.saveSeconds());
+}
+
+TEST(CheckpointModel, SnapshotScalesWithPerGpuShardAndBandwidth)
+{
+    const Fixture f;
+    CheckpointStorage storage;
+    const CheckpointModel slow(f.model, f.cluster, f.par, storage);
+    storage.async.snapshot_gbps_per_gpu *= 2.0;
+    const CheckpointModel fast(f.model, f.cluster, f.par, storage);
+    const double slow_io =
+        slow.snapshotSeconds() - storage.async.snapshot_barrier_seconds;
+    const double fast_io =
+        fast.snapshotSeconds() - storage.async.snapshot_barrier_seconds;
+    EXPECT_GT(slow_io, 0.0);
+    EXPECT_NEAR(fast_io, slow_io / 2.0, 1e-9);
+}
+
 TEST(CheckpointModelDeathTest, RejectsBadStorage)
 {
     CheckpointStorage storage;
@@ -85,6 +121,15 @@ TEST(CheckpointModelDeathTest, RejectsBadStorage)
     CheckpointStorage bad_barrier;
     bad_barrier.barrier_seconds = -0.5;
     EXPECT_DEATH(bad_barrier.validate(), "barrier");
+    CheckpointStorage bad_snapshot;
+    bad_snapshot.async.snapshot_gbps_per_gpu = 0.0;
+    EXPECT_DEATH(bad_snapshot.validate(), "snapshot bandwidth");
+    CheckpointStorage bad_snap_barrier;
+    bad_snap_barrier.async.snapshot_barrier_seconds = -1.0;
+    EXPECT_DEATH(bad_snap_barrier.validate(), "snapshot barrier");
+    CheckpointStorage bad_drain;
+    bad_drain.async.drain_step_slowdown = 0.9;
+    EXPECT_DEATH(bad_drain.validate(), "drain slowdown");
 }
 
 } // namespace

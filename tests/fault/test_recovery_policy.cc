@@ -1,0 +1,116 @@
+#include "llm4d/fault/recovery_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace llm4d {
+namespace {
+
+struct Fixture
+{
+    ModelConfig model = ModelConfig::llama3_405b();
+    ClusterSpec cluster = ClusterSpec::llama3Production(16384);
+    ParallelismConfig par{8, 1, 16, 128};
+    CheckpointStorage storage;
+};
+
+TEST(RecoveryPolicy, ElasticPresetEnablesTheFullMitigationStack)
+{
+    const RecoveryPolicy policy = RecoveryPolicy::elastic(8);
+    EXPECT_EQ(policy.mode, RecoveryMode::WarmSpare);
+    EXPECT_EQ(policy.spare_hosts, 8);
+    EXPECT_TRUE(policy.allow_dp_shrink);
+    EXPECT_EQ(policy.checkpoint_mode, CheckpointMode::Async);
+    EXPECT_TRUE(policy.straggler_rebalance);
+}
+
+TEST(RecoveryPolicy, Names)
+{
+    EXPECT_STREQ(recoveryModeName(RecoveryMode::FullRestart),
+                 "full-restart");
+    EXPECT_STREQ(recoveryModeName(RecoveryMode::WarmSpare), "warm-spare");
+    EXPECT_STREQ(checkpointModeName(CheckpointMode::Sync), "sync");
+    EXPECT_STREQ(checkpointModeName(CheckpointMode::Async), "async");
+}
+
+TEST(RecoveryCostModel, SpareSwapSkipsTheSchedulerRoundTrip)
+{
+    const Fixture f;
+    const RecoveryCostModel costs(f.model, f.cluster, f.par, f.storage,
+                                  RecoveryPolicy::elastic(4));
+    const CheckpointModel ckpt(f.model, f.cluster, f.par, f.storage);
+    const RecoveryPolicy policy = RecoveryPolicy::elastic(4);
+    // Swap outage = activation + re-init + state re-acquisition; the
+    // re-acquisition can never beat the parallel sharded restore it
+    // overlaps with.
+    EXPECT_GE(costs.spareSwapSeconds(),
+              policy.spare_activation_seconds +
+                  policy.swap_reinit_seconds + ckpt.loadSeconds());
+    // The MegaScale point: far cheaper than the 180 s scheduler
+    // re-queue a full restart pays on top of the same restore.
+    const double full_restart_reinit_s = 180.0;
+    EXPECT_LT(costs.spareSwapSeconds(),
+              full_restart_reinit_s + ckpt.loadSeconds());
+}
+
+TEST(RecoveryCostModel, ShrinkPaysReShardOnTopOfReInit)
+{
+    const Fixture f;
+    const RecoveryCostModel costs(f.model, f.cluster, f.par, f.storage,
+                                  RecoveryPolicy::elastic(0));
+    const double shrink = costs.shrinkSeconds(f.par.dp - 1);
+    const RecoveryPolicy policy = RecoveryPolicy::elastic(0);
+    EXPECT_GT(shrink, policy.swap_reinit_seconds);
+    // Restore at the shrunk world is priced at that world's (larger)
+    // per-host shards.
+    EXPECT_GE(costs.loadSecondsAt(f.par.dp - 1),
+              costs.loadSecondsAt(f.par.dp));
+}
+
+TEST(RecoveryCostModel, ShrunkLayoutDropsWholeReplicaGroups)
+{
+    const Fixture f;
+    const ParallelismConfig shrunk =
+        RecoveryCostModel::shrunkPar(f.par, 100);
+    EXPECT_EQ(shrunk.dp, 100);
+    EXPECT_EQ(shrunk.tp, f.par.tp);
+    EXPECT_EQ(shrunk.pp, f.par.pp);
+    const ClusterSpec cluster =
+        RecoveryCostModel::shrunkCluster(f.cluster, shrunk);
+    EXPECT_EQ(cluster.numGpus(), shrunk.worldSize());
+}
+
+TEST(RecoveryPolicyDeathTest, ValidateRejectsBadPolicies)
+{
+    const ClusterSpec cluster = ClusterSpec::llama3Production(16384);
+    RecoveryPolicy negative;
+    negative.mode = RecoveryMode::WarmSpare;
+    negative.spare_hosts = -1;
+    EXPECT_DEATH(negative.validate(cluster), "negative");
+    RecoveryPolicy too_many = RecoveryPolicy::elastic(1 << 20);
+    EXPECT_DEATH(too_many.validate(cluster), "exceeds");
+    RecoveryPolicy spares_without_mode;
+    spares_without_mode.spare_hosts = 4; // mode stays FullRestart
+    EXPECT_DEATH(spares_without_mode.validate(cluster), "warm-spare");
+    RecoveryPolicy bad_residual = RecoveryPolicy::elastic(2);
+    bad_residual.rebalance_max_residual = 0.5;
+    EXPECT_DEATH(bad_residual.validate(cluster), "residual");
+    RecoveryPolicy bad_latency = RecoveryPolicy::elastic(2);
+    bad_latency.spare_activation_seconds = -1.0;
+    EXPECT_DEATH(bad_latency.validate(cluster), "non-negative");
+}
+
+TEST(RecoveryCostModelDeathTest, RejectsImpossibleShrinks)
+{
+    const Fixture f;
+    const RecoveryCostModel costs(f.model, f.cluster, f.par, f.storage,
+                                  RecoveryPolicy::elastic(0));
+    EXPECT_DEATH(costs.shrinkSeconds(f.par.dp), "at least one replica");
+    EXPECT_DEATH(costs.shrinkSeconds(0), "at least one replica");
+    EXPECT_DEATH(RecoveryCostModel::shrunkPar(f.par, f.par.dp + 1),
+                 "shrunk dp");
+}
+
+} // namespace
+} // namespace llm4d

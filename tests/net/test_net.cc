@@ -162,5 +162,32 @@ TEST_F(NetTest, AllGatherScalesLinearlyInShardSize)
     EXPECT_LT(t2 / t1, 4.0 + 1e-6);
 }
 
+TEST_F(NetTest, GatherSerializesSendersOnRootIngress)
+{
+    // The re-shard primitive of elastic recovery: (p-1) peer shards
+    // funnel into one root, so payloads serialize on its ingress link.
+    const std::int64_t bytes = 64LL << 20;
+    const double t = coll.gatherTo(ranks(0, 8), bytes);
+    const double payload =
+        7.0 * static_cast<double>(bytes) /
+        (450.0 * 1e9 * CollectiveModel::kBandwidthEfficiency);
+    EXPECT_GT(t, payload);
+    EXPECT_LT(t, payload + 1e-4);
+}
+
+TEST_F(NetTest, GatherScalesWithGroupAndCrossesNodesSlower)
+{
+    const std::int64_t bytes = 16LL << 20;
+    const double small = coll.gatherTo(ranks(0, 4), bytes);
+    const double big = coll.gatherTo(ranks(0, 8), bytes);
+    // (p-1) serialized sender payloads: 3 vs 7.
+    EXPECT_NEAR(big / small, 7.0 / 3.0, 0.05);
+    // A node-spanning group pays NIC, not NVLink, bandwidth.
+    EXPECT_GT(coll.gatherTo(ranks(0, 8, 8), bytes), big);
+    // Degenerate groups and empty payloads are free.
+    EXPECT_DOUBLE_EQ(coll.gatherTo(ranks(0, 1), bytes), 0.0);
+    EXPECT_DOUBLE_EQ(coll.gatherTo(ranks(0, 8), 0), 0.0);
+}
+
 } // namespace
 } // namespace llm4d

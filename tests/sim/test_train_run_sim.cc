@@ -36,7 +36,41 @@ breakdownSum(const TrainRunReport &rep)
 {
     return rep.productive_seconds + rep.degraded_seconds +
            rep.checkpoint_seconds + rep.lost_seconds +
-           rep.detection_seconds + rep.restart_seconds;
+           rep.detection_seconds + rep.restart_seconds +
+           rep.spare_swap_seconds + rep.shrink_seconds +
+           rep.drain_stall_seconds;
+}
+
+/** Faulty 16K-GPU run used by the policy-matrix and determinism tests. */
+TrainRunConfig
+faultyConfig()
+{
+    TrainRunConfig cfg = baseConfig();
+    cfg.total_steps = 400;
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 6000.0;
+    cfg.job.cluster.node.gpu.straggler_mtbf_hours = 6000.0;
+    cfg.job.cluster.node.host_mtbf_hours = 6000.0;
+    cfg.job.cluster.node.nic_flap_mtbf_hours = 3000.0;
+    return cfg;
+}
+
+void
+expectBitwiseEqual(const TrainRunReport &a, const TrainRunReport &b)
+{
+    EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+    EXPECT_EQ(a.goodput_tflops_per_gpu, b.goodput_tflops_per_gpu);
+    EXPECT_EQ(a.steps_committed, b.steps_committed);
+    EXPECT_EQ(a.steps_lost, b.steps_lost);
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.spare_swaps, b.spare_swaps);
+    EXPECT_EQ(a.dp_shrinks, b.dp_shrinks);
+    EXPECT_EQ(a.rebalances, b.rebalances);
+    EXPECT_EQ(a.productive_seconds, b.productive_seconds);
+    EXPECT_EQ(a.degraded_seconds, b.degraded_seconds);
+    EXPECT_EQ(a.lost_seconds, b.lost_seconds);
+    EXPECT_EQ(a.drain_stall_seconds, b.drain_stall_seconds);
+    EXPECT_EQ(a.spare_swap_seconds, b.spare_swap_seconds);
+    EXPECT_EQ(a.shrink_seconds, b.shrink_seconds);
 }
 
 TEST(TrainRunSim, FaultFreeRunPaysOnlyCheckpoints)
@@ -272,6 +306,243 @@ TEST(TrainRunSim, YoungDalyStepsMatchesClosedForm)
     EXPECT_GT(sim.mtbfSeconds(), 0.0);
 }
 
+TEST(TrainRunSim, AsyncCheckpointOverlapsTheDrain)
+{
+    // Fault-free async run: the step only ever blocks for the DRAM
+    // snapshot; the filesystem drain overlaps subsequent steps except
+    // for the final, durability-critical one.
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    TrainRunConfig async_cfg = cfg;
+    async_cfg.policy.checkpoint_mode = CheckpointMode::Async;
+    const TrainRunSim sync_sim(cfg);
+    const TrainRunSim async_sim(async_cfg);
+    const TrainRunReport sync_rep = sync_sim.run();
+    const TrainRunReport async_rep = async_sim.run();
+    ASSERT_TRUE(async_rep.completed);
+    EXPECT_EQ(async_rep.steps_committed, cfg.total_steps);
+    EXPECT_EQ(async_rep.steps_lost, 0);
+    // 400 steps at interval 40: nine interval snapshots + the final one.
+    EXPECT_NEAR(async_rep.checkpoint_seconds,
+                10.0 * async_sim.checkpoint().snapshotSeconds(), 1e-6);
+    // Only the final drain is on the critical path.
+    EXPECT_NEAR(async_rep.drain_stall_seconds,
+                async_sim.checkpoint().drainSeconds(), 1e-6);
+    // Drain contention slows the overlapped steps a little.
+    EXPECT_GT(async_rep.degraded_seconds, 0.0);
+    EXPECT_NEAR(breakdownSum(async_rep), async_rep.wall_seconds,
+                1e-6 * async_rep.wall_seconds);
+    // The headline: async checkpointing strictly beats sync at the same
+    // interval, because ~10x less time blocks the step.
+    EXPECT_LT(async_rep.wall_seconds, sync_rep.wall_seconds);
+    EXPECT_GT(async_rep.goodputFraction(), sync_rep.goodputFraction());
+    EXPECT_EQ(async_sim.blockingSaveSeconds(),
+              async_sim.checkpoint().snapshotSeconds());
+    EXPECT_EQ(sync_sim.blockingSaveSeconds(),
+              sync_sim.checkpoint().saveSeconds());
+}
+
+TEST(TrainRunSim, PolicyMatrixKeepsInvariantsAndCommonRandomNumbers)
+{
+    // Every recovery mode x checkpoint mode combination must keep the
+    // wall-clock breakdown complete, stay bit-deterministic per seed,
+    // and see the identical exogenous fault timeline (common random
+    // numbers across policies).
+    const TrainRunConfig base = faultyConfig();
+    std::vector<TrainRunConfig> combos;
+    for (const RecoveryMode mode :
+         {RecoveryMode::FullRestart, RecoveryMode::WarmSpare}) {
+        for (const CheckpointMode ckpt :
+             {CheckpointMode::Sync, CheckpointMode::Async}) {
+            TrainRunConfig cfg = base;
+            cfg.policy.mode = mode;
+            cfg.policy.spare_hosts =
+                mode == RecoveryMode::WarmSpare ? 8 : 0;
+            cfg.policy.checkpoint_mode = ckpt;
+            combos.push_back(cfg);
+        }
+    }
+    std::vector<TrainRunReport> reports;
+    for (const TrainRunConfig &cfg : combos) {
+        const TrainRunSim sim(cfg);
+        const TrainRunReport rep = sim.run();
+        ASSERT_TRUE(rep.completed)
+            << recoveryModeName(cfg.policy.mode) << "/"
+            << checkpointModeName(cfg.policy.checkpoint_mode);
+        EXPECT_GT(rep.faults.total(), 0);
+        EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
+                    1e-6 * rep.wall_seconds);
+        expectBitwiseEqual(rep, sim.run());
+        reports.push_back(rep);
+    }
+    // Warm-spare runs swap instead of restarting on fatal faults.
+    EXPECT_GT(reports[2].spare_swaps + reports[3].spare_swaps, 0);
+    // The fault process is exogenous: all policies see the same events.
+    for (std::size_t i = 1; i < reports.size(); ++i) {
+        const std::size_t n = std::min(reports[0].timeline.size(),
+                                       reports[i].timeline.size());
+        ASSERT_GT(n, 0u);
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_EQ(reports[0].timeline[k].when,
+                      reports[i].timeline[k].when);
+            EXPECT_EQ(reports[0].timeline[k].kind,
+                      reports[i].timeline[k].kind);
+            EXPECT_EQ(reports[0].timeline[k].component,
+                      reports[i].timeline[k].component);
+        }
+    }
+}
+
+TEST(TrainRunSim, WarmSparesBeatFullRestartsAtScale)
+{
+    // Acceptance criterion: at 16K GPUs under the default fault tuning
+    // and a common random-number fault timeline, warm-spare recovery
+    // strictly beats the stop-the-world restart.
+    TrainRunConfig full = baseConfig();
+    full.total_steps = 4000;
+    full.seed = 3;
+    TrainRunConfig warm = full;
+    warm.policy.mode = RecoveryMode::WarmSpare;
+    warm.policy.spare_hosts = 16;
+    const TrainRunReport full_rep = TrainRunSim(full).run();
+    const TrainRunReport warm_rep = TrainRunSim(warm).run();
+    ASSERT_TRUE(full_rep.completed);
+    ASSERT_TRUE(warm_rep.completed);
+    ASSERT_GT(full_rep.faults.gpu_fatal + full_rep.faults.host_crash, 0)
+        << "seed produced no fatal faults; the comparison is vacuous";
+    EXPECT_GT(full_rep.restarts, 0);
+    EXPECT_GT(warm_rep.spare_swaps, 0);
+    EXPECT_EQ(warm_rep.restarts, 0);
+    EXPECT_GT(warm_rep.goodput_tflops_per_gpu,
+              full_rep.goodput_tflops_per_gpu);
+    EXPECT_LT(warm_rep.wall_seconds, full_rep.wall_seconds);
+    EXPECT_NEAR(breakdownSum(warm_rep), warm_rep.wall_seconds,
+                1e-6 * warm_rep.wall_seconds);
+}
+
+TEST(TrainRunSim, AsyncCheckpointingRaisesGoodputUnderFaults)
+{
+    // Acceptance criterion: async goodput strictly beats sync at the
+    // same interval on the same fault timeline.
+    TrainRunConfig sync_cfg = baseConfig();
+    sync_cfg.total_steps = 1000;
+    sync_cfg.seed = 3;
+    TrainRunConfig async_cfg = sync_cfg;
+    async_cfg.policy.checkpoint_mode = CheckpointMode::Async;
+    const TrainRunReport sync_rep = TrainRunSim(sync_cfg).run();
+    const TrainRunReport async_rep = TrainRunSim(async_cfg).run();
+    ASSERT_TRUE(sync_rep.completed);
+    ASSERT_TRUE(async_rep.completed);
+    EXPECT_GT(async_rep.goodput_tflops_per_gpu,
+              sync_rep.goodput_tflops_per_gpu);
+    EXPECT_NEAR(breakdownSum(async_rep), async_rep.wall_seconds,
+                1e-6 * async_rep.wall_seconds);
+}
+
+TEST(TrainRunSim, AsyncOptimalIntervalTracksReducedBlockingCost)
+{
+    // Under async checkpointing the Young-Daly C is the snapshot (the
+    // only step-blocking part), so the optimum interval shrinks by
+    // ~sqrt(save/snapshot); the empirical optimum must follow it.
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 8192.0; // ~30 min MTBF
+    cfg.total_steps = 4000;
+    cfg.seed = 5;
+    TrainRunConfig async_cfg = cfg;
+    async_cfg.policy.checkpoint_mode = CheckpointMode::Async;
+    const TrainRunSim sync_sim(cfg);
+    const TrainRunSim async_sim(async_cfg);
+    const std::int64_t yd_sync = sync_sim.youngDalyIntervalSteps();
+    const std::int64_t yd = async_sim.youngDalyIntervalSteps();
+    EXPECT_LT(yd, yd_sync);
+    ASSERT_GE(yd, 2) << "test config degenerated";
+    const std::vector<std::int64_t> intervals = {
+        std::max<std::int64_t>(1, yd / 4),
+        std::max<std::int64_t>(1, yd / 2), yd, 2 * yd, 4 * yd, 8 * yd};
+    const auto points = async_sim.scanCheckpointIntervals(intervals);
+    const auto best = std::max_element(
+        points.begin(), points.end(),
+        [](const IntervalScanPoint &a, const IntervalScanPoint &b) {
+            return a.goodput_tflops_per_gpu < b.goodput_tflops_per_gpu;
+        });
+    EXPECT_GE(best->interval_steps, (yd + 1) / 2)
+        << "async optimum below half its Young-Daly interval";
+    EXPECT_LE(best->interval_steps, 2 * yd)
+        << "async optimum above twice its Young-Daly interval";
+}
+
+TEST(TrainRunSim, PoolExhaustionDegradesToDpShrink)
+{
+    // Shrink-friendly job: 48-sequence global batch divides at dp 4, 3,
+    // and 2, so dropping one replica group keeps the batch intact.
+    TrainRunConfig cfg;
+    cfg.job.cluster = ClusterSpec::llama3Production(512);
+    cfg.job.par = ParallelismConfig{8, 1, 16, 4};
+    cfg.job.global_batch_tokens = 48LL * 8192;
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 400.0;
+    cfg.total_steps = 1000;
+    cfg.checkpoint_interval_steps = 40;
+    cfg.seed = 11;
+    cfg.policy.mode = RecoveryMode::WarmSpare;
+    cfg.policy.spare_hosts = 1;
+    cfg.policy.allow_dp_shrink = true;
+    const TrainRunReport rep = TrainRunSim(cfg).run();
+    ASSERT_TRUE(rep.completed);
+    ASSERT_GT(rep.faults.gpu_fatal + rep.faults.host_crash, 1)
+        << "need at least two fatal faults to exhaust the one spare";
+    EXPECT_EQ(rep.spare_swaps, 1);
+    EXPECT_GT(rep.dp_shrinks, 0);
+    // dp 4 -> 3 is the only legal shrink: at dp 2 the 48-sequence batch
+    // would exceed one micro-batch per pipeline stage, so any further
+    // fatal fault falls back to a full restart.
+    EXPECT_EQ(rep.final_dp, 3);
+    EXPECT_EQ(rep.dp_shrinks, 1);
+    EXPECT_GT(rep.shrink_seconds, 0.0);
+    // Steps after the shrink run the same global batch on fewer
+    // replicas, so extra step time accrues as degradation.
+    EXPECT_GT(rep.degraded_seconds, 0.0);
+    EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
+                1e-6 * rep.wall_seconds);
+    // Same seed without the elastic policy: every fault is a restart.
+    TrainRunConfig rigid = cfg;
+    rigid.policy = RecoveryPolicy{};
+    const TrainRunReport rigid_rep = TrainRunSim(rigid).run();
+    ASSERT_TRUE(rigid_rep.completed);
+    EXPECT_GT(rigid_rep.restarts, 0);
+    EXPECT_EQ(rigid_rep.dp_shrinks, 0);
+    EXPECT_EQ(rigid_rep.final_dp, cfg.job.par.dp);
+}
+
+TEST(TrainRunSim, RebalanceAbsorbsStragglersWithoutEviction)
+{
+    TrainRunConfig cfg = baseConfig();
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.straggler_mtbf_hours = 3000.0;
+    cfg.detection.straggler.jitter_sigma = 0.1;
+    cfg.total_steps = 300;
+    TrainRunConfig mitigated = cfg;
+    mitigated.policy.straggler_rebalance = true;
+    const TrainRunReport evicting = TrainRunSim(cfg).run();
+    const TrainRunReport rebalanced = TrainRunSim(mitigated).run();
+    ASSERT_TRUE(evicting.completed);
+    ASSERT_TRUE(rebalanced.completed);
+    ASSERT_GT(rebalanced.faults.stragglers, 0);
+    // The DP peers have headroom for the shifted micro-batches, so the
+    // localized stragglers are absorbed instead of evicted.
+    EXPECT_GT(rebalanced.rebalances, 0);
+    EXPECT_LT(rebalanced.restarts, evicting.restarts);
+    EXPECT_EQ(rebalanced.steps_lost, 0);
+    // Residual degradation persists but stays far below the eviction
+    // outages it replaces.
+    EXPECT_GT(rebalanced.degraded_seconds, 0.0);
+    EXPECT_GT(rebalanced.goodput_tflops_per_gpu,
+              evicting.goodput_tflops_per_gpu);
+    EXPECT_NEAR(breakdownSum(rebalanced), rebalanced.wall_seconds,
+                1e-6 * rebalanced.wall_seconds);
+}
+
 TEST(TrainRunSimDeathTest, RejectsBadConfigs)
 {
     TrainRunConfig cfg = baseConfig();
@@ -283,6 +554,29 @@ TEST(TrainRunSimDeathTest, RejectsBadConfigs)
     TrainRunConfig cfg2 = baseConfig();
     const TrainRunSim sim(cfg2);
     EXPECT_DEATH(sim.runWithInterval(-1), "interval");
+}
+
+TEST(TrainRunSimDeathTest, ValidateRejectsBadPolicies)
+{
+    // TrainRunConfig::validate() is the single entry gate: policy
+    // inconsistencies die before any simulation starts.
+    TrainRunConfig pool = baseConfig();
+    pool.policy.mode = RecoveryMode::WarmSpare;
+    pool.policy.spare_hosts = pool.job.cluster.num_nodes + 1;
+    EXPECT_DEATH(pool.validate(), "exceeds");
+    EXPECT_DEATH(TrainRunSim{pool}, "exceeds");
+    TrainRunConfig orphan_spares = baseConfig();
+    orphan_spares.policy.spare_hosts = 4; // mode stays FullRestart
+    EXPECT_DEATH(TrainRunSim{orphan_spares}, "warm-spare");
+    TrainRunConfig bad_detection = baseConfig();
+    bad_detection.detection.fast_fail_seconds = -1.0;
+    EXPECT_DEATH(bad_detection.validate(), "non-negative");
+    TrainRunConfig bad_storage = baseConfig();
+    bad_storage.storage.async.snapshot_gbps_per_gpu = 0.0;
+    EXPECT_DEATH(bad_storage.validate(), "snapshot bandwidth");
+    TrainRunConfig bad_restart = baseConfig();
+    bad_restart.restart.warmup_slowdown = 0.5;
+    EXPECT_DEATH(bad_restart.validate(), "restart");
 }
 
 } // namespace
