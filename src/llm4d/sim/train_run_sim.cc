@@ -134,23 +134,29 @@ TrainRunSim::canShrinkTo(std::int64_t dp) const
     return shrunk_nmb <= std::max(base_.nmb, cfg_.job.par.pp);
 }
 
-double
-TrainRunSim::stepSecondsAtDp(std::int64_t dp) const
+const TrainStepReport &
+TrainRunSim::stepReportAtDp(std::int64_t dp) const
 {
     if (dp == cfg_.job.par.dp)
-        return base_.step_seconds;
-    const auto it = shrunk_step_cache_.find(dp);
-    if (it != shrunk_step_cache_.end())
+        return base_;
+    const auto it = shrunk_report_cache_.find(dp);
+    if (it != shrunk_report_cache_.end())
         return it->second;
     // Same global batch over fewer replicas: each survivor runs more
     // micro-batches, so the fault-free step gets strictly slower.
     TrainJobConfig job = cfg_.job;
     job.par = RecoveryCostModel::shrunkPar(job.par, dp);
     job.cluster = RecoveryCostModel::shrunkCluster(job.cluster, job.par);
-    const double seconds =
-        std::max(TrainSim(job).run().step_seconds, base_.step_seconds);
-    shrunk_step_cache_[dp] = seconds;
-    return seconds;
+    return shrunk_report_cache_.emplace(dp, TrainSim(job).run())
+        .first->second;
+}
+
+double
+TrainRunSim::stepSecondsAtDp(std::int64_t dp) const
+{
+    if (dp == cfg_.job.par.dp)
+        return base_.step_seconds;
+    return std::max(stepReportAtDp(dp).step_seconds, base_.step_seconds);
 }
 
 const TrainRunSim::CkptCosts &
@@ -188,13 +194,20 @@ TrainRunSim::shrinkSecondsTo(std::int64_t dp) const
 }
 
 double
-TrainRunSim::rebalanceHeadroomMicrobatches(
-    std::int64_t straggler_rank) const
+TrainRunSim::rebalanceHeadroomMicrobatches(std::int64_t straggler_rank,
+                                           std::int64_t dp) const
 {
+    // The pp coordinate comes from the original grid (the straggler is
+    // named in pre-shrink rank numbering), but peak memory and the
+    // per-micro-batch footprint are taken at the current DP degree:
+    // after a shrink each survivor already holds more micro-batches and
+    // a larger optimizer shard, so the pre-shrink headroom overstates
+    // what the peers can absorb.
     const RankGrid grid(cfg_.job.par);
     const std::int64_t pp_coord = grid.coordOf(straggler_rank).pp;
+    const TrainStepReport &step = stepReportAtDp(dp);
     const auto &mem =
-        base_.pp_rank_memory[static_cast<std::size_t>(pp_coord)];
+        step.pp_rank_memory[static_cast<std::size_t>(pp_coord)];
     const double headroom =
         mem.headroomBytes(cfg_.job.cluster.node.gpu.hbm_capacity_gib);
     if (headroom <= 0.0)
@@ -203,12 +216,12 @@ TrainRunSim::rebalanceHeadroomMicrobatches(
     // would absorb the shifted work (same PP coordinate as the
     // straggler, so the same activation footprint).
     const MemoryModel mm(cfg_.job.model, cfg_.job.par.tp,
-                         cfg_.job.par.dp * cfg_.job.par.cp, cfg_.job.zero,
+                         dp * cfg_.job.par.cp, cfg_.job.zero,
                          cfg_.job.memory_optimized);
     const std::int64_t layers_per_rank =
         ceilDiv(cfg_.job.model.num_layers, cfg_.job.par.pp);
     const std::int64_t stage_layers =
-        ceilDiv(layers_per_rank, std::max<std::int64_t>(1, base_.v));
+        ceilDiv(layers_per_rank, std::max<std::int64_t>(1, step.v));
     const std::int64_t tokens =
         cfg_.job.mbs * cfg_.job.seq / cfg_.job.par.cp;
     const double per_microbatch = mm.activationBytes(
@@ -282,6 +295,7 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     std::int64_t warmup_left = 0;
     bool running = false;   ///< a step or checkpoint event is in flight
     bool down = false;      ///< between failure and restored service
+    bool paused = false;    ///< the outage is a pause, not a recovery
     bool finished = false;
     bool finishing = false; ///< all steps done; final durability pending
     bool truncated = false;
@@ -378,6 +392,11 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         pending_steps = 0;
         pending_base_s = 0.0;
         pending_extra_s = 0.0;
+        // A pending finish/eviction referred to steps just rolled back;
+        // the re-executed steps must re-trigger it, or a later routine
+        // snapshot would terminate the run early.
+        finishing = false;
+        evict_rank = -1;
     };
 
     /** Service outage: detection, then @p rest_s of recovery work
@@ -442,10 +461,12 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         outage_rest_s = 0.0;
         outage_bucket = &rep.restart_seconds;
         down = true;
+        paused = true;
         running = false;
         resume_at = eng.now() + secondsToTime(pause_s);
         resume_event = eng.schedule(secondsToTime(pause_s), [&]() {
             down = false;
+            paused = false;
             schedule_step();
         });
     };
@@ -578,8 +599,8 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
             const double degraded_ratio =
                 degradedStepSeconds(detected, st.speed) / base_step_s;
             const RebalancePlan plan = planMicrobatchRebalance(
-                st.speed, dp_now - 1, base_.nmb,
-                rebalanceHeadroomMicrobatches(detected));
+                st.speed, dp_now - 1, stepReportAtDp(dp_now).nmb,
+                rebalanceHeadroomMicrobatches(detected, dp_now));
             if (plan.feasible &&
                 plan.residual_multiplier <= pol.rebalance_max_residual &&
                 plan.residual_multiplier < degraded_ratio) {
@@ -702,6 +723,13 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 // replacement host dies too): the old outage's un-elapsed
                 // tail never happens — refund it and recover from scratch.
                 refund_outage();
+                if (paused) {
+                    // A rebalance pause is not a recovery outage: nothing
+                    // was rolled back when it began, and a drain may
+                    // still be writing. The host state is lost now.
+                    paused = false;
+                    rollback();
+                }
                 begin_recovery(cfg_.detection.fatalDetectionSeconds());
                 break;
             }
@@ -712,8 +740,6 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 rep.drain_stall_seconds +=
                     timeToSeconds(eng.now() - stall_started);
                 wait = AsyncWait::None;
-                finishing = false;
-                evict_rank = -1;
             }
             if (running) {
                 eng.cancel(work_event);

@@ -285,8 +285,12 @@ class TrainRunSim
     /** Whether the job remains valid with DP shrunk to @p dp. */
     bool canShrinkTo(std::int64_t dp) const;
 
-    /** Fault-free step seconds at DP degree @p dp (TrainSim rerun,
-     *  cached; same global batch, so fewer replicas -> slower steps). */
+    /** Fault-free step report at DP degree @p dp (TrainSim rerun,
+     *  cached; base_ when @p dp is the configured degree). */
+    const TrainStepReport &stepReportAtDp(std::int64_t dp) const;
+
+    /** Fault-free step seconds at DP degree @p dp (same global batch,
+     *  so fewer replicas -> slower steps). */
     double stepSecondsAtDp(std::int64_t dp) const;
 
     /** Checkpoint pricing at DP degree @p dp (cached). */
@@ -295,11 +299,11 @@ class TrainRunSim
     /** Outage of shrinking to @p dp replicas (cached). */
     double shrinkSecondsTo(std::int64_t dp) const;
 
-    /** Activation headroom on the straggler's DP peers, in units of one
-     *  stage micro-batch (how many extra in-flight micro-batches the
-     *  tightest peer can absorb). */
-    double rebalanceHeadroomMicrobatches(
-        std::int64_t straggler_rank) const;
+    /** Activation headroom on the straggler's DP peers at the current
+     *  DP degree @p dp, in units of one stage micro-batch (how many
+     *  extra in-flight micro-batches the tightest peer can absorb). */
+    double rebalanceHeadroomMicrobatches(std::int64_t straggler_rank,
+                                         std::int64_t dp) const;
 
     TrainRunConfig cfg_;
     TrainStepReport base_;
@@ -310,7 +314,7 @@ class TrainRunSim
     /** TrainSim reruns per straggler are cached: (rep. rank, speed). */
     mutable std::map<std::pair<std::int64_t, double>, double>
         degraded_cache_;
-    mutable std::map<std::int64_t, double> shrunk_step_cache_;
+    mutable std::map<std::int64_t, TrainStepReport> shrunk_report_cache_;
     mutable std::map<std::int64_t, CkptCosts> ckpt_cost_cache_;
     mutable std::map<std::int64_t, double> shrink_cost_cache_;
 };

@@ -543,6 +543,95 @@ TEST(TrainRunSim, RebalanceAbsorbsStragglersWithoutEviction)
                 1e-6 * rebalanced.wall_seconds);
 }
 
+TEST(TrainRunSim, FatalFaultsDuringAsyncEndgameNeverFakeCompletion)
+{
+    // Regression: a fatal fault that interrupted the *final* snapshot
+    // left `finishing` set across the rollback; the next straggler
+    // eviction snapshot then took the finish path in on_drain_done and
+    // reported completed=true with steps_committed < total_steps. Make
+    // the snapshot long relative to the fatal MTBF (faults land inside
+    // the final one) and checkpoint rarely, so the rollback re-executes
+    // a wide window in which an eviction snapshot can fire. Sweep seeds.
+    TrainRunConfig cfg;
+    cfg.job.cluster = ClusterSpec::llama3Production(512);
+    cfg.job.par = ParallelismConfig{8, 1, 16, 4};
+    cfg.job.global_batch_tokens = 48LL * 8192;
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 32.0;    // ~4 min MTBF
+    cfg.job.cluster.node.gpu.straggler_mtbf_hours = 8.0; // ~1 min MTBF
+    // One mild severity whose detection needs ~58 degraded steps: the
+    // straggler is still undetected when the run first reaches
+    // total_steps, and its countdown completes during the replayed
+    // steps — exactly the eviction-after-rollback endgame under test.
+    // Pinning the speed also keeps the degraded-step cache warm.
+    cfg.faults.straggler_speed_lo = 0.95;
+    cfg.faults.straggler_speed_hi = 0.95;
+    cfg.detection.straggler.jitter_sigma = 0.1;
+    cfg.total_steps = 60;
+    cfg.checkpoint_interval_steps = 30;
+    cfg.policy.checkpoint_mode = CheckpointMode::Async;
+    cfg.storage.async.snapshot_gbps_per_gpu = 0.1; // ~2 min snapshots
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        cfg.seed = seed;
+        const TrainRunReport rep = TrainRunSim(cfg).run();
+        if (rep.completed)
+            EXPECT_EQ(rep.steps_committed, cfg.total_steps)
+                << "seed " << seed
+                << ": run reported complete before committing every step";
+        EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
+                    1e-6 * rep.wall_seconds)
+            << "seed " << seed;
+    }
+}
+
+TEST(TrainRunSim, FatalFaultsDuringRebalancePauseRollBack)
+{
+    // Regression: a fatal fault landing inside a rebalance pause used to
+    // take the back-to-back-outage path, which skips rollback() — the
+    // uncheckpointed steps survived a host loss and an in-flight drain
+    // later committed work whose host state was gone. With the pause
+    // treated as a pause (rollback + normal recovery), runs under
+    // frequent pauses and hot fatal faults must keep losing work, keep
+    // the breakdown complete, and stay deterministic.
+    TrainRunConfig cfg;
+    cfg.job.cluster = ClusterSpec::llama3Production(512);
+    cfg.job.par = ParallelismConfig{8, 1, 16, 4};
+    cfg.job.global_batch_tokens = 48LL * 8192;
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 32.0;     // ~4 min MTBF
+    cfg.job.cluster.node.gpu.straggler_mtbf_hours = 64.0; // ~8 min MTBF
+    // Severe pinned slowdown, default jitter: localized after one
+    // degraded step, so pauses are frequent enough for fatal faults to
+    // land inside them. At 0.35 the post-shift residual (4/3.35 ~ 1.19)
+    // undercuts the degraded step ratio, and the raised residual cap
+    // below keeps rebalance preferred over eviction.
+    cfg.faults.straggler_speed_lo = 0.35;
+    cfg.faults.straggler_speed_hi = 0.35;
+    cfg.policy.rebalance_max_residual = 1.3;
+    cfg.total_steps = 60;
+    cfg.checkpoint_interval_steps = 10;
+    cfg.policy.checkpoint_mode = CheckpointMode::Async;
+    cfg.policy.straggler_rebalance = true;
+    std::int64_t rebalances = 0;
+    double lost = 0.0;
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+        cfg.seed = seed;
+        const TrainRunSim sim(cfg);
+        const TrainRunReport rep = sim.run();
+        if (rep.completed)
+            EXPECT_EQ(rep.steps_committed, cfg.total_steps)
+                << "seed " << seed;
+        EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
+                    1e-6 * rep.wall_seconds)
+            << "seed " << seed;
+        expectBitwiseEqual(rep, sim.run());
+        rebalances += rep.rebalances;
+        lost += rep.lost_seconds;
+    }
+    EXPECT_GT(rebalances, 0) << "no pause was ever exercised";
+    EXPECT_GT(lost, 0.0) << "fatal faults must keep losing work";
+}
+
 TEST(TrainRunSimDeathTest, RejectsBadConfigs)
 {
     TrainRunConfig cfg = baseConfig();
