@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fault-aware planning (paper Sections 5 + 8): re-rank the Section-5
+ * planner's candidates by simulated goodput under failures and show
+ * where the goodput-optimal plan diverges from the fault-free
+ * TFLOPs-optimal one.
+ *
+ * The analytic planner prices a fault-free step; at production scale
+ * the ranking that matters also charges restart blast radius,
+ * checkpoint overhead, and spare-pool capacity (MegaScale
+ * arXiv:2402.15627). Because recovery charges are absolute costs,
+ * near-tied candidates reorder once they are priced — this bench
+ * sweeps 2K-16K GPUs under a common fault seed per scale and flags
+ * every divergence.
+ */
+
+#include "bench_util.h"
+
+#include <optional>
+#include <string>
+
+#include "llm4d/plan/goodput_planner.h"
+
+using namespace llm4d;
+
+namespace {
+
+std::string
+policyName(const RecoveryPolicy &p)
+{
+    return std::string(recoveryModeName(p.mode)) + "/" +
+           checkpointModeName(p.checkpoint_mode) +
+           (p.allow_dp_shrink ? "+shrink" : "");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Sections 5+8 — goodput-aware parallelism planning",
+        "the goodput-optimal plan diverges from the fault-free "
+        "TFLOPs-optimal plan once recovery costs are charged");
+
+    // --- Divergence sweep across cluster scales. ---
+    TextTable sweep("Fault-free winner vs goodput winner per scale "
+                    "(16M-token batch scaled down with the cluster)");
+    sweep.header({"GPUs", "fault-free winner", "goodput winner",
+                  "policy", "spares", "ckpt every", "goodput/GPU",
+                  "diverged?"});
+    int divergences = 0;
+    for (const std::int64_t ngpu : {2048, 4096, 8192, 16384}) {
+        GoodputPlanInput gin;
+        gin.base.cluster = ClusterSpec::llama3Production(ngpu);
+        // 16M tokens on 16K GPUs = 1024 tokens/GPU; hold that constant
+        // as the cluster shrinks so every scale has the same pressure.
+        gin.base.global_batch_tokens = ngpu * 1024;
+        gin.fault_seed = 54 + static_cast<std::uint64_t>(ngpu);
+        const std::optional<PlanCandidate> analytic =
+            tryBestPlan(gin.base);
+        const std::optional<GoodputPlanCandidate> winner =
+            tryBestGoodputPlan(gin);
+        if (!analytic || !winner) {
+            sweep.row({TextTable::num(ngpu), "infeasible", "-", "-", "-",
+                       "-", "-", "-"});
+            continue;
+        }
+        const GoodputSweepPoint &cell = winner->best();
+        const bool same = winner->analytic.par == analytic->par &&
+                          winner->analytic.zero == analytic->zero &&
+                          winner->analytic.schedule == analytic->schedule;
+        divergences += same ? 0 : 1;
+        sweep.row({TextTable::num(ngpu), analytic->par.str(),
+                   winner->analytic.par.str(), policyName(cell.policy),
+                   TextTable::num(cell.policy.spare_hosts),
+                   TextTable::num(cell.checkpoint_interval_steps) +
+                       " steps",
+                   TextTable::num(winner->goodput_tflops_per_gpu, 1),
+                   same ? "no" : "DIVERGED"});
+    }
+    sweep.print();
+    bench::compare("scales where the two rankings diverge (of 4)", 1.0,
+                   static_cast<double>(divergences));
+
+    // --- Full ranking at 16K GPUs: why the winner wins. ---
+    GoodputPlanInput gin;
+    gin.fault_seed = 54 + 16384;
+    const std::optional<PlanCandidate> analytic = tryBestPlan(gin.base);
+    TextTable ranked("16K-GPU candidates ranked by goodput "
+                     "(best policy per candidate, common fault seed)");
+    ranked.header({"rank", "config", "est TFLOPs", "policy", "goodput/GPU",
+                   "lost %", "ckpt %", "degraded %", "note"});
+    std::int64_t rank = 0;
+    const std::vector<GoodputPlanCandidate> scored = planGoodput(gin);
+    if (scored.empty()) {
+        std::puts("no feasible 16K-GPU plan");
+        return 1;
+    }
+    for (const GoodputPlanCandidate &cand : scored) {
+        const GoodputSweepPoint &cell = cand.best();
+        const TrainRunReport &rep = cell.report;
+        const bool is_analytic =
+            analytic && cand.analytic.par == analytic->par &&
+            cand.analytic.zero == analytic->zero;
+        ranked.row({TextTable::num(++rank), cand.analytic.par.str(),
+                    TextTable::num(cand.analytic.est_tflops_per_gpu, 0),
+                    policyName(cell.policy),
+                    TextTable::num(cand.goodput_tflops_per_gpu, 1),
+                    TextTable::pct(rep.lost_seconds / rep.wall_seconds),
+                    TextTable::pct(rep.checkpoint_seconds /
+                                   rep.wall_seconds),
+                    TextTable::pct(rep.degraded_seconds /
+                                   rep.wall_seconds),
+                    is_analytic ? "<- fault-free winner" : ""});
+    }
+    ranked.print();
+
+    // --- The winner's policy sweep: what each recovery lever buys. ---
+    const GoodputPlanCandidate &best = scored.front();
+    TextTable cells(std::string("Policy sweep for ") +
+                    best.analytic.par.str() +
+                    " (goodput per provisioned GPU)");
+    cells.header({"policy", "spares", "ckpt every", "goodput/GPU",
+                  "restarts", "swaps", "shrinks", "best?"});
+    for (std::size_t i = 0; i < best.sweep.size(); ++i) {
+        const GoodputSweepPoint &pt = best.sweep[i];
+        cells.row({policyName(pt.policy),
+                   TextTable::num(pt.policy.spare_hosts),
+                   TextTable::num(pt.checkpoint_interval_steps) + " steps",
+                   TextTable::num(pt.goodput_tflops_per_gpu, 1),
+                   TextTable::num(pt.report.restarts),
+                   TextTable::num(pt.report.spare_swaps),
+                   TextTable::num(pt.report.dp_shrinks),
+                   i == best.best_point ? "<- best" : ""});
+    }
+    cells.print();
+
+    std::puts(
+        "  The analytic ranking prices a fault-free step; the goodput\n"
+        "  ranking additionally charges rollback, re-init, restore, and\n"
+        "  warmup per fault plus the parked capacity of spare hosts.\n"
+        "  Those charges are absolute, so candidates inside the planner's\n"
+        "  15% near-tie window can reorder: a slightly slower plan with a\n"
+        "  smaller restart blast radius or cheaper checkpoints wins on\n"
+        "  what the cluster actually delivers.");
+    return 0;
+}

@@ -7,6 +7,8 @@
 
 #include "bench_util.h"
 
+#include <optional>
+
 #include "llm4d/plan/planner.h"
 
 using namespace llm4d;
@@ -18,14 +20,19 @@ planPhase(const char *phase, std::int64_t seq, TextTable &out)
 {
     PlanInput in;
     in.seq = seq;
-    const PlanCandidate best = bestPlan(in);
+    const std::optional<PlanCandidate> best = tryBestPlan(in);
+    if (!best) {
+        out.row({phase, TextTable::num(seq), "-", "-", "-", "-", "-", "-",
+                 "-", "infeasible"});
+        return;
+    }
     const std::int64_t gbs = in.global_batch_tokens / seq;
     out.row({phase, TextTable::num(seq), TextTable::num(gbs),
-             TextTable::num(best.par.tp), TextTable::num(best.par.cp),
-             TextTable::num(best.par.pp), TextTable::num(best.par.dp),
-             zeroModeName(best.zero),
-             TextTable::num(best.est_tflops_per_gpu, 0),
-             TextTable::num(best.est_memory_gib, 1)});
+             TextTable::num(best->par.tp), TextTable::num(best->par.cp),
+             TextTable::num(best->par.pp), TextTable::num(best->par.dp),
+             zeroModeName(best->zero),
+             TextTable::num(best->est_tflops_per_gpu, 0),
+             TextTable::num(best->est_memory_gib, 1)});
 }
 
 void
@@ -45,7 +52,7 @@ showRanked(const char *phase, std::int64_t seq)
                c.feasible ? TextTable::num(c.est_tflops_per_gpu, 0) : "-",
                c.feasible ? TextTable::num(c.est_memory_gib, 1) : "-",
                c.feasible ? TextTable::pct(c.bubble_ratio) : "-",
-               c.feasible ? "ok" : c.reject_reason});
+               c.feasible ? "ok" : toString(c.reject_reason)});
         if (++shown >= 12)
             break;
     }

@@ -15,6 +15,7 @@
  */
 
 #include <cstdio>
+#include <optional>
 
 #include "llm4d/cp/cp_attention.h"
 #include "llm4d/plan/planner.h"
@@ -29,7 +30,12 @@ main()
     // --- 1. Planner: why cp = 16. ---
     PlanInput input;
     input.seq = 131072;
-    const PlanCandidate plan = bestPlan(input);
+    const std::optional<PlanCandidate> best = tryBestPlan(input);
+    if (!best) {
+        std::printf("no feasible 131K-context configuration\n");
+        return 1;
+    }
+    const PlanCandidate &plan = *best;
     std::printf("131K-context plan: %s (%s), bs=%lld, est %.0f TFLOPs/GPU\n\n",
                 plan.par.str().c_str(), zeroModeName(plan.zero),
                 static_cast<long long>(plan.bs), plan.est_tflops_per_gpu);
@@ -74,6 +80,7 @@ main()
     TrainJobConfig job;
     job.par = plan.par;
     job.zero = plan.zero;
+    job.schedule = plan.schedule;
     job.seq = 131072;
     job.doc_mask_mean = 4096.0; // packed documents
     const TrainStepReport rep = TrainSim(job).run();

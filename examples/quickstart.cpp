@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <optional>
 
 #include "llm4d/plan/planner.h"
 #include "llm4d/sim/train_sim.h"
@@ -21,7 +22,12 @@ main()
 {
     // --- 1. Let the planner derive the parallelism (Section 5). ---
     PlanInput input; // defaults: 405B model, 16,384 H100s, 16M tokens, 8K
-    const PlanCandidate plan = bestPlan(input);
+    const std::optional<PlanCandidate> best = tryBestPlan(input);
+    if (!best) {
+        std::printf("no feasible parallelism configuration\n");
+        return 1;
+    }
+    const PlanCandidate &plan = *best;
     std::printf("Planner chose: %s with %s (bs=%lld sequences/DP group)\n\n",
                 plan.par.str().c_str(), zeroModeName(plan.zero),
                 static_cast<long long>(plan.bs));
@@ -30,6 +36,7 @@ main()
     TrainJobConfig job;
     job.par = plan.par;
     job.zero = plan.zero;
+    job.schedule = plan.schedule;
     const TrainSim sim(job);
     const TrainStepReport rep = sim.run();
 

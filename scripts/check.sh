@@ -3,11 +3,23 @@
 # the ASan/UBSan tier (the `sanitize` CMake preset runs every test with
 # the sanitize ctest label). Run from anywhere:
 #
-#   ./scripts/check.sh
+#   ./scripts/check.sh          # both tiers
+#   ./scripts/check.sh --fast   # tier 1 only (skip the sanitize tier)
 #
 # Exits non-zero on the first failing build or test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) fast=1 ;;
+    *)
+        echo "usage: $0 [--fast]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
@@ -15,6 +27,11 @@ echo "== tier 1: default build + full test suite =="
 cmake --preset default
 cmake --build --preset default -j "${jobs}"
 ctest --preset default
+
+if [[ "${fast}" -eq 1 ]]; then
+    echo "Tier 1 passed (--fast: sanitize tier skipped)."
+    exit 0
+fi
 
 echo "== tier 2: ASan + UBSan build + sanitize-labeled tests =="
 cmake --preset sanitize

@@ -1,0 +1,206 @@
+#include "llm4d/plan/goodput_planner.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+/** Total order on analytic candidates: fastest first, then a canonical
+ *  par/zero/schedule tie-break, so stage-1 survivor selection and the
+ *  final ranking cannot depend on axis-option enumeration order. */
+auto
+canonicalKey(const PlanCandidate &c)
+{
+    return std::make_tuple(c.est_step_seconds, c.par.tp, c.par.cp,
+                           c.par.pp, static_cast<int>(c.zero),
+                           static_cast<int>(c.schedule));
+}
+
+bool
+samePlan(const PlanCandidate &a, const PlanCandidate &b)
+{
+    return a.par == b.par && a.zero == b.zero &&
+           a.schedule == b.schedule;
+}
+
+/** TrainRunConfig of one {candidate, policy} sweep cell. */
+TrainRunConfig
+cellConfig(const GoodputPlanInput &in, const PlanCandidate &cand,
+           const RecoveryPolicy &policy)
+{
+    TrainRunConfig cfg;
+    cfg.job.model = in.base.model;
+    cfg.job.cluster = in.base.cluster;
+    cfg.job.par = cand.par;
+    cfg.job.zero = cand.zero;
+    cfg.job.schedule = cand.schedule;
+    cfg.job.seq = in.base.seq;
+    cfg.job.global_batch_tokens = in.base.global_batch_tokens;
+    cfg.total_steps = in.horizon_steps;
+    // Young-Daly auto mode: each cell gets the interval matched to its
+    // checkpoint mode (async contracts it to the snapshot-cost optimum).
+    cfg.checkpoint_interval_steps = 0;
+    cfg.checkpoint_interval_auto = true;
+    cfg.faults = in.faults;
+    cfg.storage = in.storage;
+    cfg.detection = in.detection;
+    cfg.restart = in.restart;
+    cfg.policy = policy;
+    cfg.seed = in.fault_seed;
+    return cfg;
+}
+
+} // namespace
+
+std::vector<RecoveryPolicy>
+GoodputPlanInput::sweepPolicies() const
+{
+    std::vector<RecoveryPolicy> out;
+    for (const std::int64_t spares : spare_pool_options) {
+        for (const CheckpointMode ckpt : checkpoint_mode_options) {
+            for (const bool shrink : dp_shrink_options) {
+                RecoveryPolicy policy;
+                // WarmSpare only when the elastic paths have something
+                // to do; otherwise the plain full-restart baseline.
+                policy.mode = (spares > 0 || shrink)
+                                  ? RecoveryMode::WarmSpare
+                                  : RecoveryMode::FullRestart;
+                policy.spare_hosts = spares;
+                policy.allow_dp_shrink = shrink;
+                policy.checkpoint_mode = ckpt;
+                policy.straggler_rebalance = straggler_rebalance;
+                out.push_back(policy);
+            }
+        }
+    }
+    return out;
+}
+
+void
+GoodputPlanInput::validate() const
+{
+    LLM4D_CHECK(top_k > 0, "stage 2 needs at least one survivor");
+    LLM4D_CHECK(horizon_steps > 0,
+                "simulation horizon must be positive");
+    LLM4D_CHECK(!spare_pool_options.empty() &&
+                    !checkpoint_mode_options.empty() &&
+                    !dp_shrink_options.empty(),
+                "every recovery-policy sweep axis needs at least one "
+                "point");
+    for (const std::int64_t spares : spare_pool_options)
+        LLM4D_CHECK(spares >= 0, "spare pool sizes cannot be negative");
+    LLM4D_CHECK(base.cluster.fatalFailuresPerHour() > 0.0,
+                "goodput planning needs an enabled fatal failure class "
+                "(Young-Daly auto intervals are undefined without one)");
+    faults.validate();
+    storage.validate();
+}
+
+std::vector<GoodputPlanCandidate>
+planGoodput(const GoodputPlanInput &in)
+{
+    in.validate();
+    const std::vector<RecoveryPolicy> policies = in.sweepPolicies();
+
+    // ---- Stage 1: analytic pruning to the top-K survivors. ----
+    std::vector<PlanCandidate> feasible;
+    for (const PlanCandidate &cand : enumeratePlans(in.base)) {
+        if (cand.feasible)
+            feasible.push_back(cand);
+    }
+    std::sort(feasible.begin(), feasible.end(),
+              [](const PlanCandidate &a, const PlanCandidate &b) {
+                  return canonicalKey(a) < canonicalKey(b);
+              });
+    if (feasible.size() > static_cast<std::size_t>(in.top_k))
+        feasible.resize(static_cast<std::size_t>(in.top_k));
+    // The analytic planner's preferred pick always competes, even when
+    // the Section-5.1 near-tie preference rules moved it past the raw
+    // top-K cutoff — stage 2 exists to judge exactly that pick.
+    if (const std::optional<PlanCandidate> preferred =
+            tryBestPlan(in.base)) {
+        const bool present =
+            std::any_of(feasible.begin(), feasible.end(),
+                        [&](const PlanCandidate &c) {
+                            return samePlan(c, *preferred);
+                        });
+        if (!present)
+            feasible.push_back(*preferred);
+    }
+
+    // ---- Stage 2: policy sweep under common random numbers. ----
+    // The fault timeline is a pure function of (cluster, tuning, seed),
+    // all identical across cells, so every candidate and policy faces
+    // the exact same failures and the ranking isolates what each plan
+    // does about them.
+    std::vector<GoodputPlanCandidate> out;
+    out.reserve(feasible.size());
+    for (const PlanCandidate &cand : feasible) {
+        GoodputPlanCandidate scored;
+        scored.analytic = cand;
+        scored.sweep.reserve(policies.size());
+        for (const RecoveryPolicy &policy : policies) {
+            const TrainRunSim sim(cellConfig(in, cand, policy));
+            GoodputSweepPoint pt;
+            pt.policy = policy;
+            pt.checkpoint_interval_steps = sim.checkpointIntervalSteps();
+            pt.report = sim.run();
+            // Idle spares are provisioned capacity: they park whole
+            // hosts next to the job, so the per-GPU goodput the cluster
+            // owner sees is diluted by the pool.
+            const double world =
+                static_cast<double>(cand.par.worldSize());
+            const double provisioned =
+                world + static_cast<double>(policy.spare_hosts *
+                                            in.base.cluster.node
+                                                .gpus_per_node);
+            pt.goodput_tflops_per_gpu =
+                pt.report.goodput_tflops_per_gpu * world / provisioned;
+            scored.sweep.push_back(std::move(pt));
+        }
+        for (std::size_t i = 0; i < scored.sweep.size(); ++i) {
+            if (scored.sweep[i].goodput_tflops_per_gpu >
+                scored.sweep[scored.best_point].goodput_tflops_per_gpu)
+                scored.best_point = i;
+        }
+        scored.goodput_tflops_per_gpu =
+            scored.best().goodput_tflops_per_gpu;
+        out.push_back(std::move(scored));
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const GoodputPlanCandidate &a,
+                 const GoodputPlanCandidate &b) {
+                  if (a.goodput_tflops_per_gpu !=
+                      b.goodput_tflops_per_gpu)
+                      return a.goodput_tflops_per_gpu >
+                             b.goodput_tflops_per_gpu;
+                  return canonicalKey(a.analytic) <
+                         canonicalKey(b.analytic);
+              });
+    return out;
+}
+
+std::optional<GoodputPlanCandidate>
+tryBestGoodputPlan(const GoodputPlanInput &in)
+{
+    std::vector<GoodputPlanCandidate> ranked = planGoodput(in);
+    if (ranked.empty())
+        return std::nullopt;
+    return std::move(ranked.front());
+}
+
+GoodputPlanCandidate
+bestGoodputPlan(const GoodputPlanInput &in)
+{
+    std::optional<GoodputPlanCandidate> best = tryBestGoodputPlan(in);
+    LLM4D_CHECK(best.has_value(),
+                "no feasible parallelism configuration for this input");
+    return *std::move(best);
+}
+
+} // namespace llm4d

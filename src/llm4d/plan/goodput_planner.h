@@ -1,0 +1,166 @@
+#ifndef LLM4D_PLAN_GOODPUT_PLANNER_H_
+#define LLM4D_PLAN_GOODPUT_PLANNER_H_
+
+/**
+ * @file
+ * Goodput-aware planner: rank parallelism plans by what they deliver
+ * under failures, not by fault-free step time alone.
+ *
+ * The Section-5 analytic planner (plan/planner.h) optimizes fault-free
+ * TFLOPs/GPU, but at 16K GPUs production behavior is dominated by
+ * everything around the steps — restarts, spare swaps, DP-shrinks,
+ * checkpoint overhead (paper Section 8; MegaScale arXiv:2402.15627). A
+ * plan that wins on bubble ratio can lose on goodput once its restart
+ * blast radius and checkpoint footprint are charged; the 4D-parallelism
+ * planning line (arXiv:2411.06465) stops at memory/step-time
+ * feasibility, so this ranking is where the two diverge.
+ *
+ * Two stages:
+ *  1. enumeratePlans() prunes the search space analytically and keeps
+ *     the top-K feasible candidates by estimated step time (always
+ *     including the analytic planner's preferred pick);
+ *  2. each survivor is run through TrainRunSim under a fixed fault seed
+ *     — common random numbers, so every candidate faces the identical
+ *     exogenous failure timeline — once per point of a recovery-policy
+ *     sweep: sync vs. async checkpointing, warm-spare pool sizes from
+ *     spare_pool_options (idle spares cost capacity in the goodput
+ *     denominator but shrink MTTR), and DP-shrink on/off. Checkpoint
+ *     intervals are Young–Daly auto-tuned per point so a policy flip
+ *     cannot desynchronize them.
+ *
+ * Candidates are ranked by their best sweep point's goodput TFLOPs per
+ * *provisioned* GPU (training world + idle spares); each candidate
+ * retains its full sweep with per-point lost-time breakdowns, so "why
+ * did tp8/pp16 lose to tp8/cp2/pp8" is answerable from the output.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "llm4d/fault/fault_model.h"
+#include "llm4d/fault/recovery_policy.h"
+#include "llm4d/plan/planner.h"
+#include "llm4d/sim/train_run_sim.h"
+
+namespace llm4d {
+
+/** Inputs of a goodput-aware planning run. */
+struct GoodputPlanInput
+{
+    /** The analytic search space (model, cluster, batch, axis options). */
+    PlanInput base;
+
+    /** Analytic survivors simulated in stage 2 (top-K by est. step
+     *  time; the analytic preferred plan is always kept). */
+    std::int64_t top_k = 4;
+
+    /** Steps simulated per {candidate, policy} cell. Longer horizons
+     *  see more faults and price recovery more sharply. */
+    std::int64_t horizon_steps = 6000;
+
+    /** Fault-timeline seed, shared by every simulation (CRN: the
+     *  failure process is exogenous, so rankings compare policies and
+     *  plans against the identical timeline). */
+    std::uint64_t fault_seed = 54;
+
+    /** Fault severity/duration tuning shared by every cell. */
+    FaultTuning faults;
+
+    /** Checkpoint filesystem + async-snapshot characteristics. */
+    CheckpointStorage storage;
+
+    /** Failure detection/localization latencies. */
+    DetectionConfig detection;
+
+    /** Full-restart re-init and warmup costs. */
+    RestartConfig restart;
+
+    // ---- Recovery-policy sweep axes (cross product). ----
+
+    /** Warm-spare pool sizes, in hosts. Spares shrink MTTR (a ~80 s
+     *  swap instead of a 180 s scheduler round-trip) but idle capacity
+     *  is charged in the goodput denominator. */
+    std::vector<std::int64_t> spare_pool_options = {0, 8};
+
+    /** Sync sharded saves vs. async snapshot-then-drain. */
+    std::vector<CheckpointMode> checkpoint_mode_options = {
+        CheckpointMode::Sync, CheckpointMode::Async};
+
+    /** Whether to DP-shrink when the spare pool is dry. */
+    std::vector<bool> dp_shrink_options = {false, true};
+
+    /** Mitigate localized stragglers by micro-batch rebalancing. */
+    bool straggler_rebalance = true;
+
+    /** The sweep grid: one RecoveryPolicy per axis combination, in a
+     *  deterministic order (mode is WarmSpare whenever spares or
+     *  shrinking give it something to do). */
+    std::vector<RecoveryPolicy> sweepPolicies() const;
+
+    /** Abort unless the sweep axes and stage-2 knobs are sane. */
+    void validate() const;
+};
+
+/** One simulated {policy, spare pool} cell of a survivor's sweep. */
+struct GoodputSweepPoint
+{
+    RecoveryPolicy policy;
+
+    /** Young–Daly interval this cell ran at (per-point: it contracts
+     *  under async checkpointing). */
+    std::int64_t checkpoint_interval_steps = 0;
+
+    /** Full run outcome, including the lost-time breakdown buckets. */
+    TrainRunReport report;
+
+    /**
+     * Goodput TFLOPs per *provisioned* GPU: the run's goodput diluted
+     * by the idle spare pool,
+     *   report.goodput * world / (world + spares * gpus_per_host).
+     * The ranking metric — spares must buy back more goodput through
+     * cheaper recovery than they cost in parked capacity.
+     */
+    double goodput_tflops_per_gpu = 0.0;
+};
+
+/** One analytic candidate with its simulated fault-aware record. */
+struct GoodputPlanCandidate
+{
+    /** The stage-1 analytic evaluation (par, zero, step estimate). */
+    PlanCandidate analytic;
+
+    /** Every simulated sweep cell, in sweepPolicies() order. */
+    std::vector<GoodputSweepPoint> sweep;
+
+    /** Index into sweep of the best cell (highest provisioned-GPU
+     *  goodput, deterministic tie-break on the sweep order). */
+    std::size_t best_point = 0;
+
+    /** The winning sweep cell. */
+    const GoodputSweepPoint &best() const { return sweep[best_point]; }
+
+    /** Ranking metric: best().goodput_tflops_per_gpu. */
+    double goodput_tflops_per_gpu = 0.0;
+};
+
+/**
+ * Run both stages and return every simulated candidate, ranked best
+ * goodput first. Deterministic: the same input yields the identical
+ * ranking, and the ranking is invariant to the enumeration order of the
+ * analytic axis options (candidates are re-sorted under a total order
+ * before and after simulation).
+ */
+std::vector<GoodputPlanCandidate> planGoodput(const GoodputPlanInput &input);
+
+/** The goodput-optimal candidate, or nullopt when stage 1 finds no
+ *  feasible plan. */
+std::optional<GoodputPlanCandidate>
+tryBestGoodputPlan(const GoodputPlanInput &input);
+
+/** tryBestGoodputPlan that aborts (user error) when nothing fits. */
+GoodputPlanCandidate bestGoodputPlan(const GoodputPlanInput &input);
+
+} // namespace llm4d
+
+#endif // LLM4D_PLAN_GOODPUT_PLANNER_H_

@@ -27,6 +27,34 @@ struct ComboVariant
  *  NIC contention with P2P traffic (Section 3.1.3's congestion finding). */
 constexpr double kZero2RsExposedShare = 0.5;
 
+} // namespace
+
+const char *
+toString(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::None:
+        return "";
+      case RejectReason::ClusterIndivisible:
+        return "tp*cp*pp does not divide the cluster";
+      case RejectReason::HeadsIndivisible:
+        return "tp does not divide attention heads";
+      case RejectReason::SequenceIndivisible:
+        return "sequence does not split into 2*cp chunks";
+      case RejectReason::TooFewLayers:
+        return "fewer layers than pipeline stages";
+      case RejectReason::BatchIndivisible:
+        return "global batch does not divide across dp";
+      case RejectReason::BatchTooSmall:
+        return "batch per DP group below 1 sequence";
+      case RejectReason::MemoryExceeded:
+        return "exceeds HBM capacity";
+    }
+    LLM4D_PANIC("unreachable reject reason");
+}
+
+namespace {
+
 /** Evaluate one {tp, cp, pp} x {zero, schedule} assignment. */
 PlanCandidate
 evaluate(const PlanInput &in, const CollectiveModel &coll, std::int64_t tp,
@@ -36,34 +64,35 @@ evaluate(const PlanInput &in, const CollectiveModel &coll, std::int64_t tp,
     const std::int64_t ngpu = in.cluster.numGpus();
     cand.par = ParallelismConfig{tp, cp, pp, 1};
     cand.zero = variant.zero;
+    cand.schedule = variant.schedule;
 
     const std::int64_t model_par = tp * cp * pp;
     if (ngpu % model_par != 0) {
-        cand.reject_reason = "tp*cp*pp does not divide the cluster";
+        cand.reject_reason = RejectReason::ClusterIndivisible;
         return cand;
     }
     cand.par.dp = ngpu / model_par;
 
     if (in.model.heads % tp != 0) {
-        cand.reject_reason = "tp does not divide attention heads";
+        cand.reject_reason = RejectReason::HeadsIndivisible;
         return cand;
     }
     if (in.seq % (2 * cp) != 0) {
-        cand.reject_reason = "sequence does not split into 2*cp chunks";
+        cand.reject_reason = RejectReason::SequenceIndivisible;
         return cand;
     }
     if (in.model.num_layers + 2 < 2 * pp) {
-        cand.reject_reason = "fewer layers than pipeline stages";
+        cand.reject_reason = RejectReason::TooFewLayers;
         return cand;
     }
     const std::int64_t gbs_seqs = in.global_batch_tokens / in.seq;
     if (gbs_seqs % cand.par.dp != 0) {
-        cand.reject_reason = "global batch does not divide across dp";
+        cand.reject_reason = RejectReason::BatchIndivisible;
         return cand;
     }
     cand.bs = gbs_seqs / cand.par.dp;
     if (cand.bs < 1) {
-        cand.reject_reason = "batch per DP group below 1 sequence";
+        cand.reject_reason = RejectReason::BatchTooSmall;
         return cand;
     }
     cand.nmb = cand.bs; // mbs = 1
@@ -170,7 +199,7 @@ evaluate(const PlanInput &in, const CollectiveModel &coll, std::int64_t tp,
         /*embed=*/true, /*head=*/pp == 1, ActivationMode::Full);
     cand.est_memory_gib = peak.totalGib();
     if (!(peak.totalGib() <= gpu.hbm_capacity_gib * 0.94)) {
-        cand.reject_reason = "exceeds HBM capacity";
+        cand.reject_reason = RejectReason::MemoryExceeded;
         return cand;
     }
 
@@ -228,12 +257,12 @@ enumeratePlans(const PlanInput &in)
     return out;
 }
 
-PlanCandidate
-bestPlan(const PlanInput &in)
+std::optional<PlanCandidate>
+tryBestPlan(const PlanInput &in)
 {
     const auto plans = enumeratePlans(in);
-    LLM4D_CHECK(!plans.empty() && plans.front().feasible,
-                "no feasible parallelism configuration for this input");
+    if (plans.empty() || !plans.front().feasible)
+        return std::nullopt;
     // Estimates this close are within the model's error bars; apply the
     // paper's stated preferences among near-ties (Section 5.1): a batch
     // of at least pp micro-batches per DP group is "strongly preferred
@@ -255,6 +284,15 @@ bestPlan(const PlanInput &in)
         if (key(cand) < key(*best))
             best = &cand;
     }
+    return *best;
+}
+
+PlanCandidate
+bestPlan(const PlanInput &in)
+{
+    const std::optional<PlanCandidate> best = tryBestPlan(in);
+    LLM4D_CHECK(best.has_value(),
+                "no feasible parallelism configuration for this input");
     return *best;
 }
 

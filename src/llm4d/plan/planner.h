@@ -13,16 +13,20 @@
  * bubble + exposed FSDP), and rank the rest. For the production inputs
  * this reproduces Table 2: tp8/pp16/dp128 at 8K context and
  * tp8/cp16/pp16/dp8 at 131K.
+ *
+ * This layer is deliberately fault-free; plan/goodput_planner.h re-ranks
+ * its survivors by simulated goodput under failures.
  */
 
 #include <cstdint>
-#include <string>
+#include <optional>
 #include <vector>
 
 #include "llm4d/hw/gpu_spec.h"
 #include "llm4d/model/memory_model.h"
 #include "llm4d/model/model_config.h"
 #include "llm4d/parallel/parallelism.h"
+#include "llm4d/pp/schedule.h"
 
 namespace llm4d {
 
@@ -40,17 +44,34 @@ struct PlanInput
     std::vector<std::int64_t> pp_options = {1, 2, 4, 8, 16, 32};
 };
 
+/** Why a candidate was rejected (RejectReason::None = feasible). */
+enum class RejectReason
+{
+    None,               ///< feasible
+    ClusterIndivisible, ///< tp*cp*pp does not divide the cluster
+    HeadsIndivisible,   ///< tp does not divide attention heads
+    SequenceIndivisible,///< sequence does not split into 2*cp chunks
+    TooFewLayers,       ///< fewer layers than pipeline stages
+    BatchIndivisible,   ///< global batch does not divide across dp
+    BatchTooSmall,      ///< batch per DP group below 1 sequence
+    MemoryExceeded,     ///< exceeds HBM capacity
+};
+
+/** Display string of a rejection reason ("" for None). */
+const char *toString(RejectReason reason);
+
 /** One evaluated configuration. */
 struct PlanCandidate
 {
     ParallelismConfig par;
     ZeroMode zero = ZeroMode::Zero1;
+    ScheduleKind schedule = ScheduleKind::Flexible;
     std::int64_t bs = 0;   ///< sequences per DP group
     std::int64_t nmb = 0;  ///< micro-batches
     std::int64_t v = 0;    ///< virtual stages per PP rank
 
     bool feasible = false;
-    std::string reject_reason;
+    RejectReason reject_reason = RejectReason::None;
 
     double est_step_seconds = 0.0;
     double est_tflops_per_gpu = 0.0;
@@ -63,7 +84,11 @@ struct PlanCandidate
  *  the infeasible ones with their rejection reasons. */
 std::vector<PlanCandidate> enumeratePlans(const PlanInput &input);
 
-/** The fastest feasible candidate. Aborts when none fits. */
+/** The fastest feasible candidate after the paper's Section 5.1
+ *  near-tie preference rules, or nullopt when nothing fits. */
+std::optional<PlanCandidate> tryBestPlan(const PlanInput &input);
+
+/** tryBestPlan that aborts (user error) when no candidate fits. */
 PlanCandidate bestPlan(const PlanInput &input);
 
 } // namespace llm4d

@@ -28,8 +28,20 @@ void
 TrainRunConfig::validate() const
 {
     LLM4D_CHECK(total_steps > 0, "run needs at least one step");
-    LLM4D_CHECK(checkpoint_interval_steps > 0,
-                "checkpoint interval must be positive");
+    if (checkpoint_interval_auto) {
+        LLM4D_CHECK(checkpoint_interval_steps == 0,
+                    "explicit checkpoint_interval_steps of "
+                        << checkpoint_interval_steps
+                        << " conflicts with checkpoint_interval_auto; "
+                           "set it to 0 and read "
+                           "TrainRunSim::checkpointIntervalSteps()");
+        LLM4D_CHECK(job.cluster.fatalFailuresPerHour() > 0.0,
+                    "Young-Daly auto interval needs an enabled fatal "
+                    "failure class");
+    } else {
+        LLM4D_CHECK(checkpoint_interval_steps > 0,
+                    "checkpoint interval must be positive");
+    }
     LLM4D_CHECK(restart.reinit_seconds >= 0.0 &&
                     restart.warmup_steps >= 0 &&
                     restart.warmup_slowdown >= 1.0,
@@ -229,10 +241,17 @@ TrainRunSim::rebalanceHeadroomMicrobatches(std::int64_t straggler_rank,
     return per_microbatch > 0.0 ? headroom / per_microbatch : 0.0;
 }
 
+std::int64_t
+TrainRunSim::checkpointIntervalSteps() const
+{
+    return cfg_.checkpoint_interval_auto ? youngDalyIntervalSteps()
+                                         : cfg_.checkpoint_interval_steps;
+}
+
 TrainRunReport
 TrainRunSim::run() const
 {
-    return runWithInterval(cfg_.checkpoint_interval_steps);
+    return runWithInterval(checkpointIntervalSteps());
 }
 
 TrainRunReport

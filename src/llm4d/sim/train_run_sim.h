@@ -98,8 +98,23 @@ struct TrainRunConfig
     /** Steps the run must complete (committed past the final step). */
     std::int64_t total_steps = 2000;
 
-    /** Steps between synchronous sharded checkpoints. */
+    /**
+     * Steps between checkpoints (sync saves or async snapshots, per
+     * policy.checkpoint_mode). Must be 0 when checkpoint_interval_auto
+     * is set — TrainRunSim::checkpointIntervalSteps() is the single
+     * source of truth consumers read.
+     */
     std::int64_t checkpoint_interval_steps = 50;
+
+    /**
+     * Young–Daly auto mode: derive the interval from the run itself
+     * (sqrt(2 * MTBF * blocking save cost), in steps) instead of the
+     * explicit field above. Keeps the interval synchronized with
+     * policy.checkpoint_mode — flipping sync to async automatically
+     * contracts the interval to the snapshot-cost optimum, which a
+     * policy sweep would otherwise desynchronize.
+     */
+    bool checkpoint_interval_auto = false;
 
     FaultTuning faults;
     CheckpointStorage storage;
@@ -243,6 +258,15 @@ class TrainRunSim
 
     /** Cluster-level mean time between fault events, seconds. */
     double mtbfSeconds() const;
+
+    /**
+     * The checkpoint interval the run actually uses: the Young–Daly
+     * optimum under checkpoint_interval_auto, the explicit
+     * checkpoint_interval_steps otherwise. The source of truth — read
+     * this, not the config field, so auto mode and the checkpoint mode
+     * can never desynchronize.
+     */
+    std::int64_t checkpointIntervalSteps() const;
 
     /** Simulate the configured run. */
     TrainRunReport run() const;

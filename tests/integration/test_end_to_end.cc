@@ -70,13 +70,15 @@ TEST(Integration, PlannerChoiceRunsInSimulatorWithinEstimate)
     // The planner's analytic step estimate and the timed simulator must
     // agree within a modest factor for the production configuration.
     PlanInput in;
-    const PlanCandidate plan = bestPlan(in);
+    const std::optional<PlanCandidate> plan = tryBestPlan(in);
+    ASSERT_TRUE(plan.has_value());
     TrainJobConfig job;
-    job.par = plan.par;
-    job.zero = plan.zero;
+    job.par = plan->par;
+    job.zero = plan->zero;
+    job.schedule = plan->schedule;
     const TrainStepReport rep = TrainSim(job).run();
-    EXPECT_GT(rep.step_seconds, plan.est_step_seconds * 0.7);
-    EXPECT_LT(rep.step_seconds, plan.est_step_seconds * 1.4);
+    EXPECT_GT(rep.step_seconds, plan->est_step_seconds * 0.7);
+    EXPECT_LT(rep.step_seconds, plan->est_step_seconds * 1.4);
     // And the simulated memory also fits, like the planner promised.
     EXPECT_TRUE(rep.fits(in.cluster.node.gpu.hbm_capacity_gib));
 }

@@ -1,0 +1,227 @@
+#include "llm4d/plan/goodput_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace llm4d {
+namespace {
+
+/** A 2048-GPU problem small enough to sweep quickly in tests. */
+GoodputPlanInput
+smallInput()
+{
+    GoodputPlanInput in;
+    in.base.cluster = ClusterSpec::llama3Production(2048);
+    in.base.global_batch_tokens = 2LL * 1024 * 1024;
+    in.top_k = 3;
+    in.horizon_steps = 1200;
+    return in;
+}
+
+bool
+sameRanking(const std::vector<GoodputPlanCandidate> &a,
+            const std::vector<GoodputPlanCandidate> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i].analytic.par == b[i].analytic.par) ||
+            a[i].analytic.zero != b[i].analytic.zero ||
+            a[i].analytic.schedule != b[i].analytic.schedule ||
+            a[i].goodput_tflops_per_gpu != b[i].goodput_tflops_per_gpu ||
+            a[i].best_point != b[i].best_point)
+            return false;
+    }
+    return true;
+}
+
+TEST(GoodputPlanner, SweepPoliciesCoverTheCrossProduct)
+{
+    GoodputPlanInput in = smallInput();
+    in.spare_pool_options = {0, 4};
+    in.checkpoint_mode_options = {CheckpointMode::Sync,
+                                  CheckpointMode::Async};
+    in.dp_shrink_options = {false, true};
+    const std::vector<RecoveryPolicy> grid = in.sweepPolicies();
+    EXPECT_EQ(grid.size(), 8u);
+    for (const RecoveryPolicy &p : grid) {
+        // WarmSpare exactly when the elastic paths have something to do.
+        const bool elastic = p.spare_hosts > 0 || p.allow_dp_shrink;
+        EXPECT_EQ(p.mode, elastic ? RecoveryMode::WarmSpare
+                                  : RecoveryMode::FullRestart);
+        EXPECT_EQ(p.straggler_rebalance, in.straggler_rebalance);
+    }
+}
+
+TEST(GoodputPlanner, SameSeedAndSweepGiveIdenticalRanking)
+{
+    // Common random numbers: re-running the identical input must
+    // reproduce the ranking exactly (values, order, and best cells).
+    const GoodputPlanInput in = smallInput();
+    const auto first = planGoodput(in);
+    const auto second = planGoodput(in);
+    ASSERT_FALSE(first.empty());
+    EXPECT_TRUE(sameRanking(first, second));
+}
+
+TEST(GoodputPlanner, RankingInvariantToCandidateEvaluationOrder)
+{
+    // Reversing the analytic axis enumeration must not change the
+    // ranked outcome: survivors are re-sorted under a total order
+    // before selection and after scoring.
+    const GoodputPlanInput forward = smallInput();
+    GoodputPlanInput backward = forward;
+    std::reverse(backward.base.tp_options.begin(),
+                 backward.base.tp_options.end());
+    std::reverse(backward.base.cp_options.begin(),
+                 backward.base.cp_options.end());
+    std::reverse(backward.base.pp_options.begin(),
+                 backward.base.pp_options.end());
+    const auto a = planGoodput(forward);
+    const auto b = planGoodput(backward);
+    ASSERT_FALSE(a.empty());
+    EXPECT_TRUE(sameRanking(a, b));
+}
+
+TEST(GoodputPlanner, GoodputWinnerAtLeastMatchesAnalyticWinner)
+{
+    // The acceptance property: under the same fault seed, the goodput
+    // winner's simulated goodput must be >= the fault-free TFLOPs
+    // winner's, because the analytic pick always competes in stage 2.
+    const GoodputPlanInput in = smallInput();
+    const std::optional<PlanCandidate> analytic = tryBestPlan(in.base);
+    ASSERT_TRUE(analytic.has_value());
+    const auto ranked = planGoodput(in);
+    ASSERT_FALSE(ranked.empty());
+
+    const auto analytic_scored = std::find_if(
+        ranked.begin(), ranked.end(),
+        [&](const GoodputPlanCandidate &c) {
+            return c.analytic.par == analytic->par &&
+                   c.analytic.zero == analytic->zero &&
+                   c.analytic.schedule == analytic->schedule;
+        });
+    ASSERT_NE(analytic_scored, ranked.end())
+        << "the analytic preferred plan must always be simulated";
+    EXPECT_GE(ranked.front().goodput_tflops_per_gpu,
+              analytic_scored->goodput_tflops_per_gpu);
+}
+
+TEST(GoodputPlanner, EveryCellReportsACompletedRun)
+{
+    const auto ranked = planGoodput(smallInput());
+    ASSERT_FALSE(ranked.empty());
+    for (const GoodputPlanCandidate &cand : ranked) {
+        ASSERT_FALSE(cand.sweep.empty());
+        ASSERT_LT(cand.best_point, cand.sweep.size());
+        EXPECT_EQ(cand.goodput_tflops_per_gpu,
+                  cand.best().goodput_tflops_per_gpu);
+        for (const GoodputSweepPoint &pt : cand.sweep) {
+            EXPECT_TRUE(pt.report.completed);
+            EXPECT_GT(pt.checkpoint_interval_steps, 0);
+            EXPECT_GT(pt.goodput_tflops_per_gpu, 0.0);
+        }
+    }
+}
+
+TEST(GoodputPlanner, IdleSparesAreChargedAsProvisionedCapacity)
+{
+    const GoodputPlanInput in = smallInput();
+    const auto ranked = planGoodput(in);
+    ASSERT_FALSE(ranked.empty());
+    const double gpus_per_host =
+        static_cast<double>(in.base.cluster.node.gpus_per_node);
+    bool saw_spares = false;
+    for (const GoodputPlanCandidate &cand : ranked) {
+        const double world =
+            static_cast<double>(cand.analytic.par.worldSize());
+        for (const GoodputSweepPoint &pt : cand.sweep) {
+            const double provisioned =
+                world + static_cast<double>(pt.policy.spare_hosts) *
+                            gpus_per_host;
+            EXPECT_NEAR(pt.goodput_tflops_per_gpu,
+                        pt.report.goodput_tflops_per_gpu * world /
+                            provisioned,
+                        1e-12);
+            saw_spares |= pt.policy.spare_hosts > 0;
+        }
+    }
+    EXPECT_TRUE(saw_spares) << "default sweep must include a spare pool";
+}
+
+TEST(GoodputPlanner, AsyncCellsContractTheYoungDalyInterval)
+{
+    // Under async checkpointing only the snapshot blocks the step, so
+    // the auto-tuned interval must be strictly shorter than the sync
+    // cell's for the same candidate.
+    GoodputPlanInput in = smallInput();
+    in.spare_pool_options = {0};
+    in.dp_shrink_options = {false};
+    in.checkpoint_mode_options = {CheckpointMode::Sync,
+                                  CheckpointMode::Async};
+    const auto ranked = planGoodput(in);
+    ASSERT_FALSE(ranked.empty());
+    for (const GoodputPlanCandidate &cand : ranked) {
+        ASSERT_EQ(cand.sweep.size(), 2u);
+        const auto &sync_pt =
+            cand.sweep[cand.sweep[0].policy.checkpoint_mode ==
+                               CheckpointMode::Sync
+                           ? 0
+                           : 1];
+        const auto &async_pt =
+            cand.sweep[cand.sweep[0].policy.checkpoint_mode ==
+                               CheckpointMode::Sync
+                           ? 1
+                           : 0];
+        EXPECT_LT(async_pt.checkpoint_interval_steps,
+                  sync_pt.checkpoint_interval_steps)
+            << cand.analytic.par.str();
+    }
+}
+
+TEST(GoodputPlanner, TryBestReturnsNulloptWhenNothingFits)
+{
+    GoodputPlanInput in = smallInput();
+    in.base.tp_options = {5}; // divides neither cluster nor heads
+    in.base.cp_options = {1};
+    in.base.pp_options = {1};
+    EXPECT_FALSE(tryBestGoodputPlan(in).has_value());
+    EXPECT_DEATH(bestGoodputPlan(in),
+                 "no feasible parallelism configuration");
+}
+
+TEST(GoodputPlanner, ValidateRejectsInsaneSweeps)
+{
+    {
+        GoodputPlanInput in = smallInput();
+        in.top_k = 0;
+        EXPECT_DEATH(planGoodput(in), "at least one survivor");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.horizon_steps = 0;
+        EXPECT_DEATH(planGoodput(in), "horizon must be positive");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.checkpoint_mode_options.clear();
+        EXPECT_DEATH(planGoodput(in), "sweep axis");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.spare_pool_options = {-1};
+        EXPECT_DEATH(planGoodput(in), "cannot be negative");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.base.cluster.node.gpu.fatal_mtbf_hours = 0.0;
+        in.base.cluster.node.host_mtbf_hours = 0.0;
+        EXPECT_DEATH(planGoodput(in), "fatal failure class");
+    }
+}
+
+} // namespace
+} // namespace llm4d

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <set>
+#include <string>
+
 namespace llm4d {
 namespace {
 
@@ -9,10 +13,11 @@ TEST(Planner, ReproducesTable2ShortContext)
 {
     // Paper Table 2, 8K row: tp8 cp1 pp16 dp128 on 16K GPUs.
     PlanInput in; // defaults are the production inputs
-    const PlanCandidate best = bestPlan(in);
-    EXPECT_EQ(best.par, (ParallelismConfig{8, 1, 16, 128}));
-    EXPECT_EQ(best.bs, 16);
-    EXPECT_TRUE(best.feasible);
+    const std::optional<PlanCandidate> best = tryBestPlan(in);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->par, (ParallelismConfig{8, 1, 16, 128}));
+    EXPECT_EQ(best->bs, 16);
+    EXPECT_TRUE(best->feasible);
 }
 
 TEST(Planner, ReproducesTable2LongContext)
@@ -20,9 +25,10 @@ TEST(Planner, ReproducesTable2LongContext)
     // Paper Table 2, 131K row: tp8 cp16 pp16 dp8.
     PlanInput in;
     in.seq = 131072;
-    const PlanCandidate best = bestPlan(in);
-    EXPECT_EQ(best.par, (ParallelismConfig{8, 16, 16, 8}));
-    EXPECT_EQ(best.bs, 16);
+    const std::optional<PlanCandidate> best = tryBestPlan(in);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->par, (ParallelismConfig{8, 16, 16, 8}));
+    EXPECT_EQ(best->bs, 16);
 }
 
 TEST(Planner, TpNeverExceedsNodeUnlessForced)
@@ -33,7 +39,7 @@ TEST(Planner, TpNeverExceedsNodeUnlessForced)
     for (const PlanCandidate &cand : enumeratePlans(in)) {
         if (!cand.feasible)
             continue;
-        EXPECT_EQ(bestPlan(in).par.tp, 8);
+        EXPECT_EQ(tryBestPlan(in)->par.tp, 8);
         break;
     }
 }
@@ -44,10 +50,11 @@ TEST(Planner, TwoDParallelismLosesTo3D)
     // feasible only with exposed per-layer all-gathers; 3D must win.
     PlanInput in;
     const auto plans = enumeratePlans(in);
-    const PlanCandidate best = bestPlan(in);
+    const std::optional<PlanCandidate> best = tryBestPlan(in);
+    ASSERT_TRUE(best.has_value());
     for (const PlanCandidate &cand : plans) {
         if (cand.feasible && cand.par.pp == 1) {
-            EXPECT_GT(cand.est_step_seconds, best.est_step_seconds)
+            EXPECT_GT(cand.est_step_seconds, best->est_step_seconds)
                 << "2D " << cand.par.str() << " should not beat 3D";
         }
     }
@@ -60,7 +67,7 @@ TEST(Planner, LongContextRequiresCp)
     PlanInput in;
     in.seq = 131072;
     const auto plans = enumeratePlans(in);
-    const double best = bestPlan(in).est_step_seconds;
+    const double best = tryBestPlan(in)->est_step_seconds;
     for (const PlanCandidate &cand : plans) {
         if (!cand.feasible || cand.est_step_seconds > best * 1.05)
             continue;
@@ -75,17 +82,63 @@ TEST(Planner, InfeasibleConfigsCarryReasons)
     bool saw_memory = false, saw_batch = false;
     for (const PlanCandidate &cand : enumeratePlans(in)) {
         if (cand.feasible) {
-            EXPECT_TRUE(cand.reject_reason.empty());
+            EXPECT_EQ(cand.reject_reason, RejectReason::None);
             continue;
         }
-        EXPECT_FALSE(cand.reject_reason.empty())
+        EXPECT_NE(cand.reject_reason, RejectReason::None)
             << cand.par.str() << " rejected without a reason";
-        saw_memory |= cand.reject_reason.find("HBM") != std::string::npos;
+        saw_memory |=
+            cand.reject_reason == RejectReason::MemoryExceeded;
         saw_batch |=
-            cand.reject_reason.find("batch") != std::string::npos;
+            cand.reject_reason == RejectReason::BatchIndivisible ||
+            cand.reject_reason == RejectReason::BatchTooSmall;
     }
     EXPECT_TRUE(saw_memory);
     EXPECT_TRUE(saw_batch);
+}
+
+TEST(Planner, RejectReasonsRenderForDisplay)
+{
+    // Every rejection value formats to a distinct non-empty string;
+    // None renders empty (feasible rows print their metrics instead).
+    EXPECT_STREQ(toString(RejectReason::None), "");
+    const RejectReason reasons[] = {
+        RejectReason::ClusterIndivisible, RejectReason::HeadsIndivisible,
+        RejectReason::SequenceIndivisible, RejectReason::TooFewLayers,
+        RejectReason::BatchIndivisible,    RejectReason::BatchTooSmall,
+        RejectReason::MemoryExceeded,
+    };
+    std::set<std::string> rendered;
+    for (const RejectReason reason : reasons) {
+        EXPECT_STRNE(toString(reason), "");
+        rendered.insert(toString(reason));
+    }
+    EXPECT_EQ(rendered.size(), std::size(reasons));
+}
+
+TEST(Planner, TryBestPlanReturnsNulloptWhenNothingFits)
+{
+    // tp = 5 divides neither the cluster nor the attention heads, so
+    // every candidate is rejected and the optional-returning variant
+    // reports that instead of aborting.
+    PlanInput in;
+    in.tp_options = {5};
+    in.cp_options = {1};
+    in.pp_options = {1, 2};
+    EXPECT_FALSE(tryBestPlan(in).has_value());
+    EXPECT_DEATH(bestPlan(in), "no feasible parallelism configuration");
+}
+
+TEST(Planner, BestPlanWrapsTryBestPlan)
+{
+    PlanInput in;
+    const std::optional<PlanCandidate> chosen = tryBestPlan(in);
+    ASSERT_TRUE(chosen.has_value());
+    const PlanCandidate aborting = bestPlan(in);
+    EXPECT_EQ(chosen->par, aborting.par);
+    EXPECT_EQ(chosen->zero, aborting.zero);
+    EXPECT_EQ(chosen->schedule, aborting.schedule);
+    EXPECT_EQ(chosen->est_step_seconds, aborting.est_step_seconds);
 }
 
 TEST(Planner, MemoryEstimatesWithinHbm)
@@ -102,11 +155,12 @@ TEST(Planner, MemoryEstimatesWithinHbm)
 TEST(Planner, ThroughputInPlausibleBand)
 {
     PlanInput in;
-    const PlanCandidate best = bestPlan(in);
+    const std::optional<PlanCandidate> best = tryBestPlan(in);
+    ASSERT_TRUE(best.has_value());
     // The paper reports 400 TFLOPs/GPU; the model must land in a
     // moderately wide band around it.
-    EXPECT_GT(best.est_tflops_per_gpu, 300.0);
-    EXPECT_LT(best.est_tflops_per_gpu, 550.0);
+    EXPECT_GT(best->est_tflops_per_gpu, 300.0);
+    EXPECT_LT(best->est_tflops_per_gpu, 550.0);
 }
 
 TEST(Planner, SmallerClusterStillPlans)
@@ -114,9 +168,10 @@ TEST(Planner, SmallerClusterStillPlans)
     PlanInput in;
     in.cluster = ClusterSpec::llama3Production(2048);
     in.global_batch_tokens = 2LL * 1024 * 1024;
-    const PlanCandidate best = bestPlan(in);
-    EXPECT_TRUE(best.feasible);
-    EXPECT_EQ(best.par.worldSize(), 2048);
+    const std::optional<PlanCandidate> best = tryBestPlan(in);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(best->feasible);
+    EXPECT_EQ(best->par.worldSize(), 2048);
 }
 
 TEST(Planner, SeventyBModelUsesLessModelParallelism)
@@ -125,9 +180,10 @@ TEST(Planner, SeventyBModelUsesLessModelParallelism)
     in.model = ModelConfig::llama3_70b();
     in.cluster = ClusterSpec::llama3Production(4096);
     in.global_batch_tokens = 8LL * 1024 * 1024;
-    const PlanCandidate best = bestPlan(in);
-    EXPECT_TRUE(best.feasible);
-    EXPECT_LE(best.par.modelParallelSize(), 64)
+    const std::optional<PlanCandidate> best = tryBestPlan(in);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(best->feasible);
+    EXPECT_LE(best->par.modelParallelSize(), 64)
         << "a 70B model must not need the 405B's tp*pp=128";
 }
 

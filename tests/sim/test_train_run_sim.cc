@@ -632,6 +632,54 @@ TEST(TrainRunSim, FatalFaultsDuringRebalancePauseRollBack)
     EXPECT_GT(lost, 0.0) << "fatal faults must keep losing work";
 }
 
+TEST(TrainRunSim, AutoIntervalTracksYoungDalyPerMode)
+{
+    // checkpoint_interval_auto makes checkpointIntervalSteps() the
+    // source of truth: it follows the Young–Daly optimum of whatever
+    // checkpoint mode the policy selects.
+    TrainRunConfig cfg = faultyConfig();
+    cfg.checkpoint_interval_steps = 0;
+    cfg.checkpoint_interval_auto = true;
+    const TrainRunSim sync_sim(cfg);
+    EXPECT_EQ(sync_sim.checkpointIntervalSteps(),
+              sync_sim.youngDalyIntervalSteps());
+    cfg.policy.checkpoint_mode = CheckpointMode::Async;
+    const TrainRunSim async_sim(cfg);
+    EXPECT_EQ(async_sim.checkpointIntervalSteps(),
+              async_sim.youngDalyIntervalSteps());
+    // Async only blocks for the snapshot, so its optimum is shorter.
+    EXPECT_LT(async_sim.checkpointIntervalSteps(),
+              sync_sim.checkpointIntervalSteps());
+    // run() consumes the same value the accessor reports.
+    expectBitwiseEqual(
+        async_sim.run(),
+        async_sim.runWithInterval(async_sim.checkpointIntervalSteps()));
+}
+
+TEST(TrainRunSim, ExplicitIntervalIsTheTruthWhenAutoIsOff)
+{
+    const TrainRunConfig cfg = baseConfig();
+    const TrainRunSim sim(cfg);
+    EXPECT_EQ(sim.checkpointIntervalSteps(),
+              cfg.checkpoint_interval_steps);
+}
+
+TEST(TrainRunSimDeathTest, AutoIntervalValidation)
+{
+    // An explicit interval alongside auto mode is a contradiction, not
+    // a silent override.
+    TrainRunConfig conflict = faultyConfig();
+    conflict.checkpoint_interval_auto = true; // interval stays 40
+    EXPECT_DEATH(conflict.validate(),
+                 "conflicts with checkpoint_interval_auto");
+    // Young–Daly is undefined without a fatal failure rate.
+    TrainRunConfig no_faults = baseConfig();
+    disableAllFaults(no_faults);
+    no_faults.checkpoint_interval_steps = 0;
+    no_faults.checkpoint_interval_auto = true;
+    EXPECT_DEATH(TrainRunSim{no_faults}, "fatal failure class");
+}
+
 TEST(TrainRunSimDeathTest, RejectsBadConfigs)
 {
     TrainRunConfig cfg = baseConfig();
