@@ -1,21 +1,31 @@
 #!/usr/bin/env bash
-# One-command pre-merge gate: the tier-1 build + test cycle followed by
-# the ASan/UBSan tier (the `sanitize` CMake preset runs every test with
-# the sanitize ctest label). Run from anywhere:
+# One-command pre-merge gate, four tiers:
 #
-#   ./scripts/check.sh          # both tiers
-#   ./scripts/check.sh --fast   # tier 1 only (skip the sanitize tier)
+#   1. default  — -Werror build + full test suite (includes the lint
+#                 self-tests and the tree-is-lint-clean gate)
+#   2. lint     — llm4d_lint over src/ bench/ examples/ tests/, plus
+#                 clang-tidy over the compile database when clang-tidy
+#                 is installed (skipped with a note otherwise)
+#   3. sanitize — ASan + UBSan + float-divide-by-zero build, all tests
+#   4. audit    — runtime invariant auditor build (-DLLM4D_AUDIT=ON),
+#                 all tests + the audit death tests
 #
-# Exits non-zero on the first failing build or test.
+#   ./scripts/check.sh          # all four tiers
+#   ./scripts/check.sh --fast   # tier 1 + lint only
+#   ./scripts/check.sh --lint   # lint only (assumes an existing build/)
+#
+# Exits non-zero on the first failing build, test, or lint finding.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
+lint_only=0
 for arg in "$@"; do
     case "$arg" in
     --fast) fast=1 ;;
+    --lint) lint_only=1 ;;
     *)
-        echo "usage: $0 [--fast]" >&2
+        echo "usage: $0 [--fast|--lint]" >&2
         exit 2
         ;;
     esac
@@ -23,19 +33,51 @@ done
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
-echo "== tier 1: default build + full test suite =="
-cmake --preset default
+run_lint() {
+    echo "== lint: llm4d_lint (determinism rules) =="
+    if [[ ! -x build/tools/lint/llm4d_lint ]]; then
+        cmake --preset default -DLLM4D_WERROR=ON
+        cmake --build --preset default -j "${jobs}" --target llm4d_lint
+    fi
+    ./build/tools/lint/llm4d_lint --root .
+
+    if command -v clang-tidy > /dev/null 2>&1; then
+        echo "== lint: clang-tidy (.clang-tidy profile) =="
+        # The compile database is exported by every configure; lint the
+        # library and tool sources (tests inherit the same headers).
+        find src tools -name '*.cc' -print0 |
+            xargs -0 -P "${jobs}" -n 8 clang-tidy -p build --quiet
+    else
+        echo "== lint: clang-tidy not installed; skipping tidy pass =="
+    fi
+}
+
+if [[ "${lint_only}" -eq 1 ]]; then
+    run_lint
+    echo "Lint passed."
+    exit 0
+fi
+
+echo "== tier 1: default -Werror build + full test suite =="
+cmake --preset default -DLLM4D_WERROR=ON
 cmake --build --preset default -j "${jobs}"
 ctest --preset default
 
+run_lint
+
 if [[ "${fast}" -eq 1 ]]; then
-    echo "Tier 1 passed (--fast: sanitize tier skipped)."
+    echo "Tier 1 + lint passed (--fast: sanitize and audit tiers skipped)."
     exit 0
 fi
 
 echo "== tier 2: ASan + UBSan build + sanitize-labeled tests =="
-cmake --preset sanitize
+cmake --preset sanitize -DLLM4D_WERROR=ON
 cmake --build --preset sanitize -j "${jobs}"
 ctest --preset sanitize
+
+echo "== tier 3: runtime invariant auditor build + audit-labeled tests =="
+cmake --preset audit -DLLM4D_WERROR=ON
+cmake --build --preset audit -j "${jobs}"
+ctest --preset audit
 
 echo "All checks passed."

@@ -75,32 +75,32 @@ class CheckpointModel
                     CheckpointStorage storage = {});
 
     /** Total checkpoint bytes across the cluster (12 B / parameter). */
-    double totalBytes() const;
+    [[nodiscard]] double totalBytes() const;
 
     /** Sharded checkpoint bytes written/read by one GPU. */
-    double bytesPerGpu() const;
+    [[nodiscard]] double bytesPerGpu() const;
 
     /** Synchronous sharded-save cost charged to the training step. */
-    double saveSeconds() const;
+    [[nodiscard]] double saveSeconds() const;
 
     /**
      * Step-blocking cost of an asynchronous save: each GPU DMAs its
      * shard into host DRAM; the filesystem write happens later.
      */
-    double snapshotSeconds() const;
+    [[nodiscard]] double snapshotSeconds() const;
 
     /**
      * Background drain of a snapshot to the filesystem (including the
      * durability metadata commit). Overlaps training steps; only its
      * *completion* makes the checkpoint usable for rollback.
      */
-    double drainSeconds() const;
+    [[nodiscard]] double drainSeconds() const;
 
     /**
      * Restore cost: sharded read plus the FSDP parameter all-gather that
      * rematerializes BF16 working weights on every rank.
      */
-    double loadSeconds() const;
+    [[nodiscard]] double loadSeconds() const;
 
   private:
     ModelConfig model_;
@@ -116,7 +116,8 @@ class CheckpointModel
  * save_cost << MTBF; the run simulator's empirical optimum is validated
  * against it (acceptance criterion: within 2x).
  */
-double youngDalyIntervalSeconds(double mtbf_seconds, double save_seconds);
+[[nodiscard]] double youngDalyIntervalSeconds(double mtbf_seconds,
+                                              double save_seconds);
 
 } // namespace llm4d
 

@@ -112,7 +112,7 @@ FaultModel::next()
     // Earliest class wins; ties break on class order for determinism.
     int best = -1;
     for (int k = 0; k < kNumFaultKinds; ++k) {
-        if (classes_[k].next_at == kNever)
+        if (classes_[k].next_at == kNever) // lint:allow(time-eq)
             continue;
         if (best < 0 || classes_[k].next_at < classes_[best].next_at)
             best = k;

@@ -1,6 +1,7 @@
 #include "llm4d/net/flow_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "llm4d/simcore/common.h"
@@ -29,6 +30,9 @@ FlowSim::addFlow(std::vector<LinkId> path, double bytes, Time start)
     flow.path = std::move(path);
     flow.bytes = bytes;
     flow.start = start;
+#if LLM4D_AUDIT_ENABLED
+    flow.audit_requested = bytes;
+#endif
     flows_.push_back(std::move(flow));
     return static_cast<FlowId>(flows_.size()) - 1;
 }
@@ -101,6 +105,27 @@ FlowSim::allocateRates()
             }
         }
     }
+
+#if LLM4D_AUDIT_ENABLED
+    // Residual-capacity audit: the allocation may saturate a link but
+    // never oversubscribe it. Progressive filling guarantees this by
+    // construction; the auditor re-derives the per-link load from
+    // scratch so a future edit cannot silently break the guarantee.
+    std::vector<double> used(linkCapacity_.size(), 0.0);
+    for (const Flow &flow : flows_) {
+        if (!flow.active)
+            continue;
+        for (LinkId link : flow.path)
+            used[static_cast<std::size_t>(link)] += flow.rate;
+    }
+    for (std::size_t l = 0; l < linkCapacity_.size(); ++l) {
+        LLM4D_AUDIT_CHECK("flowsim",
+                          used[l] <= linkCapacity_[l] * (1.0 + 1e-9),
+                          "link " << l << " oversubscribed: allocated "
+                              << used[l] << " B/s of "
+                              << linkCapacity_[l] << " B/s");
+    }
+#endif
 }
 
 std::vector<FlowResult>
@@ -172,8 +197,22 @@ FlowSim::run()
         for (Flow &flow : flows_) {
             if (!flow.active)
                 continue;
+#if LLM4D_AUDIT_ENABLED
+            flow.audit_moved += flow.rate * elapsed;
+#endif
             flow.bytes -= flow.rate * elapsed;
             if (flow.bytes <= flow.rate * 2e-9) {
+                // Conservation on release: the bytes drained over the
+                // flow's lifetime must match the request, up to the one
+                // clock tick of residue the completion threshold above
+                // forgives plus accumulated rounding.
+                LLM4D_AUDIT_CHECK(
+                    "flowsim",
+                    std::abs(flow.audit_moved - flow.audit_requested) <=
+                        flow.rate * 4e-9 + 1e-6 * flow.audit_requested,
+                    "flow conservation: moved " << flow.audit_moved
+                        << " B of " << flow.audit_requested
+                        << " B requested");
                 flow.bytes = 0.0;
                 flow.active = false;
                 flow.done = true;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "llm4d/simcore/audit.h"
 #include "llm4d/simcore/time.h"
 
 namespace llm4d {
@@ -76,6 +77,10 @@ class FlowSim
         bool done = false;
         Time end = 0;
         double rate = 0.0;      ///< current allocation, bytes/sec
+#if LLM4D_AUDIT_ENABLED
+        double audit_requested = 0.0; ///< original request (conservation)
+        double audit_moved = 0.0;     ///< cumulative bytes drained
+#endif
     };
 
     struct CapacityChange

@@ -96,7 +96,7 @@ struct GoodputPlanInput
     /** The sweep grid: one RecoveryPolicy per axis combination, in a
      *  deterministic order (mode is WarmSpare whenever spares or
      *  shrinking give it something to do). */
-    std::vector<RecoveryPolicy> sweepPolicies() const;
+    [[nodiscard]] std::vector<RecoveryPolicy> sweepPolicies() const;
 
     /** Abort unless the sweep axes and stage-2 knobs are sane. */
     void validate() const;
@@ -138,7 +138,10 @@ struct GoodputPlanCandidate
     std::size_t best_point = 0;
 
     /** The winning sweep cell. */
-    const GoodputSweepPoint &best() const { return sweep[best_point]; }
+    [[nodiscard]] const GoodputSweepPoint &best() const
+    {
+        return sweep[best_point];
+    }
 
     /** Ranking metric: best().goodput_tflops_per_gpu. */
     double goodput_tflops_per_gpu = 0.0;
@@ -151,15 +154,16 @@ struct GoodputPlanCandidate
  * analytic axis options (candidates are re-sorted under a total order
  * before and after simulation).
  */
-std::vector<GoodputPlanCandidate> planGoodput(const GoodputPlanInput &input);
+[[nodiscard]] std::vector<GoodputPlanCandidate>
+planGoodput(const GoodputPlanInput &input);
 
 /** The goodput-optimal candidate, or nullopt when stage 1 finds no
  *  feasible plan. */
-std::optional<GoodputPlanCandidate>
+[[nodiscard]] std::optional<GoodputPlanCandidate>
 tryBestGoodputPlan(const GoodputPlanInput &input);
 
 /** tryBestGoodputPlan that aborts (user error) when nothing fits. */
-GoodputPlanCandidate bestGoodputPlan(const GoodputPlanInput &input);
+[[nodiscard]] GoodputPlanCandidate bestGoodputPlan(const GoodputPlanInput &input);
 
 } // namespace llm4d
 

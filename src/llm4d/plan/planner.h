@@ -58,7 +58,7 @@ enum class RejectReason
 };
 
 /** Display string of a rejection reason ("" for None). */
-const char *toString(RejectReason reason);
+[[nodiscard]] const char *toString(RejectReason reason);
 
 /** One evaluated configuration. */
 struct PlanCandidate
@@ -82,14 +82,14 @@ struct PlanCandidate
 
 /** Evaluate every candidate; feasible ones sorted fastest-first, then
  *  the infeasible ones with their rejection reasons. */
-std::vector<PlanCandidate> enumeratePlans(const PlanInput &input);
+[[nodiscard]] std::vector<PlanCandidate> enumeratePlans(const PlanInput &input);
 
 /** The fastest feasible candidate after the paper's Section 5.1
  *  near-tie preference rules, or nullopt when nothing fits. */
-std::optional<PlanCandidate> tryBestPlan(const PlanInput &input);
+[[nodiscard]] std::optional<PlanCandidate> tryBestPlan(const PlanInput &input);
 
 /** tryBestPlan that aborts (user error) when no candidate fits. */
-PlanCandidate bestPlan(const PlanInput &input);
+[[nodiscard]] PlanCandidate bestPlan(const PlanInput &input);
 
 } // namespace llm4d
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <map>
 
 #include "llm4d/net/flow_sim.h"
 #include "llm4d/net/topology.h"
@@ -10,6 +10,12 @@
 #include "llm4d/simcore/engine.h"
 
 namespace llm4d {
+
+#if LLM4D_AUDIT_ENABLED
+namespace audit_testing {
+double trainrun_lost_skew_seconds = 0.0;
+} // namespace audit_testing
+#endif
 
 namespace {
 
@@ -333,8 +339,12 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     AsyncWait wait = AsyncWait::None;
     Time stall_started = 0;
     std::int64_t evict_rank = -1; ///< straggler awaiting durable evict
-    std::unordered_map<std::int64_t, ActiveFlap> flaps;      // by NIC/rank
-    std::unordered_map<std::int64_t, ActiveStraggler> stragglers; // by rank
+    // Ordered maps on purpose: both are iterated by event handlers, and
+    // deterministic (rank-ordered) iteration is part of the engine's
+    // bit-reproducibility contract — the nondeterminism lint rejects
+    // unordered-container iteration in event-scheduling files.
+    std::map<std::int64_t, ActiveFlap> flaps;           // by NIC/rank
+    std::map<std::int64_t, ActiveStraggler> stragglers; // by rank
 
     // Forward declarations so handlers can schedule each other.
     std::function<void()> schedule_step;
@@ -396,6 +406,14 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     };
 
     const auto rollback = [&]() {
+#if LLM4D_AUDIT_ENABLED
+        // Rollback targets non-durable work only: committed steps are
+        // untouchable, and the lost-step ledger must grow by exactly the
+        // tentative + pending steps being discarded.
+        const std::int64_t audit_committed_before = committed;
+        const std::int64_t audit_expected_lost =
+            rep.steps_lost + done_since_ckpt + pending_steps;
+#endif
         // Un-durable work is lost: both the steps since the last
         // snapshot and any snapshot whose drain has not finished.
         if (drain_active) {
@@ -416,6 +434,14 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         // snapshot would terminate the run early.
         finishing = false;
         evict_rank = -1;
+        LLM4D_AUDIT_CHECK("sim", committed == audit_committed_before,
+                          "rollback changed durable progress: "
+                              << audit_committed_before << " -> "
+                              << committed << " committed steps");
+        LLM4D_AUDIT_CHECK("sim", rep.steps_lost == audit_expected_lost,
+                          "rollback lost-step ledger off: "
+                              << rep.steps_lost << " != expected "
+                              << audit_expected_lost);
     };
 
     /** Service outage: detection, then @p rest_s of recovery work
@@ -671,8 +697,9 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 --warmup_left;
             // Straggler detection accumulates evidence one degraded step
             // at a time; mitigated stragglers are already handled.
-            // Lowest rank wins ties so the outcome does not depend on
-            // hash-map iteration order.
+            // Lowest rank wins ties — explicit even though the ordered
+            // map already iterates by rank, so the policy survives a
+            // container change.
             std::int64_t detected = -1;
             for (auto &[rank, st] : stragglers) {
                 if (st.mitigated)
@@ -838,6 +865,29 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     rep.availability = rep.wall_seconds > 0.0
                            ? rep.productive_seconds / rep.wall_seconds
                            : 0.0;
+#if LLM4D_AUDIT_ENABLED
+    // Conservation audit: every simulated second must land in exactly
+    // one breakdown bucket. A leak here silently corrupts goodput and
+    // every ranking built on it, so the audit tier makes it fatal. The
+    // test seam lets death tests desynchronize a bucket on purpose.
+    rep.lost_seconds += audit_testing::trainrun_lost_skew_seconds;
+    const double audit_bucket_sum =
+        rep.productive_seconds + rep.degraded_seconds +
+        rep.checkpoint_seconds + rep.lost_seconds + rep.detection_seconds +
+        rep.restart_seconds + rep.spare_swap_seconds + rep.shrink_seconds +
+        rep.drain_stall_seconds;
+    LLM4D_AUDIT_CHECK("sim",
+                      std::abs(audit_bucket_sum - rep.wall_seconds) <=
+                          1e-6 * std::max(rep.wall_seconds, 1.0),
+                      "lost-time breakdown leaks: buckets sum to "
+                          << audit_bucket_sum << " s but wall clock is "
+                          << rep.wall_seconds << " s");
+    LLM4D_AUDIT_CHECK("sim",
+                      rep.steps_committed >= 0 &&
+                          rep.steps_committed <= cfg_.total_steps,
+                      "committed step count " << rep.steps_committed
+                          << " outside [0, " << cfg_.total_steps << "]");
+#endif
     return rep;
 }
 

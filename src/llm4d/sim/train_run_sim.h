@@ -50,8 +50,22 @@
 #include "llm4d/fault/fault_model.h"
 #include "llm4d/fault/recovery_policy.h"
 #include "llm4d/sim/train_sim.h"
+#include "llm4d/simcore/audit.h"
 
 namespace llm4d {
+
+#if LLM4D_AUDIT_ENABLED
+namespace audit_testing {
+/**
+ * Audit-build test seam: seconds leaked into the lost-time bucket just
+ * before TrainRunSim's breakdown-conservation audit. Death tests set
+ * this to a non-zero value to deliberately desynchronize the buckets
+ * and assert the auditor fires — proving the conservation invariant has
+ * teeth. Never compiled into regular builds; defaults to 0.0 (no skew).
+ */
+extern double trainrun_lost_skew_seconds;
+} // namespace audit_testing
+#endif
 
 /** How failures are noticed (MegaScale Section 4: detection latency). */
 struct DetectionConfig
@@ -71,7 +85,7 @@ struct DetectionConfig
     /** Noise/confidence model feeding stragglerDetectionSteps(). */
     StragglerDetectModel straggler;
 
-    double fatalDetectionSeconds() const
+    [[nodiscard]] double fatalDetectionSeconds() const
     {
         return fast_fail ? fast_fail_seconds : timeout_seconds;
     }
@@ -146,7 +160,7 @@ struct FaultCounts
     std::int64_t link_flaps = 0;
     std::int64_t stragglers = 0;
 
-    std::int64_t total() const
+    [[nodiscard]] std::int64_t total() const
     {
         return gpu_fatal + host_crash + link_flaps + stragglers;
     }
@@ -220,7 +234,7 @@ struct TrainRunReport
     double base_tflops_per_gpu = 0.0;
 
     /** goodput / base: the fraction of ideal throughput retained. */
-    double goodputFraction() const
+    [[nodiscard]] double goodputFraction() const
     {
         return base_tflops_per_gpu > 0.0
                    ? goodput_tflops_per_gpu / base_tflops_per_gpu
@@ -248,16 +262,16 @@ class TrainRunSim
     /** Validates the config and prices the fault-free step once. */
     explicit TrainRunSim(TrainRunConfig cfg);
 
-    const TrainRunConfig &config() const { return cfg_; }
+    [[nodiscard]] const TrainRunConfig &config() const { return cfg_; }
 
     /** The fault-free per-step report the run is built on. */
-    const TrainStepReport &baseStep() const { return base_; }
+    [[nodiscard]] const TrainStepReport &baseStep() const { return base_; }
 
     /** Checkpoint save/load pricing in use. */
-    const CheckpointModel &checkpoint() const { return ckpt_; }
+    [[nodiscard]] const CheckpointModel &checkpoint() const { return ckpt_; }
 
     /** Cluster-level mean time between fault events, seconds. */
-    double mtbfSeconds() const;
+    [[nodiscard]] double mtbfSeconds() const;
 
     /**
      * The checkpoint interval the run actually uses: the Young–Daly
@@ -266,32 +280,32 @@ class TrainRunSim
      * this, not the config field, so auto mode and the checkpoint mode
      * can never desynchronize.
      */
-    std::int64_t checkpointIntervalSteps() const;
+    [[nodiscard]] std::int64_t checkpointIntervalSteps() const;
 
     /** Simulate the configured run. */
-    TrainRunReport run() const;
+    [[nodiscard]] TrainRunReport run() const;
 
     /** Simulate with an overridden checkpoint interval. */
-    TrainRunReport runWithInterval(std::int64_t interval_steps) const;
+    [[nodiscard]] TrainRunReport runWithInterval(std::int64_t interval_steps) const;
 
     /** Goodput at each candidate interval (same fault timeline: the
      *  failure process is exogenous, so common random numbers make the
      *  scan a true apples-to-apples comparison). */
-    std::vector<IntervalScanPoint>
+    [[nodiscard]] std::vector<IntervalScanPoint>
     scanCheckpointIntervals(const std::vector<std::int64_t> &intervals) const;
 
     /** Young–Daly optimal interval for this run, in steps (>= 1).
      *  Uses blockingSaveSeconds(): under async checkpointing only the
      *  snapshot blocks the step, so the optimum shifts to the much
      *  shorter sqrt(2 * MTBF * snapshot) interval. */
-    std::int64_t youngDalyIntervalSteps() const;
+    [[nodiscard]] std::int64_t youngDalyIntervalSteps() const;
 
     /** Step-blocking cost of one checkpoint under the configured mode:
      *  the full sharded save (sync) or just the DRAM snapshot (async). */
-    double blockingSaveSeconds() const;
+    [[nodiscard]] double blockingSaveSeconds() const;
 
     /** Recovery-path transition pricing for this job. */
-    const RecoveryCostModel &recovery() const { return recovery_; }
+    [[nodiscard]] const RecoveryCostModel &recovery() const { return recovery_; }
 
   private:
     /** Blocking/overlapped checkpoint costs at one DP degree. */

@@ -18,6 +18,11 @@ Engine::scheduleAt(Time when, Callback fn)
 {
     LLM4D_ASSERT(when >= now_, "event scheduled in the past: " << when
                                << " < " << now_);
+    // Redundant with the assert above by design: the auditor re-states
+    // the invariant so the audit tier still holds if the everyday guard
+    // is ever weakened.
+    LLM4D_AUDIT_CHECK("engine", when >= now_,
+                      "scheduling into the past: " << when << " < " << now_);
     const EventId id = nextSeq_++;
     queue_.push(Event{when, id, std::move(fn)});
     pending_.insert(id);
@@ -53,10 +58,15 @@ Engine::run()
         Event ev;
         if (!popInto(ev))
             continue; // cancelled: no callback, no clock advance
+        auditExecuted(ev.when, ev.seq);
         now_ = ev.when;
         ++processed_;
         ev.fn();
     }
+    LLM4D_AUDIT_CHECK("engine", pending_.empty(),
+                      "drained queue left " << pending_.size()
+                          << " ids pending: cancellation bookkeeping "
+                             "diverged from the queue");
     return now_;
 }
 
@@ -67,6 +77,7 @@ Engine::runUntil(Time limit)
         Event ev;
         if (!popInto(ev))
             continue;
+        auditExecuted(ev.when, ev.seq);
         now_ = ev.when;
         ++processed_;
         ev.fn();

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "llm4d/simcore/audit.h"
 #include "llm4d/simcore/time.h"
 
 namespace llm4d {
@@ -82,6 +83,15 @@ class Engine
     /** True when no live (non-cancelled) events are pending. */
     bool idle() const { return pending_.empty(); }
 
+#if LLM4D_AUDIT_ENABLED
+    /**
+     * Audit-build test seam: force the clock to @p t without running
+     * events, so death tests can violate event-time monotonicity and
+     * assert the auditor fires. Never compiled into regular builds.
+     */
+    void auditForceClockForTest(Time t) { now_ = t; }
+#endif
+
   private:
     struct Event
     {
@@ -95,7 +105,9 @@ class Engine
         bool
         operator()(const Event &a, const Event &b) const
         {
-            if (a.when != b.when)
+            // The FIFO tie-break itself: exact time equality is the
+            // contract here, not an accident.
+            if (a.when != b.when) // lint:allow(time-eq)
                 return a.when > b.when;
             return a.seq > b.seq;
         }
@@ -104,12 +116,40 @@ class Engine
     /** Pop the queue head; @return false for cancelled (skipped) events. */
     bool popInto(Event &out);
 
+    /** Audit hook: cross-check monotonicity and FIFO tie-break order of
+     *  every executed event. Compiles to nothing in regular builds. */
+    void auditExecuted(Time when, EventId seq)
+    {
+#if LLM4D_AUDIT_ENABLED
+        LLM4D_AUDIT_CHECK("engine", when >= now_,
+                          "clock would move backwards: event at "
+                              << when << " behind clock " << now_);
+        LLM4D_AUDIT_CHECK("engine",
+                          when > auditLastWhen_ ||
+                              (when == auditLastWhen_ && // lint:allow(time-eq)
+                               seq > auditLastSeq_),
+                          "FIFO tie-break violated: event (t=" << when
+                              << ", seq=" << seq << ") after (t="
+                              << auditLastWhen_ << ", seq="
+                              << auditLastSeq_ << ")");
+        auditLastWhen_ = when;
+        auditLastSeq_ = seq;
+#else
+        (void)when;
+        (void)seq;
+#endif
+    }
+
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     /** Ids scheduled but neither executed nor cancelled. */
     std::unordered_set<EventId> pending_;
     Time now_ = 0;
     EventId nextSeq_ = 0;
     std::int64_t processed_ = 0;
+#if LLM4D_AUDIT_ENABLED
+    Time auditLastWhen_ = -1;     ///< timestamp of the last executed event
+    EventId auditLastSeq_ = 0;    ///< its scheduling sequence number
+#endif
 };
 
 } // namespace llm4d

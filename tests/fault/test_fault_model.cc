@@ -49,7 +49,7 @@ TEST(FaultModel, DifferentSeedsDiffer)
     const auto eb = drain(b, 20);
     int same = 0;
     for (int i = 0; i < 20; ++i)
-        same += ea[i].when == eb[i].when;
+        same += ea[i].when == eb[i].when; // lint:allow(time-eq)
     EXPECT_LT(same, 20);
 }
 

@@ -1,0 +1,14 @@
+// Lint fixture: must trip missing-nodiscard (and nothing else).
+#ifndef LLM4D_TESTS_LINT_FIXTURES_BAD_MISSING_NODISCARD_H_
+#define LLM4D_TESTS_LINT_FIXTURES_BAD_MISSING_NODISCARD_H_
+
+#include <optional>
+
+struct Plan
+{
+    int degree = 1;
+};
+
+std::optional<Plan> tryCheapPlan(int budget);
+
+#endif // LLM4D_TESTS_LINT_FIXTURES_BAD_MISSING_NODISCARD_H_

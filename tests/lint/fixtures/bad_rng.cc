@@ -1,0 +1,9 @@
+// Lint fixture: must trip nondet-rng (and nothing else).
+#include <random>
+
+int
+draw()
+{
+    std::random_device rd;
+    return static_cast<int>(rd()) + rand();
+}

@@ -1,0 +1,11 @@
+// Lint fixture: must trip time-eq (and nothing else).
+struct Event
+{
+    long when = 0;
+};
+
+bool
+simultaneous(const Event &a, const Event &b)
+{
+    return a.when == b.when;
+}

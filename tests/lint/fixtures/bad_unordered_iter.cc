@@ -1,0 +1,15 @@
+// Lint fixture: must trip unordered-iter (and nothing else). The
+// engine.h include marks this file as event-scheduling, which is what
+// scopes the rule.
+#include "llm4d/simcore/engine.h"
+
+#include <unordered_map>
+
+double
+total(const std::unordered_map<int, double> &costs)
+{
+    double sum = 0.0;
+    for (const auto &kv : costs)
+        sum += kv.second;
+    return sum;
+}

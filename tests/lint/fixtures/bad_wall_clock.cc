@@ -1,0 +1,11 @@
+// Lint fixture: must trip wall-clock (and nothing else).
+#include <chrono>
+#include <ctime>
+
+long
+stamp()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    return static_cast<long>(time(nullptr));
+}

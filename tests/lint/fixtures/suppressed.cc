@@ -1,0 +1,28 @@
+// Lint fixture: every banned pattern below carries a lint:allow marker,
+// so this file must produce ZERO violations.
+#include "llm4d/simcore/engine.h"
+
+#include <chrono>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+struct Event
+{
+    long when = 0;
+};
+
+double
+everything(const std::unordered_map<int, double> &costs, const Event &a,
+           const Event &b)
+{
+    std::random_device rd; // lint:allow(nondet-rng)
+    (void)std::chrono::steady_clock::now(); // lint:allow(wall-clock)
+    (void)time(nullptr); // lint:allow(wall-clock)
+    double sum = static_cast<double>(rd());
+    for (const auto &kv : costs) // lint:allow(unordered-iter)
+        sum += kv.second;
+    if (a.when == b.when) // lint:allow(time-eq)
+        sum += 1.0;
+    return sum;
+}

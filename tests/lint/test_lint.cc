@@ -1,0 +1,179 @@
+/**
+ * Self-tests for the determinism lint (tools/lint): every bad fixture
+ * trips exactly its rule, suppressions silence exactly what they name,
+ * and — the actual gate — the real source tree is clean.
+ */
+
+#include "lint_core.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using llm4d::lint::lintContent;
+using llm4d::lint::lintFile;
+using llm4d::lint::Violation;
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(LLM4D_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** All violations in @p v carry @p rule, and there is at least one. */
+void
+expectOnlyRule(const std::vector<Violation> &v, const std::string &rule)
+{
+    ASSERT_FALSE(v.empty()) << "expected at least one " << rule
+                            << " violation";
+    for (const Violation &violation : v)
+        EXPECT_EQ(violation.rule, rule)
+            << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, RuleTableHasFiveRules)
+{
+    const auto rules = llm4d::lint::ruleTable();
+    ASSERT_EQ(rules.size(), 5u);
+    std::vector<std::string> names;
+    names.reserve(rules.size());
+    for (const auto &rule : rules)
+        names.push_back(rule.name);
+    for (const char *expected :
+         {"nondet-rng", "wall-clock", "unordered-iter", "time-eq",
+          "missing-nodiscard"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << "missing rule " << expected;
+    }
+}
+
+TEST(Lint, BadRngFixtureTripsOnlyNondetRng)
+{
+    expectOnlyRule(lintFile(fixture("bad_rng.cc")), "nondet-rng");
+}
+
+TEST(Lint, BadWallClockFixtureTripsOnlyWallClock)
+{
+    expectOnlyRule(lintFile(fixture("bad_wall_clock.cc")), "wall-clock");
+}
+
+TEST(Lint, BadUnorderedIterFixtureTripsOnlyUnorderedIter)
+{
+    expectOnlyRule(lintFile(fixture("bad_unordered_iter.cc")),
+                   "unordered-iter");
+}
+
+TEST(Lint, BadTimeEqFixtureTripsOnlyTimeEq)
+{
+    expectOnlyRule(lintFile(fixture("bad_time_eq.cc")), "time-eq");
+}
+
+TEST(Lint, BadMissingNodiscardFixtureTripsOnlyMissingNodiscard)
+{
+    expectOnlyRule(lintFile(fixture("bad_missing_nodiscard.h")),
+                   "missing-nodiscard");
+}
+
+TEST(Lint, SuppressedFixtureIsClean)
+{
+    const auto v = lintFile(fixture("suppressed.cc"));
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, UnreadableFileYieldsIoViolation)
+{
+    const auto v = lintFile(fixture("does_not_exist.cc"));
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "io");
+}
+
+TEST(Lint, SuppressionOnlySilencesTheNamedRule)
+{
+    // The allow names time-eq, but the line also draws from rand():
+    // nondet-rng must still fire.
+    const auto v = lintContent(
+        "virtual.cc",
+        "bool f(long when_a, long when_b) {\n"
+        "    return (when_a == when_b) && rand(); // lint:allow(time-eq)\n"
+        "}\n");
+    expectOnlyRule(v, "nondet-rng");
+}
+
+TEST(Lint, CommentsAndStringsAreStripped)
+{
+    const auto v = lintContent(
+        "virtual.cc",
+        "// std::random_device in a comment is fine\n"
+        "/* rand() in a block comment too */\n"
+        "const char *msg = \"time(nullptr) inside a string\";\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, NodiscardDeclarationPasses)
+{
+    const auto v = lintContent(
+        "virtual.h",
+        "[[nodiscard]] std::optional<Plan> tryCheapPlan(int budget);\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, NodiscardCallSitesAreNotFlagged)
+{
+    const auto v = lintContent(
+        "virtual.h",
+        "inline int use() { return tryCheapPlan(3) ? 1 : 0; }\n"
+        "inline auto grab() { auto p = tryCheapPlan(4); return p; }\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, UnorderedIterNotFlaggedWithoutEngineOrStatsInclude)
+{
+    const auto v = lintContent(
+        "virtual.cc",
+        "#include <unordered_map>\n"
+        "double total(const std::unordered_map<int, double> &m) {\n"
+        "    double s = 0;\n"
+        "    for (const auto &kv : m) s += kv.second;\n"
+        "    return s;\n"
+        "}\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, IteratorEndComparisonIsNotTimeEq)
+{
+    const auto v = lintContent(
+        "virtual.cc",
+        "bool has(const std::map<int, long> &until_by_rank, int r) {\n"
+        "    return until_by_rank.find(r) != until_by_rank.end();\n"
+        "}\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, ToStringFormat)
+{
+    const Violation violation{"a/b.cc", 7, "time-eq", "msg"};
+    EXPECT_EQ(llm4d::lint::toString(violation), "a/b.cc:7: time-eq: msg");
+}
+
+// The gate itself: the shipped tree must stay lint-clean. This is what
+// makes `ctest -L lint` (and the default tier, which includes it) fail
+// the build when a nondeterminism pattern lands.
+TEST(Lint, RealSourceTreeIsClean)
+{
+    const auto v = llm4d::lint::lintTree(LLM4D_LINT_SOURCE_ROOT);
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+} // namespace

@@ -126,7 +126,8 @@ TEST(Planner, TryBestPlanReturnsNulloptWhenNothingFits)
     in.cp_options = {1};
     in.pp_options = {1, 2};
     EXPECT_FALSE(tryBestPlan(in).has_value());
-    EXPECT_DEATH(bestPlan(in), "no feasible parallelism configuration");
+    EXPECT_DEATH((void)bestPlan(in),
+                 "no feasible parallelism configuration");
 }
 
 TEST(Planner, BestPlanWrapsTryBestPlan)

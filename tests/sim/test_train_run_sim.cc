@@ -574,10 +574,11 @@ TEST(TrainRunSim, FatalFaultsDuringAsyncEndgameNeverFakeCompletion)
     for (std::uint64_t seed = 1; seed <= 30; ++seed) {
         cfg.seed = seed;
         const TrainRunReport rep = TrainRunSim(cfg).run();
-        if (rep.completed)
+        if (rep.completed) {
             EXPECT_EQ(rep.steps_committed, cfg.total_steps)
                 << "seed " << seed
                 << ": run reported complete before committing every step";
+        }
         EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
                     1e-6 * rep.wall_seconds)
             << "seed " << seed;
@@ -618,9 +619,10 @@ TEST(TrainRunSim, FatalFaultsDuringRebalancePauseRollBack)
         cfg.seed = seed;
         const TrainRunSim sim(cfg);
         const TrainRunReport rep = sim.run();
-        if (rep.completed)
+        if (rep.completed) {
             EXPECT_EQ(rep.steps_committed, cfg.total_steps)
                 << "seed " << seed;
+        }
         EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
                     1e-6 * rep.wall_seconds)
             << "seed " << seed;

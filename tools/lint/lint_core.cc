@@ -1,0 +1,523 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace llm4d::lint {
+
+namespace {
+
+/** A file after preprocessing: raw lines for suppression comments,
+ *  code lines with comments and string/char literals blanked out. */
+struct FileText
+{
+    std::string path;
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+    std::vector<std::vector<std::string>> allows; ///< per-line rule names
+};
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(content);
+    while (std::getline(in, line))
+        lines.push_back(line);
+    if (lines.empty())
+        lines.emplace_back();
+    return lines;
+}
+
+/**
+ * Blank comments and string/char literal contents (preserving line
+ * structure and column positions), so rules never fire on prose or log
+ * messages. A single pass with a five-state machine; escape sequences
+ * inside literals are honoured.
+ */
+std::vector<std::string>
+stripCommentsAndStrings(const std::vector<std::string> &raw)
+{
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+    };
+    State state = State::Code;
+    std::vector<std::string> out;
+    out.reserve(raw.size());
+    for (const std::string &line : raw) {
+        std::string code(line.size(), ' ');
+        if (state == State::LineComment)
+            state = State::Code;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+            switch (state) {
+              case State::Code:
+                if (c == '/' && next == '/') {
+                    state = State::LineComment;
+                    ++i;
+                } else if (c == '/' && next == '*') {
+                    state = State::BlockComment;
+                    ++i;
+                } else if (c == '"') {
+                    code[i] = '"';
+                    state = State::String;
+                } else if (c == '\'') {
+                    code[i] = '\'';
+                    state = State::Char;
+                } else {
+                    code[i] = c;
+                }
+                break;
+              case State::LineComment:
+                break; // rest of the line is comment
+              case State::BlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::Code;
+                    ++i;
+                }
+                break;
+              case State::String:
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '"') {
+                    code[i] = '"';
+                    state = State::Code;
+                }
+                break;
+              case State::Char:
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '\'') {
+                    code[i] = '\'';
+                    state = State::Code;
+                }
+                break;
+            }
+        }
+        if (state == State::LineComment)
+            state = State::Code;
+        out.push_back(std::move(code));
+    }
+    return out;
+}
+
+/** Parse every `lint:allow(a,b)` marker on one raw line. */
+std::vector<std::string>
+parseAllows(const std::string &raw_line)
+{
+    static const std::regex kAllow(R"(lint:allow\(([A-Za-z0-9_\-, ]+)\))");
+    std::vector<std::string> allows;
+    auto begin =
+        std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllow);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        std::string inner = (*it)[1].str();
+        std::string name;
+        std::istringstream parts(inner);
+        while (std::getline(parts, name, ',')) {
+            const auto first = name.find_first_not_of(" \t");
+            const auto last = name.find_last_not_of(" \t");
+            if (first != std::string::npos)
+                allows.push_back(name.substr(first, last - first + 1));
+        }
+    }
+    return allows;
+}
+
+FileText
+preprocess(const std::string &path, const std::string &content)
+{
+    FileText text;
+    text.path = path;
+    text.raw = splitLines(content);
+    text.code = stripCommentsAndStrings(text.raw);
+    text.allows.reserve(text.raw.size());
+    for (const std::string &line : text.raw)
+        text.allows.push_back(parseAllows(line));
+    return text;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern rules: one regex per rule, applied per code line. Extending the
+// lint with a new token-level ban is one table row here.
+// ---------------------------------------------------------------------------
+
+struct PatternRule
+{
+    const char *name;
+    const char *summary;
+    const char *pattern;
+    const char *message;
+};
+
+const PatternRule kPatternRules[] = {
+    {"nondet-rng",
+     "std::random_device / rand() / srand(): RNG outside the seeded "
+     "llm4d::Rng",
+     R"(random_device|(^|[^\w])(rand|srand)\s*\()",
+     "nondeterministic RNG source; derive randomness from the seeded "
+     "llm4d::Rng (simcore/rng.h) so runs stay bit-reproducible"},
+    {"wall-clock",
+     "host wall-clock reads (chrono ::now, time(nullptr), clock(), ...)",
+     R"((system_clock|steady_clock|high_resolution_clock)\s*::\s*now)"
+     R"(|\b(gettimeofday|clock_gettime|timespec_get)\b)"
+     R"(|(^|[^\w.:>])time\s*\(\s*(nullptr|NULL|0)\s*\))"
+     R"(|(^|[^\w.:>~])clock\s*\(\s*\))",
+     "host wall-clock read; simulated results must depend only on "
+     "Engine::now() and the configured seed"},
+};
+
+void
+checkPatternRule(const PatternRule &rule, const FileText &text,
+                 std::vector<Violation> &out)
+{
+    const std::regex re(rule.pattern);
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        if (std::regex_search(text.code[i], re)) {
+            out.push_back(Violation{text.path, static_cast<int>(i + 1),
+                                    rule.name, rule.message});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter: range-for over std::unordered_map/set in files that
+// schedule engine events or accumulate stats (direct include of
+// simcore/engine.h or simcore/stats.h).
+// ---------------------------------------------------------------------------
+
+bool
+fileSchedulesEventsOrAccumulatesStats(const FileText &text)
+{
+    for (const std::string &line : text.raw) {
+        if (line.find("#include \"llm4d/simcore/engine.h\"") !=
+                std::string::npos ||
+            line.find("#include \"llm4d/simcore/stats.h\"") !=
+                std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** Names declared (or returned by accessors) with an unordered type. */
+std::set<std::string>
+unorderedNames(const FileText &text)
+{
+    static const std::regex kDecl(
+        R"(unordered_(map|set)\s*<[^;{}]*?>\s*&?\s*(\w+)\s*[;={(,)])");
+    std::set<std::string> names;
+    for (const std::string &line : text.code) {
+        auto begin = std::sregex_iterator(line.begin(), line.end(), kDecl);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            names.insert((*it)[2].str());
+    }
+    return names;
+}
+
+/**
+ * Find the range expression of a single-line range-for starting at the
+ * '(' at @p open in @p line; empty when the loop is not a range-for (or
+ * spans lines — a known limit of a line-level scanner).
+ */
+std::string
+rangeForExpr(const std::string &line, std::size_t open)
+{
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    for (std::size_t i = open; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '(')
+            ++depth;
+        else if (c == ')') {
+            --depth;
+            if (depth == 0) {
+                if (colon == std::string::npos)
+                    return "";
+                return line.substr(colon + 1, i - colon - 1);
+            }
+        } else if (c == ':' && depth == 1 && colon == std::string::npos) {
+            const char prev = i > 0 ? line[i - 1] : '\0';
+            const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+            if (prev != ':' && next != ':')
+                colon = i;
+        }
+    }
+    return "";
+}
+
+void
+checkUnorderedIter(const FileText &text, std::vector<Violation> &out)
+{
+    if (!fileSchedulesEventsOrAccumulatesStats(text))
+        return;
+    const std::set<std::string> names = unorderedNames(text);
+    static const std::regex kFor(R"(\bfor\s*\()");
+    static const std::regex kLastIdent(R"(([A-Za-z_]\w*)\s*(\(\s*\))?\s*$)");
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        const std::string &line = text.code[i];
+        auto begin = std::sregex_iterator(line.begin(), line.end(), kFor);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::size_t open =
+                static_cast<std::size_t>(it->position()) +
+                it->str().size() - 1;
+            const std::string expr = rangeForExpr(line, open);
+            if (expr.empty())
+                continue;
+            bool unordered = expr.find("unordered_") != std::string::npos;
+            std::smatch m;
+            if (!unordered && std::regex_search(expr, m, kLastIdent))
+                unordered = names.count(m[1].str()) > 0;
+            if (unordered) {
+                out.push_back(Violation{
+                    text.path, static_cast<int>(i + 1), "unordered-iter",
+                    "iteration over an unordered container in an "
+                    "event-scheduling/stats file: hash order is "
+                    "implementation-defined and leaks nondeterminism; "
+                    "use std::map/std::set or an index-ordered loop"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// time-eq: raw == / != whose operand window mentions a simulated-time
+// expression (now(), now_, .when, *_at, *_deadline, *_ns).
+// ---------------------------------------------------------------------------
+
+bool
+looksLikeTimeExpr(const std::string &window)
+{
+    static const std::regex kTime(
+        R"(\b(when|until|deadline)\b|\bnow\s*\(\s*\)|\bnow_)"
+        R"(|\w+_at\b|\w+_deadline\b|\w+_ns\b)");
+    return std::regex_search(window, kTime);
+}
+
+void
+checkTimeEq(const FileText &text, std::vector<Violation> &out)
+{
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        const std::string &line = text.code[i];
+        bool flagged = false;
+        for (std::size_t pos = 0; pos + 1 < line.size() && !flagged;
+             ++pos) {
+            const char a = line[pos];
+            const char b = line[pos + 1];
+            if (!((a == '=' || a == '!') && b == '='))
+                continue;
+            // Skip <=, >=, ==='s tail, != inside !==, and = itself.
+            const char prev = pos > 0 ? line[pos - 1] : '\0';
+            const char after = pos + 2 < line.size() ? line[pos + 2] : '\0';
+            if (prev == '<' || prev == '>' || prev == '=' || prev == '!' ||
+                after == '=')
+                continue;
+            // Iterator-vs-end() comparisons are fine even when the
+            // surrounding expression mentions time-named members.
+            static const std::regex kEndCall(
+                R"(^\s*[\w.>-]*\b(c?r?end)\s*\()");
+            if (std::regex_search(line.substr(pos + 2), kEndCall))
+                continue;
+            const std::size_t lo = pos > 40 ? pos - 40 : 0;
+            const std::size_t hi = std::min(line.size(), pos + 42);
+            if (looksLikeTimeExpr(line.substr(lo, hi - lo))) {
+                out.push_back(Violation{
+                    text.path, static_cast<int>(i + 1), "time-eq",
+                    "exact ==/!= on a simulated-time expression: "
+                    "same-instant events are ordered by the engine's "
+                    "FIFO tie-break, not timestamp equality; compare "
+                    "with </<= or annotate a deliberate tie-break with "
+                    "lint:allow(time-eq)"});
+                flagged = true;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// missing-nodiscard: header declarations of try*-returning APIs must be
+// [[nodiscard]] — dropping a tryBestPlan() result hides infeasibility.
+// ---------------------------------------------------------------------------
+
+bool
+isHeaderPath(const std::string &path)
+{
+    return endsWith(path, ".h") || endsWith(path, ".hpp");
+}
+
+void
+checkMissingNodiscard(const FileText &text, std::vector<Violation> &out)
+{
+    if (!isHeaderPath(text.path))
+        return;
+    static const std::regex kTry(R"(\b(try[A-Z]\w*)\s*\()");
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        const std::string &line = text.code[i];
+        auto begin = std::sregex_iterator(line.begin(), line.end(), kTry);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            // Declaration context: the current line's prefix plus up to
+            // three preceding code lines.
+            std::string context;
+            for (std::size_t back = i >= 3 ? i - 3 : 0; back < i; ++back)
+                context += text.code[back] + "\n";
+            context += line.substr(0, static_cast<std::size_t>(
+                                          it->position()));
+            // Call sites: preceded by an operator/keyword that demands a
+            // value, not a declaration's return type.
+            std::string trimmed = context;
+            while (!trimmed.empty() &&
+                   std::isspace(static_cast<unsigned char>(
+                       trimmed.back())))
+                trimmed.pop_back();
+            const char last = trimmed.empty() ? '\0' : trimmed.back();
+            if (last == '=' || last == '(' || last == ',' || last == '!' ||
+                last == '{' || last == '?' || last == '.' || last == '+' ||
+                last == '-' || last == '*' || last == '/' ||
+                endsWith(trimmed, "&&") || endsWith(trimmed, "||") ||
+                endsWith(trimmed, "return") || endsWith(trimmed, "->"))
+                continue;
+            if (context.find("nodiscard") != std::string::npos)
+                continue;
+            if (line.find('#') != std::string::npos)
+                continue; // preprocessor line
+            out.push_back(Violation{
+                text.path, static_cast<int>(i + 1), "missing-nodiscard",
+                "try*-returning API '" + (*it)[1].str() +
+                    "' must be declared [[nodiscard]]: a dropped result "
+                    "silently hides infeasibility"});
+        }
+    }
+}
+
+void
+applySuppressions(const FileText &text, std::vector<Violation> &violations)
+{
+    violations.erase(
+        std::remove_if(
+            violations.begin(), violations.end(),
+            [&](const Violation &v) {
+                if (v.line < 1 ||
+                    v.line > static_cast<int>(text.allows.size()))
+                    return false;
+                const auto &allows =
+                    text.allows[static_cast<std::size_t>(v.line - 1)];
+                return std::find(allows.begin(), allows.end(), v.rule) !=
+                           allows.end() ||
+                       std::find(allows.begin(), allows.end(), "all") !=
+                           allows.end();
+            }),
+        violations.end());
+}
+
+} // namespace
+
+std::vector<RuleInfo>
+ruleTable()
+{
+    std::vector<RuleInfo> rules;
+    for (const PatternRule &rule : kPatternRules)
+        rules.push_back(RuleInfo{rule.name, rule.summary});
+    rules.push_back(RuleInfo{
+        "unordered-iter",
+        "range-for over std::unordered_map/set in event-scheduling or "
+        "stats-accumulating files"});
+    rules.push_back(RuleInfo{
+        "time-eq",
+        "raw ==/!= comparisons on simulated-time expressions"});
+    rules.push_back(RuleInfo{
+        "missing-nodiscard",
+        "try*-returning planner/sim APIs declared without [[nodiscard]]"});
+    return rules;
+}
+
+std::vector<Violation>
+lintContent(const std::string &path, const std::string &content)
+{
+    const FileText text = preprocess(path, content);
+    std::vector<Violation> violations;
+    for (const PatternRule &rule : kPatternRules)
+        checkPatternRule(rule, text, violations);
+    checkUnorderedIter(text, violations);
+    checkTimeEq(text, violations);
+    checkMissingNodiscard(text, violations);
+    applySuppressions(text, violations);
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation &a, const Violation &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return violations;
+}
+
+std::vector<Violation>
+lintFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {Violation{path, 0, "io", "cannot read file"}};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lintContent(path, buffer.str());
+}
+
+std::vector<Violation>
+lintTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    static const char *kSubdirs[] = {"src", "bench", "examples", "tests"};
+    std::vector<std::string> files;
+    for (const char *sub : kSubdirs) {
+        const fs::path dir = fs::path(root) / sub;
+        if (!fs::is_directory(dir))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string path = entry.path().generic_string();
+            if (path.find("tests/lint/fixtures") != std::string::npos)
+                continue; // deliberately-bad lint self-test inputs
+            if (endsWith(path, ".cc") || endsWith(path, ".h") ||
+                endsWith(path, ".cpp") || endsWith(path, ".hpp"))
+                files.push_back(path);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    std::vector<Violation> violations;
+    for (const std::string &file : files) {
+        std::vector<Violation> v = lintFile(file);
+        violations.insert(violations.end(),
+                          std::make_move_iterator(v.begin()),
+                          std::make_move_iterator(v.end()));
+    }
+    return violations;
+}
+
+std::string
+toString(const Violation &violation)
+{
+    std::ostringstream out;
+    out << violation.file << ":" << violation.line << ": "
+        << violation.rule << ": " << violation.message;
+    return out.str();
+}
+
+} // namespace llm4d::lint

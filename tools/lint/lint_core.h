@@ -1,0 +1,88 @@
+#ifndef LLM4D_TOOLS_LINT_LINT_CORE_H_
+#define LLM4D_TOOLS_LINT_LINT_CORE_H_
+
+/**
+ * @file
+ * Determinism lint for the llm4d tree: a standalone token-level scanner
+ * (no libclang dependency) that rejects patterns known to break the
+ * simulator's bit-reproducibility or its conservative accounting.
+ *
+ * Rules (data-driven; `llm4d_lint --list-rules` prints this table):
+ *
+ *  - nondet-rng          std::random_device / rand() / srand(): RNG that
+ *                        is not a pure function of the configured seed.
+ *  - wall-clock          std::chrono::*_clock::now, time(nullptr),
+ *                        gettimeofday, clock(): simulation results must
+ *                        never depend on host wall-clock.
+ *  - unordered-iter      range-for over std::unordered_map/set in files
+ *                        that schedule engine events or accumulate stats
+ *                        (detected by a direct include of
+ *                        simcore/engine.h or simcore/stats.h): hash
+ *                        iteration order is implementation-defined, so
+ *                        event order or float accumulation order leaks
+ *                        nondeterminism.
+ *  - time-eq             raw == / != on simulated-time expressions
+ *                        (now(), .when, *_at, ...): same-instant events
+ *                        are ordered by the engine's FIFO tie-break, not
+ *                        by timestamp equality; exact comparisons are
+ *                        almost always a latent bug.
+ *  - missing-nodiscard   try*-returning planner/sim APIs declared
+ *                        without [[nodiscard]]: silently dropping a
+ *                        tryBestPlan result hides infeasibility.
+ *
+ * Suppression: append `// lint:allow(<rule>[,<rule>...])` to the
+ * violating line. Comments and string literals are stripped before any
+ * rule runs, so prose and log messages can mention the patterns freely.
+ *
+ * This is a deliberate heuristic scanner: it sees tokens and single
+ * lines, not types. The trade — a few allow-comments on legitimate
+ * sites — buys a gate that builds in milliseconds, runs everywhere the
+ * repo compiles, and cannot rot with a compiler upgrade.
+ */
+
+#include <string>
+#include <vector>
+
+namespace llm4d::lint {
+
+/** One lint finding. */
+struct Violation
+{
+    std::string file;
+    int line = 0; ///< 1-based
+    std::string rule;
+    std::string message;
+};
+
+/** One row of the rule table. */
+struct RuleInfo
+{
+    std::string name;
+    std::string summary;
+};
+
+/** The rule table, in reporting order. */
+std::vector<RuleInfo> ruleTable();
+
+/** Lint @p content as if it were the file @p path (path drives the
+ *  reporting prefix and path-scoped rules). */
+std::vector<Violation> lintContent(const std::string &path,
+                                   const std::string &content);
+
+/** Lint one on-disk file. An unreadable path yields a single "io"
+ *  violation so callers still exit non-zero. */
+std::vector<Violation> lintFile(const std::string &path);
+
+/**
+ * Walk src/, bench/, examples/, and tests/ under @p root and lint every
+ * C++ file (.cc/.h/.cpp/.hpp) in sorted order. The lint self-test
+ * fixtures (tests/lint/fixtures/) are deliberately bad and are skipped.
+ */
+std::vector<Violation> lintTree(const std::string &root);
+
+/** Render as "file:line: rule: message". */
+std::string toString(const Violation &violation);
+
+} // namespace llm4d::lint
+
+#endif // LLM4D_TOOLS_LINT_LINT_CORE_H_

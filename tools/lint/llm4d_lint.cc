@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CLI for the llm4d determinism lint.
+ *
+ * Usage:
+ *   llm4d_lint [--root DIR]      lint src/ bench/ examples/ tests/ under DIR
+ *                                (default: current directory)
+ *   llm4d_lint FILE...           lint the named files only
+ *   llm4d_lint --list-rules      print the rule table
+ *
+ * Violations print as "file:line: rule: message"; exit status is 1 when
+ * any violation is found, 0 on a clean tree.
+ */
+
+#include "lint_core.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const auto &rule : llm4d::lint::ruleTable())
+                std::printf("%-18s %s\n", rule.name.c_str(),
+                            rule.summary.c_str());
+            return 0;
+        }
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "llm4d_lint: --root needs a value\n");
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: llm4d_lint [--root DIR] [--list-rules] [FILE...]\n");
+            return 0;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    std::vector<llm4d::lint::Violation> violations;
+    if (files.empty()) {
+        violations = llm4d::lint::lintTree(root);
+    } else {
+        for (const std::string &file : files) {
+            auto v = llm4d::lint::lintFile(file);
+            violations.insert(violations.end(), v.begin(), v.end());
+        }
+    }
+
+    for (const auto &violation : violations)
+        std::printf("%s\n", llm4d::lint::toString(violation).c_str());
+    if (!violations.empty()) {
+        std::fprintf(stderr, "llm4d_lint: %zu violation(s)\n",
+                     violations.size());
+        return 1;
+    }
+    return 0;
+}
