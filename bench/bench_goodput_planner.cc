@@ -30,7 +30,8 @@ policyName(const RecoveryPolicy &p)
 {
     return std::string(recoveryModeName(p.mode)) + "/" +
            checkpointModeName(p.checkpoint_mode) +
-           (p.allow_dp_shrink ? "+shrink" : "");
+           (p.allow_dp_shrink ? "+shrink" : "") +
+           (p.allow_regrow ? "+regrow" : "");
 }
 
 } // namespace
@@ -122,7 +123,7 @@ main()
                     best.analytic.par.str() +
                     " (goodput per provisioned GPU)");
     cells.header({"policy", "spares", "ckpt every", "goodput/GPU",
-                  "restarts", "swaps", "shrinks", "best?"});
+                  "restarts", "swaps", "shrinks", "regrows", "best?"});
     for (std::size_t i = 0; i < best.sweep.size(); ++i) {
         const GoodputSweepPoint &pt = best.sweep[i];
         cells.row({policyName(pt.policy),
@@ -132,9 +133,67 @@ main()
                    TextTable::num(pt.report.restarts),
                    TextTable::num(pt.report.spare_swaps),
                    TextTable::num(pt.report.dp_shrinks),
+                   TextTable::num(pt.report.dp_regrows),
                    i == best.best_point ? "<- best" : ""});
     }
     cells.print();
+
+    // --- Regrow sweep axis on a worn fleet: with production MTBFs the ---
+    // horizon sees ~2 faults and an 8-host pool never drains, so the
+    // regrow cells tie their regrow-off twins. Divide the fatal MTBFs
+    // by 3 (a fleet past its prime) and shrink the pool to 2 hosts and
+    // the axis starts paying: repaired hosts refill the pool between
+    // faults, turning stop-the-world restarts back into ~80 s swaps.
+    // Re-rank each scale with the axis pinned off and compare.
+    TextTable rg("Regrow axis impact, worn fleet (fatal MTBF / 3, "
+                 "2-host pool, winning cell with vs without regrow)");
+    rg.header({"GPUs", "goodput/GPU (no regrow)", "policy (no regrow)",
+               "goodput/GPU (regrow swept)", "policy (regrow swept)",
+               "impact"});
+    double margin_16k = 0.0;
+    for (const std::int64_t ngpu : {2048, 4096, 8192, 16384}) {
+        GoodputPlanInput in;
+        in.base.cluster = ClusterSpec::llama3Production(ngpu);
+        in.base.cluster.node.gpu.fatal_mtbf_hours /= 3.0;
+        in.base.cluster.node.host_mtbf_hours /= 3.0;
+        in.base.global_batch_tokens = ngpu * 1024;
+        in.fault_seed = 54 + static_cast<std::uint64_t>(ngpu);
+        in.spare_pool_options = {0, 2};
+        in.horizon_steps = 9000;
+        in.repairs.gpu_repair_mean_hours = 0.5;
+        in.repairs.host_repair_mean_hours = 0.75;
+        GoodputPlanInput pinned = in;
+        pinned.regrow_options = {false};
+        const std::optional<GoodputPlanCandidate> off =
+            tryBestGoodputPlan(pinned);
+        const std::optional<GoodputPlanCandidate> on =
+            tryBestGoodputPlan(in);
+        if (!off || !on) {
+            rg.row({TextTable::num(ngpu), "infeasible", "-", "-", "-", "-"});
+            continue;
+        }
+        const GoodputSweepPoint &coff = off->best();
+        const GoodputSweepPoint &con = on->best();
+        const bool replan = !(on->analytic.par == off->analytic.par);
+        const double margin = con.goodput_tflops_per_gpu -
+                              coff.goodput_tflops_per_gpu;
+        if (ngpu == 16384)
+            margin_16k = margin;
+        rg.row({TextTable::num(ngpu),
+                TextTable::num(coff.goodput_tflops_per_gpu, 1),
+                policyName(coff.policy),
+                TextTable::num(con.goodput_tflops_per_gpu, 1),
+                policyName(con.policy),
+                replan ? "NEW WINNER"
+                       : (con.policy.allow_regrow
+                              ? "+" + TextTable::num(margin, 1) +
+                                    " TFLOPs/GPU margin"
+                              : "regrow not picked")});
+    }
+    rg.print();
+    bench::compare("16K worn-fleet margin from the regrow axis "
+                   "(TFLOPs/GPU)",
+                   5.0, margin_16k);
 
     std::puts(
         "  The analytic ranking prices a fault-free step; the goodput\n"

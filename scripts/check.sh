@@ -14,6 +14,9 @@
 #   ./scripts/check.sh --fast   # tier 1 + lint only
 #   ./scripts/check.sh --lint   # lint only (assumes an existing build/)
 #
+# Suites also carry ctest labels for targeted runs from build/:
+#   ctest -L plan | -L fault | -L sim    # one subsystem's suite
+#
 # Exits non-zero on the first failing build, test, or lint finding.
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -70,13 +70,13 @@ struct FaultEvent
     Time duration = 0;
 
     /** True for classes that abort the job (GpuFatal, HostCrash). */
-    bool fatal() const
+    [[nodiscard]] bool fatal() const
     {
         return kind == FaultKind::GpuFatal || kind == FaultKind::HostCrash;
     }
 
     /** "t=123.4s GpuFatal gpu=17"-style rendering. */
-    std::string str() const;
+    [[nodiscard]] std::string str() const;
 };
 
 /** Severity/duration distributions not derivable from the hw specs. */
@@ -113,13 +113,13 @@ class FaultModel
     FaultEvent next();
 
     /** Aggregate event rate over all enabled classes, events/hour. */
-    double eventsPerHour() const;
+    [[nodiscard]] double eventsPerHour() const;
 
     /** Mean time between events across all classes, in seconds. */
-    double mtbfSeconds() const;
+    [[nodiscard]] double mtbfSeconds() const;
 
     /** True when every class is disabled (the fault-free baseline). */
-    bool silent() const;
+    [[nodiscard]] bool silent() const;
 
   private:
     struct ClassState

@@ -63,6 +63,8 @@ RecoveryPolicy::validate(const ClusterSpec &cluster) const
                                  << cluster.num_nodes << " hosts");
     LLM4D_CHECK(mode == RecoveryMode::WarmSpare || spare_hosts == 0,
                 "spare hosts require the warm-spare recovery mode");
+    LLM4D_CHECK(mode == RecoveryMode::WarmSpare || !allow_regrow,
+                "regrow requires the warm-spare recovery mode");
     LLM4D_CHECK(spare_activation_seconds >= 0.0 &&
                     swap_reinit_seconds >= 0.0,
                 "spare swap latencies must be non-negative");
@@ -170,6 +172,42 @@ RecoveryCostModel::shrinkSeconds(std::int64_t to_dp) const
     }
     return policy_.swap_reinit_seconds +
            std::max(ckpt.loadSeconds(), reshard);
+}
+
+double
+RecoveryCostModel::regrowSeconds(std::int64_t to_dp) const
+{
+    LLM4D_CHECK(to_dp >= 2 && to_dp <= par_.dp,
+                "regrow target must add at least one replica and stay "
+                "within the configured dp of "
+                    << par_.dp);
+    const ParallelismConfig par = shrunkPar(par_, to_dp);
+    const ClusterSpec cluster = shrunkCluster(cluster_, par);
+    const CheckpointModel ckpt(model_, cluster, par, storage_);
+    // The re-admitted replica arrives stateless: its ranks gather the
+    // replicated BF16 working weights plus their newly assigned ZeRO
+    // optimizer shard from FSDP peers while the whole (larger) fleet
+    // re-partitions via the sharded restore. The longer path bounds the
+    // outage; NCCL re-initializes at the regrown world either way.
+    double fetch = 0.0;
+    if (par.dp * par.cp > 1) {
+        const Topology topo(cluster);
+        const CollectiveModel coll(topo);
+        const RankGrid grid(par);
+        const double bf16_bytes_per_mp_rank =
+            kBf16Bytes * static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par.modelParallelSize());
+        const double group_state_bytes =
+            kOptimBytesPerParam *
+            static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par.modelParallelSize());
+        const double new_members = static_cast<double>(to_dp * par.cp);
+        const auto fetch_bytes = static_cast<std::int64_t>(
+            (bf16_bytes_per_mp_rank + group_state_bytes) / new_members);
+        fetch = coll.gatherTo(grid.dpCpGroup(0), fetch_bytes);
+    }
+    return policy_.swap_reinit_seconds +
+           std::max(ckpt.loadSeconds(), fetch);
 }
 
 } // namespace llm4d

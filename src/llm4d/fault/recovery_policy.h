@@ -81,6 +81,21 @@ struct RecoveryPolicy
     /** Degrade to DP-shrink once the spare pool is exhausted. */
     bool allow_dp_shrink = false;
 
+    /**
+     * Re-admit repaired hosts (RepairModel) at durable checkpoint
+     * boundaries: regrow the DP dimension back toward its configured
+     * width, MegaScale-style. Requires the warm-spare recovery mode.
+     */
+    bool allow_regrow = false;
+
+    /**
+     * When regrowing, refill the warm-spare pool up to its configured
+     * size before widening DP. A pool refill is free (the host parks
+     * warm); a DP-regrow pays regrowSeconds(). Only read when
+     * allow_regrow is set.
+     */
+    bool regrow_spares_first = true;
+
     CheckpointMode checkpoint_mode = CheckpointMode::Sync;
 
     /** Rebalance micro-batches off a localized straggler vs. evicting. */
@@ -115,7 +130,7 @@ class RecoveryCostModel
                       const ParallelismConfig &par,
                       CheckpointStorage storage, RecoveryPolicy policy);
 
-    const RecoveryPolicy &policy() const { return policy_; }
+    [[nodiscard]] const RecoveryPolicy &policy() const { return policy_; }
 
     /**
      * Outage of a warm-spare swap, excluding detection latency: spare
@@ -124,7 +139,7 @@ class RecoveryCostModel
      * ranks gathering their replicated BF16 working weights from their
      * FSDP peers (gatherTo over the dp*cp group).
      */
-    double spareSwapSeconds() const;
+    [[nodiscard]] double spareSwapSeconds() const;
 
     /**
      * Outage of shrinking to @p to_dp data-parallel replicas, excluding
@@ -132,18 +147,28 @@ class RecoveryCostModel
      * sharded restore + the survivors gathering their enlarged optimizer
      * shards (the dropped replica's share) from group peers.
      */
-    double shrinkSeconds(std::int64_t to_dp) const;
+    [[nodiscard]] double shrinkSeconds(std::int64_t to_dp) const;
+
+    /**
+     * Outage of regrowing to @p to_dp data-parallel replicas — the
+     * symmetric inverse of shrinkSeconds: NCCL re-init at the larger
+     * world + re-partitioned sharded restore + the re-admitted replica
+     * gathering its BF16 working weights and newly assigned optimizer
+     * shard from its FSDP peers, all priced through the collective
+     * model at the regrown topology.
+     */
+    [[nodiscard]] double regrowSeconds(std::int64_t to_dp) const;
 
     /** Sharded restore cost at @p dp replicas (dp == par.dp: as-is). */
-    double loadSecondsAt(std::int64_t dp) const;
+    [[nodiscard]] double loadSecondsAt(std::int64_t dp) const;
 
     /** The parallelism layout after shrinking to @p dp replicas. */
-    static ParallelismConfig shrunkPar(const ParallelismConfig &par,
-                                       std::int64_t dp);
+    [[nodiscard]] static ParallelismConfig
+    shrunkPar(const ParallelismConfig &par, std::int64_t dp);
 
     /** The cluster actually occupied by @p par (for re-pricing steps). */
-    static ClusterSpec shrunkCluster(const ClusterSpec &cluster,
-                                     const ParallelismConfig &par);
+    [[nodiscard]] static ClusterSpec
+    shrunkCluster(const ClusterSpec &cluster, const ParallelismConfig &par);
 
   private:
     ModelConfig model_;

@@ -1,0 +1,107 @@
+#include "llm4d/fault/repair_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "llm4d/simcore/common.h"
+
+namespace llm4d {
+
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+
+/** Repair-stream ids; disjoint from FaultModel's 0xfa.. block so the
+ * fault timeline is untouched by the existence of the repair shop. */
+constexpr std::uint64_t kGpuRepairStream = 0xae01;
+constexpr std::uint64_t kHostRepairStream = 0xae02;
+
+} // namespace
+
+void
+RepairTuning::validate() const
+{
+    LLM4D_CHECK(gpu_repair_mean_hours > 0.0,
+                "gpu repair mean must be positive");
+    LLM4D_CHECK(host_repair_mean_hours > 0.0,
+                "host repair mean must be positive");
+    LLM4D_CHECK(requalify_lo >= 1.0 && requalify_lo <= requalify_hi,
+                "requalify range must satisfy 1 <= lo <= hi");
+}
+
+double
+RepairTuning::meanRepairSeconds(FaultKind kind) const
+{
+    LLM4D_CHECK(kind == FaultKind::GpuFatal ||
+                    kind == FaultKind::HostCrash,
+                "only fatal classes pass through the repair shop");
+    const double mean_hours = kind == FaultKind::GpuFatal
+                                  ? gpu_repair_mean_hours
+                                  : host_repair_mean_hours;
+    return mean_hours * kSecondsPerHour * 0.5 *
+           (requalify_lo + requalify_hi);
+}
+
+std::string
+RepairComplete::str() const
+{
+    std::ostringstream os;
+    os << "t=" << timeToSeconds(when) << "s repaired "
+       << faultKindName(kind)
+       << (kind == FaultKind::HostCrash ? " node=" : " gpu=") << component;
+    return os.str();
+}
+
+RepairModel::RepairModel(const ClusterSpec &cluster,
+                         const RepairTuning &tuning, std::uint64_t seed)
+    : tuning_(tuning), gpu_rng_(seed, kGpuRepairStream),
+      host_rng_(seed, kHostRepairStream)
+{
+    tuning_.validate();
+    LLM4D_CHECK(cluster.num_nodes > 0,
+                "repair shop needs a non-empty cluster");
+}
+
+void
+RepairModel::submit(const FaultEvent &fault)
+{
+    LLM4D_CHECK(fault.fatal(),
+                "only fatal faults pass through the repair shop");
+    Rng &rng =
+        fault.kind == FaultKind::GpuFatal ? gpu_rng_ : host_rng_;
+    const double mean_hours = fault.kind == FaultKind::GpuFatal
+                                  ? tuning_.gpu_repair_mean_hours
+                                  : tuning_.host_repair_mean_hours;
+    const double turnaround_s =
+        rng.exponential(mean_hours * kSecondsPerHour) *
+        rng.uniform(tuning_.requalify_lo, tuning_.requalify_hi);
+    const Time took = std::max<Time>(1, secondsToTime(turnaround_s));
+    RepairComplete done;
+    done.kind = fault.kind;
+    done.when = fault.when + took;
+    done.component = fault.component;
+    pending_.emplace(done.when, done);
+}
+
+bool
+RepairModel::hasReady(Time now) const
+{
+    return !pending_.empty() && pending_.begin()->first <= now;
+}
+
+RepairComplete
+RepairModel::pop()
+{
+    LLM4D_CHECK(!pending_.empty(), "no repair to pop");
+    const RepairComplete done = pending_.begin()->second;
+    pending_.erase(pending_.begin());
+    return done;
+}
+
+std::size_t
+RepairModel::pendingCount() const
+{
+    return pending_.size();
+}
+
+} // namespace llm4d

@@ -46,6 +46,7 @@ cellConfig(const GoodputPlanInput &in, const PlanCandidate &cand,
     cfg.checkpoint_interval_steps = 0;
     cfg.checkpoint_interval_auto = true;
     cfg.faults = in.faults;
+    cfg.repairs = in.repairs;
     cfg.storage = in.storage;
     cfg.detection = in.detection;
     cfg.restart = in.restart;
@@ -63,17 +64,27 @@ GoodputPlanInput::sweepPolicies() const
     for (const std::int64_t spares : spare_pool_options) {
         for (const CheckpointMode ckpt : checkpoint_mode_options) {
             for (const bool shrink : dp_shrink_options) {
-                RecoveryPolicy policy;
-                // WarmSpare only when the elastic paths have something
-                // to do; otherwise the plain full-restart baseline.
-                policy.mode = (spares > 0 || shrink)
-                                  ? RecoveryMode::WarmSpare
-                                  : RecoveryMode::FullRestart;
-                policy.spare_hosts = spares;
-                policy.allow_dp_shrink = shrink;
-                policy.checkpoint_mode = ckpt;
-                policy.straggler_rebalance = straggler_rebalance;
-                out.push_back(policy);
+                for (const bool regrow : regrow_options) {
+                    // WarmSpare only when the elastic paths have
+                    // something to do; otherwise the plain full-restart
+                    // baseline. Regrow is one of those paths, but it
+                    // needs a pool to refill or a shrink to undo, so
+                    // regrow-on is meaningless (and invalid) on the
+                    // full-restart baseline — skip instead of emitting
+                    // a duplicate cell.
+                    const bool elastic = spares > 0 || shrink;
+                    if (regrow && !elastic)
+                        continue;
+                    RecoveryPolicy policy;
+                    policy.mode = elastic ? RecoveryMode::WarmSpare
+                                          : RecoveryMode::FullRestart;
+                    policy.spare_hosts = spares;
+                    policy.allow_dp_shrink = shrink;
+                    policy.allow_regrow = regrow;
+                    policy.checkpoint_mode = ckpt;
+                    policy.straggler_rebalance = straggler_rebalance;
+                    out.push_back(policy);
+                }
             }
         }
     }
@@ -88,7 +99,7 @@ GoodputPlanInput::validate() const
                 "simulation horizon must be positive");
     LLM4D_CHECK(!spare_pool_options.empty() &&
                     !checkpoint_mode_options.empty() &&
-                    !dp_shrink_options.empty(),
+                    !dp_shrink_options.empty() && !regrow_options.empty(),
                 "every recovery-policy sweep axis needs at least one "
                 "point");
     for (const std::int64_t spares : spare_pool_options)
@@ -97,6 +108,7 @@ GoodputPlanInput::validate() const
                 "goodput planning needs an enabled fatal failure class "
                 "(Young-Daly auto intervals are undefined without one)");
     faults.validate();
+    repairs.validate();
     storage.validate();
 }
 

@@ -24,9 +24,10 @@
  *     exogenous failure timeline — once per point of a recovery-policy
  *     sweep: sync vs. async checkpointing, warm-spare pool sizes from
  *     spare_pool_options (idle spares cost capacity in the goodput
- *     denominator but shrink MTTR), and DP-shrink on/off. Checkpoint
- *     intervals are Young–Daly auto-tuned per point so a policy flip
- *     cannot desynchronize them.
+ *     denominator but shrink MTTR), DP-shrink on/off, and repair-aware
+ *     regrow on/off (re-admit repaired hosts at checkpoint boundaries).
+ *     Checkpoint intervals are Young–Daly auto-tuned per point so a
+ *     policy flip cannot desynchronize them.
  *
  * Candidates are ranked by their best sweep point's goodput TFLOPs per
  * *provisioned* GPU (training world + idle spares); each candidate
@@ -67,6 +68,10 @@ struct GoodputPlanInput
     /** Fault severity/duration tuning shared by every cell. */
     FaultTuning faults;
 
+    /** Repair-shop MTTR tuning shared by every cell (the repair
+     *  timeline is exogenous like the fault timeline). */
+    RepairTuning repairs;
+
     /** Checkpoint filesystem + async-snapshot characteristics. */
     CheckpointStorage storage;
 
@@ -89,6 +94,15 @@ struct GoodputPlanInput
 
     /** Whether to DP-shrink when the spare pool is dry. */
     std::vector<bool> dp_shrink_options = {false, true};
+
+    /**
+     * Whether to re-admit repaired hosts at checkpoint boundaries
+     * (refill the spare pool, regrow a shrunk DP dimension).
+     * Regrow-on is skipped for combinations where it has nothing to do
+     * (no spares and no shrinking: the full-restart baseline), so the
+     * grid is not a plain cross product on this axis.
+     */
+    std::vector<bool> regrow_options = {false, true};
 
     /** Mitigate localized stragglers by micro-batch rebalancing. */
     bool straggler_rebalance = true;

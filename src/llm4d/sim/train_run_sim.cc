@@ -58,6 +58,7 @@ TrainRunConfig::validate() const
                 "detection latencies must be non-negative");
     LLM4D_CHECK(max_wall_days > 0.0, "max wall-clock must be positive");
     faults.validate();
+    repairs.validate();
     storage.validate();
     policy.validate(job.cluster);
 }
@@ -212,6 +213,17 @@ TrainRunSim::shrinkSecondsTo(std::int64_t dp) const
 }
 
 double
+TrainRunSim::regrowSecondsTo(std::int64_t dp) const
+{
+    const auto it = regrow_cost_cache_.find(dp);
+    if (it != regrow_cost_cache_.end())
+        return it->second;
+    const double seconds = recovery_.regrowSeconds(dp);
+    regrow_cost_cache_[dp] = seconds;
+    return seconds;
+}
+
+double
 TrainRunSim::rebalanceHeadroomMicrobatches(std::int64_t straggler_rank,
                                            std::int64_t dp) const
 {
@@ -280,6 +292,12 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
 
     FaultModel faults(cfg_.job.cluster, cfg_.faults, cfg_.seed);
     const bool has_faults = !faults.silent();
+    // Every fatal fault is submitted to the repair shop whether or not
+    // the policy consumes repairs: the shop draws from its own streams
+    // at submit time, so the repair timeline is policy-invariant
+    // (common random numbers) and allow_regrow=false runs stay
+    // bit-identical to runs with no repair shop at all.
+    RepairModel repair_shop(cfg_.job.cluster, cfg_.repairs, cfg_.seed);
     const Topology topo(cfg_.job.cluster);
 
     Engine eng;
@@ -516,6 +534,61 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         });
     };
 
+    /** DP-regrow outage: NCCL re-init at the larger world + the
+     *  re-admitted replica gathering state from peers. Modeled as a
+     *  pause — nothing is rolled back (the replica pulls live state,
+     *  tentative/pending work survives), so a fatal fault mid-regrow
+     *  takes the paused path: refund the tail, roll back, recover. */
+    const auto begin_regrow = [&](double regrow_s) {
+        rep.regrow_seconds += regrow_s;
+        outage_rest_s = regrow_s;
+        outage_bucket = &rep.regrow_seconds;
+        warmup_left = cfg_.restart.warmup_steps;
+        down = true;
+        paused = true;
+        running = false;
+        resume_at = eng.now() + secondsToTime(regrow_s);
+        resume_event = eng.schedule(secondsToTime(regrow_s), [&]() {
+            down = false;
+            paused = false;
+            schedule_step();
+        });
+    };
+
+    /** Consume completed repairs at a checkpoint boundary: refill the
+     *  warm-spare pool first (a refill is free — the host parks warm),
+     *  then batch every remaining ready host into one DP-regrow priced
+     *  at the target width, so a single re-init amortizes all
+     *  re-admissions. Returns true when a regrow outage was started
+     *  (the caller must not schedule a step — the resume will). */
+    const auto maybe_regrow = [&]() {
+        if (!pol.allow_regrow || finished || truncated || down ||
+            finishing || evict_rank >= 0)
+            return false;
+        std::int64_t grew = 0;
+        while (repair_shop.hasReady(eng.now())) {
+            const bool pool_low = spares_left < pol.spare_hosts;
+            const bool dp_low = dp_now + grew < cfg_.job.par.dp;
+            if (!pool_low && !dp_low)
+                break; // fully re-expanded; repairs wait for demand
+            // One repaired host unlocks one re-admission: a shrink or
+            // swap leaves exactly one broken host (the healthy rest of
+            // the dropped replica's group parks with it).
+            repair_shop.pop();
+            ++rep.hosts_repaired;
+            if (pool_low && (pol.regrow_spares_first || !dp_low))
+                ++spares_left;
+            else
+                ++grew;
+        }
+        if (grew == 0)
+            return false;
+        dp_now += grew;
+        rep.dp_regrows += grew;
+        begin_regrow(regrowSecondsTo(dp_now));
+        return true;
+    };
+
     const auto truncate_now = [&]() {
         if (wait != AsyncWait::None) {
             rep.drain_stall_seconds +=
@@ -562,7 +635,11 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 // drain instead of overlapping it with steps.
                 wait = AsyncWait::Final;
                 stall_started = eng.now();
-            } else {
+            } else if (!maybe_regrow()) {
+                // The snapshot boundary is the batching point for
+                // re-admitting repaired hosts (durable state to regrow
+                // from is the previous drained checkpoint; the replica
+                // gathers the rest from live peers).
                 schedule_step();
             }
         });
@@ -727,11 +804,14 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 ckpt_started = eng.now();
                 running = true;
                 const double save_s = checkpointCostsAt(dp_now).save;
-                work_event = eng.schedule(secondsToTime(save_s),
-                                          [&, save_s]() {
-                                              commit(save_s);
-                                              schedule_step();
-                                          });
+                work_event =
+                    eng.schedule(secondsToTime(save_s), [&, save_s]() {
+                        commit(save_s);
+                        // The durable boundary batches re-admission of
+                        // repaired hosts (amortizes the re-init).
+                        if (!maybe_regrow())
+                            schedule_step();
+                    });
                 return;
             }
             schedule_step();
@@ -752,6 +832,9 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 ++rep.faults.gpu_fatal;
             else
                 ++rep.faults.host_crash;
+            // Into the shop unconditionally — see the policy-invariance
+            // note at the RepairModel's construction.
+            repair_shop.submit(ev);
             // A replaced GPU/host also cures any straggler it hosted.
             if (ev.kind == FaultKind::GpuFatal) {
                 stragglers.erase(ev.component);
@@ -875,7 +958,7 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         rep.productive_seconds + rep.degraded_seconds +
         rep.checkpoint_seconds + rep.lost_seconds + rep.detection_seconds +
         rep.restart_seconds + rep.spare_swap_seconds + rep.shrink_seconds +
-        rep.drain_stall_seconds;
+        rep.regrow_seconds + rep.drain_stall_seconds;
     LLM4D_AUDIT_CHECK("sim",
                       std::abs(audit_bucket_sum - rep.wall_seconds) <=
                           1e-6 * std::max(rep.wall_seconds, 1.0),
@@ -887,6 +970,13 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                           rep.steps_committed <= cfg_.total_steps,
                       "committed step count " << rep.steps_committed
                           << " outside [0, " << cfg_.total_steps << "]");
+    LLM4D_AUDIT_CHECK("sim",
+                      rep.final_dp == cfg_.job.par.dp - rep.dp_shrinks +
+                                          rep.dp_regrows,
+                      "elasticity ledger off: final dp "
+                          << rep.final_dp << " != " << cfg_.job.par.dp
+                          << " - " << rep.dp_shrinks << " shrinks + "
+                          << rep.dp_regrows << " regrows");
 #endif
     return rep;
 }

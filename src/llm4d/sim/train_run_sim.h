@@ -24,6 +24,11 @@
  *    configured RecoveryPolicy: swap in a warm spare host, shrink the
  *    DP dimension when the pool is dry, or fall back to the full
  *    stop-the-world restart (re-init + checkpoint load + slow warmup);
+ *  - failed components enter the repair shop (fault/repair_model.h);
+ *    when the policy allows regrow, repaired hosts are re-admitted at
+ *    checkpoint boundaries — refilling the warm-spare pool first, then
+ *    regrowing the DP dimension back toward its configured width at a
+ *    re-shard cost symmetric to the shrink;
  *  - silent stragglers degrade every subsequent step (the synchronized
  *    cluster runs at its slowest rank) until the trace-driven detector
  *    (debug/straggler_detect.h) accumulates enough steps to localize
@@ -49,6 +54,7 @@
 #include "llm4d/fault/checkpoint_model.h"
 #include "llm4d/fault/fault_model.h"
 #include "llm4d/fault/recovery_policy.h"
+#include "llm4d/fault/repair_model.h"
 #include "llm4d/sim/train_sim.h"
 #include "llm4d/simcore/audit.h"
 
@@ -131,6 +137,15 @@ struct TrainRunConfig
     bool checkpoint_interval_auto = false;
 
     FaultTuning faults;
+
+    /**
+     * Repair-shop MTTR tuning (RepairModel). Repairs are drawn for every
+     * fatal fault regardless of policy so the repair timeline is a pure
+     * function of (cluster, tuning, seed); they only change the run when
+     * policy.allow_regrow consumes them.
+     */
+    RepairTuning repairs;
+
     CheckpointStorage storage;
     DetectionConfig detection;
     RestartConfig restart;
@@ -193,10 +208,20 @@ struct TrainRunReport
     /** DP-shrink events after the spare pool ran dry. */
     std::int64_t dp_shrinks = 0;
 
+    /** DP-regrow events re-admitting repaired hosts (allow_regrow). */
+    std::int64_t dp_regrows = 0;
+
+    /** Repaired hosts consumed: spare-pool refills + DP re-admissions. */
+    std::int64_t hosts_repaired = 0;
+
     /** Stragglers mitigated by micro-batch rebalancing (not evicted). */
     std::int64_t rebalances = 0;
 
-    /** Data-parallel degree at the end of the run (shrinks persist). */
+    /**
+     * Data-parallel degree at the end of the run: shrinks persist until
+     * a regrow (policy.allow_regrow) re-admits repaired hosts, so this
+     * equals configured dp - dp_shrinks + dp_regrows.
+     */
     std::int64_t final_dp = 0;
 
     FaultCounts faults;
@@ -213,6 +238,7 @@ struct TrainRunReport
      *  restart     — full-restart re-init + checkpoint restore;
      *  spare_swap  — warm-spare activation + re-init + re-acquisition;
      *  shrink      — DP-shrink re-init + re-shard + restore;
+     *  regrow      — DP-regrow re-init + peer state gathering;
      *  drain_stall — waits on an in-flight async checkpoint drain.
      * @{
      */
@@ -224,6 +250,7 @@ struct TrainRunReport
     double restart_seconds = 0.0;
     double spare_swap_seconds = 0.0;
     double shrink_seconds = 0.0;
+    double regrow_seconds = 0.0;
     double drain_stall_seconds = 0.0;
     /** @} */
 
@@ -337,6 +364,9 @@ class TrainRunSim
     /** Outage of shrinking to @p dp replicas (cached). */
     double shrinkSecondsTo(std::int64_t dp) const;
 
+    /** Outage of regrowing to @p dp replicas (cached). */
+    double regrowSecondsTo(std::int64_t dp) const;
+
     /** Activation headroom on the straggler's DP peers at the current
      *  DP degree @p dp, in units of one stage micro-batch (how many
      *  extra in-flight micro-batches the tightest peer can absorb). */
@@ -355,6 +385,7 @@ class TrainRunSim
     mutable std::map<std::int64_t, TrainStepReport> shrunk_report_cache_;
     mutable std::map<std::int64_t, CkptCosts> ckpt_cost_cache_;
     mutable std::map<std::int64_t, double> shrink_cost_cache_;
+    mutable std::map<std::int64_t, double> regrow_cost_cache_;
 };
 
 } // namespace llm4d

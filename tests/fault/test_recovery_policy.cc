@@ -23,6 +23,9 @@ TEST(RecoveryPolicy, ElasticPresetEnablesTheFullMitigationStack)
     EXPECT_TRUE(policy.allow_dp_shrink);
     EXPECT_EQ(policy.checkpoint_mode, CheckpointMode::Async);
     EXPECT_TRUE(policy.straggler_rebalance);
+    // Regrow stays opt-in: the preset predates the repair shop and
+    // existing studies depend on its bit-exact behavior.
+    EXPECT_FALSE(policy.allow_regrow);
 }
 
 TEST(RecoveryPolicy, Names)
@@ -68,6 +71,28 @@ TEST(RecoveryCostModel, ShrinkPaysReShardOnTopOfReInit)
               costs.loadSecondsAt(f.par.dp));
 }
 
+TEST(RecoveryCostModel, RegrowIsPricedSymmetricToShrink)
+{
+    const Fixture f;
+    const RecoveryCostModel costs(f.model, f.cluster, f.par, f.storage,
+                                  RecoveryPolicy::elastic(0));
+    const RecoveryPolicy policy = RecoveryPolicy::elastic(0);
+    // Regrowing back to the configured width pays re-init plus the
+    // larger of the re-partitioned restore and the re-admitted
+    // replica's peer gather — never less than the bare re-init.
+    const double regrow = costs.regrowSeconds(f.par.dp);
+    EXPECT_GT(regrow, policy.swap_reinit_seconds);
+    // Symmetry with the shrink: both transitions re-init and restore,
+    // so the costs live on the same scale (within an order of
+    // magnitude), and a regrow to a wider world restores cheaper
+    // per-host shards than the shrunk world it leaves.
+    const double shrink = costs.shrinkSeconds(f.par.dp - 1);
+    EXPECT_LT(regrow, 10.0 * shrink);
+    EXPECT_GT(regrow, 0.1 * shrink);
+    EXPECT_GE(costs.loadSecondsAt(f.par.dp - 1),
+              costs.loadSecondsAt(f.par.dp));
+}
+
 TEST(RecoveryCostModel, ShrunkLayoutDropsWholeReplicaGroups)
 {
     const Fixture f;
@@ -99,6 +124,9 @@ TEST(RecoveryPolicyDeathTest, ValidateRejectsBadPolicies)
     RecoveryPolicy bad_latency = RecoveryPolicy::elastic(2);
     bad_latency.spare_activation_seconds = -1.0;
     EXPECT_DEATH(bad_latency.validate(cluster), "non-negative");
+    RecoveryPolicy regrow_without_mode;
+    regrow_without_mode.allow_regrow = true; // mode stays FullRestart
+    EXPECT_DEATH(regrow_without_mode.validate(cluster), "warm-spare");
 }
 
 TEST(RecoveryCostModelDeathTest, RejectsImpossibleShrinks)
@@ -106,10 +134,14 @@ TEST(RecoveryCostModelDeathTest, RejectsImpossibleShrinks)
     const Fixture f;
     const RecoveryCostModel costs(f.model, f.cluster, f.par, f.storage,
                                   RecoveryPolicy::elastic(0));
-    EXPECT_DEATH(costs.shrinkSeconds(f.par.dp), "at least one replica");
-    EXPECT_DEATH(costs.shrinkSeconds(0), "at least one replica");
-    EXPECT_DEATH(RecoveryCostModel::shrunkPar(f.par, f.par.dp + 1),
+    EXPECT_DEATH((void)costs.shrinkSeconds(f.par.dp),
+                 "at least one replica");
+    EXPECT_DEATH((void)costs.shrinkSeconds(0), "at least one replica");
+    EXPECT_DEATH((void)RecoveryCostModel::shrunkPar(f.par, f.par.dp + 1),
                  "shrunk dp");
+    EXPECT_DEATH((void)costs.regrowSeconds(1), "regrow target");
+    EXPECT_DEATH((void)costs.regrowSeconds(f.par.dp + 1),
+                 "regrow target");
 }
 
 } // namespace

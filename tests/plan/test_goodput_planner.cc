@@ -45,15 +45,37 @@ TEST(GoodputPlanner, SweepPoliciesCoverTheCrossProduct)
     in.checkpoint_mode_options = {CheckpointMode::Sync,
                                   CheckpointMode::Async};
     in.dp_shrink_options = {false, true};
+    in.regrow_options = {false, true};
     const std::vector<RecoveryPolicy> grid = in.sweepPolicies();
-    EXPECT_EQ(grid.size(), 8u);
+    // 2x2x2 base combinations, each doubled by the regrow axis except
+    // the two full-restart baselines (no spares, no shrink) where
+    // regrow has nothing to re-admit: 8 + 6.
+    EXPECT_EQ(grid.size(), 14u);
+    std::int64_t regrow_cells = 0;
     for (const RecoveryPolicy &p : grid) {
         // WarmSpare exactly when the elastic paths have something to do.
         const bool elastic = p.spare_hosts > 0 || p.allow_dp_shrink;
         EXPECT_EQ(p.mode, elastic ? RecoveryMode::WarmSpare
                                   : RecoveryMode::FullRestart);
         EXPECT_EQ(p.straggler_rebalance, in.straggler_rebalance);
+        if (p.allow_regrow) {
+            ++regrow_cells;
+            EXPECT_TRUE(elastic)
+                << "regrow-on cells need a pool or a shrink to undo";
+        }
     }
+    EXPECT_EQ(regrow_cells, 6);
+}
+
+TEST(GoodputPlanner, RegrowAxisCollapsesOnTheFullRestartBaseline)
+{
+    GoodputPlanInput in = smallInput();
+    in.spare_pool_options = {0};
+    in.dp_shrink_options = {false};
+    in.checkpoint_mode_options = {CheckpointMode::Sync};
+    in.regrow_options = {false, true};
+    // Nothing for regrow to do: the axis must not duplicate the cell.
+    EXPECT_EQ(in.sweepPolicies().size(), 1u);
 }
 
 TEST(GoodputPlanner, SameSeedAndSweepGiveIdenticalRanking)
@@ -208,6 +230,11 @@ TEST(GoodputPlanner, ValidateRejectsInsaneSweeps)
     {
         GoodputPlanInput in = smallInput();
         in.checkpoint_mode_options.clear();
+        EXPECT_DEATH(planGoodput(in), "sweep axis");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.regrow_options.clear();
         EXPECT_DEATH(planGoodput(in), "sweep axis");
     }
     {

@@ -38,7 +38,7 @@ breakdownSum(const TrainRunReport &rep)
            rep.checkpoint_seconds + rep.lost_seconds +
            rep.detection_seconds + rep.restart_seconds +
            rep.spare_swap_seconds + rep.shrink_seconds +
-           rep.drain_stall_seconds;
+           rep.regrow_seconds + rep.drain_stall_seconds;
 }
 
 /** Faulty 16K-GPU run used by the policy-matrix and determinism tests. */
@@ -64,6 +64,9 @@ expectBitwiseEqual(const TrainRunReport &a, const TrainRunReport &b)
     EXPECT_EQ(a.restarts, b.restarts);
     EXPECT_EQ(a.spare_swaps, b.spare_swaps);
     EXPECT_EQ(a.dp_shrinks, b.dp_shrinks);
+    EXPECT_EQ(a.dp_regrows, b.dp_regrows);
+    EXPECT_EQ(a.hosts_repaired, b.hosts_repaired);
+    EXPECT_EQ(a.final_dp, b.final_dp);
     EXPECT_EQ(a.rebalances, b.rebalances);
     EXPECT_EQ(a.productive_seconds, b.productive_seconds);
     EXPECT_EQ(a.degraded_seconds, b.degraded_seconds);
@@ -71,6 +74,7 @@ expectBitwiseEqual(const TrainRunReport &a, const TrainRunReport &b)
     EXPECT_EQ(a.drain_stall_seconds, b.drain_stall_seconds);
     EXPECT_EQ(a.spare_swap_seconds, b.spare_swap_seconds);
     EXPECT_EQ(a.shrink_seconds, b.shrink_seconds);
+    EXPECT_EQ(a.regrow_seconds, b.regrow_seconds);
 }
 
 TEST(TrainRunSim, FaultFreeRunPaysOnlyCheckpoints)
@@ -513,6 +517,154 @@ TEST(TrainRunSim, PoolExhaustionDegradesToDpShrink)
     EXPECT_GT(rigid_rep.restarts, 0);
     EXPECT_EQ(rigid_rep.dp_shrinks, 0);
     EXPECT_EQ(rigid_rep.final_dp, cfg.job.par.dp);
+}
+
+/** Shrink-capable 16K job: 240-sequence global batch at dp 16 gives 15
+ *  micro-batches, so dp 16 -> 15 stays within one in-flight micro-batch
+ *  per pipeline stage (further shrinks fail divisibility). */
+TrainRunConfig
+elastic16kConfig()
+{
+    TrainRunConfig cfg;
+    cfg.job.par = ParallelismConfig{8, 8, 16, 16};
+    cfg.job.global_batch_tokens = 240LL * 8192;
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 2000.0;
+    // Long enough that the width bought back by a mid-run regrow
+    // amortizes the re-shard outage (a late shrink leaves too short a
+    // degraded tail for regrow to pay off over a few hundred steps).
+    cfg.total_steps = 3600;
+    cfg.checkpoint_interval_steps = 20;
+    cfg.policy = RecoveryPolicy::elastic(1);
+    // Repairs fast enough to come back within the test-sized run.
+    cfg.repairs.gpu_repair_mean_hours = 0.2;
+    cfg.repairs.host_repair_mean_hours = 0.3;
+    return cfg;
+}
+
+TEST(TrainRunSim, RegrowBeatsShrinkOnlyUnderCommonRandomNumbers)
+{
+    // Acceptance criterion: with elastic recovery at the 16K config,
+    // every swept seed where the shrink-only run actually shrinks, the
+    // regrow run delivers strictly more goodput (same exogenous fault
+    // AND repair timelines: common random numbers), and in at least one
+    // seed the DP width recovers fully to the configured degree.
+    const TrainRunConfig shrink_only = elastic16kConfig();
+    TrainRunConfig regrow = shrink_only;
+    regrow.policy.allow_regrow = true;
+    int seeds_with_shrinks = 0;
+    bool recovered_to_full = false;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        TrainRunConfig a = shrink_only;
+        TrainRunConfig b = regrow;
+        a.seed = seed;
+        b.seed = seed;
+        const TrainRunReport sa = TrainRunSim(a).run();
+        const TrainRunReport sb = TrainRunSim(b).run();
+        ASSERT_TRUE(sa.completed) << "seed " << seed;
+        ASSERT_TRUE(sb.completed) << "seed " << seed;
+        EXPECT_NEAR(breakdownSum(sa), sa.wall_seconds,
+                    1e-6 * sa.wall_seconds)
+            << "seed " << seed;
+        EXPECT_NEAR(breakdownSum(sb), sb.wall_seconds,
+                    1e-6 * sb.wall_seconds)
+            << "seed " << seed;
+        // CRN: both runs face the identical fault prefix.
+        const std::size_t n =
+            std::min(sa.timeline.size(), sb.timeline.size());
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_EQ(sa.timeline[k].when, sb.timeline[k].when);
+            EXPECT_EQ(sa.timeline[k].component, sb.timeline[k].component);
+        }
+        EXPECT_EQ(sb.final_dp,
+                  b.job.par.dp - sb.dp_shrinks + sb.dp_regrows)
+            << "seed " << seed;
+        if (sa.dp_shrinks > 0) {
+            ++seeds_with_shrinks;
+            // Shrink-only limps at reduced DP forever; regrow buys the
+            // width back for a bounded re-shard outage.
+            EXPECT_GT(sb.goodput_tflops_per_gpu,
+                      sa.goodput_tflops_per_gpu)
+                << "seed " << seed;
+            EXPECT_EQ(sa.final_dp, a.job.par.dp - sa.dp_shrinks);
+        }
+        if (sb.dp_regrows > 0 && sb.final_dp == b.job.par.dp)
+            recovered_to_full = true;
+    }
+    ASSERT_GT(seeds_with_shrinks, 0)
+        << "sweep too quiet: no seed ever exhausted the pool and shrank";
+    EXPECT_TRUE(recovered_to_full)
+        << "no swept seed regrew back to the configured DP width";
+}
+
+TEST(TrainRunSim, RegrowRefillsTheSparePoolFirst)
+{
+    // regrow_spares_first: with a pool configured and the DP width
+    // intact, repaired hosts park as warm spares (free) instead of
+    // forcing a regrow outage — visible as hosts_repaired > 0 with
+    // dp_regrows == 0 on runs that never shrank, and as extra swaps
+    // beyond the configured pool size.
+    TrainRunConfig cfg = elastic16kConfig();
+    cfg.policy.allow_regrow = true;
+    cfg.policy.allow_dp_shrink = false; // pool is the only elastic path
+    // Hot enough that the one-host pool cycles several times.
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 1000.0;
+    cfg.total_steps = 1200;
+    cfg.seed = 2;
+    const TrainRunReport rep = TrainRunSim(cfg).run();
+    ASSERT_TRUE(rep.completed);
+    ASSERT_GT(rep.faults.gpu_fatal + rep.faults.host_crash, 1)
+        << "need repeated fatal faults to cycle the one-host pool";
+    EXPECT_GT(rep.hosts_repaired, 0);
+    EXPECT_EQ(rep.dp_regrows, 0);
+    EXPECT_DOUBLE_EQ(rep.regrow_seconds, 0.0);
+    EXPECT_EQ(rep.final_dp, cfg.job.par.dp);
+    // The refilled pool absorbs more fatal faults as cheap swaps than
+    // the one provisioned spare could.
+    EXPECT_GT(rep.spare_swaps, cfg.policy.spare_hosts);
+    TrainRunConfig no_regrow = cfg;
+    no_regrow.policy.allow_regrow = false;
+    const TrainRunReport rigid = TrainRunSim(no_regrow).run();
+    ASSERT_TRUE(rigid.completed);
+    EXPECT_LE(rigid.spare_swaps, cfg.policy.spare_hosts);
+    EXPECT_EQ(rigid.hosts_repaired, 0);
+}
+
+TEST(TrainRunSim, RepairShopIsInvisibleWithoutRegrow)
+{
+    // Back-compat: allow_regrow=false must reproduce pre-repair-shop
+    // reports bit-identically. The shop draws from its own RNG streams,
+    // so even a wildly different repair tuning cannot perturb a run
+    // that never consumes repairs.
+    TrainRunConfig cfg = faultyConfig();
+    cfg.policy = RecoveryPolicy::elastic(8);
+    TrainRunConfig other = cfg;
+    other.repairs.gpu_repair_mean_hours = 1e-3;
+    other.repairs.host_repair_mean_hours = 1e-3;
+    other.repairs.requalify_lo = 2.0;
+    other.repairs.requalify_hi = 10.0;
+    const TrainRunReport a = TrainRunSim(cfg).run();
+    const TrainRunReport b = TrainRunSim(other).run();
+    ASSERT_TRUE(a.completed);
+    EXPECT_GT(a.faults.total(), 0);
+    expectBitwiseEqual(a, b);
+    EXPECT_EQ(a.hosts_repaired, 0);
+    EXPECT_EQ(a.dp_regrows, 0);
+    EXPECT_DOUBLE_EQ(a.regrow_seconds, 0.0);
+}
+
+TEST(TrainRunSim, RegrowRunsAreDeterministic)
+{
+    // Seed-swept bit-determinism with the full elastic + regrow stack
+    // on: the repair queue, pool refills, and batched re-admissions are
+    // all replayable.
+    TrainRunConfig cfg = elastic16kConfig();
+    cfg.policy.allow_regrow = true;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        cfg.seed = seed;
+        const TrainRunSim sim(cfg);
+        expectBitwiseEqual(sim.run(), sim.run());
+    }
 }
 
 TEST(TrainRunSim, RebalanceAbsorbsStragglersWithoutEviction)
