@@ -31,7 +31,17 @@ policyName(const RecoveryPolicy &p)
     return std::string(recoveryModeName(p.mode)) + "/" +
            checkpointModeName(p.checkpoint_mode) +
            (p.allow_dp_shrink ? "+shrink" : "") +
-           (p.allow_regrow ? "+regrow" : "");
+           (p.allow_regrow ? "+regrow" : "") +
+           (p.partial_restart ? "+partial" : "");
+}
+
+/** Pin the hierarchical-tier and partial-restart axes off so the
+ *  legacy studies keep their original grid (and runtime). */
+void
+pinLegacyAxes(GoodputPlanInput &in)
+{
+    in.hier_global_every_options = {0};
+    in.partial_restart_options = {false};
 }
 
 } // namespace
@@ -58,6 +68,7 @@ main()
         // as the cluster shrinks so every scale has the same pressure.
         gin.base.global_batch_tokens = ngpu * 1024;
         gin.fault_seed = 54 + static_cast<std::uint64_t>(ngpu);
+        pinLegacyAxes(gin);
         const std::optional<PlanCandidate> analytic =
             tryBestPlan(gin.base);
         const std::optional<GoodputPlanCandidate> winner =
@@ -87,6 +98,7 @@ main()
     // --- Full ranking at 16K GPUs: why the winner wins. ---
     GoodputPlanInput gin;
     gin.fault_seed = 54 + 16384;
+    pinLegacyAxes(gin);
     const std::optional<PlanCandidate> analytic = tryBestPlan(gin.base);
     TextTable ranked("16K-GPU candidates ranked by goodput "
                      "(best policy per candidate, common fault seed)");
@@ -158,6 +170,7 @@ main()
         in.base.cluster.node.host_mtbf_hours /= 3.0;
         in.base.global_batch_tokens = ngpu * 1024;
         in.fault_seed = 54 + static_cast<std::uint64_t>(ngpu);
+        pinLegacyAxes(in);
         in.spare_pool_options = {0, 2};
         in.horizon_steps = 9000;
         in.repairs.gpu_repair_mean_hours = 0.5;
@@ -194,6 +207,73 @@ main()
     bench::compare("16K worn-fleet margin from the regrow axis "
                    "(TFLOPs/GPU)",
                    5.0, margin_16k);
+
+    // --- Hierarchical-tier + partial-restart axes under GPU-dominated ---
+    // wear: re-rank with the checkpoint-tier cadence axis ({global-only,
+    // every 4th, every 16th}) and partial restart swept, against the
+    // winner with both pinned off. The tiered cells mirror into DP-peer
+    // HBM at every boundary, so Young-Daly contracts their interval to a
+    // few steps and a GpuFatal costs a peer-mirror read instead of a
+    // fleet-wide filesystem restore. The wear is GpuFatal-only (MTBF / 6,
+    // host crashes at the stock rate): a HostCrash destroys the local
+    // copies and rolls back to the last *global* write, so host-heavy
+    // fleets favor a denser global cadence — the axis exists precisely
+    // so the planner prices that trade per fleet.
+    TextTable hr("Hierarchical-tier axis impact, GPU-dominated wear "
+                 "(winning cell, global-only vs tiers+partial swept)");
+    hr.header({"GPUs", "goodput/GPU (global-only)",
+               "goodput/GPU (tiers swept)", "policy (tiers swept)",
+               "tiers", "impact"});
+    double hier_margin_16k = 0.0;
+    for (const std::int64_t ngpu : {4096, 16384}) {
+        GoodputPlanInput in;
+        in.base.cluster = ClusterSpec::llama3Production(ngpu);
+        in.base.cluster.node.gpu.fatal_mtbf_hours /= 6.0;
+        in.base.global_batch_tokens = ngpu * 1024;
+        in.fault_seed = 54 + static_cast<std::uint64_t>(ngpu);
+        // Trimmed policy axes: one elastic pool (sized so the swap path
+        // stays live under the wear) and async snapshots; the study
+        // isolates the two new axes.
+        in.spare_pool_options = {8};
+        in.checkpoint_mode_options = {CheckpointMode::Async};
+        in.dp_shrink_options = {false};
+        in.regrow_options = {false};
+        in.hier_global_every_options = {0, 4, 16};
+        in.horizon_steps = 9000;
+        in.repairs.gpu_repair_mean_hours = 0.5;
+        in.repairs.host_repair_mean_hours = 0.75;
+        GoodputPlanInput pinned = in;
+        pinLegacyAxes(pinned);
+        const std::optional<GoodputPlanCandidate> off =
+            tryBestGoodputPlan(pinned);
+        const std::optional<GoodputPlanCandidate> on =
+            tryBestGoodputPlan(in);
+        if (!off || !on) {
+            hr.row({TextTable::num(ngpu), "infeasible", "-", "-", "-", "-"});
+            continue;
+        }
+        const GoodputSweepPoint &coff = off->best();
+        const GoodputSweepPoint &con = on->best();
+        const double margin = con.goodput_tflops_per_gpu -
+                              coff.goodput_tflops_per_gpu;
+        if (ngpu == 16384)
+            hier_margin_16k = margin;
+        hr.row({TextTable::num(ngpu),
+                TextTable::num(coff.goodput_tflops_per_gpu, 1),
+                TextTable::num(con.goodput_tflops_per_gpu, 1),
+                policyName(con.policy),
+                con.hier_global_every > 0
+                    ? "global every " +
+                          TextTable::num(con.hier_global_every) + "th"
+                    : "global-only",
+                con.hier_global_every > 0
+                    ? "+" + TextTable::num(margin, 1) + " TFLOPs/GPU"
+                    : "tiers not picked"});
+    }
+    hr.print();
+    bench::compare("16K GPU-wear margin from the tier axes "
+                   "(TFLOPs/GPU)",
+                   1.5, hier_margin_16k);
 
     std::puts(
         "  The analytic ranking prices a fault-free step; the goodput\n"

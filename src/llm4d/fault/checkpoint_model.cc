@@ -17,6 +17,51 @@ constexpr double kGB = 1e9;
 
 } // namespace
 
+const char *
+checkpointTierName(CheckpointTier tier)
+{
+    switch (tier) {
+      case CheckpointTier::HbmPeer:
+        return "HbmPeer";
+      case CheckpointTier::HostLocal:
+        return "HostLocal";
+      case CheckpointTier::Global:
+        return "Global";
+    }
+    LLM4D_PANIC("unreachable checkpoint tier");
+}
+
+bool
+tierSurvives(CheckpointTier tier, BlastRadius radius)
+{
+    switch (tier) {
+      case CheckpointTier::HbmPeer:
+      case CheckpointTier::HostLocal:
+        // Per-host copies (and peer-held mirrors) die with their host;
+        // a single lost GPU is covered by the surviving copies.
+        return radius != BlastRadius::Host;
+      case CheckpointTier::Global:
+        return true;
+    }
+    LLM4D_PANIC("unreachable checkpoint tier");
+}
+
+void
+HierarchicalCheckpointSpec::validate() const
+{
+    LLM4D_CHECK(hbm_barrier_seconds >= 0.0,
+                "HBM mirror barrier must be non-negative");
+    LLM4D_CHECK(nvme_write_gbps_per_host > 0.0 &&
+                    nvme_read_gbps_per_host > 0.0,
+                "NVMe tier bandwidth must be positive");
+    LLM4D_CHECK(nvme_barrier_seconds >= 0.0,
+                "NVMe barrier must be non-negative");
+    LLM4D_CHECK(nvme_every >= 1,
+                "NVMe cadence must be >= 1 checkpoint boundary");
+    LLM4D_CHECK(global_every >= 1,
+                "global cadence must be >= 1 checkpoint boundary");
+}
+
 void
 CheckpointStorage::validate() const
 {
@@ -30,6 +75,7 @@ CheckpointStorage::validate() const
                 "snapshot barrier must be non-negative");
     LLM4D_CHECK(async.drain_step_slowdown >= 1.0,
                 "drain slowdown must be a multiplier >= 1");
+    hier.validate();
 }
 
 CheckpointModel::CheckpointModel(const ModelConfig &model,
@@ -43,6 +89,9 @@ CheckpointModel::CheckpointModel(const ModelConfig &model,
     LLM4D_CHECK(par_.worldSize() == cluster_.numGpus(),
                 "parallelism " << par_.str() << " does not match cluster of "
                                << cluster_.numGpus() << " GPUs");
+    LLM4D_CHECK(!storage_.hier.enabled || par_.dp * par_.cp > 1,
+                "hierarchical HBM peer mirroring needs a DP peer "
+                "(dp * cp > 1)");
     // Rematerializing BF16 weights on load: all-gather each rank's
     // parameter shard over its FSDP (dp*cp) group.
     if (par_.dp * par_.cp > 1) {
@@ -57,6 +106,15 @@ CheckpointModel::CheckpointModel(const ModelConfig &model,
             static_cast<double>(par_.dp * par_.cp));
         regather_seconds_ =
             coll.allGather(grid.dpCpGroup(0), shard_bytes);
+        if (storage_.hier.enabled) {
+            // Every rank mirrors its checkpoint shard onto the next DP
+            // peer; all pairs transfer concurrently, so the mirror costs
+            // one point-to-point send at the DP-group link level.
+            const auto &group = grid.dpCpGroup(0);
+            hbm_mirror_p2p_seconds_ =
+                coll.p2p(group[0], group[1],
+                         static_cast<std::int64_t>(bytesPerGpu()));
+        }
     }
 }
 
@@ -108,6 +166,74 @@ CheckpointModel::loadSeconds() const
         bytesPerGpu() * static_cast<double>(cluster_.node.gpus_per_node);
     return bytes_per_host / (storage_.read_gbps_per_host * kGB) +
            storage_.barrier_seconds + regather_seconds_;
+}
+
+double
+CheckpointModel::hbmMirrorSeconds() const
+{
+    LLM4D_CHECK(storage_.hier.enabled,
+                "HBM tier pricing requires hier.enabled");
+    return hbm_mirror_p2p_seconds_ + storage_.hier.hbm_barrier_seconds;
+}
+
+double
+CheckpointModel::hbmRestoreSeconds() const
+{
+    LLM4D_CHECK(storage_.hier.enabled,
+                "HBM tier pricing requires hier.enabled");
+    // The replacement rank pulls its shard from the DP-peer mirror; the
+    // survivors' in-HBM reloads complete underneath that transfer.
+    return hbm_mirror_p2p_seconds_ + storage_.hier.hbm_barrier_seconds;
+}
+
+double
+CheckpointModel::nvmeWriteSeconds() const
+{
+    LLM4D_CHECK(storage_.hier.enabled,
+                "NVMe tier pricing requires hier.enabled");
+    const double bytes_per_host =
+        bytesPerGpu() * static_cast<double>(cluster_.node.gpus_per_node);
+    return bytes_per_host / (storage_.hier.nvme_write_gbps_per_host * kGB) +
+           storage_.hier.nvme_barrier_seconds;
+}
+
+double
+CheckpointModel::nvmeRestoreSeconds() const
+{
+    LLM4D_CHECK(storage_.hier.enabled,
+                "NVMe tier pricing requires hier.enabled");
+    const double bytes_per_host =
+        bytesPerGpu() * static_cast<double>(cluster_.node.gpus_per_node);
+    return bytes_per_host / (storage_.hier.nvme_read_gbps_per_host * kGB) +
+           storage_.hier.nvme_barrier_seconds + regather_seconds_;
+}
+
+double
+CheckpointModel::tierWriteSeconds(CheckpointTier tier) const
+{
+    switch (tier) {
+      case CheckpointTier::HbmPeer:
+        return hbmMirrorSeconds();
+      case CheckpointTier::HostLocal:
+        return nvmeWriteSeconds();
+      case CheckpointTier::Global:
+        return saveSeconds();
+    }
+    LLM4D_PANIC("unreachable checkpoint tier");
+}
+
+double
+CheckpointModel::tierRestoreSeconds(CheckpointTier tier) const
+{
+    switch (tier) {
+      case CheckpointTier::HbmPeer:
+        return hbmRestoreSeconds();
+      case CheckpointTier::HostLocal:
+        return nvmeRestoreSeconds();
+      case CheckpointTier::Global:
+        return loadSeconds();
+    }
+    LLM4D_PANIC("unreachable checkpoint tier");
 }
 
 double

@@ -20,11 +20,46 @@
 
 #include <cstdint>
 
+#include "llm4d/fault/fault_model.h"
 #include "llm4d/hw/gpu_spec.h"
 #include "llm4d/model/model_config.h"
 #include "llm4d/parallel/parallelism.h"
 
 namespace llm4d {
+
+/**
+ * Checkpoint tiers, fastest/most-fragile first (MegaScale
+ * arXiv:2402.15627 Section 5; TorchTitan arXiv:2410.06511):
+ *  - HbmPeer:   each rank's shard mirrored into a DP peer's HBM over
+ *               NVLink/RoCE. Restores in O(100ms) but copies live in
+ *               process memory, so only *live* recovery paths (warm-spare
+ *               swap, DP-shrink) can use it, and a HostCrash destroys the
+ *               host's own shards and any peer mirrors it held.
+ *  - HostLocal: each host writes its shards to its own NVMe. Survives
+ *               process teardown (full restarts can re-read it) and a
+ *               GpuFatal, but dies with its host.
+ *  - Global:    the parallel filesystem; survives everything.
+ */
+enum class CheckpointTier
+{
+    HbmPeer,
+    HostLocal,
+    Global,
+};
+
+constexpr int kNumCheckpointTiers = 3;
+
+/** Human-readable name of a checkpoint tier. */
+const char *checkpointTierName(CheckpointTier tier);
+
+/**
+ * Failure-domain query: do a tier's checkpoint copies survive a fault
+ * with the given blast radius? The local tiers hold per-host copies
+ * (plus, for HbmPeer, shards mirrored *from* other hosts), so a Host
+ * radius destroys them; a single lost GPU is covered by its DP-peer
+ * mirror (HbmPeer) or its host's NVMe copy (HostLocal).
+ */
+[[nodiscard]] bool tierSurvives(CheckpointTier tier, BlastRadius radius);
 
 /**
  * Two-stage asynchronous checkpointing (TorchTitan arXiv:2410.06511):
@@ -47,6 +82,40 @@ struct AsyncCheckpointSpec
     double drain_step_slowdown = 1.03;
 };
 
+/**
+ * Hierarchical (HBM-peer + host-NVMe) tier tuning and cadence. When
+ * enabled, every checkpoint boundary writes the HBM peer mirror; every
+ * nvme_every-th boundary also persists to host-local NVMe; every
+ * global_every-th boundary additionally runs the global (PFS) save.
+ */
+struct HierarchicalCheckpointSpec
+{
+    /** Master switch; false keeps the single global tier (pre-existing
+     *  behavior, bit-identical). */
+    bool enabled = false;
+
+    /** Quiesce barrier for the HBM peer-mirror write, seconds. */
+    double hbm_barrier_seconds = 0.1;
+
+    /** Aggregate NVMe write bandwidth per host, GB/s. */
+    double nvme_write_gbps_per_host = 8.0;
+
+    /** Aggregate NVMe read bandwidth per host, GB/s. */
+    double nvme_read_gbps_per_host = 12.0;
+
+    /** Quiesce + fsync barrier per NVMe save or load, seconds. */
+    double nvme_barrier_seconds = 0.5;
+
+    /** HBM boundaries per NVMe persist (>= 1). */
+    std::int64_t nvme_every = 4;
+
+    /** HBM boundaries per global PFS checkpoint (>= 1). */
+    std::int64_t global_every = 16;
+
+    /** Abort unless bandwidths, barriers, and cadences are sane. */
+    void validate() const;
+};
+
 /** Distributed-filesystem characteristics seen by one 8-GPU host. */
 struct CheckpointStorage
 {
@@ -61,6 +130,9 @@ struct CheckpointStorage
 
     /** Two-stage (snapshot + overlapped drain) checkpoint tuning. */
     AsyncCheckpointSpec async;
+
+    /** Hierarchical local-tier tuning (disabled by default). */
+    HierarchicalCheckpointSpec hier;
 
     /** Abort unless bandwidths and overheads are sane. */
     void validate() const;
@@ -102,12 +174,44 @@ class CheckpointModel
      */
     [[nodiscard]] double loadSeconds() const;
 
+    /**
+     * Step-blocking cost of mirroring every rank's shard into a DP
+     * peer's HBM (all pairs concurrently, priced as one point-to-point
+     * transfer over the DP-group link level). Requires hier.enabled.
+     */
+    [[nodiscard]] double hbmMirrorSeconds() const;
+
+    /**
+     * Restore from the HBM peer tier: replacement ranks pull their
+     * shards back from the DP-peer mirrors (survivors reload their own
+     * in-HBM snapshot underneath that transfer). Requires hier.enabled.
+     */
+    [[nodiscard]] double hbmRestoreSeconds() const;
+
+    /** Persist each host's shards to its own NVMe. Requires hier.enabled. */
+    [[nodiscard]] double nvmeWriteSeconds() const;
+
+    /**
+     * Restore from host-local NVMe (every host re-reads its own copy),
+     * plus the BF16 rematerialization all-gather — this path is taken
+     * by full restarts, where working weights are gone. Requires
+     * hier.enabled.
+     */
+    [[nodiscard]] double nvmeRestoreSeconds() const;
+
+    /** Write cost of one tier (Global == saveSeconds()). */
+    [[nodiscard]] double tierWriteSeconds(CheckpointTier tier) const;
+
+    /** Restore cost of one tier (Global == loadSeconds()). */
+    [[nodiscard]] double tierRestoreSeconds(CheckpointTier tier) const;
+
   private:
     ModelConfig model_;
     ClusterSpec cluster_;
     ParallelismConfig par_;
     CheckpointStorage storage_;
     double regather_seconds_ = 0.0;
+    double hbm_mirror_p2p_seconds_ = 0.0;
 };
 
 /**

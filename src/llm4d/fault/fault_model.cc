@@ -36,6 +36,48 @@ faultKindName(FaultKind kind)
     LLM4D_PANIC("unreachable fault kind");
 }
 
+FaultKind
+faultKindFromName(const char *name)
+{
+    LLM4D_CHECK(name != nullptr, "fault kind name must be non-null");
+    const std::string s(name);
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        if (s == faultKindName(kind))
+            return kind;
+    }
+    LLM4D_PANIC("unknown fault kind name: " << s);
+}
+
+const char *
+blastRadiusName(BlastRadius radius)
+{
+    switch (radius) {
+      case BlastRadius::None:
+        return "None";
+      case BlastRadius::Gpu:
+        return "Gpu";
+      case BlastRadius::Host:
+        return "Host";
+    }
+    LLM4D_PANIC("unreachable blast radius");
+}
+
+BlastRadius
+faultBlastRadius(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::GpuFatal:
+        return BlastRadius::Gpu;
+      case FaultKind::HostCrash:
+        return BlastRadius::Host;
+      case FaultKind::LinkFlap:
+      case FaultKind::StragglerOnset:
+        return BlastRadius::None;
+    }
+    LLM4D_PANIC("unreachable fault kind");
+}
+
 std::string
 FaultEvent::str() const
 {

@@ -45,6 +45,31 @@ constexpr int kNumFaultKinds = 4;
 /** Human-readable name of a fault kind. */
 const char *faultKindName(FaultKind kind);
 
+/** Inverse of faultKindName(); aborts on an unrecognized name. */
+[[nodiscard]] FaultKind faultKindFromName(const char *name);
+
+/**
+ * Failure domain of a fault: the widest scope of *state* the fault
+ * destroys, independent of whether the job aborts. Checkpoint tiers
+ * declare which blast radii their copies survive
+ * (tierSurvives() in fault/checkpoint_model.h), and restore selects
+ * the newest tier whose surviving copies cover the triggering fault.
+ */
+enum class BlastRadius
+{
+    None, ///< degrades performance only; no state is lost
+    Gpu,  ///< one GPU's HBM contents are lost; its host survives
+    Host, ///< a whole host: its GPUs' HBM *and* its NVMe/DRAM copies
+};
+
+constexpr int kNumBlastRadii = 3;
+
+/** Human-readable name of a blast radius. */
+const char *blastRadiusName(BlastRadius radius);
+
+/** Failure-domain query: what state does a fault of this kind destroy? */
+[[nodiscard]] BlastRadius faultBlastRadius(FaultKind kind);
+
 /** One sampled failure. */
 struct FaultEvent
 {

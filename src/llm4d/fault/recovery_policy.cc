@@ -65,6 +65,8 @@ RecoveryPolicy::validate(const ClusterSpec &cluster) const
                 "spare hosts require the warm-spare recovery mode");
     LLM4D_CHECK(mode == RecoveryMode::WarmSpare || !allow_regrow,
                 "regrow requires the warm-spare recovery mode");
+    LLM4D_CHECK(mode == RecoveryMode::WarmSpare || !partial_restart,
+                "partial restart requires the warm-spare recovery mode");
     LLM4D_CHECK(spare_activation_seconds >= 0.0 &&
                     swap_reinit_seconds >= 0.0,
                 "spare swap latencies must be non-negative");
@@ -101,15 +103,39 @@ RecoveryCostModel::RecoveryCostModel(const ModelConfig &model,
             static_cast<double>(par_.dp * par_.cp));
         weights_fetch = coll.gatherTo(grid.dpCpGroup(0), peer_shard);
     }
+    swap_restore_seconds_ = std::max(ckpt.loadSeconds(), weights_fetch);
     spare_swap_seconds_ = policy_.spare_activation_seconds +
                           policy_.swap_reinit_seconds +
-                          std::max(ckpt.loadSeconds(), weights_fetch);
+                          swap_restore_seconds_;
+    if (storage_.hier.enabled) {
+        // Partial restart: only the replacement ranks re-fetch state —
+        // checkpoint shards from their DP-peer HBM mirrors, BF16 weights
+        // from their FSDP peers — while survivors reload in-HBM
+        // snapshots underneath. No fleet-wide filesystem read.
+        partial_restart_seconds_ =
+            policy_.spare_activation_seconds + policy_.swap_reinit_seconds +
+            std::max(ckpt.hbmRestoreSeconds(), weights_fetch);
+    }
 }
 
 double
 RecoveryCostModel::spareSwapSeconds() const
 {
     return spare_swap_seconds_;
+}
+
+double
+RecoveryCostModel::swapRestoreSeconds() const
+{
+    return swap_restore_seconds_;
+}
+
+double
+RecoveryCostModel::partialRestartSeconds() const
+{
+    LLM4D_CHECK(storage_.hier.enabled,
+                "partial restart requires hierarchical checkpoint tiers");
+    return partial_restart_seconds_;
 }
 
 ParallelismConfig
@@ -146,6 +172,13 @@ RecoveryCostModel::loadSecondsAt(std::int64_t dp) const
 double
 RecoveryCostModel::shrinkSeconds(std::int64_t to_dp) const
 {
+    return shrinkSecondsFromTier(to_dp, CheckpointTier::Global);
+}
+
+double
+RecoveryCostModel::shrinkSecondsFromTier(std::int64_t to_dp,
+                                         CheckpointTier tier) const
+{
     LLM4D_CHECK(to_dp >= 1 && to_dp < par_.dp,
                 "shrink target must drop at least one replica");
     const ParallelismConfig par = shrunkPar(par_, to_dp);
@@ -171,7 +204,7 @@ RecoveryCostModel::shrinkSeconds(std::int64_t to_dp) const
         reshard = coll.gatherTo(grid.dpCpGroup(0), delta_bytes);
     }
     return policy_.swap_reinit_seconds +
-           std::max(ckpt.loadSeconds(), reshard);
+           std::max(ckpt.tierRestoreSeconds(tier), reshard);
 }
 
 double

@@ -98,6 +98,18 @@ struct RecoveryPolicy
 
     CheckpointMode checkpoint_mode = CheckpointMode::Sync;
 
+    /**
+     * Partial restart (MegaScale-style): on a live recovery path
+     * (warm-spare swap or DP-shrink) after a single-GPU fault, only the
+     * replacement ranks re-fetch their shards from DP-peer HBM mirrors
+     * and survivors reload their in-HBM snapshot, instead of the whole
+     * fleet re-reading the global checkpoint. Requires the warm-spare
+     * recovery mode and hierarchical checkpoint tiers
+     * (CheckpointStorage::hier.enabled). A HostCrash destroys the peer
+     * copies, so it always falls back to the global path.
+     */
+    bool partial_restart = false;
+
     /** Rebalance micro-batches off a localized straggler vs. evicting. */
     bool straggler_rebalance = false;
 
@@ -142,12 +154,35 @@ class RecoveryCostModel
     [[nodiscard]] double spareSwapSeconds() const;
 
     /**
+     * Restore component of a (global-tier) warm-spare swap:
+     * spareSwapSeconds() minus the fixed activation + re-init latencies.
+     */
+    [[nodiscard]] double swapRestoreSeconds() const;
+
+    /**
+     * Outage of a *partial-restart* warm-spare swap: spare activation +
+     * NCCL re-init + the replacement host's shard re-fetch from DP-peer
+     * HBM mirrors overlapped with its BF16 working-weight gather —
+     * survivors only reload their own in-HBM snapshot underneath.
+     * Requires hierarchical tiers (storage.hier.enabled).
+     */
+    [[nodiscard]] double partialRestartSeconds() const;
+
+    /**
      * Outage of shrinking to @p to_dp data-parallel replicas, excluding
      * detection: NCCL re-init at the smaller world + re-partitioned
      * sharded restore + the survivors gathering their enlarged optimizer
      * shards (the dropped replica's share) from group peers.
      */
     [[nodiscard]] double shrinkSeconds(std::int64_t to_dp) const;
+
+    /**
+     * shrinkSeconds with the sharded-restore term priced from
+     * @p restore_tier instead of the global filesystem (Global tier is
+     * exactly shrinkSeconds). Local tiers require storage.hier.enabled.
+     */
+    [[nodiscard]] double shrinkSecondsFromTier(std::int64_t to_dp,
+                                               CheckpointTier tier) const;
 
     /**
      * Outage of regrowing to @p to_dp data-parallel replicas — the
@@ -177,6 +212,8 @@ class RecoveryCostModel
     CheckpointStorage storage_;
     RecoveryPolicy policy_;
     double spare_swap_seconds_ = 0.0;
+    double swap_restore_seconds_ = 0.0;
+    double partial_restart_seconds_ = 0.0;
 };
 
 } // namespace llm4d

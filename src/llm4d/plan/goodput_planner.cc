@@ -27,10 +27,13 @@ samePlan(const PlanCandidate &a, const PlanCandidate &b)
            a.schedule == b.schedule;
 }
 
-/** TrainRunConfig of one {candidate, policy} sweep cell. */
+/** TrainRunConfig of one {candidate, policy, tier-cadence} sweep cell.
+ *  @p hier_global_every > 0 turns the hierarchical tiers on at that
+ *  global cadence; 0 forces the global-only baseline regardless of the
+ *  input's storage.hier.enabled. */
 TrainRunConfig
 cellConfig(const GoodputPlanInput &in, const PlanCandidate &cand,
-           const RecoveryPolicy &policy)
+           const RecoveryPolicy &policy, std::int64_t hier_global_every)
 {
     TrainRunConfig cfg;
     cfg.job.model = in.base.model;
@@ -48,6 +51,14 @@ cellConfig(const GoodputPlanInput &in, const PlanCandidate &cand,
     cfg.faults = in.faults;
     cfg.repairs = in.repairs;
     cfg.storage = in.storage;
+    cfg.storage.hier.enabled = hier_global_every > 0;
+    if (hier_global_every > 0) {
+        cfg.storage.hier.global_every = hier_global_every;
+        // The NVMe cadence cannot be coarser than the global one (an
+        // NVMe write rides along at every global boundary anyway).
+        cfg.storage.hier.nvme_every =
+            std::min(in.storage.hier.nvme_every, hier_global_every);
+    }
     cfg.detection = in.detection;
     cfg.restart = in.restart;
     cfg.policy = policy;
@@ -65,25 +76,31 @@ GoodputPlanInput::sweepPolicies() const
         for (const CheckpointMode ckpt : checkpoint_mode_options) {
             for (const bool shrink : dp_shrink_options) {
                 for (const bool regrow : regrow_options) {
-                    // WarmSpare only when the elastic paths have
-                    // something to do; otherwise the plain full-restart
-                    // baseline. Regrow is one of those paths, but it
-                    // needs a pool to refill or a shrink to undo, so
-                    // regrow-on is meaningless (and invalid) on the
-                    // full-restart baseline — skip instead of emitting
-                    // a duplicate cell.
-                    const bool elastic = spares > 0 || shrink;
-                    if (regrow && !elastic)
-                        continue;
-                    RecoveryPolicy policy;
-                    policy.mode = elastic ? RecoveryMode::WarmSpare
-                                          : RecoveryMode::FullRestart;
-                    policy.spare_hosts = spares;
-                    policy.allow_dp_shrink = shrink;
-                    policy.allow_regrow = regrow;
-                    policy.checkpoint_mode = ckpt;
-                    policy.straggler_rebalance = straggler_rebalance;
-                    out.push_back(policy);
+                    for (const bool partial : partial_restart_options) {
+                        // WarmSpare only when the elastic paths have
+                        // something to do; otherwise the plain
+                        // full-restart baseline. Regrow is one of those
+                        // paths, but it needs a pool to refill or a
+                        // shrink to undo, so regrow-on is meaningless
+                        // (and invalid) on the full-restart baseline —
+                        // skip instead of emitting a duplicate cell.
+                        // Partial restart likewise needs a live
+                        // recovery path (swap or shrink), so it only
+                        // sweeps on the elastic combinations.
+                        const bool elastic = spares > 0 || shrink;
+                        if ((regrow || partial) && !elastic)
+                            continue;
+                        RecoveryPolicy policy;
+                        policy.mode = elastic ? RecoveryMode::WarmSpare
+                                              : RecoveryMode::FullRestart;
+                        policy.spare_hosts = spares;
+                        policy.allow_dp_shrink = shrink;
+                        policy.allow_regrow = regrow;
+                        policy.checkpoint_mode = ckpt;
+                        policy.partial_restart = partial;
+                        policy.straggler_rebalance = straggler_rebalance;
+                        out.push_back(policy);
+                    }
                 }
             }
         }
@@ -99,11 +116,18 @@ GoodputPlanInput::validate() const
                 "simulation horizon must be positive");
     LLM4D_CHECK(!spare_pool_options.empty() &&
                     !checkpoint_mode_options.empty() &&
-                    !dp_shrink_options.empty() && !regrow_options.empty(),
+                    !dp_shrink_options.empty() &&
+                    !regrow_options.empty() &&
+                    !hier_global_every_options.empty() &&
+                    !partial_restart_options.empty(),
                 "every recovery-policy sweep axis needs at least one "
                 "point");
     for (const std::int64_t spares : spare_pool_options)
         LLM4D_CHECK(spares >= 0, "spare pool sizes cannot be negative");
+    for (const std::int64_t n : hier_global_every_options)
+        LLM4D_CHECK(n >= 0,
+                    "hierarchical global cadence must be >= 0 (0 = "
+                    "global-only)");
     LLM4D_CHECK(base.cluster.fatalFailuresPerHour() > 0.0,
                 "goodput planning needs an enabled fatal failure class "
                 "(Young-Daly auto intervals are undefined without one)");
@@ -154,26 +178,45 @@ planGoodput(const GoodputPlanInput &in)
     for (const PlanCandidate &cand : feasible) {
         GoodputPlanCandidate scored;
         scored.analytic = cand;
-        scored.sweep.reserve(policies.size());
+        scored.sweep.reserve(policies.size() *
+                             in.hier_global_every_options.size());
         for (const RecoveryPolicy &policy : policies) {
-            const TrainRunSim sim(cellConfig(in, cand, policy));
-            GoodputSweepPoint pt;
-            pt.policy = policy;
-            pt.checkpoint_interval_steps = sim.checkpointIntervalSteps();
-            pt.report = sim.run();
-            // Idle spares are provisioned capacity: they park whole
-            // hosts next to the job, so the per-GPU goodput the cluster
-            // owner sees is diluted by the pool.
-            const double world =
-                static_cast<double>(cand.par.worldSize());
-            const double provisioned =
-                world + static_cast<double>(policy.spare_hosts *
-                                            in.base.cluster.node
-                                                .gpus_per_node);
-            pt.goodput_tflops_per_gpu =
-                pt.report.goodput_tflops_per_gpu * world / provisioned;
-            scored.sweep.push_back(std::move(pt));
+            for (const std::int64_t hier_n : in.hier_global_every_options) {
+                // Partial restart needs the HBM peer tier; the tiers
+                // need a DP peer to mirror to. Skip the combinations
+                // the models would (rightly) refuse to build.
+                if (policy.partial_restart && hier_n == 0)
+                    continue;
+                if (hier_n > 0 && cand.par.dp * cand.par.cp < 2)
+                    continue;
+                const TrainRunSim sim(
+                    cellConfig(in, cand, policy, hier_n));
+                GoodputSweepPoint pt;
+                pt.policy = policy;
+                pt.hier_global_every = hier_n;
+                pt.checkpoint_interval_steps =
+                    sim.checkpointIntervalSteps();
+                pt.report = sim.run();
+                // Idle spares are provisioned capacity: they park whole
+                // hosts next to the job, so the per-GPU goodput the
+                // cluster owner sees is diluted by the pool.
+                const double world =
+                    static_cast<double>(cand.par.worldSize());
+                const double provisioned =
+                    world + static_cast<double>(policy.spare_hosts *
+                                                in.base.cluster.node
+                                                    .gpus_per_node);
+                pt.goodput_tflops_per_gpu =
+                    pt.report.goodput_tflops_per_gpu * world /
+                    provisioned;
+                scored.sweep.push_back(std::move(pt));
+            }
         }
+        // A candidate with no simulable cell (e.g. dp*cp == 1 under a
+        // tiers-only axis) cannot be ranked — drop it rather than
+        // dereference an empty sweep.
+        if (scored.sweep.empty())
+            continue;
         for (std::size_t i = 0; i < scored.sweep.size(); ++i) {
             if (scored.sweep[i].goodput_tflops_per_gpu >
                 scored.sweep[scored.best_point].goodput_tflops_per_gpu)

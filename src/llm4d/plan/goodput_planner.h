@@ -24,10 +24,12 @@
  *     exogenous failure timeline — once per point of a recovery-policy
  *     sweep: sync vs. async checkpointing, warm-spare pool sizes from
  *     spare_pool_options (idle spares cost capacity in the goodput
- *     denominator but shrink MTTR), DP-shrink on/off, and repair-aware
- *     regrow on/off (re-admit repaired hosts at checkpoint boundaries).
- *     Checkpoint intervals are Young–Daly auto-tuned per point so a
- *     policy flip cannot desynchronize them.
+ *     denominator but shrink MTTR), DP-shrink on/off, repair-aware
+ *     regrow on/off (re-admit repaired hosts at checkpoint boundaries),
+ *     hierarchical checkpoint-tier cadence (global-only vs. HBM/NVMe
+ *     tiers with a global write every Nth boundary), and partial
+ *     restart on/off. Checkpoint intervals are Young–Daly auto-tuned
+ *     per point so a policy flip cannot desynchronize them.
  *
  * Candidates are ranked by their best sweep point's goodput TFLOPs per
  * *provisioned* GPU (training world + idle spares); each candidate
@@ -104,6 +106,23 @@ struct GoodputPlanInput
      */
     std::vector<bool> regrow_options = {false, true};
 
+    /**
+     * Hierarchical checkpoint-tier cadence axis: a global (PFS)
+     * checkpoint every Nth boundary with HBM peer mirrors at every
+     * boundary in between (CheckpointStorage::hier). 0 disables the
+     * tiers (the global-only baseline). Tiered cells are skipped for
+     * candidates without a DP peer (dp * cp < 2: no one to mirror to).
+     */
+    std::vector<std::int64_t> hier_global_every_options = {0, 16};
+
+    /**
+     * Partial-restart on/off axis (RecoveryPolicy::partial_restart).
+     * Partial-on is skipped on the full-restart baseline (it needs a
+     * live recovery path) and in global-only cells (it needs the HBM
+     * peer tier), so the grid is not a plain cross product here either.
+     */
+    std::vector<bool> partial_restart_options = {false, true};
+
     /** Mitigate localized stragglers by micro-batch rebalancing. */
     bool straggler_rebalance = true;
 
@@ -121,8 +140,13 @@ struct GoodputSweepPoint
 {
     RecoveryPolicy policy;
 
+    /** Hierarchical-tier cadence this cell ran with: global checkpoint
+     *  every Nth boundary, HBM mirrors in between. 0 = global-only. */
+    std::int64_t hier_global_every = 0;
+
     /** Young–Daly interval this cell ran at (per-point: it contracts
-     *  under async checkpointing). */
+     *  under async checkpointing, and under hierarchical tiers where
+     *  the blocking cost is the cheap HBM mirror). */
     std::int64_t checkpoint_interval_steps = 0;
 
     /** Full run outcome, including the lost-time breakdown buckets. */
@@ -144,7 +168,10 @@ struct GoodputPlanCandidate
     /** The stage-1 analytic evaluation (par, zero, step estimate). */
     PlanCandidate analytic;
 
-    /** Every simulated sweep cell, in sweepPolicies() order. */
+    /** Every simulated sweep cell: sweepPolicies() order, with one cell
+     *  per applicable hier_global_every option inside each policy
+     *  (inapplicable combinations — partial restart without tiers,
+     *  tiers without a DP peer — are skipped, not simulated). */
     std::vector<GoodputSweepPoint> sweep;
 
     /** Index into sweep of the best cell (highest provisioned-GPU

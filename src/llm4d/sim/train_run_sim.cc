@@ -61,6 +61,9 @@ TrainRunConfig::validate() const
     repairs.validate();
     storage.validate();
     policy.validate(job.cluster);
+    LLM4D_CHECK(!policy.partial_restart || storage.hier.enabled,
+                "partial restart requires hierarchical checkpoint tiers "
+                "(storage.hier.enabled)");
 }
 
 TrainRunSim::TrainRunSim(TrainRunConfig cfg)
@@ -83,6 +86,11 @@ TrainRunSim::mtbfSeconds() const
 double
 TrainRunSim::blockingSaveSeconds() const
 {
+    // With hierarchical tiers every checkpoint boundary blocks only for
+    // the HBM peer mirror (the NVMe/global persists ride the configured
+    // cadences), so that is the Young–Daly C.
+    if (cfg_.storage.hier.enabled)
+        return ckpt_.hbmMirrorSeconds();
     return cfg_.policy.checkpoint_mode == CheckpointMode::Async
                ? ckpt_.snapshotSeconds()
                : ckpt_.saveSeconds();
@@ -131,6 +139,10 @@ bool
 TrainRunSim::canShrinkTo(std::int64_t dp) const
 {
     if (dp < 1)
+        return false;
+    // The HBM peer mirror needs a surviving DP peer at the shrunk
+    // layout, or the hierarchical checkpoint model is unbuildable.
+    if (cfg_.storage.hier.enabled && dp * cfg_.job.par.cp < 2)
         return false;
     const std::int64_t world =
         cfg_.job.par.worldSize() / cfg_.job.par.dp * dp;
@@ -184,10 +196,23 @@ TrainRunSim::checkpointCostsAt(std::int64_t dp) const
     const auto it = ckpt_cost_cache_.find(dp);
     if (it != ckpt_cost_cache_.end())
         return it->second;
+    const auto price = [&](const CheckpointModel &model) {
+        CkptCosts costs;
+        costs.save = model.saveSeconds();
+        costs.snapshot = model.snapshotSeconds();
+        costs.drain = model.drainSeconds();
+        costs.load = model.loadSeconds();
+        if (cfg_.storage.hier.enabled) {
+            costs.hbm_write = model.hbmMirrorSeconds();
+            costs.hbm_read = model.hbmRestoreSeconds();
+            costs.nvme_write = model.nvmeWriteSeconds();
+            costs.nvme_read = model.nvmeRestoreSeconds();
+        }
+        return costs;
+    };
     CkptCosts costs;
     if (dp == cfg_.job.par.dp) {
-        costs = CkptCosts{ckpt_.saveSeconds(), ckpt_.snapshotSeconds(),
-                          ckpt_.drainSeconds(), ckpt_.loadSeconds()};
+        costs = price(ckpt_);
     } else {
         const ParallelismConfig par =
             RecoveryCostModel::shrunkPar(cfg_.job.par, dp);
@@ -195,8 +220,7 @@ TrainRunSim::checkpointCostsAt(std::int64_t dp) const
             RecoveryCostModel::shrunkCluster(cfg_.job.cluster, par);
         const CheckpointModel model(cfg_.job.model, cluster, par,
                                     cfg_.storage);
-        costs = CkptCosts{model.saveSeconds(), model.snapshotSeconds(),
-                          model.drainSeconds(), model.loadSeconds()};
+        costs = price(model);
     }
     return ckpt_cost_cache_.emplace(dp, costs).first->second;
 }
@@ -209,6 +233,18 @@ TrainRunSim::shrinkSecondsTo(std::int64_t dp) const
         return it->second;
     const double seconds = recovery_.shrinkSeconds(dp);
     shrink_cost_cache_[dp] = seconds;
+    return seconds;
+}
+
+double
+TrainRunSim::shrinkHbmSecondsTo(std::int64_t dp) const
+{
+    const auto it = shrink_hbm_cost_cache_.find(dp);
+    if (it != shrink_hbm_cost_cache_.end())
+        return it->second;
+    const double seconds =
+        recovery_.shrinkSecondsFromTier(dp, CheckpointTier::HbmPeer);
+    shrink_hbm_cost_cache_[dp] = seconds;
     return seconds;
 }
 
@@ -278,6 +314,8 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     LLM4D_CHECK(interval_steps > 0, "checkpoint interval must be positive");
     const RecoveryPolicy &pol = cfg_.policy;
     const bool async = pol.checkpoint_mode == CheckpointMode::Async;
+    const HierarchicalCheckpointSpec &hier = cfg_.storage.hier;
+    const bool tiered = hier.enabled;
     const double base_step_s = base_.step_seconds;
     // Share of the step a NIC flap can slow down: traffic that crosses
     // the NICs and sits on the critical path (FSDP + CP exposure). TP is
@@ -333,6 +371,17 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     std::int64_t pending_steps = 0;    ///< snapshotted, drain in flight
     double pending_base_s = 0.0;
     double pending_extra_s = 0.0;
+    // Hierarchical-tier coverage ledgers (always zero when !tiered).
+    // Ordering oldest -> newest: committed | pending | nv | local |
+    // tentative. "nv" steps are covered by the latest NVMe persist,
+    // "local" only by the latest HBM peer mirror.
+    std::int64_t nv_steps = 0;
+    double nv_base_s = 0.0;
+    double nv_extra_s = 0.0;
+    std::int64_t local_steps = 0;
+    double local_base_s = 0.0;
+    double local_extra_s = 0.0;
+    std::int64_t ckpt_boundary = 0; ///< cadence counter, never rolled back
     std::int64_t dp_now = cfg_.job.par.dp;  ///< shrinks are persistent
     std::int64_t spares_left = pol.spare_hosts;
     std::int64_t warmup_left = 0;
@@ -409,41 +458,61 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     };
 
     const auto steps_done = [&]() {
-        return committed + pending_steps + done_since_ckpt;
+        return committed + pending_steps + nv_steps + local_steps +
+               done_since_ckpt;
     };
 
-    /** Sync-mode commit: the completed save makes everything durable. */
+    /** Sync-mode commit: the completed save makes everything durable
+     *  (with tiers, the global save also supersedes local coverage). */
     const auto commit = [&](double save_s) {
         rep.checkpoint_seconds += save_s;
-        committed += done_since_ckpt;
-        rep.productive_seconds += tentative_base_s;
-        rep.degraded_seconds += tentative_extra_s;
+        committed += done_since_ckpt + local_steps + nv_steps;
+        rep.productive_seconds +=
+            tentative_base_s + local_base_s + nv_base_s;
+        rep.degraded_seconds +=
+            tentative_extra_s + local_extra_s + nv_extra_s;
         done_since_ckpt = 0;
         tentative_base_s = 0.0;
         tentative_extra_s = 0.0;
+        local_steps = 0;
+        local_base_s = 0.0;
+        local_extra_s = 0.0;
+        nv_steps = 0;
+        nv_base_s = 0.0;
+        nv_extra_s = 0.0;
     };
 
     const auto rollback = [&]() {
 #if LLM4D_AUDIT_ENABLED
         // Rollback targets non-durable work only: committed steps are
         // untouchable, and the lost-step ledger must grow by exactly the
-        // tentative + pending steps being discarded.
+        // tentative + local-tier + pending steps being discarded.
         const std::int64_t audit_committed_before = committed;
         const std::int64_t audit_expected_lost =
-            rep.steps_lost + done_since_ckpt + pending_steps;
+            rep.steps_lost + done_since_ckpt + local_steps + nv_steps +
+            pending_steps;
 #endif
-        // Un-durable work is lost: both the steps since the last
-        // snapshot and any snapshot whose drain has not finished.
+        // Un-durable work is lost: the steps since the last snapshot,
+        // any snapshot whose drain has not finished, and (with tiers)
+        // all work covered only by the now-destroyed local copies.
         if (drain_active) {
             eng.cancel(drain_event);
             drain_active = false;
         }
         rep.lost_seconds += tentative_base_s + tentative_extra_s +
-                            pending_base_s + pending_extra_s;
-        rep.steps_lost += done_since_ckpt + pending_steps;
+                            local_base_s + local_extra_s + nv_base_s +
+                            nv_extra_s + pending_base_s + pending_extra_s;
+        rep.steps_lost +=
+            done_since_ckpt + local_steps + nv_steps + pending_steps;
         done_since_ckpt = 0;
         tentative_base_s = 0.0;
         tentative_extra_s = 0.0;
+        local_steps = 0;
+        local_base_s = 0.0;
+        local_extra_s = 0.0;
+        nv_steps = 0;
+        nv_base_s = 0.0;
+        nv_extra_s = 0.0;
         pending_steps = 0;
         pending_base_s = 0.0;
         pending_extra_s = 0.0;
@@ -460,6 +529,40 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                           "rollback lost-step ledger off: "
                               << rep.steps_lost << " != expected "
                               << audit_expected_lost);
+    };
+
+    /**
+     * Tier-aware rollback. Global destroys everything non-durable
+     * (pre-existing behavior). The local tiers keep more: the drain (a
+     * host-side checkpoint daemon writing from host DRAM) keeps running
+     * across GPU-level faults and even process restarts, so pending and
+     * NVMe-covered work survive; HbmPeer additionally keeps the
+     * HBM-mirror-covered steps (survivor processes stay live), losing
+     * only the tentative tail.
+     */
+    const auto rollback_to_tier = [&](CheckpointTier tier) {
+        if (tier == CheckpointTier::Global) {
+            rollback();
+            return;
+        }
+        double lost_s = tentative_base_s + tentative_extra_s;
+        std::int64_t lost = done_since_ckpt;
+        done_since_ckpt = 0;
+        tentative_base_s = 0.0;
+        tentative_extra_s = 0.0;
+        if (tier == CheckpointTier::HostLocal) {
+            // HBM-only coverage dies with the restarted processes.
+            lost_s += local_base_s + local_extra_s;
+            lost += local_steps;
+            local_steps = 0;
+            local_base_s = 0.0;
+            local_extra_s = 0.0;
+        }
+        rep.lost_seconds += lost_s;
+        rep.steps_lost += lost;
+        // Same re-trigger rule as the global rollback.
+        finishing = false;
+        evict_rank = -1;
     };
 
     /** Service outage: detection, then @p rest_s of recovery work
@@ -493,27 +596,72 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         down = false;
     };
 
-    /** Recovery dispatch: warm spare -> DP shrink -> full restart. */
-    const auto begin_recovery = [&](double detection_s) {
+    /**
+     * Restore-tier selection (peek; consumes nothing): the newest tier
+     * whose surviving copies cover the fault's blast radius *and* whose
+     * restore protocol fits the recovery path about to be dispatched. A
+     * Host radius destroyed both local tiers -> Global on every path.
+     * The HBM peer tier lives in process memory, so only the live paths
+     * (warm-spare swap / DP-shrink) can use it, and only when the
+     * partial-restart protocol is enabled; a full restart tears the
+     * processes down and re-reads host-local NVMe instead.
+     */
+    const auto restore_tier = [&](BlastRadius radius) {
+        if (!tiered || radius == BlastRadius::Host)
+            return CheckpointTier::Global;
+        const bool live_path =
+            pol.mode == RecoveryMode::WarmSpare &&
+            (spares_left > 0 ||
+             (pol.allow_dp_shrink && dp_now > 1 && canShrinkTo(dp_now - 1)));
+        if (live_path)
+            return pol.partial_restart ? CheckpointTier::HbmPeer
+                                       : CheckpointTier::Global;
+        return CheckpointTier::HostLocal;
+    };
+
+    /** Recovery dispatch: warm spare -> DP shrink -> full restart,
+     *  restoring from @p tier (selected by restore_tier for the same
+     *  pre-dispatch state, so the paths agree). */
+    const auto begin_recovery = [&](double detection_s,
+                                    CheckpointTier tier) {
+        const auto tier_idx = static_cast<std::size_t>(tier);
         if (pol.mode == RecoveryMode::WarmSpare && spares_left > 0) {
             --spares_left;
             ++rep.spare_swaps;
-            begin_outage(detection_s, recovery_.spareSwapSeconds(),
-                         &rep.spare_swap_seconds);
+            double swap_s = recovery_.spareSwapSeconds();
+            double restore_s = recovery_.swapRestoreSeconds();
+            if (tier == CheckpointTier::HbmPeer) {
+                // Partial restart: only the replacement ranks re-fetch
+                // from DP-peer mirrors; no fleet-wide filesystem read.
+                swap_s = recovery_.partialRestartSeconds();
+                restore_s = swap_s - pol.spare_activation_seconds -
+                            pol.swap_reinit_seconds;
+                ++rep.partial_restarts;
+            }
+            rep.tier_restore_seconds[tier_idx] += restore_s;
+            begin_outage(detection_s, swap_s, &rep.spare_swap_seconds);
             return;
         }
         if (pol.mode == RecoveryMode::WarmSpare && pol.allow_dp_shrink &&
             dp_now > 1 && canShrinkTo(dp_now - 1)) {
             --dp_now;
             ++rep.dp_shrinks;
-            begin_outage(detection_s, shrinkSecondsTo(dp_now),
-                         &rep.shrink_seconds);
+            double shrink_s = shrinkSecondsTo(dp_now);
+            if (tier == CheckpointTier::HbmPeer) {
+                shrink_s = shrinkHbmSecondsTo(dp_now);
+                ++rep.partial_restarts;
+            }
+            rep.tier_restore_seconds[tier_idx] +=
+                shrink_s - pol.swap_reinit_seconds;
+            begin_outage(detection_s, shrink_s, &rep.shrink_seconds);
             return;
         }
         ++rep.restarts;
-        begin_outage(detection_s,
-                     cfg_.restart.reinit_seconds +
-                         checkpointCostsAt(dp_now).load,
+        const double load_s = tier == CheckpointTier::HostLocal
+                                  ? checkpointCostsAt(dp_now).nvme_read
+                                  : checkpointCostsAt(dp_now).load;
+        rep.tier_restore_seconds[tier_idx] += load_s;
+        begin_outage(detection_s, cfg_.restart.reinit_seconds + load_s,
                      &rep.restart_seconds);
     };
 
@@ -616,14 +764,23 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         work_event = eng.schedule(secondsToTime(snap_s), [&, snap_s]() {
             // Snapshot landed in host DRAM: the steps it covers move to
             // the pending (snapshotted, not yet durable) stage and the
-            // filesystem drain starts in the background.
+            // filesystem drain starts in the background. With tiers the
+            // snapshot also supersedes the local-tier coverage.
             rep.checkpoint_seconds += snap_s;
-            pending_steps += done_since_ckpt;
-            pending_base_s += tentative_base_s;
-            pending_extra_s += tentative_extra_s;
+            pending_steps += done_since_ckpt + local_steps + nv_steps;
+            pending_base_s +=
+                tentative_base_s + local_base_s + nv_base_s;
+            pending_extra_s +=
+                tentative_extra_s + local_extra_s + nv_extra_s;
             done_since_ckpt = 0;
             tentative_base_s = 0.0;
             tentative_extra_s = 0.0;
+            local_steps = 0;
+            local_base_s = 0.0;
+            local_extra_s = 0.0;
+            nv_steps = 0;
+            nv_base_s = 0.0;
+            nv_extra_s = 0.0;
             running = false;
             in_checkpoint = false;
             drain_active = true;
@@ -675,7 +832,10 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
             if (evict_rank >= 0) {
                 stragglers.erase(evict_rank);
                 evict_rank = -1;
-                begin_recovery(cfg_.detection.straggler_analysis_seconds);
+                // An eviction removes one GPU deliberately — same blast
+                // radius as a GpuFatal for tier selection.
+                begin_recovery(cfg_.detection.straggler_analysis_seconds,
+                               restore_tier(BlastRadius::Gpu));
             }
         }
     };
@@ -749,7 +909,8 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
             eng.schedule(secondsToTime(save_s), [&, save_s, detected]() {
                 commit(save_s);
                 stragglers.erase(detected);
-                begin_recovery(cfg_.detection.straggler_analysis_seconds);
+                begin_recovery(cfg_.detection.straggler_analysis_seconds,
+                               restore_tier(BlastRadius::Gpu));
             });
     };
 
@@ -759,6 +920,13 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
             return;
         if (eng.now() > wall_limit) {
             truncate_now();
+            return;
+        }
+        if (tiered && steps_done() >= cfg_.total_steps) {
+            // A local-tier rollback can leave every remaining step
+            // already covered (only the tentative tail was lost); no
+            // step completion will fire again, so finish from here.
+            finish();
             return;
         }
         step_len_s = current_step_seconds();
@@ -795,6 +963,71 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 return;
             }
             if (done_since_ckpt >= interval_steps) {
+                if (tiered) {
+                    // Hierarchical boundary: always block for the HBM
+                    // peer mirror, fold NVMe on its cadence, and run the
+                    // global (sync save / async snapshot) machinery on
+                    // its own cadence. The counter advances only when
+                    // the write *completes*, so a fault mid-boundary
+                    // retries the same (possibly global) boundary
+                    // instead of sliding the cadence.
+                    const bool global_b =
+                        (ckpt_boundary + 1) % hier.global_every == 0;
+                    const bool nvme_b =
+                        global_b ||
+                        (ckpt_boundary + 1) % hier.nvme_every == 0;
+                    in_checkpoint = true;
+                    ckpt_started = eng.now();
+                    running = true;
+                    const CkptCosts &costs = checkpointCostsAt(dp_now);
+                    const double local_s =
+                        costs.hbm_write +
+                        (nvme_b ? costs.nvme_write : 0.0);
+                    work_event = eng.schedule(
+                        secondsToTime(local_s),
+                        [&, local_s, nvme_b, global_b]() {
+                            ++ckpt_boundary;
+                            rep.checkpoint_seconds += local_s;
+                            // The fresh mirror covers the tentative tail.
+                            local_steps += done_since_ckpt;
+                            local_base_s += tentative_base_s;
+                            local_extra_s += tentative_extra_s;
+                            done_since_ckpt = 0;
+                            tentative_base_s = 0.0;
+                            tentative_extra_s = 0.0;
+                            if (nvme_b) {
+                                nv_steps += local_steps;
+                                nv_base_s += local_base_s;
+                                nv_extra_s += local_extra_s;
+                                local_steps = 0;
+                                local_base_s = 0.0;
+                                local_extra_s = 0.0;
+                            }
+                            running = false;
+                            in_checkpoint = false;
+                            if (!global_b) {
+                                schedule_step();
+                                return;
+                            }
+                            if (async) {
+                                request_snapshot();
+                                return;
+                            }
+                            // Synchronous global save on top.
+                            in_checkpoint = true;
+                            ckpt_started = eng.now();
+                            running = true;
+                            const double save_s =
+                                checkpointCostsAt(dp_now).save;
+                            work_event = eng.schedule(
+                                secondsToTime(save_s), [&, save_s]() {
+                                    commit(save_s);
+                                    if (!maybe_regrow())
+                                        schedule_step();
+                                });
+                        });
+                    return;
+                }
                 if (async) {
                     request_snapshot();
                     return;
@@ -851,35 +1084,47 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 // Back-to-back failure while recovering (e.g. the
                 // replacement host dies too): the old outage's un-elapsed
                 // tail never happens — refund it and recover from scratch.
+                // A rebalance pause / regrow is not a recovery outage:
+                // nothing was rolled back when it began and a drain may
+                // still be writing; a plain recovery outage already
+                // rolled back, so the rollback below is a no-op for it.
                 refund_outage();
-                if (paused) {
-                    // A rebalance pause is not a recovery outage: nothing
-                    // was rolled back when it began, and a drain may
-                    // still be writing. The host state is lost now.
-                    paused = false;
-                    rollback();
+                paused = false;
+            } else {
+                if (wait != AsyncWait::None) {
+                    // Stalled on a drain that now dies with the host
+                    // state: the elapsed stall is real wall time, the
+                    // durability it was waiting for never arrives.
+                    rep.drain_stall_seconds +=
+                        timeToSeconds(eng.now() - stall_started);
+                    wait = AsyncWait::None;
                 }
-                begin_recovery(cfg_.detection.fatalDetectionSeconds());
-                break;
+                if (running) {
+                    eng.cancel(work_event);
+                    const double elapsed = timeToSeconds(
+                        eng.now() - (in_checkpoint ? ckpt_started
+                                                   : step_started));
+                    // Partial step work and a non-durable save are lost.
+                    rep.lost_seconds += elapsed;
+                    running = false;
+                }
             }
-            if (wait != AsyncWait::None) {
-                // Stalled on a drain that now dies with the host state:
-                // the elapsed stall is real wall time, the durability it
-                // was waiting for never arrives.
-                rep.drain_stall_seconds +=
-                    timeToSeconds(eng.now() - stall_started);
-                wait = AsyncWait::None;
-            }
-            if (running) {
-                eng.cancel(work_event);
-                const double elapsed = timeToSeconds(
-                    eng.now() - (in_checkpoint ? ckpt_started
-                                               : step_started));
-                // Partial step work and a non-durable save are lost.
-                rep.lost_seconds += elapsed;
-            }
-            rollback();
-            begin_recovery(cfg_.detection.fatalDetectionSeconds());
+            // Select the newest restore point whose surviving copies
+            // cover what this fault destroyed, roll back only the work
+            // that restore point does not cover, and dispatch.
+            const BlastRadius radius = faultBlastRadius(ev.kind);
+            if (tiered && radius == BlastRadius::Host)
+                ++rep.tier_fallbacks;
+            const CheckpointTier tier = restore_tier(radius);
+            LLM4D_AUDIT_CHECK(
+                "sim", tierSurvives(tier, radius),
+                "restore tier " << checkpointTierName(tier)
+                                << " does not survive a "
+                                << blastRadiusName(radius)
+                                << " blast radius ("
+                                << faultKindName(ev.kind) << ")");
+            rollback_to_tier(tier);
+            begin_recovery(cfg_.detection.fatalDetectionSeconds(), tier);
             break;
           }
           case FaultKind::StragglerOnset: {

@@ -18,6 +18,12 @@
  *    steps — rollback then targets the last *durable* (fully drained)
  *    checkpoint, and a snapshot that catches the previous drain still
  *    in flight stalls until it completes;
+ *  - with hierarchical tiers (CheckpointStorage::hier) every boundary
+ *    blocks only for the HBM peer mirror; NVMe and global persists run
+ *    on their own cadences, and restore selects the newest tier whose
+ *    surviving copies cover the fault's blast radius (HostCrash kills
+ *    both local tiers; partial restart lets live recovery paths roll
+ *    back only to the last HBM mirror);
  *  - fatal faults (GPU / host) interrupt the in-flight step after a
  *    detection latency (fast-fail NCCL error vs. watchdog timeout), roll
  *    progress back to the last durable checkpoint, and recover per the
@@ -45,6 +51,7 @@
  * approximation sqrt(2 * MTBF * save_cost).
  */
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <utility>
@@ -218,6 +225,32 @@ struct TrainRunReport
     std::int64_t rebalances = 0;
 
     /**
+     * Recoveries that took the partial-restart path (policy.
+     * partial_restart with hierarchical tiers): only the replacement
+     * ranks re-fetched state from DP-peer HBM mirrors; survivors rolled
+     * back to their own in-HBM snapshot.
+     */
+    std::int64_t partial_restarts = 0;
+
+    /**
+     * Restores that had to fall back past a destroyed newer tier: every
+     * HostCrash recovery under hierarchical tiers, whose HBM + NVMe
+     * copies died with the host and forced the global tier.
+     */
+    std::int64_t tier_fallbacks = 0;
+
+    /**
+     * Restore seconds attributed to each tier actually restored from,
+     * indexed by CheckpointTier (HbmPeer, HostLocal, Global). An
+     * informational overlay: these seconds are a *subset* of the
+     * restart/spare_swap/shrink buckets (the post-activation/re-init
+     * portion of each recovery, attributed at dispatch and not refunded
+     * on back-to-back failures), so they are excluded from the
+     * breakdown-conservation sum.
+     */
+    std::array<double, kNumCheckpointTiers> tier_restore_seconds{};
+
+    /**
      * Data-parallel degree at the end of the run: shrinks persist until
      * a regrow (policy.allow_regrow) re-admits repaired hosts, so this
      * equals configured dp - dp_shrinks + dp_regrows.
@@ -342,6 +375,11 @@ class TrainRunSim
         double snapshot = 0.0;
         double drain = 0.0;
         double load = 0.0;
+        /** Hierarchical-tier costs; 0 unless storage.hier.enabled. */
+        double hbm_write = 0.0;
+        double hbm_read = 0.0;
+        double nvme_write = 0.0;
+        double nvme_read = 0.0;
     };
 
     double degradedStepSeconds(std::int64_t straggler_rank,
@@ -364,6 +402,10 @@ class TrainRunSim
     /** Outage of shrinking to @p dp replicas (cached). */
     double shrinkSecondsTo(std::int64_t dp) const;
 
+    /** Outage of a partial-restart shrink to @p dp replicas: the
+     *  restore term comes from the HBM peer tier (cached). */
+    double shrinkHbmSecondsTo(std::int64_t dp) const;
+
     /** Outage of regrowing to @p dp replicas (cached). */
     double regrowSecondsTo(std::int64_t dp) const;
 
@@ -385,6 +427,7 @@ class TrainRunSim
     mutable std::map<std::int64_t, TrainStepReport> shrunk_report_cache_;
     mutable std::map<std::int64_t, CkptCosts> ckpt_cost_cache_;
     mutable std::map<std::int64_t, double> shrink_cost_cache_;
+    mutable std::map<std::int64_t, double> shrink_hbm_cost_cache_;
     mutable std::map<std::int64_t, double> regrow_cost_cache_;
 };
 

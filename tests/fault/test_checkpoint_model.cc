@@ -110,6 +110,100 @@ TEST(CheckpointModel, SnapshotScalesWithPerGpuShardAndBandwidth)
     EXPECT_NEAR(fast_io, slow_io / 2.0, 1e-9);
 }
 
+TEST(CheckpointModel, TierPricingIsOrderedHbmNvmeGlobal)
+{
+    // The whole point of the hierarchy: each tier down is much more
+    // durable and much more expensive. The HBM peer mirror is a single
+    // p2p transfer, the NVMe spill a local write, the global save a
+    // parallel-filesystem shard.
+    const Fixture f;
+    CheckpointStorage storage;
+    storage.hier.enabled = true;
+    const CheckpointModel ckpt(f.model, f.cluster, f.par, storage);
+    EXPECT_GT(ckpt.hbmMirrorSeconds(), 0.0);
+    EXPECT_LT(ckpt.hbmMirrorSeconds(), ckpt.nvmeWriteSeconds());
+    EXPECT_LT(ckpt.nvmeWriteSeconds(), ckpt.saveSeconds());
+    EXPECT_LT(ckpt.hbmRestoreSeconds(), ckpt.nvmeRestoreSeconds());
+    EXPECT_LT(ckpt.nvmeRestoreSeconds(), ckpt.loadSeconds());
+    // The dispatch helpers agree with the per-tier methods.
+    EXPECT_DOUBLE_EQ(ckpt.tierWriteSeconds(CheckpointTier::HbmPeer),
+                     ckpt.hbmMirrorSeconds());
+    EXPECT_DOUBLE_EQ(ckpt.tierWriteSeconds(CheckpointTier::HostLocal),
+                     ckpt.nvmeWriteSeconds());
+    EXPECT_DOUBLE_EQ(ckpt.tierWriteSeconds(CheckpointTier::Global),
+                     ckpt.saveSeconds());
+    EXPECT_DOUBLE_EQ(ckpt.tierRestoreSeconds(CheckpointTier::HbmPeer),
+                     ckpt.hbmRestoreSeconds());
+    EXPECT_DOUBLE_EQ(ckpt.tierRestoreSeconds(CheckpointTier::HostLocal),
+                     ckpt.nvmeRestoreSeconds());
+    EXPECT_DOUBLE_EQ(ckpt.tierRestoreSeconds(CheckpointTier::Global),
+                     ckpt.loadSeconds());
+}
+
+TEST(CheckpointModel, TierSurvivalMatchesFailureDomains)
+{
+    // Local tiers (peer HBM mirrors, host NVMe) die with their host but
+    // shrug off a single dead GPU; the global filesystem survives both.
+    EXPECT_TRUE(tierSurvives(CheckpointTier::HbmPeer, BlastRadius::None));
+    EXPECT_TRUE(tierSurvives(CheckpointTier::HbmPeer, BlastRadius::Gpu));
+    EXPECT_FALSE(tierSurvives(CheckpointTier::HbmPeer, BlastRadius::Host));
+    EXPECT_TRUE(tierSurvives(CheckpointTier::HostLocal, BlastRadius::None));
+    EXPECT_TRUE(tierSurvives(CheckpointTier::HostLocal, BlastRadius::Gpu));
+    EXPECT_FALSE(
+        tierSurvives(CheckpointTier::HostLocal, BlastRadius::Host));
+    for (int r = 0; r < kNumBlastRadii; ++r)
+        EXPECT_TRUE(tierSurvives(CheckpointTier::Global,
+                                 static_cast<BlastRadius>(r)));
+    EXPECT_STREQ(checkpointTierName(CheckpointTier::HbmPeer), "HbmPeer");
+    EXPECT_STREQ(checkpointTierName(CheckpointTier::HostLocal),
+                 "HostLocal");
+    EXPECT_STREQ(checkpointTierName(CheckpointTier::Global), "Global");
+}
+
+TEST(CheckpointModelDeathTest, TierPricingRequiresHierEnabled)
+{
+    const Fixture f;
+    const CheckpointModel ckpt(f.model, f.cluster, f.par);
+    EXPECT_DEATH((void)ckpt.hbmMirrorSeconds(), "hier.enabled");
+    EXPECT_DEATH((void)ckpt.hbmRestoreSeconds(), "hier.enabled");
+    EXPECT_DEATH((void)ckpt.nvmeWriteSeconds(), "hier.enabled");
+    EXPECT_DEATH((void)ckpt.nvmeRestoreSeconds(), "hier.enabled");
+}
+
+TEST(CheckpointModelDeathTest, HierNeedsADpPeerToMirrorTo)
+{
+    // dp = cp = 1: no DP-peer rank exists to hold the mirror.
+    const Fixture f;
+    CheckpointStorage storage;
+    storage.hier.enabled = true;
+    EXPECT_DEATH(CheckpointModel(f.model,
+                                 ClusterSpec::llama3Production(128),
+                                 ParallelismConfig{8, 1, 16, 1}, storage),
+                 "DP peer");
+}
+
+TEST(CheckpointModelDeathTest, RejectsBadHierSpec)
+{
+    CheckpointStorage bad_hbm;
+    bad_hbm.hier.hbm_barrier_seconds = -0.1;
+    EXPECT_DEATH(bad_hbm.validate(), "HBM mirror barrier");
+    CheckpointStorage bad_nvme_bw;
+    bad_nvme_bw.hier.nvme_write_gbps_per_host = 0.0;
+    EXPECT_DEATH(bad_nvme_bw.validate(), "NVMe tier bandwidth");
+    CheckpointStorage bad_nvme_read;
+    bad_nvme_read.hier.nvme_read_gbps_per_host = -2.0;
+    EXPECT_DEATH(bad_nvme_read.validate(), "NVMe tier bandwidth");
+    CheckpointStorage bad_nvme_barrier;
+    bad_nvme_barrier.hier.nvme_barrier_seconds = -1.0;
+    EXPECT_DEATH(bad_nvme_barrier.validate(), "NVMe barrier");
+    CheckpointStorage bad_nvme_every;
+    bad_nvme_every.hier.nvme_every = 0;
+    EXPECT_DEATH(bad_nvme_every.validate(), "NVMe cadence");
+    CheckpointStorage bad_global_every;
+    bad_global_every.hier.global_every = -1;
+    EXPECT_DEATH(bad_global_every.validate(), "global cadence");
+}
+
 TEST(CheckpointModelDeathTest, RejectsBadStorage)
 {
     CheckpointStorage storage;

@@ -158,6 +158,41 @@ TEST(FaultModel, KindNamesAreStable)
     EXPECT_FALSE(model.next().str().empty());
 }
 
+TEST(FaultModel, KindNamesRoundTrip)
+{
+    for (int i = 0; i < kNumFaultKinds; ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        EXPECT_EQ(faultKindFromName(faultKindName(kind)), kind);
+    }
+}
+
+TEST(FaultModel, BlastRadiusMatchesFailureDomains)
+{
+    // A dead GPU leaves its host's HBM peer mirrors and NVMe copies
+    // intact; a host crash takes both local tiers with it; transient
+    // faults destroy no checkpoint state at all.
+    EXPECT_EQ(faultBlastRadius(FaultKind::GpuFatal), BlastRadius::Gpu);
+    EXPECT_EQ(faultBlastRadius(FaultKind::HostCrash), BlastRadius::Host);
+    EXPECT_EQ(faultBlastRadius(FaultKind::LinkFlap), BlastRadius::None);
+    EXPECT_EQ(faultBlastRadius(FaultKind::StragglerOnset),
+              BlastRadius::None);
+    for (int i = 0; i < kNumFaultKinds; ++i) {
+        const auto radius = faultBlastRadius(static_cast<FaultKind>(i));
+        EXPECT_GE(static_cast<int>(radius), 0);
+        EXPECT_LT(static_cast<int>(radius), kNumBlastRadii);
+    }
+    EXPECT_STREQ(blastRadiusName(BlastRadius::None), "None");
+    EXPECT_STREQ(blastRadiusName(BlastRadius::Gpu), "Gpu");
+    EXPECT_STREQ(blastRadiusName(BlastRadius::Host), "Host");
+}
+
+TEST(FaultModelDeathTest, RejectsUnknownKindName)
+{
+    EXPECT_DEATH((void)faultKindFromName("NotAFaultKind"),
+                 "unknown fault kind");
+    EXPECT_DEATH((void)faultKindFromName(nullptr), "fault kind");
+}
+
 TEST(FaultModelDeathTest, RejectsBadTuning)
 {
     FaultTuning bad;

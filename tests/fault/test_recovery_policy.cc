@@ -93,6 +93,47 @@ TEST(RecoveryCostModel, RegrowIsPricedSymmetricToShrink)
               costs.loadSecondsAt(f.par.dp));
 }
 
+TEST(RecoveryCostModel, PartialRestartBeatsTheGlobalSwap)
+{
+    // The partial-restart path re-fetches the replacement host's shards
+    // from DP-peer HBM mirrors instead of the whole fleet re-reading
+    // the parallel filesystem, so it can never cost more than the
+    // global-tier swap with the same fixed latencies.
+    const Fixture f;
+    CheckpointStorage storage = f.storage;
+    storage.hier.enabled = true;
+    RecoveryPolicy policy = RecoveryPolicy::elastic(4);
+    policy.partial_restart = true;
+    const RecoveryCostModel costs(f.model, f.cluster, f.par, storage,
+                                  policy);
+    EXPECT_GT(costs.partialRestartSeconds(),
+              policy.spare_activation_seconds + policy.swap_reinit_seconds);
+    EXPECT_LE(costs.partialRestartSeconds(), costs.spareSwapSeconds());
+    // With a cheap peer gather the bound is strict: the HBM read is
+    // orders of magnitude faster than the sharded filesystem restore.
+    const CheckpointModel ckpt(f.model, f.cluster, f.par, storage);
+    EXPECT_LT(ckpt.hbmRestoreSeconds(), ckpt.loadSeconds());
+}
+
+TEST(RecoveryCostModel, ShrinkFromLocalTierNeverCostsMore)
+{
+    const Fixture f;
+    CheckpointStorage storage = f.storage;
+    storage.hier.enabled = true;
+    const RecoveryCostModel costs(f.model, f.cluster, f.par, storage,
+                                  RecoveryPolicy::elastic(0));
+    const double global = costs.shrinkSeconds(f.par.dp - 1);
+    EXPECT_DOUBLE_EQ(
+        costs.shrinkSecondsFromTier(f.par.dp - 1, CheckpointTier::Global),
+        global);
+    EXPECT_LE(
+        costs.shrinkSecondsFromTier(f.par.dp - 1, CheckpointTier::HbmPeer),
+        global);
+    EXPECT_LE(costs.shrinkSecondsFromTier(f.par.dp - 1,
+                                          CheckpointTier::HostLocal),
+              global);
+}
+
 TEST(RecoveryCostModel, ShrunkLayoutDropsWholeReplicaGroups)
 {
     const Fixture f;
@@ -127,6 +168,17 @@ TEST(RecoveryPolicyDeathTest, ValidateRejectsBadPolicies)
     RecoveryPolicy regrow_without_mode;
     regrow_without_mode.allow_regrow = true; // mode stays FullRestart
     EXPECT_DEATH(regrow_without_mode.validate(cluster), "warm-spare");
+    RecoveryPolicy partial_without_mode;
+    partial_without_mode.partial_restart = true; // mode stays FullRestart
+    EXPECT_DEATH(partial_without_mode.validate(cluster), "warm-spare");
+}
+
+TEST(RecoveryCostModelDeathTest, PartialRestartRequiresHierTiers)
+{
+    const Fixture f;
+    const RecoveryCostModel costs(f.model, f.cluster, f.par, f.storage,
+                                  RecoveryPolicy::elastic(4));
+    EXPECT_DEATH((void)costs.partialRestartSeconds(), "hierarchical");
 }
 
 TEST(RecoveryCostModelDeathTest, RejectsImpossibleShrinks)

@@ -18,6 +18,10 @@ smallInput()
     in.base.global_batch_tokens = 2LL * 1024 * 1024;
     in.top_k = 3;
     in.horizon_steps = 1200;
+    // Pin the tier axes off: the legacy-grid tests assert exact sweep
+    // shapes; the dedicated tier-axis tests below opt back in.
+    in.hier_global_every_options = {0};
+    in.partial_restart_options = {false};
     return in;
 }
 
@@ -46,12 +50,14 @@ TEST(GoodputPlanner, SweepPoliciesCoverTheCrossProduct)
                                   CheckpointMode::Async};
     in.dp_shrink_options = {false, true};
     in.regrow_options = {false, true};
+    in.partial_restart_options = {false, true};
     const std::vector<RecoveryPolicy> grid = in.sweepPolicies();
-    // 2x2x2 base combinations, each doubled by the regrow axis except
-    // the two full-restart baselines (no spares, no shrink) where
-    // regrow has nothing to re-admit: 8 + 6.
-    EXPECT_EQ(grid.size(), 14u);
+    // 2x2x2 base combinations; the six elastic ones are quadrupled by
+    // the regrow and partial axes, the two full-restart baselines (no
+    // spares, no shrink) collapse both axes: 6*4 + 2.
+    EXPECT_EQ(grid.size(), 26u);
     std::int64_t regrow_cells = 0;
+    std::int64_t partial_cells = 0;
     for (const RecoveryPolicy &p : grid) {
         // WarmSpare exactly when the elastic paths have something to do.
         const bool elastic = p.spare_hosts > 0 || p.allow_dp_shrink;
@@ -63,8 +69,14 @@ TEST(GoodputPlanner, SweepPoliciesCoverTheCrossProduct)
             EXPECT_TRUE(elastic)
                 << "regrow-on cells need a pool or a shrink to undo";
         }
+        if (p.partial_restart) {
+            ++partial_cells;
+            EXPECT_TRUE(elastic)
+                << "partial-restart cells need a live recovery path";
+        }
     }
-    EXPECT_EQ(regrow_cells, 6);
+    EXPECT_EQ(regrow_cells, 12);
+    EXPECT_EQ(partial_cells, 12);
 }
 
 TEST(GoodputPlanner, RegrowAxisCollapsesOnTheFullRestartBaseline)
@@ -74,8 +86,55 @@ TEST(GoodputPlanner, RegrowAxisCollapsesOnTheFullRestartBaseline)
     in.dp_shrink_options = {false};
     in.checkpoint_mode_options = {CheckpointMode::Sync};
     in.regrow_options = {false, true};
-    // Nothing for regrow to do: the axis must not duplicate the cell.
+    // Nothing for regrow to do: the axis must not duplicate the cell —
+    // and the partial-restart axis collapses on the same baseline.
     EXPECT_EQ(in.sweepPolicies().size(), 1u);
+    in.partial_restart_options = {false, true};
+    EXPECT_EQ(in.sweepPolicies().size(), 1u);
+}
+
+TEST(GoodputPlanner, TierAxesSweepOnlyWhereTheyApply)
+{
+    // Trimmed grid isolating the two new axes: one elastic pool, async
+    // snapshots. Two policies (partial on/off) x two tier cadences
+    // (global-only, every-16th), minus the invalid partial-without-tiers
+    // combination: three cells per candidate with a DP peer.
+    GoodputPlanInput in = smallInput();
+    in.spare_pool_options = {2};
+    in.checkpoint_mode_options = {CheckpointMode::Async};
+    in.dp_shrink_options = {false};
+    in.regrow_options = {false};
+    in.hier_global_every_options = {0, 16};
+    in.partial_restart_options = {false, true};
+    const auto ranked = planGoodput(in);
+    ASSERT_FALSE(ranked.empty());
+    for (const GoodputPlanCandidate &cand : ranked) {
+        const bool has_peer =
+            cand.analytic.par.dp * cand.analytic.par.cp >= 2;
+        ASSERT_EQ(cand.sweep.size(), has_peer ? 3u : 1u)
+            << cand.analytic.par.str();
+        std::int64_t tiered = 0;
+        std::int64_t partial = 0;
+        for (const GoodputSweepPoint &pt : cand.sweep) {
+            EXPECT_TRUE(pt.hier_global_every == 0 ||
+                        pt.hier_global_every == 16);
+            if (pt.policy.partial_restart) {
+                ++partial;
+                // Partial restart only rides on tiered cells.
+                EXPECT_GT(pt.hier_global_every, 0);
+            }
+            if (pt.hier_global_every > 0) {
+                ++tiered;
+                EXPECT_TRUE(has_peer);
+            }
+            EXPECT_TRUE(pt.report.completed);
+            EXPECT_GT(pt.checkpoint_interval_steps, 0);
+        }
+        if (has_peer) {
+            EXPECT_EQ(tiered, 2);
+            EXPECT_EQ(partial, 1);
+        }
+    }
 }
 
 TEST(GoodputPlanner, SameSeedAndSweepGiveIdenticalRanking)
@@ -241,6 +300,21 @@ TEST(GoodputPlanner, ValidateRejectsInsaneSweeps)
         GoodputPlanInput in = smallInput();
         in.spare_pool_options = {-1};
         EXPECT_DEATH(planGoodput(in), "cannot be negative");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.hier_global_every_options.clear();
+        EXPECT_DEATH(planGoodput(in), "sweep axis");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.partial_restart_options.clear();
+        EXPECT_DEATH(planGoodput(in), "sweep axis");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.hier_global_every_options = {-4};
+        EXPECT_DEATH(planGoodput(in), "global cadence");
     }
     {
         GoodputPlanInput in = smallInput();

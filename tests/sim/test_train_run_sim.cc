@@ -75,6 +75,19 @@ expectBitwiseEqual(const TrainRunReport &a, const TrainRunReport &b)
     EXPECT_EQ(a.spare_swap_seconds, b.spare_swap_seconds);
     EXPECT_EQ(a.shrink_seconds, b.shrink_seconds);
     EXPECT_EQ(a.regrow_seconds, b.regrow_seconds);
+    EXPECT_EQ(a.partial_restarts, b.partial_restarts);
+    EXPECT_EQ(a.tier_fallbacks, b.tier_fallbacks);
+    for (int t = 0; t < kNumCheckpointTiers; ++t)
+        EXPECT_EQ(a.tier_restore_seconds[static_cast<std::size_t>(t)],
+                  b.tier_restore_seconds[static_cast<std::size_t>(t)])
+            << "tier " << checkpointTierName(static_cast<CheckpointTier>(t));
+}
+
+/** tier_restore_seconds accessor by tier, for readable assertions. */
+double
+tierRestore(const TrainRunReport &rep, CheckpointTier tier)
+{
+    return rep.tier_restore_seconds[static_cast<std::size_t>(tier)];
 }
 
 TEST(TrainRunSim, FaultFreeRunPaysOnlyCheckpoints)
@@ -810,6 +823,151 @@ TEST(TrainRunSim, AutoIntervalTracksYoungDalyPerMode)
         async_sim.runWithInterval(async_sim.checkpointIntervalSteps()));
 }
 
+TEST(TrainRunSim, HierarchyIsInvisibleWhenDisabled)
+{
+    // Back-compat: with storage.hier.enabled=false the simulator must
+    // reproduce pre-tier reports bit-identically, no matter how wild
+    // the (unread) tier tuning is.
+    TrainRunConfig cfg = faultyConfig();
+    cfg.policy = RecoveryPolicy::elastic(8);
+    TrainRunConfig other = cfg;
+    other.storage.hier.hbm_barrier_seconds = 42.0;
+    other.storage.hier.nvme_write_gbps_per_host = 0.001;
+    other.storage.hier.nvme_read_gbps_per_host = 9999.0;
+    other.storage.hier.nvme_barrier_seconds = 17.0;
+    other.storage.hier.nvme_every = 1;
+    other.storage.hier.global_every = 100;
+    const TrainRunReport a = TrainRunSim(cfg).run();
+    const TrainRunReport b = TrainRunSim(other).run();
+    ASSERT_TRUE(a.completed);
+    EXPECT_GT(a.faults.total(), 0);
+    expectBitwiseEqual(a, b);
+    EXPECT_EQ(a.partial_restarts, 0);
+    EXPECT_EQ(a.tier_fallbacks, 0);
+    EXPECT_DOUBLE_EQ(tierRestore(a, CheckpointTier::HbmPeer), 0.0);
+    EXPECT_DOUBLE_EQ(tierRestore(a, CheckpointTier::HostLocal), 0.0);
+}
+
+TEST(TrainRunSim, HostCrashNeverRestoresFromTiersThatDiedWithTheHost)
+{
+    // Failure-domain audit, seed-swept: a HostCrash destroys that
+    // host's HBM mirrors and NVMe copies, so every restore after one
+    // must read the global tier — counted as a tier fallback — and the
+    // partial-restart path must never engage.
+    TrainRunConfig cfg = elastic16kConfig();
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 0.0;
+    cfg.job.cluster.node.host_mtbf_hours = 200.0;
+    cfg.storage.hier.enabled = true;
+    cfg.policy.partial_restart = true;
+    int seeds_with_crashes = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        cfg.seed = seed;
+        const TrainRunReport rep = TrainRunSim(cfg).run();
+        ASSERT_TRUE(rep.completed) << "seed " << seed;
+        EXPECT_EQ(rep.faults.gpu_fatal, 0) << "seed " << seed;
+        EXPECT_DOUBLE_EQ(tierRestore(rep, CheckpointTier::HbmPeer), 0.0)
+            << "seed " << seed;
+        EXPECT_DOUBLE_EQ(tierRestore(rep, CheckpointTier::HostLocal), 0.0)
+            << "seed " << seed;
+        EXPECT_EQ(rep.partial_restarts, 0) << "seed " << seed;
+        if (rep.faults.host_crash > 0) {
+            ++seeds_with_crashes;
+            EXPECT_GT(rep.tier_fallbacks, 0) << "seed " << seed;
+            EXPECT_GT(tierRestore(rep, CheckpointTier::Global), 0.0)
+                << "seed " << seed;
+        }
+    }
+    ASSERT_GT(seeds_with_crashes, 0)
+        << "sweep too quiet: no seed ever crashed a host";
+}
+
+TEST(TrainRunSim, PartialRestartSwapsReadTheHbmPeerTier)
+{
+    // GpuFatal leaves both local tiers intact, so with partial restart
+    // on, every warm-spare swap restores from the DP-peer HBM mirror
+    // and no restore ever falls back past the local tiers.
+    TrainRunConfig cfg = elastic16kConfig();
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 1000.0;
+    cfg.storage.hier.enabled = true;
+    cfg.policy.partial_restart = true;
+    cfg.seed = 3;
+    const TrainRunReport rep = TrainRunSim(cfg).run();
+    ASSERT_TRUE(rep.completed);
+    ASSERT_GT(rep.faults.gpu_fatal, 0);
+    EXPECT_EQ(rep.faults.host_crash, 0);
+    EXPECT_GT(rep.partial_restarts, 0);
+    EXPECT_GT(tierRestore(rep, CheckpointTier::HbmPeer), 0.0);
+    EXPECT_EQ(rep.tier_fallbacks, 0);
+    // Swaps and shrinks took the partial path; only out-of-pool full
+    // restarts (process teardown survives on NVMe) touch deeper tiers.
+    EXPECT_EQ(rep.partial_restarts, rep.spare_swaps + rep.dp_shrinks);
+    EXPECT_DOUBLE_EQ(tierRestore(rep, CheckpointTier::Global), 0.0);
+}
+
+TEST(TrainRunSim, HierarchicalPartialRestartBeatsGlobalOnlyAt16K)
+{
+    // Acceptance criterion: at the 16K elastic config, whenever the
+    // common-random-numbers timeline delivers a fatal fault, the
+    // hierarchical + partial-restart run delivers strictly more goodput
+    // than the global-only run. Each arm runs at its own Young-Daly
+    // interval (the tiered arm's blocking cost is the cheap HBM
+    // mirror), which is how both would be deployed.
+    TrainRunConfig global_only = elastic16kConfig();
+    global_only.job.cluster.node.gpu.fatal_mtbf_hours = 1000.0;
+    int seeds_with_fatals = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        TrainRunConfig g = global_only;
+        g.seed = seed;
+        g.checkpoint_interval_steps =
+            TrainRunSim(g).youngDalyIntervalSteps();
+        TrainRunConfig h = g;
+        h.storage.hier.enabled = true;
+        h.policy.partial_restart = true;
+        h.checkpoint_interval_steps =
+            TrainRunSim(h).youngDalyIntervalSteps();
+        const TrainRunReport sg = TrainRunSim(g).run();
+        const TrainRunReport sh = TrainRunSim(h).run();
+        ASSERT_TRUE(sg.completed) << "seed " << seed;
+        ASSERT_TRUE(sh.completed) << "seed " << seed;
+        // CRN: identical exogenous fault prefix in both arms.
+        const std::size_t n =
+            std::min(sg.timeline.size(), sh.timeline.size());
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_EQ(sg.timeline[k].when, sh.timeline[k].when);
+            EXPECT_EQ(sg.timeline[k].component, sh.timeline[k].component);
+        }
+        // The informational tier overlay stays within the audited
+        // breakdown buckets it annotates.
+        EXPECT_LE(tierRestore(sh, CheckpointTier::HbmPeer) +
+                      tierRestore(sh, CheckpointTier::HostLocal) +
+                      tierRestore(sh, CheckpointTier::Global),
+                  sh.restart_seconds + sh.spare_swap_seconds +
+                      sh.shrink_seconds + 1e-9)
+            << "seed " << seed;
+        if (sg.faults.gpu_fatal + sg.faults.host_crash > 0) {
+            ++seeds_with_fatals;
+            EXPECT_GT(sh.goodput_tflops_per_gpu,
+                      sg.goodput_tflops_per_gpu)
+                << "seed " << seed;
+        }
+    }
+    ASSERT_GT(seeds_with_fatals, 0)
+        << "sweep too quiet: no seed ever saw a fatal fault";
+}
+
+TEST(TrainRunSim, HierarchicalRunsAreDeterministic)
+{
+    TrainRunConfig cfg = elastic16kConfig();
+    cfg.job.cluster.node.host_mtbf_hours = 1500.0;
+    cfg.storage.hier.enabled = true;
+    cfg.policy.partial_restart = true;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        cfg.seed = seed;
+        const TrainRunSim sim(cfg);
+        expectBitwiseEqual(sim.run(), sim.run());
+    }
+}
+
 TEST(TrainRunSim, ExplicitIntervalIsTheTruthWhenAutoIsOff)
 {
     const TrainRunConfig cfg = baseConfig();
@@ -868,6 +1026,17 @@ TEST(TrainRunSimDeathTest, ValidateRejectsBadPolicies)
     TrainRunConfig bad_restart = baseConfig();
     bad_restart.restart.warmup_slowdown = 0.5;
     EXPECT_DEATH(bad_restart.validate(), "restart");
+    // Hierarchical-tier knobs are gated by the same entry point.
+    TrainRunConfig partial_without_hier = baseConfig();
+    partial_without_hier.policy = RecoveryPolicy::elastic(2);
+    partial_without_hier.policy.partial_restart = true;
+    EXPECT_DEATH(partial_without_hier.validate(), "hier.enabled");
+    TrainRunConfig bad_hier = baseConfig();
+    bad_hier.storage.hier.nvme_write_gbps_per_host = 0.0;
+    EXPECT_DEATH(bad_hier.validate(), "NVMe tier bandwidth");
+    TrainRunConfig bad_cadence = baseConfig();
+    bad_cadence.storage.hier.global_every = 0;
+    EXPECT_DEATH(bad_cadence.validate(), "global cadence");
 }
 
 } // namespace
