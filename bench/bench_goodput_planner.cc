@@ -18,6 +18,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "llm4d/plan/goodput_planner.h"
 
@@ -28,11 +29,15 @@ namespace {
 std::string
 policyName(const RecoveryPolicy &p)
 {
-    return std::string(recoveryModeName(p.mode)) + "/" +
-           checkpointModeName(p.checkpoint_mode) +
+    return std::string(toString(p.mode)) + "/" +
+           toString(p.checkpoint_mode) +
            (p.allow_dp_shrink ? "+shrink" : "") +
            (p.allow_regrow ? "+regrow" : "") +
-           (p.partial_restart ? "+partial" : "");
+           (p.partial_restart ? "+partial" : "") +
+           (p.spare_placement != SparePlacementPolicy::CentralPool
+                ? "+" + std::string(toString(p.spare_placement))
+                : "") +
+           (p.placement_migration ? "+mig" : "");
 }
 
 /** Pin the hierarchical-tier and partial-restart axes off so the
@@ -47,12 +52,67 @@ pinLegacyAxes(GoodputPlanInput &in)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--smoke")
+            smoke = true;
+    }
+
     bench::banner(
         "Sections 5+8 — goodput-aware parallelism planning",
         "the goodput-optimal plan diverges from the fault-free "
         "TFLOPs-optimal plan once recovery costs are charged");
+
+    if (smoke) {
+        // CI-sized pass: one small scale, a trimmed policy grid, and
+        // the spare-placement axis exercised end to end (CentralPool
+        // with migration is placement-aware, so both the cross-pod
+        // pricing and the migrate-home path run).
+        GoodputPlanInput gin;
+        gin.base.cluster = ClusterSpec::llama3Production(2048);
+        // A 2K fleet has an eighth of the 16K failure rate; wear it
+        // hard enough that the short horizon still sees swaps.
+        gin.base.cluster.node.gpu.fatal_mtbf_hours /= 24.0;
+        gin.base.cluster.node.host_mtbf_hours /= 24.0;
+        gin.base.global_batch_tokens = 2048 * 1024;
+        gin.fault_seed = 54 + 2048;
+        pinLegacyAxes(gin);
+        gin.top_k = 2;
+        gin.horizon_steps = 1500;
+        gin.spare_pool_options = {2};
+        gin.checkpoint_mode_options = {CheckpointMode::Async};
+        gin.dp_shrink_options = {false};
+        gin.regrow_options = {false};
+        gin.placement_options = {SparePlacementPolicy::CentralPool,
+                                 SparePlacementPolicy::PerPodReserve};
+        gin.placement_migration = true;
+        // Repairs quick enough that a displaced rank can migrate home
+        // inside the short horizon.
+        gin.repairs.gpu_repair_mean_hours = 0.1;
+        gin.repairs.host_repair_mean_hours = 0.15;
+        const std::vector<GoodputPlanCandidate> ranked =
+            planGoodput(gin);
+        if (ranked.empty()) {
+            std::puts("smoke: no feasible plan");
+            return 1;
+        }
+        TextTable sm("Smoke: 2K-GPU placement cells (worn fleet)");
+        sm.header({"config", "policy", "goodput/GPU", "swaps",
+                   "cross-pod", "migrations"});
+        for (const GoodputSweepPoint &pt : ranked.front().sweep) {
+            sm.row({ranked.front().analytic.par.str(),
+                    policyName(pt.policy),
+                    TextTable::num(pt.goodput_tflops_per_gpu, 1),
+                    TextTable::num(pt.report.spare_swaps),
+                    TextTable::num(pt.report.cross_pod_swaps),
+                    TextTable::num(pt.report.placement_migrations)});
+        }
+        sm.print();
+        std::puts("smoke: ok");
+        return 0;
+    }
 
     // --- Divergence sweep across cluster scales. ---
     TextTable sweep("Fault-free winner vs goodput winner per scale "
@@ -274,6 +334,67 @@ main()
     bench::compare("16K GPU-wear margin from the tier axes "
                    "(TFLOPs/GPU)",
                    1.5, hier_margin_16k);
+
+    // --- Spare-placement axis on a worn fleet: central pool vs ---
+    // per-pod reserves under common random numbers. A central pool
+    // parks every spare in a dedicated pod, so every swap is cross-pod:
+    // priced over the oversubscribed spine, and the replacement rank
+    // runs displaced (its DP collectives cross the spine every step)
+    // until a repair lets it migrate home. Per-pod reserves spread the
+    // same number of hosts so swaps stay pod-local — same parked
+    // capacity, no displacement tax.
+    TextTable pl("Spare-placement axis, worn fleet (fatal MTBF / 3, "
+                 "6-host pool, migration on, CRN)");
+    pl.header({"GPUs", "goodput/GPU (central)", "x-pod", "migrations",
+               "goodput/GPU (per-pod)", "x-pod", "margin"});
+    double placement_margin_16k = 0.0;
+    for (const std::int64_t ngpu : {8192, 16384}) {
+        GoodputPlanInput in;
+        in.base.cluster = ClusterSpec::llama3Production(ngpu);
+        in.base.cluster.node.gpu.fatal_mtbf_hours /= 3.0;
+        in.base.cluster.node.host_mtbf_hours /= 3.0;
+        in.base.global_batch_tokens = ngpu * 1024;
+        in.fault_seed = 54 + static_cast<std::uint64_t>(ngpu);
+        pinLegacyAxes(in);
+        in.spare_pool_options = {6};
+        in.checkpoint_mode_options = {CheckpointMode::Async};
+        in.dp_shrink_options = {false};
+        in.regrow_options = {false};
+        in.horizon_steps = 9000;
+        in.repairs.gpu_repair_mean_hours = 0.5;
+        in.repairs.host_repair_mean_hours = 0.75;
+        in.placement_migration = true;
+        GoodputPlanInput central = in;
+        central.placement_options = {SparePlacementPolicy::CentralPool};
+        GoodputPlanInput perpod = in;
+        perpod.placement_options = {SparePlacementPolicy::PerPodReserve};
+        const std::optional<GoodputPlanCandidate> c =
+            tryBestGoodputPlan(central);
+        const std::optional<GoodputPlanCandidate> p =
+            tryBestGoodputPlan(perpod);
+        if (!c || !p) {
+            pl.row({TextTable::num(ngpu), "infeasible", "-", "-", "-",
+                    "-", "-"});
+            continue;
+        }
+        const GoodputSweepPoint &cc = c->best();
+        const GoodputSweepPoint &cp = p->best();
+        const double margin = cp.goodput_tflops_per_gpu -
+                              cc.goodput_tflops_per_gpu;
+        if (ngpu == 16384)
+            placement_margin_16k = margin;
+        pl.row({TextTable::num(ngpu),
+                TextTable::num(cc.goodput_tflops_per_gpu, 1),
+                TextTable::num(cc.report.cross_pod_swaps),
+                TextTable::num(cc.report.placement_migrations),
+                TextTable::num(cp.goodput_tflops_per_gpu, 1),
+                TextTable::num(cp.report.cross_pod_swaps),
+                "+" + TextTable::num(margin, 2) + " TFLOPs/GPU"});
+    }
+    pl.print();
+    bench::compare("16K worn-fleet margin from per-pod spare reserves "
+                   "(TFLOPs/GPU)",
+                   39.2, placement_margin_16k);
 
     std::puts(
         "  The analytic ranking prices a fault-free step; the goodput\n"

@@ -94,8 +94,8 @@ main()
                           fault_aware->analytic.zero == analytic->zero;
         both.row({TextTable::num(ngpu), analytic->par.str(),
                   fault_aware->analytic.par.str(),
-                  std::string(recoveryModeName(cell.policy.mode)) + "/" +
-                      checkpointModeName(cell.policy.checkpoint_mode),
+                  std::string(toString(cell.policy.mode)) + "/" +
+                      toString(cell.policy.checkpoint_mode),
                   TextTable::num(cell.policy.spare_hosts),
                   TextTable::num(fault_aware->goodput_tflops_per_gpu, 1),
                   same ? "yes" : "DIVERGED"});

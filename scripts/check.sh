@@ -15,7 +15,7 @@
 #   ./scripts/check.sh --lint   # lint only (assumes an existing build/)
 #
 # Suites also carry ctest labels for targeted runs from build/:
-#   ctest -L plan | -L fault | -L sim    # one subsystem's suite
+#   ctest -L plan | -L fault | -L sim | -L net    # one subsystem's suite
 #
 # Exits non-zero on the first failing build, test, or lint finding.
 set -euo pipefail

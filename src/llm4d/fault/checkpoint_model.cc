@@ -18,7 +18,7 @@ constexpr double kGB = 1e9;
 } // namespace
 
 const char *
-checkpointTierName(CheckpointTier tier)
+toString(CheckpointTier tier)
 {
     switch (tier) {
       case CheckpointTier::HbmPeer:
@@ -29,6 +29,18 @@ checkpointTierName(CheckpointTier tier)
         return "Global";
     }
     LLM4D_PANIC("unreachable checkpoint tier");
+}
+
+template <>
+std::optional<CheckpointTier>
+tryParse<CheckpointTier>(std::string_view text)
+{
+    for (int t = 0; t < kNumCheckpointTiers; ++t) {
+        const auto tier = static_cast<CheckpointTier>(t);
+        if (text == toString(tier))
+            return tier;
+    }
+    return std::nullopt;
 }
 
 bool

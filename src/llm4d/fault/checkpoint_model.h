@@ -49,8 +49,11 @@ enum class CheckpointTier
 
 constexpr int kNumCheckpointTiers = 3;
 
-/** Human-readable name of a checkpoint tier. */
-const char *checkpointTierName(CheckpointTier tier);
+/** toString/tryParse per the project convention (simcore/enum_text.h). */
+const char *toString(CheckpointTier tier);
+template <>
+[[nodiscard]] std::optional<CheckpointTier>
+tryParse<CheckpointTier>(std::string_view text);
 
 /**
  * Failure-domain query: do a tier's checkpoint copies survive a fault

@@ -21,7 +21,7 @@ constexpr std::uint64_t kClassStream[kNumFaultKinds] = {0xfa01, 0xfa02,
 } // namespace
 
 const char *
-faultKindName(FaultKind kind)
+toString(FaultKind kind)
 {
     switch (kind) {
       case FaultKind::GpuFatal:
@@ -36,21 +36,20 @@ faultKindName(FaultKind kind)
     LLM4D_PANIC("unreachable fault kind");
 }
 
-FaultKind
-faultKindFromName(const char *name)
+template <>
+std::optional<FaultKind>
+tryParse<FaultKind>(std::string_view text)
 {
-    LLM4D_CHECK(name != nullptr, "fault kind name must be non-null");
-    const std::string s(name);
     for (int k = 0; k < kNumFaultKinds; ++k) {
         const auto kind = static_cast<FaultKind>(k);
-        if (s == faultKindName(kind))
+        if (text == toString(kind))
             return kind;
     }
-    LLM4D_PANIC("unknown fault kind name: " << s);
+    return std::nullopt;
 }
 
 const char *
-blastRadiusName(BlastRadius radius)
+toString(BlastRadius radius)
 {
     switch (radius) {
       case BlastRadius::None:
@@ -61,6 +60,18 @@ blastRadiusName(BlastRadius radius)
         return "Host";
     }
     LLM4D_PANIC("unreachable blast radius");
+}
+
+template <>
+std::optional<BlastRadius>
+tryParse<BlastRadius>(std::string_view text)
+{
+    for (int r = 0; r < kNumBlastRadii; ++r) {
+        const auto radius = static_cast<BlastRadius>(r);
+        if (text == toString(radius))
+            return radius;
+    }
+    return std::nullopt;
 }
 
 BlastRadius
@@ -82,7 +93,7 @@ std::string
 FaultEvent::str() const
 {
     std::ostringstream os;
-    os << "t=" << timeToSeconds(when) << "s " << faultKindName(kind)
+    os << "t=" << timeToSeconds(when) << "s " << toString(kind)
        << (kind == FaultKind::HostCrash ? " node=" : " gpu=") << component;
     if (kind == FaultKind::StragglerOnset)
         os << " speed=" << severity;

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "llm4d/hw/gpu_spec.h"
+#include "llm4d/simcore/enum_text.h"
 #include "llm4d/simcore/rng.h"
 #include "llm4d/simcore/time.h"
 
@@ -42,11 +43,11 @@ enum class FaultKind
 
 constexpr int kNumFaultKinds = 4;
 
-/** Human-readable name of a fault kind. */
-const char *faultKindName(FaultKind kind);
-
-/** Inverse of faultKindName(); aborts on an unrecognized name. */
-[[nodiscard]] FaultKind faultKindFromName(const char *name);
+/** toString/tryParse per the project convention (simcore/enum_text.h). */
+const char *toString(FaultKind kind);
+template <>
+[[nodiscard]] std::optional<FaultKind>
+tryParse<FaultKind>(std::string_view text);
 
 /**
  * Failure domain of a fault: the widest scope of *state* the fault
@@ -64,8 +65,11 @@ enum class BlastRadius
 
 constexpr int kNumBlastRadii = 3;
 
-/** Human-readable name of a blast radius. */
-const char *blastRadiusName(BlastRadius radius);
+/** toString/tryParse per the project convention (simcore/enum_text.h). */
+const char *toString(BlastRadius radius);
+template <>
+[[nodiscard]] std::optional<BlastRadius>
+tryParse<BlastRadius>(std::string_view text);
 
 /** Failure-domain query: what state does a fault of this kind destroy? */
 [[nodiscard]] BlastRadius faultBlastRadius(FaultKind kind);

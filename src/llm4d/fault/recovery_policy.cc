@@ -18,7 +18,7 @@ constexpr double kOptimBytesPerParam = 12.0;
 } // namespace
 
 const char *
-recoveryModeName(RecoveryMode mode)
+toString(RecoveryMode mode)
 {
     switch (mode) {
       case RecoveryMode::FullRestart:
@@ -29,8 +29,20 @@ recoveryModeName(RecoveryMode mode)
     LLM4D_PANIC("unreachable recovery mode");
 }
 
+template <>
+std::optional<RecoveryMode>
+tryParse<RecoveryMode>(std::string_view text)
+{
+    for (int i = 0; i < kNumRecoveryModes; ++i) {
+        const auto mode = static_cast<RecoveryMode>(i);
+        if (text == toString(mode))
+            return mode;
+    }
+    return std::nullopt;
+}
+
 const char *
-checkpointModeName(CheckpointMode mode)
+toString(CheckpointMode mode)
 {
     switch (mode) {
       case CheckpointMode::Sync:
@@ -39,6 +51,18 @@ checkpointModeName(CheckpointMode mode)
         return "async";
     }
     LLM4D_PANIC("unreachable checkpoint mode");
+}
+
+template <>
+std::optional<CheckpointMode>
+tryParse<CheckpointMode>(std::string_view text)
+{
+    for (int i = 0; i < kNumCheckpointModes; ++i) {
+        const auto mode = static_cast<CheckpointMode>(i);
+        if (text == toString(mode))
+            return mode;
+    }
+    return std::nullopt;
 }
 
 RecoveryPolicy
@@ -67,6 +91,12 @@ RecoveryPolicy::validate(const ClusterSpec &cluster) const
                 "regrow requires the warm-spare recovery mode");
     LLM4D_CHECK(mode == RecoveryMode::WarmSpare || !partial_restart,
                 "partial restart requires the warm-spare recovery mode");
+    LLM4D_CHECK(mode == RecoveryMode::WarmSpare || !placement_migration,
+                "placement migration requires the warm-spare recovery mode");
+    LLM4D_CHECK(mode == RecoveryMode::WarmSpare ||
+                    spare_placement == SparePlacementPolicy::CentralPool,
+                "non-central spare placement requires the warm-spare "
+                "recovery mode");
     LLM4D_CHECK(spare_activation_seconds >= 0.0 &&
                     swap_reinit_seconds >= 0.0,
                 "spare swap latencies must be non-negative");
@@ -74,6 +104,18 @@ RecoveryPolicy::validate(const ClusterSpec &cluster) const
                 "rebalance latency must be non-negative");
     LLM4D_CHECK(rebalance_max_residual >= 1.0,
                 "rebalance residual threshold is a multiplier >= 1");
+}
+
+double
+CostBreakdown::restoreCriticalSeconds() const
+{
+    return std::max(restore_seconds, gather_seconds);
+}
+
+double
+CostBreakdown::totalSeconds() const
+{
+    return activation_seconds + reinit_seconds + restoreCriticalSeconds();
 }
 
 RecoveryCostModel::RecoveryCostModel(const ModelConfig &model,
@@ -86,56 +128,171 @@ RecoveryCostModel::RecoveryCostModel(const ModelConfig &model,
 {
     policy_.validate(cluster_);
     const CheckpointModel ckpt(model_, cluster_, par_, storage_);
+    swap_load_seconds_ = ckpt.loadSeconds();
+    if (storage_.hier.enabled)
+        hbm_restore_seconds_ = ckpt.hbmRestoreSeconds();
     // The whole fleet restores from the last checkpoint in parallel
     // (the spare included); meanwhile the spare's ranks pull the
     // replicated BF16 working weights from their FSDP peers. The two
     // re-acquisition paths overlap, so the longer one bounds the swap.
-    double weights_fetch = 0.0;
     if (par_.dp * par_.cp > 1) {
         const Topology topo(cluster_);
         const CollectiveModel coll(topo);
         const RankGrid grid(par_);
+        const std::int64_t group = par_.dp * par_.cp;
         const double bf16_bytes_per_mp_rank =
             kBf16Bytes * static_cast<double>(model_.totalParams()) /
             static_cast<double>(par_.modelParallelSize());
         const auto peer_shard = static_cast<std::int64_t>(
-            bf16_bytes_per_mp_rank /
-            static_cast<double>(par_.dp * par_.cp));
-        weights_fetch = coll.gatherTo(grid.dpCpGroup(0), peer_shard);
+            bf16_bytes_per_mp_rank / static_cast<double>(group));
+        weights_fetch_seconds_ = coll.gatherTo(grid.dpCpGroup(0), peer_shard);
+        // Cross-pod spare: the same gather, but every byte funnels into
+        // the replacement through the oversubscribed spine.
+        weights_fetch_spine_seconds_ =
+            coll.gatherToAtLevel(NetLevel::Spine, group, peer_shard);
+        // Homecoming of a displaced rank: it lands on a repaired host in
+        // its own pod and re-gathers its full FSDP state (BF16 weights +
+        // its ZeRO shard) pod-locally, like a regrow fetch at full width.
+        const double group_state_bytes =
+            kOptimBytesPerParam *
+            static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par_.modelParallelSize());
+        const auto home_bytes = static_cast<std::int64_t>(
+            (bf16_bytes_per_mp_rank + group_state_bytes) /
+            static_cast<double>(group));
+        migrate_home_gather_seconds_ =
+            coll.gatherToAtLevel(NetLevel::Pod, group, home_bytes);
     }
-    swap_restore_seconds_ = std::max(ckpt.loadSeconds(), weights_fetch);
-    spare_swap_seconds_ = policy_.spare_activation_seconds +
-                          policy_.swap_reinit_seconds +
-                          swap_restore_seconds_;
-    if (storage_.hier.enabled) {
-        // Partial restart: only the replacement ranks re-fetch state —
-        // checkpoint shards from their DP-peer HBM mirrors, BF16 weights
-        // from their FSDP peers — while survivors reload in-HBM
-        // snapshots underneath. No fleet-wide filesystem read.
-        partial_restart_seconds_ =
-            policy_.spare_activation_seconds + policy_.swap_reinit_seconds +
-            std::max(ckpt.hbmRestoreSeconds(), weights_fetch);
+}
+
+CostBreakdown
+RecoveryCostModel::price(const RecoveryCostRequest &req) const
+{
+    switch (req.kind) {
+      case RecoveryCostRequest::Kind::SpareSwap:
+      case RecoveryCostRequest::Kind::PartialRestart:
+        return priceSwap(req);
+      case RecoveryCostRequest::Kind::Shrink:
+        return priceShrink(req);
+      case RecoveryCostRequest::Kind::Regrow:
+        return priceRegrow(req);
+      case RecoveryCostRequest::Kind::MigrateHome:
+        return priceMigrateHome();
     }
+    LLM4D_PANIC("unreachable recovery cost request kind");
 }
 
-double
-RecoveryCostModel::spareSwapSeconds() const
+CostBreakdown
+RecoveryCostModel::priceSwap(const RecoveryCostRequest &req) const
 {
-    return spare_swap_seconds_;
+    const bool cross_pod = req.spare_path == NetLevel::Spine;
+    CostBreakdown cost;
+    cost.activation_seconds = policy_.spare_activation_seconds;
+    cost.reinit_seconds = policy_.swap_reinit_seconds;
+    cost.gather_seconds =
+        cross_pod ? weights_fetch_spine_seconds_ : weights_fetch_seconds_;
+    if (req.kind == RecoveryCostRequest::Kind::PartialRestart) {
+        LLM4D_CHECK(storage_.hier.enabled,
+                    "partial restart requires hierarchical checkpoint "
+                    "tiers");
+        // Only the replacement ranks re-fetch state — checkpoint shards
+        // from their DP-peer HBM mirrors, BF16 weights from their FSDP
+        // peers — while survivors reload in-HBM snapshots underneath.
+        // A cross-pod replacement streams the peer mirrors through the
+        // spine instead of pod RoCE, so the read slows by the
+        // oversubscription ratio.
+        cost.restore_seconds =
+            cross_pod ? hbm_restore_seconds_ * cluster_.spine_oversubscription
+                      : hbm_restore_seconds_;
+        return cost;
+    }
+    // Global-tier swap: the fleet-wide filesystem restore is placement-
+    // independent; only the peer gather sees the spare's path.
+    cost.restore_seconds = swap_load_seconds_;
+    return cost;
 }
 
-double
-RecoveryCostModel::swapRestoreSeconds() const
+CostBreakdown
+RecoveryCostModel::priceShrink(const RecoveryCostRequest &req) const
 {
-    return swap_restore_seconds_;
+    const std::int64_t to_dp = req.to_dp;
+    LLM4D_CHECK(to_dp >= 1 && to_dp < par_.dp,
+                "shrink target must drop at least one replica");
+    const ParallelismConfig par = shrunkPar(par_, to_dp);
+    const ClusterSpec cluster = shrunkCluster(cluster_, par);
+    const CheckpointModel ckpt(model_, cluster, par, storage_);
+    CostBreakdown cost;
+    cost.reinit_seconds = policy_.swap_reinit_seconds;
+    cost.restore_seconds = ckpt.tierRestoreSeconds(req.restore_tier);
+    // Survivors re-partition the dropped replica's ZeRO shards: each
+    // member of the (now smaller) dp*cp group grows its optimizer shard
+    // and gathers the delta from peers while the sharded restore runs.
+    if (par.dp * par.cp > 1) {
+        const Topology topo(cluster);
+        const CollectiveModel coll(topo);
+        const RankGrid grid(par);
+        const double group_state_bytes =
+            kOptimBytesPerParam *
+            static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par.modelParallelSize());
+        const double old_members =
+            static_cast<double>((to_dp + 1) * par.cp);
+        const double new_members = static_cast<double>(to_dp * par.cp);
+        const auto delta_bytes = static_cast<std::int64_t>(
+            group_state_bytes * (1.0 / new_members - 1.0 / old_members));
+        cost.gather_seconds = coll.gatherTo(grid.dpCpGroup(0), delta_bytes);
+    }
+    return cost;
 }
 
-double
-RecoveryCostModel::partialRestartSeconds() const
+CostBreakdown
+RecoveryCostModel::priceRegrow(const RecoveryCostRequest &req) const
 {
-    LLM4D_CHECK(storage_.hier.enabled,
-                "partial restart requires hierarchical checkpoint tiers");
-    return partial_restart_seconds_;
+    const std::int64_t to_dp = req.to_dp;
+    LLM4D_CHECK(to_dp >= 2 && to_dp <= par_.dp,
+                "regrow target must add at least one replica and stay "
+                "within the configured dp of "
+                    << par_.dp);
+    const ParallelismConfig par = shrunkPar(par_, to_dp);
+    const ClusterSpec cluster = shrunkCluster(cluster_, par);
+    const CheckpointModel ckpt(model_, cluster, par, storage_);
+    CostBreakdown cost;
+    cost.reinit_seconds = policy_.swap_reinit_seconds;
+    cost.restore_seconds = ckpt.loadSeconds();
+    // The re-admitted replica arrives stateless: its ranks gather the
+    // replicated BF16 working weights plus their newly assigned ZeRO
+    // optimizer shard from FSDP peers while the whole (larger) fleet
+    // re-partitions via the sharded restore. The longer path bounds the
+    // outage; NCCL re-initializes at the regrown world either way.
+    if (par.dp * par.cp > 1) {
+        const Topology topo(cluster);
+        const CollectiveModel coll(topo);
+        const RankGrid grid(par);
+        const double bf16_bytes_per_mp_rank =
+            kBf16Bytes * static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par.modelParallelSize());
+        const double group_state_bytes =
+            kOptimBytesPerParam *
+            static_cast<double>(model_.totalParams()) /
+            static_cast<double>(par.modelParallelSize());
+        const double new_members = static_cast<double>(to_dp * par.cp);
+        const auto fetch_bytes = static_cast<std::int64_t>(
+            (bf16_bytes_per_mp_rank + group_state_bytes) / new_members);
+        cost.gather_seconds = coll.gatherTo(grid.dpCpGroup(0), fetch_bytes);
+    }
+    return cost;
+}
+
+CostBreakdown
+RecoveryCostModel::priceMigrateHome() const
+{
+    // No spare activation (the repaired host is already warm and
+    // checked) and no checkpoint read (the migration happens at a
+    // durable boundary; the rank's state is regenerated from peers).
+    CostBreakdown cost;
+    cost.reinit_seconds = policy_.swap_reinit_seconds;
+    cost.gather_seconds = migrate_home_gather_seconds_;
+    return cost;
 }
 
 ParallelismConfig
@@ -167,80 +324,6 @@ RecoveryCostModel::loadSecondsAt(std::int64_t dp) const
     const ParallelismConfig par = shrunkPar(par_, dp);
     const ClusterSpec cluster = shrunkCluster(cluster_, par);
     return CheckpointModel(model_, cluster, par, storage_).loadSeconds();
-}
-
-double
-RecoveryCostModel::shrinkSeconds(std::int64_t to_dp) const
-{
-    return shrinkSecondsFromTier(to_dp, CheckpointTier::Global);
-}
-
-double
-RecoveryCostModel::shrinkSecondsFromTier(std::int64_t to_dp,
-                                         CheckpointTier tier) const
-{
-    LLM4D_CHECK(to_dp >= 1 && to_dp < par_.dp,
-                "shrink target must drop at least one replica");
-    const ParallelismConfig par = shrunkPar(par_, to_dp);
-    const ClusterSpec cluster = shrunkCluster(cluster_, par);
-    const CheckpointModel ckpt(model_, cluster, par, storage_);
-    // Survivors re-partition the dropped replica's ZeRO shards: each
-    // member of the (now smaller) dp*cp group grows its optimizer shard
-    // and gathers the delta from peers while the sharded restore runs.
-    double reshard = 0.0;
-    if (par.dp * par.cp > 1) {
-        const Topology topo(cluster);
-        const CollectiveModel coll(topo);
-        const RankGrid grid(par);
-        const double group_state_bytes =
-            kOptimBytesPerParam *
-            static_cast<double>(model_.totalParams()) /
-            static_cast<double>(par.modelParallelSize());
-        const double old_members =
-            static_cast<double>((to_dp + 1) * par.cp);
-        const double new_members = static_cast<double>(to_dp * par.cp);
-        const auto delta_bytes = static_cast<std::int64_t>(
-            group_state_bytes * (1.0 / new_members - 1.0 / old_members));
-        reshard = coll.gatherTo(grid.dpCpGroup(0), delta_bytes);
-    }
-    return policy_.swap_reinit_seconds +
-           std::max(ckpt.tierRestoreSeconds(tier), reshard);
-}
-
-double
-RecoveryCostModel::regrowSeconds(std::int64_t to_dp) const
-{
-    LLM4D_CHECK(to_dp >= 2 && to_dp <= par_.dp,
-                "regrow target must add at least one replica and stay "
-                "within the configured dp of "
-                    << par_.dp);
-    const ParallelismConfig par = shrunkPar(par_, to_dp);
-    const ClusterSpec cluster = shrunkCluster(cluster_, par);
-    const CheckpointModel ckpt(model_, cluster, par, storage_);
-    // The re-admitted replica arrives stateless: its ranks gather the
-    // replicated BF16 working weights plus their newly assigned ZeRO
-    // optimizer shard from FSDP peers while the whole (larger) fleet
-    // re-partitions via the sharded restore. The longer path bounds the
-    // outage; NCCL re-initializes at the regrown world either way.
-    double fetch = 0.0;
-    if (par.dp * par.cp > 1) {
-        const Topology topo(cluster);
-        const CollectiveModel coll(topo);
-        const RankGrid grid(par);
-        const double bf16_bytes_per_mp_rank =
-            kBf16Bytes * static_cast<double>(model_.totalParams()) /
-            static_cast<double>(par.modelParallelSize());
-        const double group_state_bytes =
-            kOptimBytesPerParam *
-            static_cast<double>(model_.totalParams()) /
-            static_cast<double>(par.modelParallelSize());
-        const double new_members = static_cast<double>(to_dp * par.cp);
-        const auto fetch_bytes = static_cast<std::int64_t>(
-            (bf16_bytes_per_mp_rank + group_state_bytes) / new_members);
-        fetch = coll.gatherTo(grid.dpCpGroup(0), fetch_bytes);
-    }
-    return policy_.swap_reinit_seconds +
-           std::max(ckpt.loadSeconds(), fetch);
 }
 
 } // namespace llm4d

@@ -28,9 +28,12 @@
 #include <cstdint>
 
 #include "llm4d/fault/checkpoint_model.h"
+#include "llm4d/fault/spare_placement.h"
 #include "llm4d/hw/gpu_spec.h"
 #include "llm4d/model/model_config.h"
+#include "llm4d/net/topology.h"
 #include "llm4d/parallel/parallelism.h"
+#include "llm4d/simcore/enum_text.h"
 
 namespace llm4d {
 
@@ -48,8 +51,13 @@ enum class RecoveryMode
     WarmSpare,
 };
 
-/** Name of a recovery mode. */
-const char *recoveryModeName(RecoveryMode mode);
+constexpr int kNumRecoveryModes = 2;
+
+/** toString/tryParse per the project convention (simcore/enum_text.h). */
+const char *toString(RecoveryMode mode);
+template <>
+[[nodiscard]] std::optional<RecoveryMode>
+tryParse<RecoveryMode>(std::string_view text);
 
 /** How checkpoints are taken. */
 enum class CheckpointMode
@@ -58,8 +66,13 @@ enum class CheckpointMode
     Async, ///< step blocks for a DRAM snapshot; the drain overlaps
 };
 
-/** Name of a checkpoint mode. */
-const char *checkpointModeName(CheckpointMode mode);
+constexpr int kNumCheckpointModes = 2;
+
+/** toString/tryParse per the project convention (simcore/enum_text.h). */
+const char *toString(CheckpointMode mode);
+template <>
+[[nodiscard]] std::optional<CheckpointMode>
+tryParse<CheckpointMode>(std::string_view text);
 
 /** Full recovery behavior of one training run. */
 struct RecoveryPolicy
@@ -68,6 +81,25 @@ struct RecoveryPolicy
 
     /** Pre-provisioned warm spare hosts (consumed one per swap). */
     std::int64_t spare_hosts = 0;
+
+    /**
+     * Where the spares physically live (fault/spare_placement.h). The
+     * CentralPool default with placement_migration off reproduces the
+     * location-blind pre-placement model exactly: every swap is priced
+     * pod-locally and no rank is ever counted as displaced.
+     */
+    SparePlacementPolicy spare_placement = SparePlacementPolicy::CentralPool;
+
+    /**
+     * Price spare swaps over the actual victim-to-spare path and track
+     * displaced ranks: a cross-pod swap stretches the DP group over the
+     * oversubscribed spine, degrading every subsequent step until a
+     * host repaired in the victim's pod lets the displaced rank migrate
+     * home at a durable checkpoint boundary (counted as
+     * placement_migrations; outage seconds in displacement_seconds).
+     * Requires the warm-spare recovery mode.
+     */
+    bool placement_migration = false;
 
     /** Power-on/health-check/attach latency of a warm spare, seconds. */
     double spare_activation_seconds = 20.0;
@@ -91,8 +123,8 @@ struct RecoveryPolicy
     /**
      * When regrowing, refill the warm-spare pool up to its configured
      * size before widening DP. A pool refill is free (the host parks
-     * warm); a DP-regrow pays regrowSeconds(). Only read when
-     * allow_regrow is set.
+     * warm); a DP-regrow pays the priced Regrow transition. Only read
+     * when allow_regrow is set.
      */
     bool regrow_spares_first = true;
 
@@ -126,8 +158,93 @@ struct RecoveryPolicy
     /** The full MegaScale-style mitigation stack, for studies. */
     static RecoveryPolicy elastic(std::int64_t spares);
 
+    /**
+     * True when recovery must consult spare locations: either the
+     * spares are spread over pods or cross-pod displacement is being
+     * tracked. False == the legacy location-blind model.
+     */
+    [[nodiscard]] bool placementAware() const
+    {
+        return spare_placement != SparePlacementPolicy::CentralPool ||
+               placement_migration;
+    }
+
     /** Abort unless the policy is sane for @p cluster. */
     void validate(const ClusterSpec &cluster) const;
+};
+
+/**
+ * One recovery transition to price. Replaces the old positional-double
+ * method family (spareSwapSeconds / partialRestartSeconds /
+ * shrinkSecondsFromTier(to_dp, tier) / regrowSeconds(to_dp)): call
+ * sites name what they are asking for, and placement-dependent fields
+ * (spare_path) cannot be forgotten silently.
+ */
+struct RecoveryCostRequest
+{
+    enum class Kind
+    {
+        /** Warm-spare swap restoring from the global checkpoint. */
+        SpareSwap,
+
+        /**
+         * Warm-spare swap where only the replacement ranks re-fetch
+         * shards from DP-peer HBM mirrors; survivors reload in-HBM
+         * snapshots. Requires hierarchical tiers.
+         */
+        PartialRestart,
+
+        /** Drop to to_dp replicas; restore from restore_tier. */
+        Shrink,
+
+        /** Regrow to to_dp replicas after repairs. */
+        Regrow,
+
+        /**
+         * A displaced rank (cross-pod spare) migrates back onto a
+         * repaired host in its home pod at a checkpoint boundary: NCCL
+         * re-init + a pod-local state gather from its FSDP peers.
+         */
+        MigrateHome,
+    };
+
+    Kind kind = Kind::SpareSwap;
+
+    /** Target DP width; read by Shrink and Regrow only. */
+    std::int64_t to_dp = 0;
+
+    /** Tier the sharded restore reads from; read by Shrink only. */
+    CheckpointTier restore_tier = CheckpointTier::Global;
+
+    /**
+     * Victim-to-spare path level (SpareClaim::path); read by SpareSwap
+     * and PartialRestart. Pod (the pod-local case) reproduces the
+     * legacy location-blind pricing exactly; Spine pulls the restore
+     * gather through the oversubscribed spine.
+     */
+    NetLevel spare_path = NetLevel::Pod;
+};
+
+/** Priced components of one recovery transition. */
+struct CostBreakdown
+{
+    /** Spare power-on/health-check/attach latency. */
+    double activation_seconds = 0.0;
+
+    /** NCCL communicator re-initialization. */
+    double reinit_seconds = 0.0;
+
+    /** Sharded checkpoint restore (filesystem / NVMe / HBM tier). */
+    double restore_seconds = 0.0;
+
+    /** Peer state gather (BF16 weights / re-shard / re-admit fetch). */
+    double gather_seconds = 0.0;
+
+    /** Restore and gather overlap; the longer one bounds the outage. */
+    [[nodiscard]] double restoreCriticalSeconds() const;
+
+    /** Total outage, excluding detection latency. */
+    [[nodiscard]] double totalSeconds() const;
 };
 
 /**
@@ -145,54 +262,11 @@ class RecoveryCostModel
     [[nodiscard]] const RecoveryPolicy &policy() const { return policy_; }
 
     /**
-     * Outage of a warm-spare swap, excluding detection latency: spare
-     * activation + NCCL re-init + state re-acquisition. Re-acquisition
-     * is the parallel sharded restore overlapped with the spare host's
-     * ranks gathering their replicated BF16 working weights from their
-     * FSDP peers (gatherTo over the dp*cp group).
+     * Price one recovery transition. The single entry point for every
+     * recovery path — see RecoveryCostRequest::Kind for the catalogue
+     * and the per-field docs for which request fields each kind reads.
      */
-    [[nodiscard]] double spareSwapSeconds() const;
-
-    /**
-     * Restore component of a (global-tier) warm-spare swap:
-     * spareSwapSeconds() minus the fixed activation + re-init latencies.
-     */
-    [[nodiscard]] double swapRestoreSeconds() const;
-
-    /**
-     * Outage of a *partial-restart* warm-spare swap: spare activation +
-     * NCCL re-init + the replacement host's shard re-fetch from DP-peer
-     * HBM mirrors overlapped with its BF16 working-weight gather —
-     * survivors only reload their own in-HBM snapshot underneath.
-     * Requires hierarchical tiers (storage.hier.enabled).
-     */
-    [[nodiscard]] double partialRestartSeconds() const;
-
-    /**
-     * Outage of shrinking to @p to_dp data-parallel replicas, excluding
-     * detection: NCCL re-init at the smaller world + re-partitioned
-     * sharded restore + the survivors gathering their enlarged optimizer
-     * shards (the dropped replica's share) from group peers.
-     */
-    [[nodiscard]] double shrinkSeconds(std::int64_t to_dp) const;
-
-    /**
-     * shrinkSeconds with the sharded-restore term priced from
-     * @p restore_tier instead of the global filesystem (Global tier is
-     * exactly shrinkSeconds). Local tiers require storage.hier.enabled.
-     */
-    [[nodiscard]] double shrinkSecondsFromTier(std::int64_t to_dp,
-                                               CheckpointTier tier) const;
-
-    /**
-     * Outage of regrowing to @p to_dp data-parallel replicas — the
-     * symmetric inverse of shrinkSeconds: NCCL re-init at the larger
-     * world + re-partitioned sharded restore + the re-admitted replica
-     * gathering its BF16 working weights and newly assigned optimizer
-     * shard from its FSDP peers, all priced through the collective
-     * model at the regrown topology.
-     */
-    [[nodiscard]] double regrowSeconds(std::int64_t to_dp) const;
+    [[nodiscard]] CostBreakdown price(const RecoveryCostRequest &req) const;
 
     /** Sharded restore cost at @p dp replicas (dp == par.dp: as-is). */
     [[nodiscard]] double loadSecondsAt(std::int64_t dp) const;
@@ -206,14 +280,29 @@ class RecoveryCostModel
     shrunkCluster(const ClusterSpec &cluster, const ParallelismConfig &par);
 
   private:
+    [[nodiscard]] CostBreakdown priceSwap(const RecoveryCostRequest &req) const;
+    [[nodiscard]] CostBreakdown priceShrink(const RecoveryCostRequest &req) const;
+    [[nodiscard]] CostBreakdown priceRegrow(const RecoveryCostRequest &req) const;
+    [[nodiscard]] CostBreakdown priceMigrateHome() const;
+
     ModelConfig model_;
     ClusterSpec cluster_;
     ParallelismConfig par_;
     CheckpointStorage storage_;
     RecoveryPolicy policy_;
-    double spare_swap_seconds_ = 0.0;
-    double swap_restore_seconds_ = 0.0;
-    double partial_restart_seconds_ = 0.0;
+
+    /** ckpt.loadSeconds() at the configured layout. */
+    double swap_load_seconds_ = 0.0;
+
+    /** ckpt.hbmRestoreSeconds(); 0 unless storage.hier.enabled. */
+    double hbm_restore_seconds_ = 0.0;
+
+    /** BF16 weights gather at the group's own level / forced Spine. */
+    double weights_fetch_seconds_ = 0.0;
+    double weights_fetch_spine_seconds_ = 0.0;
+
+    /** Pod-local FSDP state gather of the homecoming rank. */
+    double migrate_home_gather_seconds_ = 0.0;
 };
 
 } // namespace llm4d

@@ -47,7 +47,7 @@ RepairComplete::str() const
 {
     std::ostringstream os;
     os << "t=" << timeToSeconds(when) << "s repaired "
-       << faultKindName(kind)
+       << toString(kind)
        << (kind == FaultKind::HostCrash ? " node=" : " gpu=") << component;
     return os.str();
 }

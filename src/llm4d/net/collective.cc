@@ -7,7 +7,7 @@
 namespace llm4d {
 
 const char *
-collectiveKindName(CollectiveKind kind)
+toString(CollectiveKind kind)
 {
     switch (kind) {
       case CollectiveKind::AllGather:
@@ -24,6 +24,18 @@ collectiveKindName(CollectiveKind kind)
         return "p2p";
     }
     LLM4D_PANIC("unreachable collective kind");
+}
+
+template <>
+std::optional<CollectiveKind>
+tryParse<CollectiveKind>(std::string_view text)
+{
+    for (int i = 0; i < kNumCollectiveKinds; ++i) {
+        const auto kind = static_cast<CollectiveKind>(i);
+        if (text == toString(kind))
+            return kind;
+    }
+    return std::nullopt;
 }
 
 CollectiveModel::CollectiveModel(const Topology &topo) : topo_(&topo) {}
@@ -94,13 +106,23 @@ CollectiveModel::gatherTo(const std::vector<std::int64_t> &ranks,
     const auto p = static_cast<std::int64_t>(ranks.size());
     if (p == 1 || bytes_per_rank == 0)
         return 0.0;
-    const NetLevel level = topo_->levelOf(ranks);
+    return gatherToAtLevel(topo_->levelOf(ranks), p, bytes_per_rank);
+}
+
+double
+CollectiveModel::gatherToAtLevel(NetLevel level, std::int64_t group_size,
+                                 std::int64_t bytes_per_rank) const
+{
+    LLM4D_ASSERT(group_size >= 1, "empty collective group");
+    LLM4D_ASSERT(bytes_per_rank >= 0, "negative collective size");
+    if (group_size == 1 || bytes_per_rank == 0)
+        return 0.0;
     const double bw =
         topo_->bandwidth(level) * 1e9 * kBandwidthEfficiency;
     const double lat = topo_->latency(level);
     // All senders funnel into the root's single ingress path, so the
     // (p-1) shards serialize on bandwidth; latency pipelines.
-    const double steps = static_cast<double>(p - 1);
+    const double steps = static_cast<double>(group_size - 1);
     return steps * static_cast<double>(bytes_per_rank) / bw + lat;
 }
 

@@ -29,8 +29,13 @@ enum class CollectiveKind
     P2P,
 };
 
-/** Name of a collective kind. */
-const char *collectiveKindName(CollectiveKind kind);
+constexpr int kNumCollectiveKinds = 6;
+
+/** toString/tryParse per the project convention (simcore/enum_text.h). */
+const char *toString(CollectiveKind kind);
+template <>
+[[nodiscard]] std::optional<CollectiveKind>
+tryParse<CollectiveKind>(std::string_view text);
 
 /** Cost models for collectives over a given topology. */
 class CollectiveModel
@@ -77,6 +82,17 @@ class CollectiveModel
      */
     double gatherTo(const std::vector<std::int64_t> &ranks,
                     std::int64_t bytes_per_rank) const;
+
+    /**
+     * gatherTo() with the path level pinned instead of derived from a
+     * rank list — for pricing a gather whose root is *hypothetical*
+     * (e.g. a warm spare whose pod placement the recovery policy picks:
+     * Pod for a pod-local replacement, Spine for a cross-pod one).
+     * Identical arithmetic to gatherTo over a @p group_size-rank group
+     * spanning @p level.
+     */
+    double gatherToAtLevel(NetLevel level, std::int64_t group_size,
+                           std::int64_t bytes_per_rank) const;
 
     /** Point-to-point transfer of @p bytes between two ranks. */
     double p2p(std::int64_t src, std::int64_t dst, std::int64_t bytes) const;

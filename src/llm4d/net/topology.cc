@@ -5,7 +5,7 @@
 namespace llm4d {
 
 const char *
-netLevelName(NetLevel level)
+toString(NetLevel level)
 {
     switch (level) {
       case NetLevel::Self:
@@ -18,6 +18,18 @@ netLevelName(NetLevel level)
         return "spine";
     }
     LLM4D_PANIC("unreachable net level");
+}
+
+template <>
+std::optional<NetLevel>
+tryParse<NetLevel>(std::string_view text)
+{
+    for (int i = 0; i < kNumNetLevels; ++i) {
+        const auto level = static_cast<NetLevel>(i);
+        if (text == toString(level))
+            return level;
+    }
+    return std::nullopt;
 }
 
 Topology::Topology(const ClusterSpec &spec) : spec_(spec)

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "llm4d/hw/gpu_spec.h"
+#include "llm4d/simcore/enum_text.h"
 
 namespace llm4d {
 
@@ -28,8 +29,12 @@ enum class NetLevel
     Spine,    ///< spans pods (oversubscribed)
 };
 
-/** Human-readable name of a network level. */
-const char *netLevelName(NetLevel level);
+constexpr int kNumNetLevels = 4;
+
+/** toString/tryParse per the project convention (simcore/enum_text.h). */
+const char *toString(NetLevel level);
+template <>
+[[nodiscard]] std::optional<NetLevel> tryParse<NetLevel>(std::string_view text);
 
 /** Maps global ranks onto the cluster hierarchy and rates links. */
 class Topology

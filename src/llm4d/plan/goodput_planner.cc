@@ -90,16 +90,30 @@ GoodputPlanInput::sweepPolicies() const
                         const bool elastic = spares > 0 || shrink;
                         if ((regrow || partial) && !elastic)
                             continue;
-                        RecoveryPolicy policy;
-                        policy.mode = elastic ? RecoveryMode::WarmSpare
+                        for (const SparePlacementPolicy placement :
+                             placement_options) {
+                            // Spare locations only matter when there
+                            // are spares to place.
+                            if (placement !=
+                                    SparePlacementPolicy::CentralPool &&
+                                spares == 0)
+                                continue;
+                            RecoveryPolicy policy;
+                            policy.mode = elastic
+                                              ? RecoveryMode::WarmSpare
                                               : RecoveryMode::FullRestart;
-                        policy.spare_hosts = spares;
-                        policy.allow_dp_shrink = shrink;
-                        policy.allow_regrow = regrow;
-                        policy.checkpoint_mode = ckpt;
-                        policy.partial_restart = partial;
-                        policy.straggler_rebalance = straggler_rebalance;
-                        out.push_back(policy);
+                            policy.spare_hosts = spares;
+                            policy.spare_placement = placement;
+                            policy.placement_migration =
+                                placement_migration && elastic;
+                            policy.allow_dp_shrink = shrink;
+                            policy.allow_regrow = regrow;
+                            policy.checkpoint_mode = ckpt;
+                            policy.partial_restart = partial;
+                            policy.straggler_rebalance =
+                                straggler_rebalance;
+                            out.push_back(policy);
+                        }
                     }
                 }
             }
@@ -119,7 +133,8 @@ GoodputPlanInput::validate() const
                     !dp_shrink_options.empty() &&
                     !regrow_options.empty() &&
                     !hier_global_every_options.empty() &&
-                    !partial_restart_options.empty(),
+                    !partial_restart_options.empty() &&
+                    !placement_options.empty(),
                 "every recovery-policy sweep axis needs at least one "
                 "point");
     for (const std::int64_t spares : spare_pool_options)

@@ -27,9 +27,11 @@
  *     denominator but shrink MTTR), DP-shrink on/off, repair-aware
  *     regrow on/off (re-admit repaired hosts at checkpoint boundaries),
  *     hierarchical checkpoint-tier cadence (global-only vs. HBM/NVMe
- *     tiers with a global write every Nth boundary), and partial
- *     restart on/off. Checkpoint intervals are Young–Daly auto-tuned
- *     per point so a policy flip cannot desynchronize them.
+ *     tiers with a global write every Nth boundary), partial restart
+ *     on/off, and spare placement (central pool vs. per-pod reserves,
+ *     optionally with displaced-rank migration). Checkpoint intervals
+ *     are Young–Daly auto-tuned per point so a policy flip cannot
+ *     desynchronize them.
  *
  * Candidates are ranked by their best sweep point's goodput TFLOPs per
  * *provisioned* GPU (training world + idle spares); each candidate
@@ -122,6 +124,23 @@ struct GoodputPlanInput
      * peer tier), so the grid is not a plain cross product here either.
      */
     std::vector<bool> partial_restart_options = {false, true};
+
+    /**
+     * Spare-placement axis (fault/spare_placement.h): where the warm
+     * spares physically live. Non-central placements are skipped on
+     * cells with an empty pool (no spares to place). The CentralPool
+     * default keeps the legacy grid — and bit-identical rankings.
+     */
+    std::vector<SparePlacementPolicy> placement_options = {
+        SparePlacementPolicy::CentralPool};
+
+    /**
+     * Price spare swaps over the actual victim-to-spare path and
+     * migrate displaced ranks home at durable checkpoint boundaries
+     * (RecoveryPolicy::placement_migration). Applied to every elastic
+     * cell; the full-restart baseline never swaps, so it is unaffected.
+     */
+    bool placement_migration = false;
 
     /** Mitigate localized stragglers by micro-batch rebalancing. */
     bool straggler_rebalance = true;

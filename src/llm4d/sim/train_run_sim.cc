@@ -190,6 +190,58 @@ TrainRunSim::stepSecondsAtDp(std::int64_t dp) const
     return std::max(stepReportAtDp(dp).step_seconds, base_.step_seconds);
 }
 
+double
+TrainRunSim::displacementSlowdown() const
+{
+    if (displacement_slowdown_ > 0.0)
+        return displacement_slowdown_;
+    // NIC-bound share of the step (same derivation as the flap path):
+    // FSDP + CP exposure crosses the NICs; TP stays NVLink-local.
+    const double nic_share = std::clamp(
+        (base_.exposed_fsdp_seconds + base_.exposed_cp_seconds) /
+            base_.step_seconds,
+        0.02, 0.9);
+    // The displaced rank's DP traffic crosses the spine, which offers
+    // 1/oversubscription of the pod-local NIC capacity. Price the
+    // transfer-level stretch through the same FlowSim
+    // capacity-reduction machinery as a link flap.
+    const double nic_bps = cfg_.job.cluster.node.gpu.nic_bw_gbps * 1e9;
+    const double spine_capacity =
+        1.0 / cfg_.job.cluster.spine_oversubscription;
+    const double xfer_slowdown = flapSlowdownFactor(
+        nic_bps, nic_bps /* a 1-second reference transfer */,
+        spine_capacity, 0, secondsToTime(1e6));
+    displacement_slowdown_ = 1.0 + (xfer_slowdown - 1.0) * nic_share;
+    return displacement_slowdown_;
+}
+
+const TrainStepReport &
+TrainRunSim::stepReportAtPlacement(std::int64_t dp) const
+{
+    const auto it = displaced_report_cache_.find(dp);
+    if (it != displaced_report_cache_.end())
+        return it->second;
+    // Synchronized training: one displaced rank stretches its DP
+    // group's collectives over the spine and the whole step waits.
+    TrainStepReport degraded = stepReportAtDp(dp);
+    const double slowdown = displacementSlowdown();
+    degraded.step_seconds *= slowdown;
+    degraded.tflops_per_gpu /= slowdown;
+    degraded.mfu /= slowdown;
+    return displaced_report_cache_.emplace(dp, degraded).first->second;
+}
+
+double
+TrainRunSim::migrateHomeSeconds() const
+{
+    if (migrate_home_seconds_ >= 0.0)
+        return migrate_home_seconds_;
+    RecoveryCostRequest req;
+    req.kind = RecoveryCostRequest::Kind::MigrateHome;
+    migrate_home_seconds_ = recovery_.price(req).totalSeconds();
+    return migrate_home_seconds_;
+}
+
 const TrainRunSim::CkptCosts &
 TrainRunSim::checkpointCostsAt(std::int64_t dp) const
 {
@@ -231,7 +283,11 @@ TrainRunSim::shrinkSecondsTo(std::int64_t dp) const
     const auto it = shrink_cost_cache_.find(dp);
     if (it != shrink_cost_cache_.end())
         return it->second;
-    const double seconds = recovery_.shrinkSeconds(dp);
+    RecoveryCostRequest req;
+    req.kind = RecoveryCostRequest::Kind::Shrink;
+    req.to_dp = dp;
+    req.restore_tier = CheckpointTier::Global;
+    const double seconds = recovery_.price(req).totalSeconds();
     shrink_cost_cache_[dp] = seconds;
     return seconds;
 }
@@ -242,8 +298,11 @@ TrainRunSim::shrinkHbmSecondsTo(std::int64_t dp) const
     const auto it = shrink_hbm_cost_cache_.find(dp);
     if (it != shrink_hbm_cost_cache_.end())
         return it->second;
-    const double seconds =
-        recovery_.shrinkSecondsFromTier(dp, CheckpointTier::HbmPeer);
+    RecoveryCostRequest req;
+    req.kind = RecoveryCostRequest::Kind::Shrink;
+    req.to_dp = dp;
+    req.restore_tier = CheckpointTier::HbmPeer;
+    const double seconds = recovery_.price(req).totalSeconds();
     shrink_hbm_cost_cache_[dp] = seconds;
     return seconds;
 }
@@ -254,7 +313,10 @@ TrainRunSim::regrowSecondsTo(std::int64_t dp) const
     const auto it = regrow_cost_cache_.find(dp);
     if (it != regrow_cost_cache_.end())
         return it->second;
-    const double seconds = recovery_.regrowSeconds(dp);
+    RecoveryCostRequest req;
+    req.kind = RecoveryCostRequest::Kind::Regrow;
+    req.to_dp = dp;
+    const double seconds = recovery_.price(req).totalSeconds();
     regrow_cost_cache_[dp] = seconds;
     return seconds;
 }
@@ -384,6 +446,15 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     std::int64_t ckpt_boundary = 0; ///< cadence counter, never rolled back
     std::int64_t dp_now = cfg_.job.par.dp;  ///< shrinks are persistent
     std::int64_t spares_left = pol.spare_hosts;
+    // Spare locations. Only consulted when the policy is
+    // placement-aware; the legacy location-blind model never looks, so
+    // CentralPool + placement_migration=false is bit-identical to the
+    // pre-placement simulator. When consulted, the pool mirrors
+    // spares_left exactly (claims and refills move in lock-step).
+    SparePool spare_pool(cfg_.job.cluster, pol.spare_placement,
+                         pol.spare_hosts);
+    const bool placement_aware = pol.placementAware();
+    std::int64_t displaced = 0; ///< ranks running on cross-pod spares
     std::int64_t warmup_left = 0;
     bool running = false;   ///< a step or checkpoint event is in flight
     bool down = false;      ///< between failure and restored service
@@ -437,7 +508,14 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
     };
 
     const auto current_step_seconds = [&]() {
-        const double eff = stepSecondsAtDp(dp_now);
+        // Any displaced rank stretches its DP group's collectives over
+        // the oversubscribed spine; synchronized training makes the
+        // whole step wait for it.
+        const double eff =
+            displaced > 0
+                ? std::max(stepReportAtPlacement(dp_now).step_seconds,
+                           base_step_s)
+                : stepSecondsAtDp(dp_now);
         double s = eff;
         double worst_residual = 1.0;
         for (const auto &[rank, st] : stragglers) {
@@ -621,25 +699,44 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
 
     /** Recovery dispatch: warm spare -> DP shrink -> full restart,
      *  restoring from @p tier (selected by restore_tier for the same
-     *  pre-dispatch state, so the paths agree). */
+     *  pre-dispatch state, so the paths agree). @p victim_host names
+     *  the failed node so a placement-aware policy can pick the
+     *  nearest spare and price the swap over the actual path. */
     const auto begin_recovery = [&](double detection_s,
-                                    CheckpointTier tier) {
+                                    CheckpointTier tier,
+                                    std::int64_t victim_host) {
         const auto tier_idx = static_cast<std::size_t>(tier);
         if (pol.mode == RecoveryMode::WarmSpare && spares_left > 0) {
             --spares_left;
             ++rep.spare_swaps;
-            double swap_s = recovery_.spareSwapSeconds();
-            double restore_s = recovery_.swapRestoreSeconds();
+            RecoveryCostRequest req;
+            req.kind = tier == CheckpointTier::HbmPeer
+                           ? RecoveryCostRequest::Kind::PartialRestart
+                           : RecoveryCostRequest::Kind::SpareSwap;
+            if (placement_aware) {
+                const auto claim = spare_pool.claimNearest(victim_host);
+                LLM4D_CHECK(claim.has_value(),
+                            "spare pool dry while the swap counter shows "
+                                << spares_left + 1 << " spares");
+                req.spare_path = claim->path;
+                if (!claim->pod_local) {
+                    // The replacement lives in another pod: the swap is
+                    // priced over the spine and the rank runs displaced
+                    // until it can migrate home.
+                    ++rep.cross_pod_swaps;
+                    ++displaced;
+                }
+            }
             if (tier == CheckpointTier::HbmPeer) {
                 // Partial restart: only the replacement ranks re-fetch
                 // from DP-peer mirrors; no fleet-wide filesystem read.
-                swap_s = recovery_.partialRestartSeconds();
-                restore_s = swap_s - pol.spare_activation_seconds -
-                            pol.swap_reinit_seconds;
                 ++rep.partial_restarts;
             }
-            rep.tier_restore_seconds[tier_idx] += restore_s;
-            begin_outage(detection_s, swap_s, &rep.spare_swap_seconds);
+            const CostBreakdown cost = recovery_.price(req);
+            rep.tier_restore_seconds[tier_idx] +=
+                cost.restoreCriticalSeconds();
+            begin_outage(detection_s, cost.totalSeconds(),
+                         &rep.spare_swap_seconds);
             return;
         }
         if (pol.mode == RecoveryMode::WarmSpare && pol.allow_dp_shrink &&
@@ -703,15 +800,54 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         });
     };
 
-    /** Consume completed repairs at a checkpoint boundary: refill the
-     *  warm-spare pool first (a refill is free — the host parks warm),
-     *  then batch every remaining ready host into one DP-regrow priced
-     *  at the target width, so a single re-init amortizes all
-     *  re-admissions. Returns true when a regrow outage was started
-     *  (the caller must not schedule a step — the resume will). */
-    const auto maybe_regrow = [&]() {
-        if (!pol.allow_regrow || finished || truncated || down ||
-            finishing || evict_rank >= 0)
+    /** Migrate-home outage of displaced ranks: NCCL re-init + a
+     *  pod-local state re-gather, charged to displacement_seconds.
+     *  Same pause semantics as a regrow (nothing is rolled back). */
+    const auto begin_migration = [&](double mig_s) {
+        rep.displacement_seconds += mig_s;
+        outage_rest_s = mig_s;
+        outage_bucket = &rep.displacement_seconds;
+        warmup_left = cfg_.restart.warmup_steps;
+        down = true;
+        paused = true;
+        running = false;
+        resume_at = eng.now() + secondsToTime(mig_s);
+        resume_event = eng.schedule(secondsToTime(mig_s), [&]() {
+            down = false;
+            paused = false;
+            schedule_step();
+        });
+    };
+
+    /** Consume completed repairs at a durable checkpoint boundary.
+     *  Migration first: a repair in a displaced rank's home pod lets
+     *  it move back onto the repaired host, ending the spine penalty
+     *  and returning its cross-pod spare to the pool. (The repair shop
+     *  does not track pod identity, so any ready repair stands in for
+     *  "the victim's pod has a healthy host again" — the shop repairs
+     *  the host that actually broke.) Then refill the warm-spare pool
+     *  (a refill is free — the host parks warm), then batch every
+     *  remaining ready host into one DP-regrow priced at the target
+     *  width, so a single re-init amortizes all re-admissions. Returns
+     *  true when an outage was started (the caller must not schedule a
+     *  step — the resume will). */
+    const auto maybe_reexpand = [&]() {
+        if (finished || truncated || down || finishing || evict_rank >= 0)
+            return false;
+        if (placement_aware && pol.placement_migration && displaced > 0 &&
+            repair_shop.hasReady(eng.now())) {
+            while (displaced > 0 && repair_shop.hasReady(eng.now())) {
+                repair_shop.pop();
+                ++rep.hosts_repaired;
+                --displaced;
+                ++rep.placement_migrations;
+                ++spares_left;
+                spare_pool.refill();
+            }
+            begin_migration(migrateHomeSeconds());
+            return true;
+        }
+        if (!pol.allow_regrow)
             return false;
         std::int64_t grew = 0;
         while (repair_shop.hasReady(eng.now())) {
@@ -724,10 +860,13 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
             // the dropped replica's group parks with it).
             repair_shop.pop();
             ++rep.hosts_repaired;
-            if (pool_low && (pol.regrow_spares_first || !dp_low))
+            if (pool_low && (pol.regrow_spares_first || !dp_low)) {
                 ++spares_left;
-            else
+                if (placement_aware)
+                    spare_pool.refill();
+            } else {
                 ++grew;
+            }
         }
         if (grew == 0)
             return false;
@@ -792,11 +931,12 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 // drain instead of overlapping it with steps.
                 wait = AsyncWait::Final;
                 stall_started = eng.now();
-            } else if (!maybe_regrow()) {
+            } else if (!maybe_reexpand()) {
                 // The snapshot boundary is the batching point for
-                // re-admitting repaired hosts (durable state to regrow
-                // from is the previous drained checkpoint; the replica
-                // gathers the rest from live peers).
+                // migrating displaced ranks home and re-admitting
+                // repaired hosts (durable state to regrow from is the
+                // previous drained checkpoint; the replica gathers the
+                // rest from live peers).
                 schedule_step();
             }
         });
@@ -830,12 +970,13 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 return;
             }
             if (evict_rank >= 0) {
+                const std::int64_t victim = topo.nodeOf(evict_rank);
                 stragglers.erase(evict_rank);
                 evict_rank = -1;
                 // An eviction removes one GPU deliberately — same blast
                 // radius as a GpuFatal for tier selection.
                 begin_recovery(cfg_.detection.straggler_analysis_seconds,
-                               restore_tier(BlastRadius::Gpu));
+                               restore_tier(BlastRadius::Gpu), victim);
             }
         }
     };
@@ -910,7 +1051,8 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 commit(save_s);
                 stragglers.erase(detected);
                 begin_recovery(cfg_.detection.straggler_analysis_seconds,
-                               restore_tier(BlastRadius::Gpu));
+                               restore_tier(BlastRadius::Gpu),
+                               topo.nodeOf(detected));
             });
     };
 
@@ -1022,7 +1164,7 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                             work_event = eng.schedule(
                                 secondsToTime(save_s), [&, save_s]() {
                                     commit(save_s);
-                                    if (!maybe_regrow())
+                                    if (!maybe_reexpand())
                                         schedule_step();
                                 });
                         });
@@ -1040,9 +1182,10 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 work_event =
                     eng.schedule(secondsToTime(save_s), [&, save_s]() {
                         commit(save_s);
-                        // The durable boundary batches re-admission of
-                        // repaired hosts (amortizes the re-init).
-                        if (!maybe_regrow())
+                        // The durable boundary batches migrations home
+                        // and re-admission of repaired hosts (amortizes
+                        // the re-init).
+                        if (!maybe_reexpand())
                             schedule_step();
                     });
                 return;
@@ -1118,13 +1261,18 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
             const CheckpointTier tier = restore_tier(radius);
             LLM4D_AUDIT_CHECK(
                 "sim", tierSurvives(tier, radius),
-                "restore tier " << checkpointTierName(tier)
+                "restore tier " << toString(tier)
                                 << " does not survive a "
-                                << blastRadiusName(radius)
-                                << " blast radius ("
-                                << faultKindName(ev.kind) << ")");
+                                << toString(radius) << " blast radius ("
+                                << toString(ev.kind) << ")");
             rollback_to_tier(tier);
-            begin_recovery(cfg_.detection.fatalDetectionSeconds(), tier);
+            // FaultEvent.component is a node index for HostCrash and a
+            // GPU rank otherwise.
+            const std::int64_t victim_host =
+                ev.kind == FaultKind::HostCrash ? ev.component
+                                                : topo.nodeOf(ev.component);
+            begin_recovery(cfg_.detection.fatalDetectionSeconds(), tier,
+                           victim_host);
             break;
           }
           case FaultKind::StragglerOnset: {
@@ -1203,7 +1351,8 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
         rep.productive_seconds + rep.degraded_seconds +
         rep.checkpoint_seconds + rep.lost_seconds + rep.detection_seconds +
         rep.restart_seconds + rep.spare_swap_seconds + rep.shrink_seconds +
-        rep.regrow_seconds + rep.drain_stall_seconds;
+        rep.regrow_seconds + rep.drain_stall_seconds +
+        rep.displacement_seconds;
     LLM4D_AUDIT_CHECK("sim",
                       std::abs(audit_bucket_sum - rep.wall_seconds) <=
                           1e-6 * std::max(rep.wall_seconds, 1.0),

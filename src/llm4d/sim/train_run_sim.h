@@ -212,6 +212,21 @@ struct TrainRunReport
     /** Warm-spare host swaps (RecoveryMode::WarmSpare). */
     std::int64_t spare_swaps = 0;
 
+    /**
+     * Warm-spare swaps whose replacement came from another pod
+     * (placement-aware policies only): the swap was priced over the
+     * spine and left one rank displaced, degrading every subsequent
+     * step until it migrated home.
+     */
+    std::int64_t cross_pod_swaps = 0;
+
+    /**
+     * Displaced ranks that migrated back to their home pod at a durable
+     * checkpoint boundary once a repair completed
+     * (policy.placement_migration).
+     */
+    std::int64_t placement_migrations = 0;
+
     /** DP-shrink events after the spare pool ran dry. */
     std::int64_t dp_shrinks = 0;
 
@@ -263,7 +278,8 @@ struct TrainRunReport
      * Wall-clock breakdown, sums to wall_seconds:
      *  productive  — committed steps at fault-free speed;
      *  degraded    — extra step time under stragglers/flaps/warmup,
-     *                post-shrink slowdown, and drain contention;
+     *                post-shrink slowdown, drain contention, and the
+     *                spine-crossing penalty of displaced ranks;
      *  checkpoint  — blocking save or snapshot stages;
      *  lost        — rolled-back step work (including partial steps);
      *  detection   — fault detection/localization latency windows
@@ -272,7 +288,9 @@ struct TrainRunReport
      *  spare_swap  — warm-spare activation + re-init + re-acquisition;
      *  shrink      — DP-shrink re-init + re-shard + restore;
      *  regrow      — DP-regrow re-init + peer state gathering;
-     *  drain_stall — waits on an in-flight async checkpoint drain.
+     *  drain_stall — waits on an in-flight async checkpoint drain;
+     *  displacement — migrate-home outages of displaced ranks
+     *                (re-init + pod-local peer re-gather).
      * @{
      */
     double productive_seconds = 0.0;
@@ -285,6 +303,7 @@ struct TrainRunReport
     double shrink_seconds = 0.0;
     double regrow_seconds = 0.0;
     double drain_stall_seconds = 0.0;
+    double displacement_seconds = 0.0;
     /** @} */
 
     /** Effective useful TFLOPs per GPU-second over the whole run. */
@@ -392,6 +411,21 @@ class TrainRunSim
      *  cached; base_ when @p dp is the configured degree). */
     const TrainStepReport &stepReportAtDp(std::int64_t dp) const;
 
+    /**
+     * stepReportAtDp re-priced for a degraded placement: at least one
+     * displaced rank's DP group spans the oversubscribed spine, so the
+     * step stretches by displacementSlowdown() (cached per dp).
+     */
+    const TrainStepReport &stepReportAtPlacement(std::int64_t dp) const;
+
+    /** Step-time multiplier while any rank is displaced cross-pod:
+     *  the NIC-bound share of the step runs at spine (1/oversub)
+     *  capacity, through the same FlowSim machinery as a link flap. */
+    double displacementSlowdown() const;
+
+    /** Outage of a displaced rank migrating home (cached). */
+    double migrateHomeSeconds() const;
+
     /** Fault-free step seconds at DP degree @p dp (same global batch,
      *  so fewer replicas -> slower steps). */
     double stepSecondsAtDp(std::int64_t dp) const;
@@ -425,10 +459,13 @@ class TrainRunSim
     mutable std::map<std::pair<std::int64_t, double>, double>
         degraded_cache_;
     mutable std::map<std::int64_t, TrainStepReport> shrunk_report_cache_;
+    mutable std::map<std::int64_t, TrainStepReport> displaced_report_cache_;
     mutable std::map<std::int64_t, CkptCosts> ckpt_cost_cache_;
     mutable std::map<std::int64_t, double> shrink_cost_cache_;
     mutable std::map<std::int64_t, double> shrink_hbm_cost_cache_;
     mutable std::map<std::int64_t, double> regrow_cost_cache_;
+    mutable double displacement_slowdown_ = 0.0; ///< lazily computed
+    mutable double migrate_home_seconds_ = -1.0; ///< lazily computed
 };
 
 } // namespace llm4d

@@ -1,0 +1,40 @@
+#ifndef LLM4D_SIMCORE_ENUM_TEXT_H_
+#define LLM4D_SIMCORE_ENUM_TEXT_H_
+
+/**
+ * @file
+ * The project-wide enum <-> text convention.
+ *
+ * Every user-facing enum exposes exactly two entry points, following the
+ * planner's RejectReason precedent (plan/planner.h):
+ *
+ *   const char *toString(E value);          // overload per enum
+ *   std::optional<E> tryParse<E>(text);     // specialization per enum
+ *
+ * toString() is an ordinary free-function overload declared next to its
+ * enum, total over the enumerators, and panics on a corrupted value.
+ * tryParse<E>() is an explicit specialization of the primary template
+ * below: it round-trips every toString() spelling and returns nullopt —
+ * never aborts — on unrecognized text, so config/CLI parsing can report
+ * errors in its own voice. Headers declare their specialization; the
+ * enum's .cc defines it by walking the enumerator range, so the two
+ * directions cannot drift apart.
+ */
+
+#include <optional>
+#include <string_view>
+
+namespace llm4d {
+
+/**
+ * Parse @p text as an enumerator of E (the exact toString() spelling).
+ * Primary template is never defined: using tryParse with an enum that
+ * has not declared its specialization is a link-time error, not a
+ * silent nullopt.
+ */
+template <typename E>
+[[nodiscard]] std::optional<E> tryParse(std::string_view text);
+
+} // namespace llm4d
+
+#endif // LLM4D_SIMCORE_ENUM_TEXT_H_

@@ -154,10 +154,14 @@ TEST(CheckpointModel, TierSurvivalMatchesFailureDomains)
     for (int r = 0; r < kNumBlastRadii; ++r)
         EXPECT_TRUE(tierSurvives(CheckpointTier::Global,
                                  static_cast<BlastRadius>(r)));
-    EXPECT_STREQ(checkpointTierName(CheckpointTier::HbmPeer), "HbmPeer");
-    EXPECT_STREQ(checkpointTierName(CheckpointTier::HostLocal),
-                 "HostLocal");
-    EXPECT_STREQ(checkpointTierName(CheckpointTier::Global), "Global");
+    EXPECT_STREQ(toString(CheckpointTier::HbmPeer), "HbmPeer");
+    EXPECT_STREQ(toString(CheckpointTier::HostLocal), "HostLocal");
+    EXPECT_STREQ(toString(CheckpointTier::Global), "Global");
+    for (int t = 0; t < kNumCheckpointTiers; ++t) {
+        const auto tier = static_cast<CheckpointTier>(t);
+        EXPECT_EQ(tryParse<CheckpointTier>(toString(tier)), tier);
+    }
+    EXPECT_EQ(tryParse<CheckpointTier>("hbmpeer"), std::nullopt);
 }
 
 TEST(CheckpointModelDeathTest, TierPricingRequiresHierEnabled)

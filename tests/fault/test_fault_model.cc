@@ -149,11 +149,10 @@ TEST(FaultModel, FatalShareTracksRates)
 
 TEST(FaultModel, KindNamesAreStable)
 {
-    EXPECT_STREQ(faultKindName(FaultKind::GpuFatal), "GpuFatal");
-    EXPECT_STREQ(faultKindName(FaultKind::HostCrash), "HostCrash");
-    EXPECT_STREQ(faultKindName(FaultKind::LinkFlap), "LinkFlap");
-    EXPECT_STREQ(faultKindName(FaultKind::StragglerOnset),
-                 "StragglerOnset");
+    EXPECT_STREQ(toString(FaultKind::GpuFatal), "GpuFatal");
+    EXPECT_STREQ(toString(FaultKind::HostCrash), "HostCrash");
+    EXPECT_STREQ(toString(FaultKind::LinkFlap), "LinkFlap");
+    EXPECT_STREQ(toString(FaultKind::StragglerOnset), "StragglerOnset");
     FaultModel model(production16k(), FaultTuning{}, 1);
     EXPECT_FALSE(model.next().str().empty());
 }
@@ -162,7 +161,11 @@ TEST(FaultModel, KindNamesRoundTrip)
 {
     for (int i = 0; i < kNumFaultKinds; ++i) {
         const auto kind = static_cast<FaultKind>(i);
-        EXPECT_EQ(faultKindFromName(faultKindName(kind)), kind);
+        EXPECT_EQ(tryParse<FaultKind>(toString(kind)), kind);
+    }
+    for (int i = 0; i < kNumBlastRadii; ++i) {
+        const auto radius = static_cast<BlastRadius>(i);
+        EXPECT_EQ(tryParse<BlastRadius>(toString(radius)), radius);
     }
 }
 
@@ -181,16 +184,19 @@ TEST(FaultModel, BlastRadiusMatchesFailureDomains)
         EXPECT_GE(static_cast<int>(radius), 0);
         EXPECT_LT(static_cast<int>(radius), kNumBlastRadii);
     }
-    EXPECT_STREQ(blastRadiusName(BlastRadius::None), "None");
-    EXPECT_STREQ(blastRadiusName(BlastRadius::Gpu), "Gpu");
-    EXPECT_STREQ(blastRadiusName(BlastRadius::Host), "Host");
+    EXPECT_STREQ(toString(BlastRadius::None), "None");
+    EXPECT_STREQ(toString(BlastRadius::Gpu), "Gpu");
+    EXPECT_STREQ(toString(BlastRadius::Host), "Host");
 }
 
-TEST(FaultModelDeathTest, RejectsUnknownKindName)
+TEST(FaultModel, UnknownKindNamesParseToNullopt)
 {
-    EXPECT_DEATH((void)faultKindFromName("NotAFaultKind"),
-                 "unknown fault kind");
-    EXPECT_DEATH((void)faultKindFromName(nullptr), "fault kind");
+    // tryParse replaces the old aborting faultKindFromName: misspelled
+    // CLI/config input is a recoverable condition, not a crash.
+    EXPECT_EQ(tryParse<FaultKind>("NotAFaultKind"), std::nullopt);
+    EXPECT_EQ(tryParse<FaultKind>(""), std::nullopt);
+    EXPECT_EQ(tryParse<FaultKind>("gpufatal"), std::nullopt);
+    EXPECT_EQ(tryParse<BlastRadius>("Cluster"), std::nullopt);
 }
 
 TEST(FaultModelDeathTest, RejectsBadTuning)

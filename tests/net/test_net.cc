@@ -175,6 +175,67 @@ TEST_F(NetTest, GatherSerializesSendersOnRootIngress)
     EXPECT_LT(t, payload + 1e-4);
 }
 
+TEST_F(NetTest, LevelOfEdgeCases)
+{
+    // A single rank talks only to itself.
+    EXPECT_EQ(topo.levelOf(ranks(5, 1)), NetLevel::Self);
+    EXPECT_EQ(topo.levelBetween(16383, 16383), NetLevel::Self);
+    // The widest possible span: first and last GPU of the cluster.
+    EXPECT_EQ(topo.levelOf(ranks(0, 2, 16383)), NetLevel::Spine);
+    EXPECT_EQ(topo.levelBetween(0, 16383), NetLevel::Spine);
+    // Straddling the last host of pod 0 (GPUs 3064..3071) crosses the
+    // pod boundary the moment one rank spills into pod 1...
+    EXPECT_EQ(topo.levelOf(ranks(3064, 16)), NetLevel::Spine);
+    // ...but staying inside that host is pure NVLink, and stopping at
+    // the pod's last GPU is still pod-local RoCE.
+    EXPECT_EQ(topo.levelOf(ranks(3064, 8)), NetLevel::NvLink);
+    EXPECT_EQ(topo.levelOf(ranks(3056, 16)), NetLevel::Pod);
+}
+
+TEST_F(NetTest, NetLevelNamesRoundTrip)
+{
+    EXPECT_STREQ(toString(NetLevel::Self), "self");
+    EXPECT_STREQ(toString(NetLevel::NvLink), "nvlink");
+    EXPECT_STREQ(toString(NetLevel::Pod), "pod");
+    EXPECT_STREQ(toString(NetLevel::Spine), "spine");
+    for (int i = 0; i < kNumNetLevels; ++i) {
+        const auto level = static_cast<NetLevel>(i);
+        EXPECT_EQ(tryParse<NetLevel>(toString(level)), level);
+    }
+    EXPECT_EQ(tryParse<NetLevel>("NvLink"), std::nullopt);
+    EXPECT_EQ(tryParse<NetLevel>(""), std::nullopt);
+}
+
+TEST_F(NetTest, CollectiveKindNamesRoundTrip)
+{
+    EXPECT_STREQ(toString(CollectiveKind::AllGather), "all_gather");
+    EXPECT_STREQ(toString(CollectiveKind::P2P), "p2p");
+    for (int i = 0; i < kNumCollectiveKinds; ++i) {
+        const auto kind = static_cast<CollectiveKind>(i);
+        EXPECT_EQ(tryParse<CollectiveKind>(toString(kind)), kind);
+    }
+    EXPECT_EQ(tryParse<CollectiveKind>("allgather"), std::nullopt);
+}
+
+TEST_F(NetTest, GatherToAtLevelMatchesTheRankListForm)
+{
+    // The placement-priced recovery path asks for a gather at an
+    // explicit level instead of a rank list; both forms must agree
+    // when the level matches the group's own span.
+    const std::int64_t bytes = 48LL << 20;
+    const auto pod_group = ranks(0, 16, 8);     // one rank per node
+    const auto spine_group = ranks(0, 16, 1024); // spans pods
+    EXPECT_DOUBLE_EQ(
+        coll.gatherToAtLevel(topo.levelOf(pod_group), 16, bytes),
+        coll.gatherTo(pod_group, bytes));
+    EXPECT_DOUBLE_EQ(
+        coll.gatherToAtLevel(topo.levelOf(spine_group), 16, bytes),
+        coll.gatherTo(spine_group, bytes));
+    // Forcing the same gather through the spine can only cost more.
+    EXPECT_GT(coll.gatherToAtLevel(NetLevel::Spine, 16, bytes),
+              coll.gatherToAtLevel(NetLevel::Pod, 16, bytes));
+}
+
 TEST_F(NetTest, GatherScalesWithGroupAndCrossesNodesSlower)
 {
     const std::int64_t bytes = 16LL << 20;

@@ -137,6 +137,104 @@ TEST(GoodputPlanner, TierAxesSweepOnlyWhereTheyApply)
     }
 }
 
+TEST(GoodputPlanner, PlacementAxisSweepsOnlyWherePoolsExist)
+{
+    // The placement axis multiplies only the cells that actually have a
+    // spare pool: a spare-less baseline has nothing to place.
+    GoodputPlanInput in = smallInput();
+    in.spare_pool_options = {0, 4};
+    in.checkpoint_mode_options = {CheckpointMode::Sync};
+    in.dp_shrink_options = {false};
+    in.regrow_options = {false};
+    in.placement_options = {SparePlacementPolicy::CentralPool,
+                            SparePlacementPolicy::PerPodReserve};
+    in.placement_migration = true;
+    const std::vector<RecoveryPolicy> grid = in.sweepPolicies();
+    // spares=0 collapses to the one CentralPool baseline; spares=4
+    // sweeps both placements: 1 + 2.
+    ASSERT_EQ(grid.size(), 3u);
+    std::int64_t per_pod_cells = 0;
+    for (const RecoveryPolicy &p : grid) {
+        if (p.spare_placement == SparePlacementPolicy::PerPodReserve) {
+            ++per_pod_cells;
+            EXPECT_GT(p.spare_hosts, 0);
+        }
+        // Migration rides only on the elastic (warm-spare) cells.
+        EXPECT_EQ(p.placement_migration,
+                  p.mode == RecoveryMode::WarmSpare);
+        p.validate(in.base.cluster);
+    }
+    EXPECT_EQ(per_pod_cells, 1);
+    // The default single-option axis leaves the legacy grid untouched.
+    GoodputPlanInput legacy = smallInput();
+    for (const RecoveryPolicy &p : legacy.sweepPolicies()) {
+        EXPECT_EQ(p.spare_placement, SparePlacementPolicy::CentralPool);
+        EXPECT_FALSE(p.placement_migration);
+    }
+}
+
+TEST(GoodputPlanner, PerPodReservesWinAWornFleetCellAt16K)
+{
+    // Acceptance criterion: on a worn 16K fleet (MTBF at a third of the
+    // paper's nominal rates) with placement priced, the planner's
+    // placement sweep produces a CRN-deterministic ranking in which the
+    // per-pod reserve strictly beats the central pool in at least one
+    // cell — spreading the spares converts every swap from a
+    // spine-priced displacement into a pod-local splice.
+    GoodputPlanInput in;
+    in.base.cluster = ClusterSpec::llama3Production(16384);
+    in.base.cluster.node.gpu.fatal_mtbf_hours /= 3.0;
+    in.base.cluster.node.host_mtbf_hours /= 3.0;
+    in.top_k = 2;
+    in.horizon_steps = 3000;
+    in.spare_pool_options = {6}; // one per pod when spread
+    in.checkpoint_mode_options = {CheckpointMode::Async};
+    in.dp_shrink_options = {false};
+    in.regrow_options = {false};
+    in.hier_global_every_options = {0};
+    in.partial_restart_options = {false};
+    in.placement_options = {SparePlacementPolicy::CentralPool,
+                            SparePlacementPolicy::PerPodReserve};
+    in.placement_migration = true;
+    const auto ranked = planGoodput(in);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_TRUE(sameRanking(ranked, planGoodput(in)));
+    bool saw_swaps = false;
+    bool per_pod_won = false;
+    for (const GoodputPlanCandidate &cand : ranked) {
+        ASSERT_EQ(cand.sweep.size(), 2u) << cand.analytic.par.str();
+        const GoodputSweepPoint *central = nullptr;
+        const GoodputSweepPoint *spread = nullptr;
+        for (const GoodputSweepPoint &pt : cand.sweep) {
+            if (pt.policy.spare_placement ==
+                SparePlacementPolicy::PerPodReserve)
+                spread = &pt;
+            else
+                central = &pt;
+        }
+        ASSERT_NE(central, nullptr);
+        ASSERT_NE(spread, nullptr);
+        if (central->report.spare_swaps == 0)
+            continue;
+        saw_swaps = true;
+        // Central-pool spares always live out-of-pod; spread reserves
+        // serve at least their first claim per pod locally.
+        EXPECT_EQ(central->report.cross_pod_swaps,
+                  central->report.spare_swaps)
+            << cand.analytic.par.str();
+        EXPECT_LT(spread->report.cross_pod_swaps,
+                  spread->report.spare_swaps)
+            << cand.analytic.par.str();
+        if (spread->goodput_tflops_per_gpu >
+            central->goodput_tflops_per_gpu)
+            per_pod_won = true;
+    }
+    ASSERT_TRUE(saw_swaps)
+        << "worn fleet never consumed a spare within the horizon";
+    EXPECT_TRUE(per_pod_won)
+        << "per-pod reserves never beat the central pool in any cell";
+}
+
 TEST(GoodputPlanner, SameSeedAndSweepGiveIdenticalRanking)
 {
     // Common random numbers: re-running the identical input must
@@ -315,6 +413,11 @@ TEST(GoodputPlanner, ValidateRejectsInsaneSweeps)
         GoodputPlanInput in = smallInput();
         in.hier_global_every_options = {-4};
         EXPECT_DEATH(planGoodput(in), "global cadence");
+    }
+    {
+        GoodputPlanInput in = smallInput();
+        in.placement_options.clear();
+        EXPECT_DEATH(planGoodput(in), "sweep axis");
     }
     {
         GoodputPlanInput in = smallInput();

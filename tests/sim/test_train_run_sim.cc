@@ -38,7 +38,8 @@ breakdownSum(const TrainRunReport &rep)
            rep.checkpoint_seconds + rep.lost_seconds +
            rep.detection_seconds + rep.restart_seconds +
            rep.spare_swap_seconds + rep.shrink_seconds +
-           rep.regrow_seconds + rep.drain_stall_seconds;
+           rep.regrow_seconds + rep.drain_stall_seconds +
+           rep.displacement_seconds;
 }
 
 /** Faulty 16K-GPU run used by the policy-matrix and determinism tests. */
@@ -63,6 +64,8 @@ expectBitwiseEqual(const TrainRunReport &a, const TrainRunReport &b)
     EXPECT_EQ(a.steps_lost, b.steps_lost);
     EXPECT_EQ(a.restarts, b.restarts);
     EXPECT_EQ(a.spare_swaps, b.spare_swaps);
+    EXPECT_EQ(a.cross_pod_swaps, b.cross_pod_swaps);
+    EXPECT_EQ(a.placement_migrations, b.placement_migrations);
     EXPECT_EQ(a.dp_shrinks, b.dp_shrinks);
     EXPECT_EQ(a.dp_regrows, b.dp_regrows);
     EXPECT_EQ(a.hosts_repaired, b.hosts_repaired);
@@ -75,12 +78,13 @@ expectBitwiseEqual(const TrainRunReport &a, const TrainRunReport &b)
     EXPECT_EQ(a.spare_swap_seconds, b.spare_swap_seconds);
     EXPECT_EQ(a.shrink_seconds, b.shrink_seconds);
     EXPECT_EQ(a.regrow_seconds, b.regrow_seconds);
+    EXPECT_EQ(a.displacement_seconds, b.displacement_seconds);
     EXPECT_EQ(a.partial_restarts, b.partial_restarts);
     EXPECT_EQ(a.tier_fallbacks, b.tier_fallbacks);
     for (int t = 0; t < kNumCheckpointTiers; ++t)
         EXPECT_EQ(a.tier_restore_seconds[static_cast<std::size_t>(t)],
                   b.tier_restore_seconds[static_cast<std::size_t>(t)])
-            << "tier " << checkpointTierName(static_cast<CheckpointTier>(t));
+            << "tier " << toString(static_cast<CheckpointTier>(t));
 }
 
 /** tier_restore_seconds accessor by tier, for readable assertions. */
@@ -384,8 +388,8 @@ TEST(TrainRunSim, PolicyMatrixKeepsInvariantsAndCommonRandomNumbers)
         const TrainRunSim sim(cfg);
         const TrainRunReport rep = sim.run();
         ASSERT_TRUE(rep.completed)
-            << recoveryModeName(cfg.policy.mode) << "/"
-            << checkpointModeName(cfg.policy.checkpoint_mode);
+            << toString(cfg.policy.mode) << "/"
+            << toString(cfg.policy.checkpoint_mode);
         EXPECT_GT(rep.faults.total(), 0);
         EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
                     1e-6 * rep.wall_seconds);
@@ -966,6 +970,155 @@ TEST(TrainRunSim, HierarchicalRunsAreDeterministic)
         const TrainRunSim sim(cfg);
         expectBitwiseEqual(sim.run(), sim.run());
     }
+}
+
+TEST(TrainRunSim, PlacementCountersStayZeroOnLegacyConfigs)
+{
+    // Every pre-placement policy (CentralPool, no migration) must never
+    // touch the new counters or the displacement bucket.
+    TrainRunConfig cfg = faultyConfig();
+    cfg.policy = RecoveryPolicy::elastic(8);
+    const TrainRunReport rep = TrainRunSim(cfg).run();
+    ASSERT_TRUE(rep.completed);
+    EXPECT_GT(rep.spare_swaps, 0);
+    EXPECT_EQ(rep.cross_pod_swaps, 0);
+    EXPECT_EQ(rep.placement_migrations, 0);
+    EXPECT_DOUBLE_EQ(rep.displacement_seconds, 0.0);
+}
+
+TEST(TrainRunSim, PodLocalSwapsAreBitIdenticalToLegacyPricing)
+{
+    // Acceptance criterion: the pod-local spare path reproduces the
+    // location-blind pricing exactly. A PerPodReserve run whose every
+    // claim lands in the victim's own pod (ample per-pod stock) must be
+    // bit-identical to the CentralPool/legacy run on the same seed.
+    TrainRunConfig legacy = faultyConfig();
+    legacy.policy = RecoveryPolicy::elastic(24);
+    TrainRunConfig placed = legacy;
+    placed.policy.spare_placement = SparePlacementPolicy::PerPodReserve;
+    const TrainRunReport a = TrainRunSim(legacy).run();
+    const TrainRunReport b = TrainRunSim(placed).run();
+    ASSERT_TRUE(a.completed);
+    ASSERT_GT(a.spare_swaps, 0) << "seed produced no swaps to compare";
+    // 24 spares over 6 pods = 4 per pod: no pod exhausts its reserve
+    // in this run, so no claim ever crosses pods.
+    ASSERT_EQ(b.cross_pod_swaps, 0)
+        << "same-pod fault burst drained a reserve; raise the pool";
+    expectBitwiseEqual(a, b);
+}
+
+/** Warm-spare 16K run hot enough to exercise the placement machinery. */
+TrainRunConfig
+placementConfig()
+{
+    TrainRunConfig cfg = baseConfig();
+    cfg.total_steps = 2000;
+    disableAllFaults(cfg);
+    cfg.job.cluster.node.gpu.fatal_mtbf_hours = 2000.0;
+    cfg.policy.mode = RecoveryMode::WarmSpare;
+    cfg.policy.spare_hosts = 8;
+    // Repairs fast enough that displaced ranks can migrate home within
+    // the run.
+    cfg.repairs.gpu_repair_mean_hours = 0.2;
+    cfg.repairs.host_repair_mean_hours = 0.3;
+    return cfg;
+}
+
+TEST(TrainRunSim, CrossPodSwapsStrictlyDegradeTheRun)
+{
+    // Acceptance criterion, seed-swept: pricing the central pool's
+    // cross-pod swaps (placement_migration turns pricing on; CentralPool
+    // parks every spare out-of-pod) strictly degrades the run versus
+    // the location-blind model on the same fault timeline.
+    int seeds_with_swaps = 0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        TrainRunConfig legacy = placementConfig();
+        legacy.seed = seed;
+        TrainRunConfig priced = legacy;
+        priced.policy.placement_migration = true;
+        const TrainRunReport a = TrainRunSim(legacy).run();
+        const TrainRunReport b = TrainRunSim(priced).run();
+        ASSERT_TRUE(a.completed) << "seed " << seed;
+        ASSERT_TRUE(b.completed) << "seed " << seed;
+        EXPECT_NEAR(breakdownSum(b), b.wall_seconds,
+                    1e-6 * b.wall_seconds)
+            << "seed " << seed;
+        // CRN: identical exogenous fault prefix in both arms.
+        const std::size_t n =
+            std::min(a.timeline.size(), b.timeline.size());
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_EQ(a.timeline[k].when, b.timeline[k].when);
+            EXPECT_EQ(a.timeline[k].component, b.timeline[k].component);
+        }
+        EXPECT_EQ(a.cross_pod_swaps, 0) << "seed " << seed;
+        if (b.spare_swaps == 0)
+            continue;
+        ++seeds_with_swaps;
+        // Every CentralPool claim is cross-pod once placement is priced.
+        EXPECT_EQ(b.cross_pod_swaps, b.spare_swaps) << "seed " << seed;
+        EXPECT_GT(b.wall_seconds, a.wall_seconds) << "seed " << seed;
+        EXPECT_LT(b.goodput_tflops_per_gpu, a.goodput_tflops_per_gpu)
+            << "seed " << seed;
+        // The displaced rank's spine crossing shows up as degradation
+        // (extra step time) until it migrates home.
+        EXPECT_GT(b.degraded_seconds, a.degraded_seconds)
+            << "seed " << seed;
+    }
+    ASSERT_GT(seeds_with_swaps, 0)
+        << "sweep too quiet: no seed ever consumed a spare";
+}
+
+TEST(TrainRunSim, DisplacedRanksMigrateHomeAtCheckpointBoundaries)
+{
+    // With migration enabled and repairs fast, a displaced rank moves
+    // back into its home pod at a checkpoint boundary: counted in
+    // placement_migrations, outage charged to displacement_seconds,
+    // and the freed cross-pod spare returns to the pool.
+    TrainRunConfig cfg = placementConfig();
+    cfg.policy.placement_migration = true;
+    int seeds_with_migrations = 0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        cfg.seed = seed;
+        const TrainRunSim sim(cfg);
+        const TrainRunReport rep = sim.run();
+        ASSERT_TRUE(rep.completed) << "seed " << seed;
+        EXPECT_NEAR(breakdownSum(rep), rep.wall_seconds,
+                    1e-6 * rep.wall_seconds)
+            << "seed " << seed;
+        EXPECT_LE(rep.placement_migrations, rep.cross_pod_swaps)
+            << "seed " << seed;
+        expectBitwiseEqual(rep, sim.run());
+        if (rep.placement_migrations == 0)
+            continue;
+        ++seeds_with_migrations;
+        EXPECT_GT(rep.displacement_seconds, 0.0) << "seed " << seed;
+        EXPECT_GT(rep.hosts_repaired, 0) << "seed " << seed;
+    }
+    ASSERT_GT(seeds_with_migrations, 0)
+        << "sweep too quiet: no displaced rank ever migrated home";
+}
+
+TEST(TrainRunSim, PerPodReservesBeatTheCentralPoolOnWornFleets)
+{
+    // The tentpole claim at run level: on a worn fleet where swaps are
+    // frequent, spreading the spares across pods (pod-local claims)
+    // strictly beats the central pool (all cross-pod) under CRN.
+    TrainRunConfig central = placementConfig();
+    central.job.cluster.node.gpu.fatal_mtbf_hours = 1000.0;
+    central.policy.spare_hosts = 6; // one per pod when spread
+    central.policy.placement_migration = true;
+    central.seed = 3;
+    TrainRunConfig spread = central;
+    spread.policy.spare_placement = SparePlacementPolicy::PerPodReserve;
+    const TrainRunReport c = TrainRunSim(central).run();
+    const TrainRunReport p = TrainRunSim(spread).run();
+    ASSERT_TRUE(c.completed);
+    ASSERT_TRUE(p.completed);
+    ASSERT_GT(c.spare_swaps, 0) << "seed produced no swaps";
+    EXPECT_EQ(c.cross_pod_swaps, c.spare_swaps);
+    EXPECT_LT(p.cross_pod_swaps, p.spare_swaps);
+    EXPECT_GT(p.goodput_tflops_per_gpu, c.goodput_tflops_per_gpu);
+    EXPECT_LT(p.wall_seconds, c.wall_seconds);
 }
 
 TEST(TrainRunSim, ExplicitIntervalIsTheTruthWhenAutoIsOff)
