@@ -3,9 +3,12 @@
 #
 #   1. default  — -Werror build + full test suite (includes the lint
 #                 self-tests and the tree-is-lint-clean gate)
-#   2. lint     — llm4d_lint over src/ bench/ examples/ tests/, plus
-#                 clang-tidy over the compile database when clang-tidy
-#                 is installed (skipped with a note otherwise)
+#   2. lint     — llm4d_lint over src/ bench/ examples/ tests/ tools/
+#                 (determinism rules + layer-DAG / include-cycle / RNG
+#                 stream registry passes, with a per-rule summary
+#                 table), plus clang-tidy over the compile database
+#                 when clang-tidy is installed (skipped with a note
+#                 otherwise)
 #   3. sanitize — ASan + UBSan + float-divide-by-zero build, all tests
 #   4. audit    — runtime invariant auditor build (-DLLM4D_AUDIT=ON),
 #                 all tests + the audit death tests
@@ -37,12 +40,13 @@ done
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 run_lint() {
-    echo "== lint: llm4d_lint (determinism rules) =="
+    echo "== lint: llm4d_lint (determinism + architecture rules) =="
     if [[ ! -x build/tools/lint/llm4d_lint ]]; then
         cmake --preset default -DLLM4D_WERROR=ON
         cmake --build --preset default -j "${jobs}" --target llm4d_lint
     fi
-    ./build/tools/lint/llm4d_lint --root .
+    # --summary prints the per-rule violation-count table at the end.
+    ./build/tools/lint/llm4d_lint --root . --summary
 
     if command -v clang-tidy > /dev/null 2>&1; then
         echo "== lint: clang-tidy (.clang-tidy profile) =="

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "llm4d/simcore/common.h"
+#include "llm4d/simcore/rng_streams.h"
 
 namespace llm4d {
 
@@ -14,9 +15,12 @@ constexpr Time kNever = std::numeric_limits<Time>::max();
 
 constexpr double kSecondsPerHour = 3600.0;
 
-/** Per-class RNG stream ids; fixed so timelines survive refactors. */
-constexpr std::uint64_t kClassStream[kNumFaultKinds] = {0xfa01, 0xfa02,
-                                                        0xfa03, 0xfa04};
+/** Per-class RNG stream ids, indexed by FaultKind; registered in
+ *  simcore/rng_streams.h so disjointness from other models is audited. */
+constexpr std::uint64_t kClassStream[kNumFaultKinds] = {
+    rng_streams::kFaultGpuFatalStream, rng_streams::kFaultHostCrashStream,
+    rng_streams::kFaultLinkFlapStream,
+    rng_streams::kFaultStragglerOnsetStream};
 
 } // namespace
 

@@ -4,17 +4,13 @@
 #include <sstream>
 
 #include "llm4d/simcore/common.h"
+#include "llm4d/simcore/rng_streams.h"
 
 namespace llm4d {
 
 namespace {
 
 constexpr double kSecondsPerHour = 3600.0;
-
-/** Repair-stream ids; disjoint from FaultModel's 0xfa.. block so the
- * fault timeline is untouched by the existence of the repair shop. */
-constexpr std::uint64_t kGpuRepairStream = 0xae01;
-constexpr std::uint64_t kHostRepairStream = 0xae02;
 
 } // namespace
 
@@ -54,8 +50,8 @@ RepairComplete::str() const
 
 RepairModel::RepairModel(const ClusterSpec &cluster,
                          const RepairTuning &tuning, std::uint64_t seed)
-    : tuning_(tuning), gpu_rng_(seed, kGpuRepairStream),
-      host_rng_(seed, kHostRepairStream)
+    : tuning_(tuning), gpu_rng_(seed, rng_streams::kGpuRepairStream),
+      host_rng_(seed, rng_streams::kHostRepairStream)
 {
     tuning_.validate();
     LLM4D_CHECK(cluster.num_nodes > 0,

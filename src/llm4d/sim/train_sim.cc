@@ -7,6 +7,7 @@
 #include "llm4d/net/collective.h"
 #include "llm4d/pp/schedule.h"
 #include "llm4d/simcore/common.h"
+#include "llm4d/simcore/rng_streams.h"
 #include "llm4d/tensor/doc_mask.h"
 
 namespace llm4d {
@@ -107,7 +108,7 @@ TrainSim::run() const
     // price the worst shard of each sampled mask (Section 4).
     std::vector<double> mb_pairs(static_cast<std::size_t>(nmb_));
     {
-        Rng rng(cfg.seed, 17);
+        Rng rng(cfg.seed, rng_streams::kDocMaskSampleStream);
         for (std::int64_t m = 0; m < nmb_; ++m) {
             DocMask mask =
                 cfg.doc_mask_mean > 0.0

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "llm4d/simcore/rng_streams.h"
+
 namespace llm4d {
 
 /** SplitMix64 step; used for seeding and for stream derivation. */
@@ -35,7 +37,7 @@ class Rng
 {
   public:
     /** Construct from a master seed. */
-    explicit Rng(std::uint64_t seed = 0x1a2b3c4d5e6f7788ULL);
+    explicit Rng(std::uint64_t seed = rng_streams::kDefaultSeed);
 
     /** Construct a child stream independent of other (seed, id) pairs. */
     Rng(std::uint64_t seed, std::uint64_t stream_id);

@@ -1,0 +1,66 @@
+#ifndef LLM4D_SIMCORE_RNG_STREAMS_H_
+#define LLM4D_SIMCORE_RNG_STREAMS_H_
+
+/**
+ * @file
+ * The single registry of named RNG stream ids (and the master default
+ * seed) for the whole simulator.
+ *
+ * Every `Rng(seed, stream_id)` child stream drawn by an independent
+ * model must use a constant from this table. The common-random-numbers
+ * (CRN) methodology behind the goodput studies assumes that two models
+ * sharing one master seed still draw from *disjoint* streams — a
+ * collision silently correlates, say, the fault timeline with the
+ * repair shop, corrupting every A/B comparison that holds the seed
+ * fixed. Centralising the ids makes disjointness auditable:
+ *
+ *  - `llm4d_lint` rejects raw hex literals used to construct or seed an
+ *    `Rng` anywhere outside this header (`raw-rng-stream`), and
+ *  - rejects two registry constants sharing a value
+ *    (`rng-stream-collision`).
+ *
+ * Conventions:
+ *  - every constant is `inline constexpr std::uint64_t`, named
+ *    `k<Owner><Purpose>Stream` (the lint parses `k... = <value>;`);
+ *  - ids are grouped in per-subsystem blocks (0xfa.. fault, 0xae..
+ *    repair, 0x00.. workload) so a new subsystem claims a fresh block;
+ *  - values are frozen: they are part of the reproducibility contract,
+ *    so renames are fine but renumbering changes every seeded timeline.
+ *
+ * Streams derived *structurally* — from a rank, document, or DP-group
+ * index (`Rng(seed, rank)`) — are not registered here; the registry
+ * covers the fixed per-model constants whose disjointness nothing else
+ * enforces.
+ */
+
+#include <cstdint>
+
+namespace llm4d::rng_streams {
+
+/** Master seed used when a config does not provide one (simcore/rng.h's
+ *  default `Rng` constructor). A seed, not a stream id. */
+inline constexpr std::uint64_t kDefaultSeed = 0x1a2b3c4d5e6f7788ULL;
+
+// ---- 0xfa..: fault timeline (fault/fault_model.cc) ----------------------
+// One independent stream per fault class, indexed by FaultKind, so the
+// GpuFatal timeline is untouched by e.g. disabling link flaps.
+inline constexpr std::uint64_t kFaultGpuFatalStream = 0xfa01;
+inline constexpr std::uint64_t kFaultHostCrashStream = 0xfa02;
+inline constexpr std::uint64_t kFaultLinkFlapStream = 0xfa03;
+inline constexpr std::uint64_t kFaultStragglerOnsetStream = 0xfa04;
+
+// ---- 0xae..: repair shop (fault/repair_model.cc) ------------------------
+// Disjoint from the 0xfa.. block so the exogenous fault timeline is
+// bit-identical with and without a repair model attached.
+inline constexpr std::uint64_t kGpuRepairStream = 0xae01;
+inline constexpr std::uint64_t kHostRepairStream = 0xae02;
+
+// ---- 0x00..: workload synthesis (sim/train_sim.cc) ----------------------
+// Document-mask sampling for per-micro-batch attention pricing. The
+// value predates the registry (decimal 17) and is frozen for timeline
+// compatibility.
+inline constexpr std::uint64_t kDocMaskSampleStream = 0x11;
+
+} // namespace llm4d::rng_streams
+
+#endif // LLM4D_SIMCORE_RNG_STREAMS_H_

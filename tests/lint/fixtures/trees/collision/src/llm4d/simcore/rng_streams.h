@@ -1,0 +1,16 @@
+// Lint fixture tree: a registry where two named streams share one id —
+// must trip rng-stream-collision only (anchored at the second entry).
+#ifndef LLM4D_SIMCORE_RNG_STREAMS_H_
+#define LLM4D_SIMCORE_RNG_STREAMS_H_
+
+#include <cstdint>
+
+namespace llm4d::rng_streams {
+
+inline constexpr std::uint64_t kFaultStream = 0xfa01;
+inline constexpr std::uint64_t kRepairStream = 0xae01;
+inline constexpr std::uint64_t kCollidingStream = 0xfa01;
+
+} // namespace llm4d::rng_streams
+
+#endif // LLM4D_SIMCORE_RNG_STREAMS_H_

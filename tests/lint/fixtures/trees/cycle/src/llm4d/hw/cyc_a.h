@@ -1,0 +1,8 @@
+// Lint fixture tree: cyc_a.h and cyc_b.h include each other (inside
+// one module, so no layer-violation) — must trip include-cycle once.
+#ifndef LLM4D_HW_CYC_A_H_
+#define LLM4D_HW_CYC_A_H_
+
+#include "llm4d/hw/cyc_b.h"
+
+#endif // LLM4D_HW_CYC_A_H_

@@ -1,0 +1,7 @@
+// Lint fixture tree: second half of the cyc_a.h <-> cyc_b.h cycle.
+#ifndef LLM4D_HW_CYC_B_H_
+#define LLM4D_HW_CYC_B_H_
+
+#include "llm4d/hw/cyc_a.h"
+
+#endif // LLM4D_HW_CYC_B_H_

@@ -1,0 +1,13 @@
+// Lint fixture tree: a raw hex stream id seeding an Rng outside the
+// simcore/rng_streams.h registry — must trip raw-rng-stream only.
+
+namespace llm4d {
+
+void
+widget(unsigned long long seed)
+{
+    Rng rng(seed, 0xbeef01);
+    (void)rng;
+}
+
+} // namespace llm4d

@@ -1,0 +1,14 @@
+// Lint fixture tree: a deliberate registry collision, suppressed.
+#ifndef LLM4D_SIMCORE_RNG_STREAMS_H_
+#define LLM4D_SIMCORE_RNG_STREAMS_H_
+
+#include <cstdint>
+
+namespace llm4d::rng_streams {
+
+inline constexpr std::uint64_t kFaultStream = 0xfa01;
+inline constexpr std::uint64_t kAliasStream = 0xfa01; // lint:allow(rng-stream-collision)
+
+} // namespace llm4d::rng_streams
+
+#endif // LLM4D_SIMCORE_RNG_STREAMS_H_

@@ -1,0 +1,9 @@
+// Lint fixture tree: an *upward* include — hw (layer 1) reaching into
+// sim (layer 5) — must trip layer-violation and nothing else.
+#ifndef LLM4D_HW_WIDGET_H_
+#define LLM4D_HW_WIDGET_H_
+
+#include "llm4d/simcore/common.h"
+#include "llm4d/sim/train_sim.h"
+
+#endif // LLM4D_HW_WIDGET_H_

@@ -24,6 +24,13 @@ fixture(const std::string &name)
     return std::string(LLM4D_LINT_FIXTURE_DIR) + "/" + name;
 }
 
+/** Root of a deliberately-bad fixture *tree* (whole-tree passes). */
+std::string
+fixtureTree(const std::string &name)
+{
+    return std::string(LLM4D_LINT_FIXTURE_DIR) + "/trees/" + name;
+}
+
 /** All violations in @p v carry @p rule, and there is at least one. */
 void
 expectOnlyRule(const std::vector<Violation> &v, const std::string &rule)
@@ -35,20 +42,48 @@ expectOnlyRule(const std::vector<Violation> &v, const std::string &rule)
             << llm4d::lint::toString(violation);
 }
 
-TEST(Lint, RuleTableHasFiveRules)
+TEST(Lint, RuleTableHasNineRules)
 {
     const auto rules = llm4d::lint::ruleTable();
-    ASSERT_EQ(rules.size(), 5u);
+    ASSERT_EQ(rules.size(), 9u);
     std::vector<std::string> names;
     names.reserve(rules.size());
     for (const auto &rule : rules)
         names.push_back(rule.name);
     for (const char *expected :
          {"nondet-rng", "wall-clock", "unordered-iter", "time-eq",
-          "missing-nodiscard"}) {
+          "missing-nodiscard", "layer-violation", "include-cycle",
+          "raw-rng-stream", "rng-stream-collision"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing rule " << expected;
+    }
+}
+
+// The declared layer DAG must *be* a DAG: every dependency exists as a
+// module row and sits on a strictly lower layer, which makes a cycle
+// unrepresentable in the table the layering pass enforces.
+TEST(Lint, LayerTableIsAcyclicAndClosed)
+{
+    const auto table = llm4d::lint::layerTable();
+    ASSERT_FALSE(table.empty());
+    std::vector<std::string> modules;
+    modules.reserve(table.size());
+    for (const auto &row : table)
+        modules.push_back(row.module);
+    for (const auto &row : table) {
+        for (const std::string &dep : row.deps) {
+            const auto it =
+                std::find(modules.begin(), modules.end(), dep);
+            ASSERT_NE(it, modules.end())
+                << row.module << " depends on unknown module " << dep;
+            const auto &dep_row =
+                table[static_cast<std::size_t>(it - modules.begin())];
+            EXPECT_LT(dep_row.layer, row.layer)
+                << row.module << " (layer " << row.layer
+                << ") must sit strictly above its dep " << dep
+                << " (layer " << dep_row.layer << ")";
+        }
     }
 }
 
@@ -158,6 +193,159 @@ TEST(Lint, IteratorEndComparisonIsNotTimeEq)
         "}\n");
     for (const Violation &violation : v)
         ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+// ---- whole-tree passes: fixture trees under fixtures/trees/ ----
+
+TEST(Lint, UpwardIncludeTreeTripsOnlyLayerViolation)
+{
+    expectOnlyRule(llm4d::lint::lintTree(fixtureTree("upward")),
+                   "layer-violation");
+}
+
+TEST(Lint, CycleTreeTripsIncludeCycleExactlyOnce)
+{
+    const auto v = llm4d::lint::lintTree(fixtureTree("cycle"));
+    expectOnlyRule(v, "include-cycle");
+    EXPECT_EQ(v.size(), 1u) << "each distinct cycle reports once";
+    EXPECT_NE(v[0].message.find("llm4d/hw/cyc_a.h"), std::string::npos)
+        << v[0].message;
+    EXPECT_NE(v[0].message.find("llm4d/hw/cyc_b.h"), std::string::npos)
+        << v[0].message;
+}
+
+TEST(Lint, RawStreamTreeTripsOnlyRawRngStream)
+{
+    expectOnlyRule(llm4d::lint::lintTree(fixtureTree("rawstream")),
+                   "raw-rng-stream");
+}
+
+TEST(Lint, CollisionTreeTripsOnlyRngStreamCollision)
+{
+    const auto v = llm4d::lint::lintTree(fixtureTree("collision"));
+    expectOnlyRule(v, "rng-stream-collision");
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NE(v[0].message.find("kCollidingStream"), std::string::npos)
+        << v[0].message;
+    EXPECT_NE(v[0].message.find("kFaultStream"), std::string::npos)
+        << v[0].message;
+}
+
+TEST(Lint, SuppressedTreeIsClean)
+{
+    const auto v = llm4d::lint::lintTree(fixtureTree("suppressed"));
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+// ---- layering pass, single-file verdicts via lintContent ----
+
+TEST(Lint, DeclaredLayerEdgeIsClean)
+{
+    const auto v = lintContent(
+        "src/llm4d/net/topology.h",
+        "#include \"llm4d/hw/gpu_spec.h\"\n"
+        "#include \"llm4d/simcore/common.h\"\n"
+        "#include \"llm4d/net/flow_sim.h\"\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, CrossLayerIncludeIsFlagged)
+{
+    // pp (layer 3) -> fsdp (layer 4) is not a declared edge.
+    expectOnlyRule(lintContent("src/llm4d/pp/schedule.cc",
+                               "#include \"llm4d/fsdp/fsdp.h\"\n"),
+                   "layer-violation");
+}
+
+TEST(Lint, UnknownModuleIsFlagged)
+{
+    expectOnlyRule(
+        lintContent("src/llm4d/rocket/booster.cc",
+                    "#include \"llm4d/simcore/common.h\"\n"),
+        "layer-violation");
+}
+
+TEST(Lint, ConsumersOutsideSrcMayIncludeAnything)
+{
+    const auto v = lintContent(
+        "tests/sim/test_train_run_sim.cc",
+        "#include \"llm4d/sim/train_run_sim.h\"\n"
+        "#include \"llm4d/hw/gpu_spec.h\"\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, LayerViolationSuppressionRoundTrips)
+{
+    const auto v = lintContent(
+        "src/llm4d/hw/widget.h",
+        "#include \"llm4d/sim/train_sim.h\" // lint:allow(layer-violation)\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, CommentedOutIncludeIsNotAnEdge)
+{
+    const auto v = lintContent(
+        "src/llm4d/hw/widget.h",
+        "// #include \"llm4d/sim/train_sim.h\"\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+// ---- RNG stream registry pass, single-file verdicts ----
+
+TEST(Lint, RegistryHeaderMayHoldHexStreamIds)
+{
+    const auto v = lintContent(
+        "src/llm4d/simcore/rng_streams.h",
+        "inline constexpr std::uint64_t kAStream = 0xfa01;\n"
+        "inline constexpr std::uint64_t kBStream = 0xfa02;\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, RawRngStreamSuppressionRoundTrips)
+{
+    const auto v = lintContent(
+        "src/llm4d/fault/widget.cc",
+        "Rng rng(seed, 0xbeef01); // lint:allow(raw-rng-stream)\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, HexFloatIsNotAStreamId)
+{
+    // rng.cc's mantissa scale: a hex *float* next to 'stream' prose
+    // must not trip the stream rule.
+    const auto v = lintContent(
+        "src/llm4d/simcore/rng.cc",
+        "const double stream_scale = 0x1.0p-53;\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, CollisionSuppressionRoundTrips)
+{
+    const auto v = lintContent(
+        "src/llm4d/simcore/rng_streams.h",
+        "inline constexpr std::uint64_t kAStream = 0xfa01;\n"
+        "inline constexpr std::uint64_t kBStream = 0xfa01; "
+        "// lint:allow(rng-stream-collision)\n");
+    for (const Violation &violation : v)
+        ADD_FAILURE() << llm4d::lint::toString(violation);
+}
+
+TEST(Lint, DecimalAndHexCollisionsAreCaught)
+{
+    // 0x11 and 17 are the same stream id in different spellings.
+    expectOnlyRule(
+        lintContent("src/llm4d/simcore/rng_streams.h",
+                    "inline constexpr std::uint64_t kAStream = 0x11;\n"
+                    "inline constexpr std::uint64_t kBStream = 17;\n"),
+        "rng-stream-collision");
 }
 
 TEST(Lint, ToStringFormat)

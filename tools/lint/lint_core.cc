@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
+
+#include "layer_dag.h"
 
 namespace llm4d::lint {
 
@@ -406,24 +412,422 @@ checkMissingNodiscard(const FileText &text, std::vector<Violation> &out)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Include-edge extraction: the input to the architecture passes. Edges
+// are read from raw lines (string contents are blanked in code lines)
+// but only when the directive survives comment stripping, so a
+// commented-out include is not an edge.
+// ---------------------------------------------------------------------------
+
+struct IncludeEdge
+{
+    std::string target; ///< include path, e.g. "llm4d/net/topology.h"
+    int line = 0;       ///< 1-based line of the #include
+};
+
+std::vector<IncludeEdge>
+extractIncludes(const FileText &text)
+{
+    static const std::regex kInclude(R"(#\s*include\s*"(llm4d/[^"]+)\")");
+    std::vector<IncludeEdge> edges;
+    for (std::size_t i = 0; i < text.raw.size(); ++i) {
+        if (text.code[i].find("include") == std::string::npos)
+            continue; // directive commented out (or absent)
+        std::smatch m;
+        if (std::regex_search(text.raw[i], m, kInclude))
+            edges.push_back(
+                IncludeEdge{m[1].str(), static_cast<int>(i + 1)});
+    }
+    return edges;
+}
+
+/** Module a source file belongs to: the directory component after
+ *  src/llm4d/ (or a bare llm4d/ prefix); empty for files outside the
+ *  library tree (tests, tools, bench, examples). */
+std::string
+moduleOfPath(const std::string &path)
+{
+    std::size_t at = path.find("src/llm4d/");
+    if (at != std::string::npos) {
+        at += std::string("src/llm4d/").size();
+    } else if (path.rfind("llm4d/", 0) == 0) {
+        at = std::string("llm4d/").size();
+    } else {
+        return "";
+    }
+    const std::size_t slash = path.find('/', at);
+    if (slash == std::string::npos)
+        return ""; // a file directly under llm4d/, not inside a module
+    return path.substr(at, slash - at);
+}
+
+/** Module an include target addresses ("llm4d/<module>/..."). */
+std::string
+moduleOfInclude(const std::string &target)
+{
+    return moduleOfPath(target);
+}
+
+const LayerRow *
+findLayerRow(const std::string &module)
+{
+    for (const LayerRow &row : kLayerDag) {
+        if (module == row.module)
+            return &row;
+    }
+    return nullptr;
+}
+
+std::set<std::string>
+splitDeps(const char *deps)
+{
+    std::set<std::string> out;
+    std::istringstream in(deps);
+    std::string dep;
+    while (in >> dep)
+        out.insert(dep);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// layer-violation: every #include "llm4d/..." edge from a module must be
+// declared in the layer DAG (tools/lint/layer_dag.h). Runs per file —
+// the DAG is compiled in — so fixtures and single-file invocations get
+// the same verdicts as the tree walk.
+// ---------------------------------------------------------------------------
+
+void
+checkLayering(const FileText &text, std::vector<Violation> &out)
+{
+    const std::string module = moduleOfPath(text.path);
+    if (module.empty())
+        return; // consumers (tests/tools/bench/examples) may include anything
+    const std::vector<IncludeEdge> edges = extractIncludes(text);
+    if (edges.empty())
+        return;
+    const LayerRow *row = findLayerRow(module);
+    if (row == nullptr) {
+        out.push_back(Violation{
+            text.path, edges.front().line, "layer-violation",
+            "module '" + module +
+                "' is not in the declared layer DAG; new modules under "
+                "src/llm4d/ need a row in tools/lint/layer_dag.h (and "
+                "the DESIGN.md mirror) with an explicit layer and "
+                "dependency list"});
+        return;
+    }
+    const std::set<std::string> allowed = splitDeps(row->deps);
+    for (const IncludeEdge &edge : edges) {
+        const std::string target = moduleOfInclude(edge.target);
+        if (target.empty() || target == module)
+            continue; // intra-module includes are always legal
+        const LayerRow *target_row = findLayerRow(target);
+        if (target_row == nullptr) {
+            out.push_back(Violation{
+                text.path, edge.line, "layer-violation",
+                "include of \"" + edge.target + "\": module '" + target +
+                    "' is not in the declared layer DAG "
+                    "(tools/lint/layer_dag.h)"});
+            continue;
+        }
+        if (allowed.count(target) > 0)
+            continue;
+        const bool upward = target_row->layer >= row->layer;
+        out.push_back(Violation{
+            text.path, edge.line, "layer-violation",
+            std::string(upward ? "upward" : "cross-layer") +
+                " include of \"" + edge.target + "\": module '" + module +
+                "' (layer " + std::to_string(row->layer) +
+                ") may include only {" + row->deps + "} per the declared "
+                "layer DAG (tools/lint/layer_dag.h; mirrored in "
+                "DESIGN.md)"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// raw-rng-stream / rng-stream-collision: the RNG stream registry pass.
+// Stream ids live in simcore/rng_streams.h, nowhere else, and never
+// collide — CRN experiments assume independent models draw from
+// disjoint streams.
+// ---------------------------------------------------------------------------
+
+bool
+isRngRegistryPath(const std::string &path)
+{
+    return endsWith(path, "simcore/rng_streams.h");
+}
+
+/** Hex integer literals (hex *floats* like 0x1.0p-53 are skipped). */
+std::vector<std::pair<std::string, std::size_t>>
+hexIntLiterals(const std::string &line)
+{
+    static const std::regex kHex(R"(0[xX][0-9a-fA-F']+)");
+    std::vector<std::pair<std::string, std::size_t>> found;
+    auto begin = std::sregex_iterator(line.begin(), line.end(), kHex);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::size_t end =
+            static_cast<std::size_t>(it->position()) + it->str().size();
+        const char next = end < line.size() ? line[end] : '\0';
+        if (next == '.' || next == 'p' || next == 'P')
+            continue; // hex float
+        found.emplace_back(it->str(),
+                           static_cast<std::size_t>(it->position()));
+    }
+    return found;
+}
+
+void
+checkRawRngStream(const FileText &text, std::vector<Violation> &out)
+{
+    if (isRngRegistryPath(text.path))
+        return; // the registry is where the literals belong
+    static const std::regex kRngContext(R"(\bRng\b|[Ss]tream)");
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        const std::string &line = text.code[i];
+        if (!std::regex_search(line, kRngContext))
+            continue;
+        for (const auto &lit : hexIntLiterals(line)) {
+            out.push_back(Violation{
+                text.path, static_cast<int>(i + 1), "raw-rng-stream",
+                "raw hex literal '" + lit.first +
+                    "' used to construct or seed an Rng: stream ids "
+                    "must be named constants in "
+                    "llm4d/simcore/rng_streams.h so disjointness across "
+                    "models stays auditable (CRN assumes independent "
+                    "models draw from disjoint streams)"});
+            break; // one finding per line is enough
+        }
+    }
+}
+
+void
+checkRngStreamCollision(const FileText &text, std::vector<Violation> &out)
+{
+    if (!isRngRegistryPath(text.path))
+        return;
+    static const std::regex kConst(
+        R"(\b(k\w+)\s*=\s*(0[xX][0-9a-fA-F']+|[0-9']+))");
+    struct Entry
+    {
+        std::string name;
+        std::string literal;
+        int line;
+    };
+    std::map<std::uint64_t, Entry> by_value;
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(text.code[i], m, kConst))
+            continue;
+        std::string literal = m[2].str();
+        std::string digits = literal;
+        digits.erase(std::remove(digits.begin(), digits.end(), '\''),
+                     digits.end());
+        const std::uint64_t value =
+            std::strtoull(digits.c_str(), nullptr, 0);
+        const Entry entry{m[1].str(), literal, static_cast<int>(i + 1)};
+        const auto [it, inserted] = by_value.emplace(value, entry);
+        if (!inserted) {
+            out.push_back(Violation{
+                text.path, entry.line, "rng-stream-collision",
+                "stream id " + entry.literal + " of '" + entry.name +
+                    "' collides with '" + it->second.name + "' (line " +
+                    std::to_string(it->second.line) +
+                    "): colliding streams silently correlate "
+                    "independent models under a common seed"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// include-cycle: DFS over the llm4d include graph of the collected
+// tree; every distinct cycle is reported once, with its full path,
+// anchored at the back-edge include.
+// ---------------------------------------------------------------------------
+
+/** Strip the leading "src/" for include-style ids in messages. */
+std::string
+includeStyle(const std::string &rel_path)
+{
+    if (rel_path.rfind("src/", 0) == 0)
+        return rel_path.substr(4);
+    return rel_path;
+}
+
+void
+checkIncludeCycles(const std::vector<FileText> &texts,
+                   std::vector<Violation> &out)
+{
+    std::map<std::string, const FileText *> by_path;
+    for (const FileText &text : texts)
+        by_path.emplace(text.path, &text);
+
+    struct Edge
+    {
+        std::string to;
+        int line;
+    };
+    std::map<std::string, std::vector<Edge>> adjacency;
+    for (const FileText &text : texts) {
+        for (const IncludeEdge &edge : extractIncludes(text)) {
+            const std::string target = "src/" + edge.target;
+            if (by_path.count(target) > 0)
+                adjacency[text.path].push_back(Edge{target, edge.line});
+        }
+    }
+
+    enum Color
+    {
+        White = 0,
+        Grey,
+        Black,
+    };
+    std::map<std::string, Color> color;
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+
+    std::function<void(const std::string &)> dfs =
+        [&](const std::string &node) {
+            color[node] = Grey;
+            stack.push_back(node);
+            for (const Edge &edge : adjacency[node]) {
+                const Color c = color[edge.to]; // default-inserts White
+                if (c == White) {
+                    dfs(edge.to);
+                } else if (c == Grey) {
+                    // Back edge: the cycle is stack[edge.to .. node].
+                    const auto from = std::find(stack.begin(), stack.end(),
+                                                edge.to);
+                    std::vector<std::string> cycle(from, stack.end());
+                    // Canonical key (rotated to the smallest member) so
+                    // each cycle is reported exactly once regardless of
+                    // which file the DFS entered it through.
+                    const auto min_it =
+                        std::min_element(cycle.begin(), cycle.end());
+                    std::string key;
+                    for (auto it = min_it; it != cycle.end(); ++it)
+                        key += *it + "|";
+                    for (auto it = cycle.begin(); it != min_it; ++it)
+                        key += *it + "|";
+                    if (!reported.insert(key).second)
+                        continue;
+                    std::string path_str;
+                    for (const std::string &member : cycle)
+                        path_str += includeStyle(member) + " -> ";
+                    path_str += includeStyle(edge.to);
+                    out.push_back(Violation{
+                        node, edge.line, "include-cycle",
+                        "include cycle: " + path_str +
+                            ": cyclic headers make initialization "
+                            "order and layer seams accidental; break "
+                            "the cycle with a forward declaration or by "
+                            "moving the shared piece down a layer"});
+                }
+            }
+            stack.pop_back();
+            color[node] = Black;
+        };
+
+    for (const FileText &text : texts) {
+        if (color[text.path] == White)
+            dfs(text.path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver plumbing: per-file rule set, suppression, tree walk.
+// ---------------------------------------------------------------------------
+
+/** All per-file rules (everything except the include-cycle pass, which
+ *  needs the whole tree). No suppression, no sorting. */
+std::vector<Violation>
+lintText(const FileText &text)
+{
+    std::vector<Violation> violations;
+    for (const PatternRule &rule : kPatternRules)
+        checkPatternRule(rule, text, violations);
+    checkUnorderedIter(text, violations);
+    checkTimeEq(text, violations);
+    checkMissingNodiscard(text, violations);
+    checkLayering(text, violations);
+    checkRawRngStream(text, violations);
+    checkRngStreamCollision(text, violations);
+    return violations;
+}
+
+bool
+lineAllows(const FileText &text, int line, const std::string &rule)
+{
+    if (line < 1 || line > static_cast<int>(text.allows.size()))
+        return false;
+    const auto &allows = text.allows[static_cast<std::size_t>(line - 1)];
+    return std::find(allows.begin(), allows.end(), rule) != allows.end() ||
+           std::find(allows.begin(), allows.end(), "all") != allows.end();
+}
+
 void
 applySuppressions(const FileText &text, std::vector<Violation> &violations)
 {
     violations.erase(
-        std::remove_if(
-            violations.begin(), violations.end(),
-            [&](const Violation &v) {
-                if (v.line < 1 ||
-                    v.line > static_cast<int>(text.allows.size()))
-                    return false;
-                const auto &allows =
-                    text.allows[static_cast<std::size_t>(v.line - 1)];
-                return std::find(allows.begin(), allows.end(), v.rule) !=
-                           allows.end() ||
-                       std::find(allows.begin(), allows.end(), "all") !=
-                           allows.end();
-            }),
+        std::remove_if(violations.begin(), violations.end(),
+                       [&](const Violation &v) {
+                           return lineAllows(text, v.line, v.rule);
+                       }),
         violations.end());
+}
+
+void
+sortViolations(std::vector<Violation> &violations)
+{
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation &a, const Violation &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+}
+
+/**
+ * Collect the lintable files under @p root, as sorted root-relative
+ * paths. Directories named `build*` are pruned (a configured checkout
+ * must not lint generated or vendored sources), as is tests/lint/
+ * fixtures/ directly under @p root (deliberately-bad self-test
+ * inputs; a fixture *tree* passed as its own root is still linted).
+ */
+std::vector<std::string>
+collectFiles(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    static const char *kSubdirs[] = {"src", "bench", "examples", "tests",
+                                     "tools"};
+    const fs::path root_path(root);
+    std::vector<std::string> files;
+    for (const char *sub : kSubdirs) {
+        const fs::path dir = root_path / sub;
+        if (!fs::is_directory(dir))
+            continue;
+        fs::recursive_directory_iterator it(dir), end;
+        for (; it != end; ++it) {
+            const std::string rel =
+                it->path().lexically_relative(root_path).generic_string();
+            if (it->is_directory()) {
+                const std::string name =
+                    it->path().filename().generic_string();
+                if (name.rfind("build", 0) == 0 ||
+                    rel == "tests/lint/fixtures")
+                    it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file())
+                continue;
+            if (endsWith(rel, ".cc") || endsWith(rel, ".h") ||
+                endsWith(rel, ".cpp") || endsWith(rel, ".hpp"))
+                files.push_back(rel);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
 }
 
 } // namespace
@@ -444,26 +848,46 @@ ruleTable()
     rules.push_back(RuleInfo{
         "missing-nodiscard",
         "try*-returning planner/sim APIs declared without [[nodiscard]]"});
+    rules.push_back(RuleInfo{
+        "layer-violation",
+        "#include edge not in the declared src/llm4d layer DAG "
+        "(tools/lint/layer_dag.h)"});
+    rules.push_back(RuleInfo{
+        "include-cycle",
+        "cycle in the llm4d include graph (reported with the full "
+        "path)"});
+    rules.push_back(RuleInfo{
+        "raw-rng-stream",
+        "hex literal constructing/seeding an Rng outside "
+        "simcore/rng_streams.h"});
+    rules.push_back(RuleInfo{
+        "rng-stream-collision",
+        "two simcore/rng_streams.h constants sharing one value"});
     return rules;
+}
+
+std::vector<LayerInfo>
+layerTable()
+{
+    std::vector<LayerInfo> table;
+    for (const LayerRow &row : kLayerDag) {
+        LayerInfo info;
+        info.module = row.module;
+        info.layer = row.layer;
+        const std::set<std::string> deps = splitDeps(row.deps);
+        info.deps.assign(deps.begin(), deps.end());
+        table.push_back(std::move(info));
+    }
+    return table;
 }
 
 std::vector<Violation>
 lintContent(const std::string &path, const std::string &content)
 {
     const FileText text = preprocess(path, content);
-    std::vector<Violation> violations;
-    for (const PatternRule &rule : kPatternRules)
-        checkPatternRule(rule, text, violations);
-    checkUnorderedIter(text, violations);
-    checkTimeEq(text, violations);
-    checkMissingNodiscard(text, violations);
+    std::vector<Violation> violations = lintText(text);
     applySuppressions(text, violations);
-    std::sort(violations.begin(), violations.end(),
-              [](const Violation &a, const Violation &b) {
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.rule < b.rule;
-              });
+    sortViolations(violations);
     return violations;
 }
 
@@ -483,31 +907,37 @@ std::vector<Violation>
 lintTree(const std::string &root)
 {
     namespace fs = std::filesystem;
-    static const char *kSubdirs[] = {"src", "bench", "examples", "tests"};
-    std::vector<std::string> files;
-    for (const char *sub : kSubdirs) {
-        const fs::path dir = fs::path(root) / sub;
-        if (!fs::is_directory(dir))
-            continue;
-        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
-            if (!entry.is_regular_file())
-                continue;
-            const std::string path = entry.path().generic_string();
-            if (path.find("tests/lint/fixtures") != std::string::npos)
-                continue; // deliberately-bad lint self-test inputs
-            if (endsWith(path, ".cc") || endsWith(path, ".h") ||
-                endsWith(path, ".cpp") || endsWith(path, ".hpp"))
-                files.push_back(path);
-        }
-    }
-    std::sort(files.begin(), files.end());
     std::vector<Violation> violations;
-    for (const std::string &file : files) {
-        std::vector<Violation> v = lintFile(file);
+    std::vector<FileText> texts;
+    for (const std::string &rel : collectFiles(root)) {
+        std::ifstream in(fs::path(root) / rel, std::ios::binary);
+        if (!in) {
+            violations.push_back(Violation{rel, 0, "io", "cannot read file"});
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        texts.push_back(preprocess(rel, buffer.str()));
+    }
+    for (const FileText &text : texts) {
+        std::vector<Violation> v = lintText(text);
         violations.insert(violations.end(),
                           std::make_move_iterator(v.begin()),
                           std::make_move_iterator(v.end()));
     }
+    checkIncludeCycles(texts, violations);
+    std::map<std::string, const FileText *> by_path;
+    for (const FileText &text : texts)
+        by_path.emplace(text.path, &text);
+    violations.erase(
+        std::remove_if(violations.begin(), violations.end(),
+                       [&](const Violation &v) {
+                           const auto it = by_path.find(v.file);
+                           return it != by_path.end() &&
+                                  lineAllows(*it->second, v.line, v.rule);
+                       }),
+        violations.end());
+    sortViolations(violations);
     return violations;
 }
 

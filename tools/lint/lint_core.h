@@ -3,11 +3,14 @@
 
 /**
  * @file
- * Determinism lint for the llm4d tree: a standalone token-level scanner
- * (no libclang dependency) that rejects patterns known to break the
- * simulator's bit-reproducibility or its conservative accounting.
+ * Determinism + architecture lint for the llm4d tree: a standalone
+ * analyzer (no libclang dependency) that rejects patterns known to
+ * break the simulator's bit-reproducibility, its conservative
+ * accounting, or its layering.
  *
- * Rules (data-driven; `llm4d_lint --list-rules` prints this table):
+ * Two kinds of passes:
+ *
+ * Per-line token rules (run on any file, even in isolation):
  *
  *  - nondet-rng          std::random_device / rand() / srand(): RNG that
  *                        is not a pure function of the configured seed.
@@ -29,15 +32,38 @@
  *  - missing-nodiscard   try*-returning planner/sim APIs declared
  *                        without [[nodiscard]]: silently dropping a
  *                        tryBestPlan result hides infeasibility.
+ *  - raw-rng-stream      a hex literal used to construct or seed an
+ *                        Rng outside simcore/rng_streams.h: stream ids
+ *                        must live in the registry so disjointness
+ *                        across models is auditable (CRN studies assume
+ *                        independent models draw from disjoint streams).
+ *  - rng-stream-collision  two constants in simcore/rng_streams.h
+ *                        sharing one value: colliding streams silently
+ *                        correlate independent models under a common
+ *                        seed.
+ *
+ * Whole-tree architecture passes (need the full file set; run by
+ * lintTree, and — for layer-violation — wherever the path reveals the
+ * module):
+ *
+ *  - layer-violation     an #include "llm4d/..." edge that is not in
+ *                        the declared layer DAG (tools/lint/layer_dag.h,
+ *                        mirrored in DESIGN.md): upward or cross-layer
+ *                        includes break the deterministic seams the
+ *                        layering exists to protect.
+ *  - include-cycle       a cycle in the llm4d include graph, reported
+ *                        with the full path; cyclic headers make
+ *                        initialization order and seam boundaries
+ *                        accidental.
  *
  * Suppression: append `// lint:allow(<rule>[,<rule>...])` to the
  * violating line. Comments and string literals are stripped before any
  * rule runs, so prose and log messages can mention the patterns freely.
  *
- * This is a deliberate heuristic scanner: it sees tokens and single
- * lines, not types. The trade — a few allow-comments on legitimate
- * sites — buys a gate that builds in milliseconds, runs everywhere the
- * repo compiles, and cannot rot with a compiler upgrade.
+ * This is a deliberate heuristic scanner: it sees tokens, lines, and
+ * the include graph, not types. The trade — a few allow-comments on
+ * legitimate sites — buys a gate that builds in milliseconds, runs
+ * everywhere the repo compiles, and cannot rot with a compiler upgrade.
  */
 
 #include <string>
@@ -64,8 +90,20 @@ struct RuleInfo
 /** The rule table, in reporting order. */
 std::vector<RuleInfo> ruleTable();
 
+/** One module of the declared layer DAG (tools/lint/layer_dag.h). */
+struct LayerInfo
+{
+    std::string module;            ///< directory name under src/llm4d/
+    int layer = 0;                 ///< DAG height; deps sit strictly lower
+    std::vector<std::string> deps; ///< allowed direct include targets
+};
+
+/** The declared layer DAG, lowest layer first. */
+std::vector<LayerInfo> layerTable();
+
 /** Lint @p content as if it were the file @p path (path drives the
- *  reporting prefix and path-scoped rules). */
+ *  reporting prefix and path-scoped rules, including which module the
+ *  layering pass assigns the file to). */
 std::vector<Violation> lintContent(const std::string &path,
                                    const std::string &content);
 
@@ -74,9 +112,14 @@ std::vector<Violation> lintContent(const std::string &path,
 std::vector<Violation> lintFile(const std::string &path);
 
 /**
- * Walk src/, bench/, examples/, and tests/ under @p root and lint every
- * C++ file (.cc/.h/.cpp/.hpp) in sorted order. The lint self-test
- * fixtures (tests/lint/fixtures/) are deliberately bad and are skipped.
+ * Walk src/, bench/, examples/, tests/, and tools/ under @p root and
+ * lint every C++ file (.cc/.h/.cpp/.hpp) in sorted order, then run the
+ * whole-tree passes (layer DAG, include cycles, RNG stream registry)
+ * over the collected file set. Violations report paths relative to
+ * @p root. Build trees (any directory named `build*`) are pruned so a
+ * configured checkout never lints generated or vendored sources, and
+ * the lint self-test fixtures (tests/lint/fixtures/ relative to
+ * @p root) are skipped because they are deliberately bad.
  */
 std::vector<Violation> lintTree(const std::string &root);
 

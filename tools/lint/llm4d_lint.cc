@@ -1,15 +1,22 @@
 /**
  * @file
- * CLI for the llm4d determinism lint.
+ * CLI for the llm4d determinism + architecture lint.
  *
  * Usage:
- *   llm4d_lint [--root DIR]      lint src/ bench/ examples/ tests/ under DIR
- *                                (default: current directory)
- *   llm4d_lint FILE...           lint the named files only
+ *   llm4d_lint [--root DIR]      lint src/ bench/ examples/ tests/ tools/
+ *                                under DIR (default: current directory),
+ *                                including the whole-tree passes (layer
+ *                                DAG, include cycles, RNG stream registry)
+ *   llm4d_lint FILE...           lint the named files only (per-file
+ *                                rules; the include-cycle pass needs a
+ *                                tree root)
  *   llm4d_lint --list-rules      print the rule table
+ *   llm4d_lint --format=FMT      text (default), json, or github
+ *                                (GitHub Actions ::error annotations)
+ *   llm4d_lint --summary         append a per-rule violation-count table
  *
- * Violations print as "file:line: rule: message"; exit status is 1 when
- * any violation is found, 0 on a clean tree.
+ * Text violations print as "file:line: rule: message"; exit status is 1
+ * when any violation is found, 0 on a clean tree.
  */
 
 #include "lint_core.h"
@@ -18,16 +25,123 @@
 #include <string>
 #include <vector>
 
+namespace {
+
+/** Escape a string for a JSON value. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** GitHub annotation properties use URL-style escapes for , and %. */
+std::string
+githubEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '%')
+            out += "%25";
+        else if (c == '\n')
+            out += "%0A";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+printViolations(const std::vector<llm4d::lint::Violation> &violations,
+                const std::string &format)
+{
+    if (format == "json") {
+        std::printf("[\n");
+        for (std::size_t i = 0; i < violations.size(); ++i) {
+            const auto &v = violations[i];
+            std::printf("  {\"file\": \"%s\", \"line\": %d, "
+                        "\"rule\": \"%s\", \"message\": \"%s\"}%s\n",
+                        jsonEscape(v.file).c_str(), v.line,
+                        jsonEscape(v.rule).c_str(),
+                        jsonEscape(v.message).c_str(),
+                        i + 1 < violations.size() ? "," : "");
+        }
+        std::printf("]\n");
+        return;
+    }
+    if (format == "github") {
+        for (const auto &v : violations) {
+            std::printf("::error file=%s,line=%d,title=llm4d_lint "
+                        "%s::%s\n",
+                        githubEscape(v.file).c_str(), v.line,
+                        v.rule.c_str(), githubEscape(v.message).c_str());
+        }
+        return;
+    }
+    for (const auto &v : violations)
+        std::printf("%s\n", llm4d::lint::toString(v).c_str());
+}
+
+/** Per-rule violation counts, every rule listed even when clean. */
+void
+printSummary(const std::vector<llm4d::lint::Violation> &violations)
+{
+    std::printf("\n%-22s %s\n", "rule", "violations");
+    std::size_t accounted = 0;
+    for (const auto &rule : llm4d::lint::ruleTable()) {
+        std::size_t count = 0;
+        for (const auto &v : violations)
+            count += v.rule == rule.name ? 1 : 0;
+        accounted += count;
+        std::printf("%-22s %zu\n", rule.name.c_str(), count);
+    }
+    // "io" (unreadable file) findings fall outside the rule table.
+    if (accounted < violations.size())
+        std::printf("%-22s %zu\n", "io",
+                    violations.size() - accounted);
+    std::printf("%-22s %zu\n", "total", violations.size());
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     std::string root = ".";
+    std::string format = "text";
+    bool summary = false;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-rules") {
             for (const auto &rule : llm4d::lint::ruleTable())
-                std::printf("%-18s %s\n", rule.name.c_str(),
+                std::printf("%-22s %s\n", rule.name.c_str(),
                             rule.summary.c_str());
             return 0;
         }
@@ -37,13 +151,32 @@ main(int argc, char **argv)
                 return 2;
             }
             root = argv[++i];
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(std::string("--format=").size());
+        } else if (arg == "--format") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "llm4d_lint: --format needs a value\n");
+                return 2;
+            }
+            format = argv[++i];
+        } else if (arg == "--summary") {
+            summary = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "usage: llm4d_lint [--root DIR] [--list-rules] [FILE...]\n");
+            std::printf("usage: llm4d_lint [--root DIR] [--list-rules] "
+                        "[--format=text|json|github] [--summary] "
+                        "[FILE...]\n");
             return 0;
         } else {
             files.push_back(arg);
         }
+    }
+    if (format != "text" && format != "json" && format != "github") {
+        std::fprintf(stderr,
+                     "llm4d_lint: unknown --format '%s' (want text, "
+                     "json, or github)\n",
+                     format.c_str());
+        return 2;
     }
 
     std::vector<llm4d::lint::Violation> violations;
@@ -56,8 +189,9 @@ main(int argc, char **argv)
         }
     }
 
-    for (const auto &violation : violations)
-        std::printf("%s\n", llm4d::lint::toString(violation).c_str());
+    printViolations(violations, format);
+    if (summary)
+        printSummary(violations);
     if (!violations.empty()) {
         std::fprintf(stderr, "llm4d_lint: %zu violation(s)\n",
                      violations.size());
