@@ -29,15 +29,22 @@ namespace {
 std::string
 policyName(const RecoveryPolicy &p)
 {
-    return std::string(toString(p.mode)) + "/" +
-           toString(p.checkpoint_mode) +
-           (p.allow_dp_shrink ? "+shrink" : "") +
-           (p.allow_regrow ? "+regrow" : "") +
-           (p.partial_restart ? "+partial" : "") +
-           (p.spare_placement != SparePlacementPolicy::CentralPool
-                ? "+" + std::string(toString(p.spare_placement))
-                : "") +
-           (p.placement_migration ? "+mig" : "");
+    std::string name = toString(p.mode);
+    name += "/";
+    name += toString(p.checkpoint_mode);
+    if (p.allow_dp_shrink)
+        name += "+shrink";
+    if (p.allow_regrow)
+        name += "+regrow";
+    if (p.partial_restart)
+        name += "+partial";
+    if (p.spare_placement != SparePlacementPolicy::CentralPool) {
+        name += "+";
+        name += toString(p.spare_placement);
+    }
+    if (p.placement_migration)
+        name += "+mig";
+    return name;
 }
 
 /** Pin the hierarchical-tier and partial-restart axes off so the

@@ -119,6 +119,7 @@ FaultTuning::validate() const
                 "flap capacity range must satisfy 0 < lo <= hi <= 1");
     LLM4D_CHECK(flap_duration_mean_s > 0.0,
                 "flap duration mean must be positive");
+    colocation.validate();
 }
 
 FaultModel::FaultModel(const ClusterSpec &cluster, const FaultTuning &tuning,
@@ -148,6 +149,19 @@ FaultModel::FaultModel(const ClusterSpec &cluster, const FaultTuning &tuning,
     setup(FaultKind::LinkFlap, gpus, cluster_.node.nic_flap_mtbf_hours);
     setup(FaultKind::StragglerOnset, gpus,
           cluster_.node.gpu.straggler_mtbf_hours);
+    // Correlated stragglers: hand the class's arrival sampling to the
+    // pod-heat model on its own registered streams. The class stream was
+    // constructed (and advanced once) above exactly as in the
+    // independent mode; it simply goes unread from here, so every other
+    // class's timeline is bit-identical with correlation on or off.
+    ClassState &scs = classes_[static_cast<int>(FaultKind::StragglerOnset)];
+    if (tuning_.colocation.enabled && scs.rate_per_second > 0.0) {
+        heat_.emplace(cluster_, tuning_.colocation, scs.rate_per_second,
+                      tuning_.straggler_speed_lo,
+                      tuning_.straggler_speed_hi, seed);
+        pending_onset_ = heat_->sampleOnset(0);
+        scs.next_at = pending_onset_.when;
+    }
 }
 
 void
@@ -178,6 +192,16 @@ FaultModel::next()
     FaultEvent ev;
     ev.kind = static_cast<FaultKind>(best);
     ev.when = cs.next_at;
+    if (ev.kind == FaultKind::StragglerOnset && heat_) {
+        // Correlated path: the pod-heat model already drew the full
+        // event (arrival, victim, severity) on its own streams; emit it
+        // and pre-sample the next so next_at stays ahead of the clock.
+        ev.component = pending_onset_.rank;
+        ev.severity = pending_onset_.severity;
+        pending_onset_ = heat_->sampleOnset(ev.when);
+        cs.next_at = pending_onset_.when;
+        return ev;
+    }
     // Component and severity come from the same class stream as the
     // arrival gap, so one stream per class fully determines its timeline.
     ev.component = cs.rng.uniformInt(0, cs.components - 1);

@@ -23,8 +23,10 @@
  */
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "llm4d/fault/colocation_model.h"
 #include "llm4d/hw/gpu_spec.h"
 #include "llm4d/simcore/enum_text.h"
 #include "llm4d/simcore/rng.h"
@@ -122,6 +124,15 @@ struct FaultTuning
     /** Mean flap duration, seconds (exponential). */
     double flap_duration_mean_s = 300.0;
 
+    /**
+     * Pod-heat co-location model (fault/colocation_model.h). When
+     * enabled, StragglerOnset arrivals come from PodHeatModel on its own
+     * registered streams — correlated within pods, worse severities in
+     * hot pods — instead of the independent per-class stream. Every
+     * other class's timeline is bit-identical either way.
+     */
+    ColocationTuning colocation;
+
     /** Abort unless every range is sane. */
     void validate() const;
 };
@@ -150,6 +161,13 @@ class FaultModel
     /** True when every class is disabled (the fault-free baseline). */
     [[nodiscard]] bool silent() const;
 
+    /** The pod-heat model driving correlated straggler arrivals, or
+     *  nullptr when tuning.colocation is off (or stragglers disabled). */
+    [[nodiscard]] const PodHeatModel *podHeat() const
+    {
+        return heat_ ? &*heat_ : nullptr;
+    }
+
   private:
     struct ClassState
     {
@@ -164,6 +182,10 @@ class FaultModel
     ClusterSpec cluster_;
     FaultTuning tuning_;
     ClassState classes_[kNumFaultKinds];
+    /** Engaged iff tuning.colocation.enabled and stragglers are on; the
+     *  straggler class's next_at then mirrors pending_onset_.when. */
+    std::optional<PodHeatModel> heat_;
+    CorrelatedOnset pending_onset_;
 };
 
 } // namespace llm4d

@@ -35,15 +35,18 @@ PerfVariation::injectStraggler(std::int64_t rank, double speed)
 double
 PerfVariation::speedOf(std::int64_t rank) const
 {
+    double s = 1.0;
+    if (jittered_ && sigma_ != 0.0) {
+        // Derive a per-rank stream so that speed factors do not depend
+        // on the order ranks are queried in.
+        Rng rng(seed_, static_cast<std::uint64_t>(rank));
+        s = std::exp(-std::fabs(rng.normal()) * sigma_);
+    }
+    // Stragglers compound with (not replace) the baseline jitter: a
+    // throttled part keeps its binning spread.
     const auto it = stragglers_.find(rank);
     if (it != stragglers_.end())
-        return it->second;
-    if (!jittered_ || sigma_ == 0.0)
-        return 1.0;
-    // Derive a per-rank stream so that speed factors do not depend on the
-    // order ranks are queried in.
-    Rng rng(seed_, static_cast<std::uint64_t>(rank));
-    const double s = std::exp(-std::fabs(rng.normal()) * sigma_);
+        s *= it->second;
     return std::min(1.0, s);
 }
 

@@ -14,7 +14,7 @@
  */
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "llm4d/simcore/rng.h"
 
@@ -37,7 +37,13 @@ class PerfVariation
     /** Force rank @p rank to run at @p speed (< 1 = straggler). */
     void injectStraggler(std::int64_t rank, double speed);
 
-    /** Compute-speed factor for @p rank. */
+    /**
+     * Compute-speed factor for @p rank. The two variation sources are
+     * independent physical effects and *compound*: an injected straggler
+     * still carries its rank's baseline lognormal jitter (a thermally
+     * throttled part does not shed its binning spread), so the factor is
+     * straggler_speed * jitter_speed, clamped to <= 1.
+     */
     double speedOf(std::int64_t rank) const;
 
     /** Scale a nominal kernel duration for @p rank. */
@@ -48,7 +54,7 @@ class PerfVariation
     }
 
     /** Ranks with explicitly injected slowdowns. */
-    const std::unordered_map<std::int64_t, double> &stragglers() const
+    const std::map<std::int64_t, double> &stragglers() const
     {
         return stragglers_;
     }
@@ -57,7 +63,9 @@ class PerfVariation
     double sigma_ = 0.0;
     std::uint64_t seed_ = 0;
     bool jittered_ = false;
-    std::unordered_map<std::int64_t, double> stragglers_;
+    /** Ordered so consumers iterating the set stay deterministic (the
+     *  unordered-iter lint covers this file). */
+    std::map<std::int64_t, double> stragglers_;
 };
 
 } // namespace llm4d

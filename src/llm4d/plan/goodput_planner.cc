@@ -33,7 +33,8 @@ samePlan(const PlanCandidate &a, const PlanCandidate &b)
  *  input's storage.hier.enabled. */
 TrainRunConfig
 cellConfig(const GoodputPlanInput &in, const PlanCandidate &cand,
-           const RecoveryPolicy &policy, std::int64_t hier_global_every)
+           const RecoveryPolicy &policy, std::int64_t hier_global_every,
+           bool straggler_correlation)
 {
     TrainRunConfig cfg;
     cfg.job.model = in.base.model;
@@ -49,6 +50,7 @@ cellConfig(const GoodputPlanInput &in, const PlanCandidate &cand,
     cfg.checkpoint_interval_steps = 0;
     cfg.checkpoint_interval_auto = true;
     cfg.faults = in.faults;
+    cfg.faults.colocation.enabled = straggler_correlation;
     cfg.repairs = in.repairs;
     cfg.storage = in.storage;
     cfg.storage.hier.enabled = hier_global_every > 0;
@@ -134,6 +136,7 @@ GoodputPlanInput::validate() const
                     !regrow_options.empty() &&
                     !hier_global_every_options.empty() &&
                     !partial_restart_options.empty() &&
+                    !straggler_correlation_options.empty() &&
                     !placement_options.empty(),
                 "every recovery-policy sweep axis needs at least one "
                 "point");
@@ -204,27 +207,38 @@ planGoodput(const GoodputPlanInput &in)
                     continue;
                 if (hier_n > 0 && cand.par.dp * cand.par.cp < 2)
                     continue;
-                const TrainRunSim sim(
-                    cellConfig(in, cand, policy, hier_n));
-                GoodputSweepPoint pt;
-                pt.policy = policy;
-                pt.hier_global_every = hier_n;
-                pt.checkpoint_interval_steps =
-                    sim.checkpointIntervalSteps();
-                pt.report = sim.run();
-                // Idle spares are provisioned capacity: they park whole
-                // hosts next to the job, so the per-GPU goodput the
-                // cluster owner sees is diluted by the pool.
-                const double world =
-                    static_cast<double>(cand.par.worldSize());
-                const double provisioned =
-                    world + static_cast<double>(policy.spare_hosts *
-                                                in.base.cluster.node
-                                                    .gpus_per_node);
-                pt.goodput_tflops_per_gpu =
-                    pt.report.goodput_tflops_per_gpu * world /
-                    provisioned;
-                scored.sweep.push_back(std::move(pt));
+                for (const bool corr : in.straggler_correlation_options) {
+                    // Correlation needs an enabled straggler class to
+                    // correlate; skip rather than simulate a duplicate
+                    // of the independent cell.
+                    if (corr &&
+                        in.base.cluster.node.gpu.straggler_mtbf_hours <=
+                            0.0)
+                        continue;
+                    const TrainRunSim sim(
+                        cellConfig(in, cand, policy, hier_n, corr));
+                    GoodputSweepPoint pt;
+                    pt.policy = policy;
+                    pt.hier_global_every = hier_n;
+                    pt.straggler_correlation = corr;
+                    pt.checkpoint_interval_steps =
+                        sim.checkpointIntervalSteps();
+                    pt.report = sim.run();
+                    // Idle spares are provisioned capacity: they park
+                    // whole hosts next to the job, so the per-GPU
+                    // goodput the cluster owner sees is diluted by the
+                    // pool.
+                    const double world =
+                        static_cast<double>(cand.par.worldSize());
+                    const double provisioned =
+                        world + static_cast<double>(
+                                    policy.spare_hosts *
+                                    in.base.cluster.node.gpus_per_node);
+                    pt.goodput_tflops_per_gpu =
+                        pt.report.goodput_tflops_per_gpu * world /
+                        provisioned;
+                    scored.sweep.push_back(std::move(pt));
+                }
             }
         }
         // A candidate with no simulable cell (e.g. dp*cp == 1 under a

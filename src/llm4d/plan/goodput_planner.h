@@ -135,6 +135,17 @@ struct GoodputPlanInput
         SparePlacementPolicy::CentralPool};
 
     /**
+     * Straggler co-location axis (FaultTuning::colocation, the pod-heat
+     * model): independent Poisson straggler onsets vs pod-correlated
+     * arrivals with heat-worsened severities — the planner stress-tested
+     * against worst-case co-location. Correlated cells are skipped when
+     * the straggler class is disabled (nothing to correlate). The
+     * {false} default keeps the legacy grid — and bit-identical
+     * rankings.
+     */
+    std::vector<bool> straggler_correlation_options = {false};
+
+    /**
      * Price spare swaps over the actual victim-to-spare path and
      * migrate displaced ranks home at durable checkpoint boundaries
      * (RecoveryPolicy::placement_migration). Applied to every elastic
@@ -162,6 +173,9 @@ struct GoodputSweepPoint
     /** Hierarchical-tier cadence this cell ran with: global checkpoint
      *  every Nth boundary, HBM mirrors in between. 0 = global-only. */
     std::int64_t hier_global_every = 0;
+
+    /** Whether this cell ran with pod-correlated straggler arrivals. */
+    bool straggler_correlation = false;
 
     /** Young–Daly interval this cell ran at (per-point: it contracts
      *  under async checkpointing, and under hierarchical tiers where

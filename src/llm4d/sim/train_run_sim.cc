@@ -66,6 +66,36 @@ TrainRunConfig::validate() const
                 "(storage.hier.enabled)");
 }
 
+StragglerOnsetMerge
+mergeStragglerOnset(double tracked_speed,
+                    std::int64_t tracked_steps_to_detect,
+                    bool tracked_mitigated, double onset_severity,
+                    std::int64_t onset_steps_to_detect)
+{
+    StragglerOnsetMerge merge;
+    if (onset_severity >= tracked_speed) {
+        // No-worse repeat: the detector keeps watching unperturbed.
+        merge.speed = tracked_speed;
+        merge.steps_to_detect = tracked_steps_to_detect;
+        return merge;
+    }
+    merge.speed = onset_severity;
+    if (tracked_mitigated) {
+        // The rebalance was sized for the old speed; the worse onset
+        // invalidates it, so mitigation restarts from scratch.
+        merge.steps_to_detect = onset_steps_to_detect;
+        merge.reset_mitigation = true;
+    } else {
+        // Keep the accumulated detection evidence while adopting the
+        // worse speed. A repeat onset must never push localization
+        // further out — the pre-fix code overwrote the tracker and
+        // reset the detection clock here.
+        merge.steps_to_detect =
+            std::min(tracked_steps_to_detect, onset_steps_to_detect);
+    }
+    return merge;
+}
+
 TrainRunSim::TrainRunSim(TrainRunConfig cfg)
     : cfg_(validated(std::move(cfg))),
       base_(TrainSim(cfg_.job).run()),
@@ -114,25 +144,44 @@ TrainRunSim::youngDalyIntervalSteps() const
 }
 
 double
-TrainRunSim::degradedStepSeconds(std::int64_t straggler_rank,
-                                 double speed) const
+TrainRunSim::degradedStepSeconds(
+    const std::vector<std::pair<std::int64_t, double>> &active) const
 {
+    LLM4D_ASSERT(!active.empty(),
+                 "joint straggler pricing needs at least one straggler");
     // TrainSim's cost table only samples the representative rank of each
-    // PP coordinate, so map the straggler onto the representative of its
-    // pipeline stage; synchronized training then propagates the slowdown
-    // to the whole step.
+    // PP coordinate, so map every straggler onto the representative of
+    // its pipeline stage; synchronized training then propagates the
+    // compounded slowdown to the whole step. Two stragglers on the same
+    // stage collapse to the slowest — the stage already waits for its
+    // worst rank, so their slowdowns do not stack.
     const RankGrid grid(cfg_.job.par);
-    const std::int64_t pp_coord = grid.coordOf(straggler_rank).pp;
-    const std::int64_t rep = grid.rankOf(RankCoord{0, 0, pp_coord, 0});
-    const auto key = std::make_pair(rep, speed);
+    std::map<std::int64_t, double> by_rep;
+    for (const auto &[rank, speed] : active) {
+        const std::int64_t pp_coord = grid.coordOf(rank).pp;
+        const std::int64_t rep = grid.rankOf(RankCoord{0, 0, pp_coord, 0});
+        const auto it = by_rep.find(rep);
+        if (it == by_rep.end() || speed < it->second)
+            by_rep[rep] = speed;
+    }
+    const std::vector<std::pair<std::int64_t, double>> key(by_rep.begin(),
+                                                           by_rep.end());
     const auto it = degraded_cache_.find(key);
     if (it != degraded_cache_.end())
         return it->second;
     TrainJobConfig degraded = cfg_.job;
-    degraded.perf.injectStraggler(rep, speed);
+    for (const auto &[rep, speed] : key)
+        degraded.perf.injectStraggler(rep, speed);
     const double seconds = TrainSim(degraded).run().step_seconds;
     degraded_cache_[key] = std::max(seconds, base_.step_seconds);
     return degraded_cache_[key];
+}
+
+double
+TrainRunSim::degradedStepSeconds(std::int64_t straggler_rank,
+                                 double speed) const
+{
+    return degradedStepSeconds({{straggler_rank, speed}});
 }
 
 bool
@@ -518,14 +567,19 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
                 : stepSecondsAtDp(dp_now);
         double s = eff;
         double worst_residual = 1.0;
+        // Price the whole unmitigated set through one TrainSim rerun:
+        // concurrent stragglers on distinct PP stages compound, which a
+        // max over single-straggler runs undercounts.
+        std::vector<std::pair<std::int64_t, double>> active;
         for (const auto &[rank, st] : stragglers) {
             if (st.mitigated)
                 worst_residual = std::max(worst_residual, st.residual);
             else
-                s = std::max(s, eff *
-                                    degradedStepSeconds(rank, st.speed) /
-                                    base_step_s);
+                active.emplace_back(rank, st.speed);
         }
+        if (!active.empty())
+            s = std::max(s, eff * degradedStepSeconds(active) /
+                                base_step_s);
         s = std::max(s, eff * worst_residual);
         s *= flap_multiplier();
         if (warmup_left > 0)
@@ -1282,8 +1336,18 @@ TrainRunSim::runWithInterval(std::int64_t interval_steps) const
             st.steps_to_detect = stragglerDetectionSteps(
                 ev.severity, cfg_.detection.straggler);
             const auto it = stragglers.find(ev.component);
-            if (it == stragglers.end() || ev.severity < it->second.speed)
+            if (it == stragglers.end()) {
                 stragglers[ev.component] = st;
+            } else {
+                const StragglerOnsetMerge merge = mergeStragglerOnset(
+                    it->second.speed, it->second.steps_to_detect,
+                    it->second.mitigated, ev.severity,
+                    st.steps_to_detect);
+                if (merge.reset_mitigation)
+                    it->second = ActiveStraggler{};
+                it->second.speed = merge.speed;
+                it->second.steps_to_detect = merge.steps_to_detect;
+            }
             break;
           }
           case FaultKind::LinkFlap: {

@@ -104,6 +104,39 @@ struct DetectionConfig
     }
 };
 
+/**
+ * Resolution of a repeat StragglerOnset on an already-tracked rank.
+ * Extracted from TrainRunSim's fault handler so the merge semantics are
+ * unit-testable: a worse onset adopts the slower speed but must KEEP the
+ * accumulated detection progress (the detector has been watching the
+ * rank all along, and a slower straggler is easier to localize, never
+ * harder) — unless the rank was already mitigated, in which case the
+ * rebalance was sized for the old speed and the whole mitigation cycle
+ * restarts from scratch. A no-worse repeat changes nothing.
+ */
+struct StragglerOnsetMerge
+{
+    /** Tracked speed after the repeat onset (min of old and new). */
+    double speed = 1.0;
+
+    /** Detection steps still owed after the repeat onset. */
+    std::int64_t steps_to_detect = 0;
+
+    /** True when an existing mitigation was invalidated: the tracker
+     *  must drop its rebalance state and start a fresh cycle. */
+    bool reset_mitigation = false;
+};
+
+/**
+ * Merge a repeat onset of @p onset_severity (whose fresh detection cost
+ * is @p onset_steps_to_detect) into the tracked straggler state.
+ */
+[[nodiscard]] StragglerOnsetMerge
+mergeStragglerOnset(double tracked_speed,
+                    std::int64_t tracked_steps_to_detect,
+                    bool tracked_mitigated, double onset_severity,
+                    std::int64_t onset_steps_to_detect);
+
 /** Cost of coming back after an interruption. */
 struct RestartConfig
 {
@@ -401,6 +434,20 @@ class TrainRunSim
         double nvme_read = 0.0;
     };
 
+    /**
+     * Step seconds with the whole active-straggler set @p active
+     * ((rank, speed) pairs) injected into *one* TrainSim rerun. The
+     * synchronized step pays the compounded cost of every slow stage at
+     * once, which the old max-over-single-straggler pricing undercounted
+     * whenever concurrent stragglers hit distinct PP stages. Stragglers
+     * mapping to the same stage representative collapse to the slowest
+     * (the stage already waits for its worst rank). Cached on the
+     * canonical (representative, speed) set.
+     */
+    double degradedStepSeconds(
+        const std::vector<std::pair<std::int64_t, double>> &active) const;
+
+    /** Single-straggler convenience overload (same cache). */
     double degradedStepSeconds(std::int64_t straggler_rank,
                                double speed) const;
 
@@ -455,8 +502,9 @@ class TrainRunSim
     RecoveryCostModel recovery_;
     double flops_per_gpu_step_ = 0.0;
 
-    /** TrainSim reruns per straggler are cached: (rep. rank, speed). */
-    mutable std::map<std::pair<std::int64_t, double>, double>
+    /** TrainSim reruns per active-straggler *set* are cached, keyed by
+     *  the sorted (representative rank, speed) vector. */
+    mutable std::map<std::vector<std::pair<std::int64_t, double>>, double>
         degraded_cache_;
     mutable std::map<std::int64_t, TrainStepReport> shrunk_report_cache_;
     mutable std::map<std::int64_t, TrainStepReport> displaced_report_cache_;

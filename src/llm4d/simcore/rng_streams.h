@@ -55,6 +55,14 @@ inline constexpr std::uint64_t kFaultStragglerOnsetStream = 0xfa04;
 inline constexpr std::uint64_t kGpuRepairStream = 0xae01;
 inline constexpr std::uint64_t kHostRepairStream = 0xae02;
 
+// ---- 0xc0..: pod-heat co-location model (fault/colocation_model.cc) -----
+// Disjoint from the 0xfa.. block so enabling correlated stragglers
+// leaves every other fault class's timeline bit-identical (CRN), and
+// disabling them reproduces the independent timeline exactly.
+inline constexpr std::uint64_t kPodHeatArrivalStream = 0xc001;
+inline constexpr std::uint64_t kPodHeatTargetStream = 0xc002;
+inline constexpr std::uint64_t kPodHeatSeverityStream = 0xc003;
+
 // ---- 0x00..: workload synthesis (sim/train_sim.cc) ----------------------
 // Document-mask sampling for per-micro-batch attention pricing. The
 // value predates the registry (decimal 17) and is frozen for timeline

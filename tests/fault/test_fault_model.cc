@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "llm4d/simcore/time.h"
@@ -199,6 +201,113 @@ TEST(FaultModel, UnknownKindNamesParseToNullopt)
     EXPECT_EQ(tryParse<BlastRadius>("Cluster"), std::nullopt);
 }
 
+FaultTuning
+correlatedTuning()
+{
+    FaultTuning tuning;
+    tuning.colocation.enabled = true;
+    tuning.colocation.heat_per_onset = 2.0;
+    tuning.colocation.max_heat = 8.0;
+    tuning.colocation.hazard_gain = 10.0;
+    // Short against cold-pod seeding (~15 min at the 4000 h MTBF used
+    // below), long against within-burst gaps: one pod runs hot at a
+    // time rather than the whole fleet saturating at max_heat.
+    tuning.colocation.heat_half_life_s = 180.0;
+    return tuning;
+}
+
+TEST(FaultModel, CorrelationOffIsBitIdenticalToLegacy)
+{
+    // colocation.enabled = false must not consume a single extra random
+    // number, whatever the rest of the colocation tuning says: the
+    // independent timeline is the pre-correlation contract.
+    FaultTuning off = correlatedTuning();
+    off.colocation.enabled = false;
+    off.colocation.hazard_gain = 99.0;
+    off.colocation.heat_half_life_s = 1.0;
+    FaultModel legacy(production16k(), FaultTuning{}, 7);
+    FaultModel disabled(production16k(), off, 7);
+    const auto ea = drain(legacy, 300);
+    const auto eb = drain(disabled, 300);
+    for (int i = 0; i < 300; ++i) {
+        EXPECT_EQ(ea[i].when, eb[i].when) << "event " << i;
+        EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+        EXPECT_EQ(ea[i].component, eb[i].component) << "event " << i;
+        EXPECT_EQ(ea[i].severity, eb[i].severity) << "event " << i;
+        EXPECT_EQ(ea[i].duration, eb[i].duration) << "event " << i;
+    }
+}
+
+TEST(FaultModel, CorrelationLeavesOtherClassesUntouched)
+{
+    // The pod-heat model runs on its own registered streams (0xc0..),
+    // so turning it on reroutes only straggler onsets: the k-th fatal,
+    // host-crash, and link-flap event is bit-identical in both arms.
+    // This is the CRN property planGoodput's correlation axis rests on.
+    FaultModel indep(production16k(), FaultTuning{}, 7);
+    FaultModel corr(production16k(), correlatedTuning(), 7);
+    std::vector<FaultEvent> ea, eb;
+    for (const FaultEvent &ev : drain(indep, 600)) {
+        if (ev.kind != FaultKind::StragglerOnset)
+            ea.push_back(ev);
+    }
+    for (const FaultEvent &ev : drain(corr, 600)) {
+        if (ev.kind != FaultKind::StragglerOnset)
+            eb.push_back(ev);
+    }
+    const std::size_t n = std::min(ea.size(), eb.size());
+    ASSERT_GT(n, 100u);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(ea[i].when, eb[i].when) << "event " << i;
+        EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+        EXPECT_EQ(ea[i].component, eb[i].component) << "event " << i;
+        EXPECT_EQ(ea[i].severity, eb[i].severity) << "event " << i;
+    }
+}
+
+TEST(FaultModel, CorrelatedStragglersStayValidAndCluster)
+{
+    // A worn fleet (straggler MTBF 4000h -> ~4 onsets/h cluster-wide)
+    // keeps inter-onset gaps well inside the heat half-life, so the
+    // correlation has something to correlate.
+    ClusterSpec cluster = production16k();
+    cluster.node.gpu.straggler_mtbf_hours = 4000.0;
+    const FaultTuning tuning = correlatedTuning();
+    FaultModel model(cluster, tuning, 19);
+    ASSERT_NE(model.podHeat(), nullptr);
+    std::vector<std::int64_t> pods;
+    Time prev = 0;
+    for (const FaultEvent &ev : drain(model, 3000)) {
+        EXPECT_GE(ev.when, prev);
+        prev = ev.when;
+        if (ev.kind != FaultKind::StragglerOnset)
+            continue;
+        EXPECT_GE(ev.component, 0);
+        EXPECT_LT(ev.component, cluster.numGpus());
+        EXPECT_GE(ev.severity, tuning.straggler_speed_lo);
+        EXPECT_LE(ev.severity, tuning.straggler_speed_hi);
+        pods.push_back(model.podHeat()->podOf(ev.component));
+    }
+    ASSERT_GT(pods.size(), 200u);
+    int repeats = 0;
+    for (std::size_t i = 1; i < pods.size(); ++i)
+        repeats += pods[i] == pods[i - 1];
+    // Independent onsets revisit their predecessor's pod with the
+    // sum-of-squared-pod-shares probability (~18% at 16K); heat makes
+    // successive onsets pile into the same pod (empirically ~0.6 here).
+    EXPECT_GT(static_cast<double>(repeats) /
+                  static_cast<double>(pods.size() - 1),
+              0.30);
+}
+
+TEST(FaultModel, CorrelationOffKeepsPodHeatUnbuilt)
+{
+    FaultModel model(production16k(), FaultTuning{}, 1);
+    EXPECT_EQ(model.podHeat(), nullptr);
+    FaultModel corr(production16k(), correlatedTuning(), 1);
+    EXPECT_NE(corr.podHeat(), nullptr);
+}
+
 TEST(FaultModelDeathTest, RejectsBadTuning)
 {
     FaultTuning bad;
@@ -211,6 +320,9 @@ TEST(FaultModelDeathTest, RejectsBadTuning)
     FaultTuning no_duration;
     no_duration.flap_duration_mean_s = 0.0;
     EXPECT_DEATH(no_duration.validate(), "duration");
+    FaultTuning bad_heat;
+    bad_heat.colocation.heat_per_onset = 0.0;
+    EXPECT_DEATH(bad_heat.validate(), "heat");
 }
 
 } // namespace

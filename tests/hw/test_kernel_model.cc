@@ -160,12 +160,15 @@ TEST(PerfVariation, JitterIsDeterministicAndBounded)
     EXPECT_DOUBLE_EQ(pv.speedOf(17), pv2.speedOf(17));
 }
 
-TEST(PerfVariation, StragglerOverridesJitter)
+TEST(PerfVariation, StragglerCompoundsWithJitterHere)
 {
+    // A straggler multiplies the rank's baseline jitter factor instead
+    // of replacing it (see test_perf_variation.cc for the full contract).
     PerfVariation pv = PerfVariation::jitter(0.01, 1);
+    const double jitter_speed = PerfVariation::jitter(0.01, 1).speedOf(5);
     pv.injectStraggler(5, 0.5);
-    EXPECT_DOUBLE_EQ(pv.speedOf(5), 0.5);
-    EXPECT_DOUBLE_EQ(pv.apply(5, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(pv.speedOf(5), 0.5 * jitter_speed);
+    EXPECT_DOUBLE_EQ(pv.apply(5, 1.0), 1.0 / (0.5 * jitter_speed));
 }
 
 TEST(ClusterSpec, ProductionPreset)

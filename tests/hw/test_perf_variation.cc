@@ -66,12 +66,50 @@ TEST(PerfVariation, JitterIsDeterministicAndBounded)
     }
 }
 
-TEST(PerfVariation, StragglerOverridesJitter)
+TEST(PerfVariation, StragglerCompoundsWithJitter)
 {
+    // Regression: speedOf used to return the injected straggler speed
+    // directly, silently discarding the rank's baseline lognormal
+    // jitter. The two are independent physical effects and compound: a
+    // thermally throttled part keeps its binning spread.
+    const PerfVariation jitter_only = PerfVariation::jitter(0.01, 42);
+    const double jitter_speed = jitter_only.speedOf(3);
+    ASSERT_LT(jitter_speed, 1.0) << "rank 3 must carry non-trivial jitter "
+                                    "for this test to bite";
+
     PerfVariation pv = PerfVariation::jitter(0.01, 42);
     pv.injectStraggler(3, 0.25);
-    EXPECT_DOUBLE_EQ(pv.speedOf(3), 0.25);
+    EXPECT_DOUBLE_EQ(pv.speedOf(3), 0.25 * jitter_speed);
+    EXPECT_LT(pv.speedOf(3), 0.25);
     EXPECT_EQ(pv.stragglers().size(), 1u);
+    // Other ranks keep their pure jitter factor.
+    EXPECT_DOUBLE_EQ(pv.speedOf(4), jitter_only.speedOf(4));
+}
+
+TEST(PerfVariation, StragglerCompoundingClampsAtNominal)
+{
+    // Without jitter the injected speed passes through exactly, and the
+    // compound can never exceed nominal.
+    PerfVariation pv;
+    pv.injectStraggler(5, 0.8);
+    EXPECT_DOUBLE_EQ(pv.speedOf(5), 0.8);
+    pv.injectStraggler(6, 1.0);
+    EXPECT_DOUBLE_EQ(pv.speedOf(6), 1.0);
+}
+
+TEST(PerfVariation, StragglersIterateInRankOrder)
+{
+    // The straggler set feeds deterministic timeline pricing
+    // (TrainRunSim iterates it), so it is an ordered map by contract.
+    PerfVariation pv;
+    pv.injectStraggler(9, 0.5);
+    pv.injectStraggler(2, 0.6);
+    pv.injectStraggler(5, 0.7);
+    std::int64_t prev = -1;
+    for (const auto &[rank, speed] : pv.stragglers()) {
+        EXPECT_GT(rank, prev);
+        prev = rank;
+    }
 }
 
 } // namespace

@@ -207,12 +207,19 @@ checkPatternRule(const PatternRule &rule, const FileText &text,
 // ---------------------------------------------------------------------------
 // unordered-iter: range-for over std::unordered_map/set in files that
 // schedule engine events or accumulate stats (direct include of
-// simcore/engine.h or simcore/stats.h).
+// simcore/engine.h or simcore/stats.h), plus hw/perf_variation.* whose
+// straggler set feeds deterministic timeline pricing.
 // ---------------------------------------------------------------------------
 
 bool
 fileSchedulesEventsOrAccumulatesStats(const FileText &text)
 {
+    // hw/perf_variation is opted in by path: its straggler set is
+    // iterated by deterministic consumers (TrainRunSim pricing), so an
+    // unordered container there would leak hash order into timelines
+    // even though the file includes neither engine.h nor stats.h.
+    if (text.path.find("hw/perf_variation.") != std::string::npos)
+        return true;
     for (const std::string &line : text.raw) {
         if (line.find("#include \"llm4d/simcore/engine.h\"") !=
                 std::string::npos ||
@@ -840,8 +847,8 @@ ruleTable()
         rules.push_back(RuleInfo{rule.name, rule.summary});
     rules.push_back(RuleInfo{
         "unordered-iter",
-        "range-for over std::unordered_map/set in event-scheduling or "
-        "stats-accumulating files"});
+        "range-for over std::unordered_map/set in event-scheduling, "
+        "stats-accumulating, or hw/perf_variation files"});
     rules.push_back(RuleInfo{
         "time-eq",
         "raw ==/!= comparisons on simulated-time expressions"});
